@@ -1,0 +1,52 @@
+//! Property-based tests for alias-set merging.
+
+use cm_alias::merge_sets;
+use cm_net::Ipv4;
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+fn addr_sets() -> impl Strategy<Value = Vec<Vec<Ipv4>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u32..64).prop_map(Ipv4), 2..6),
+        0..12,
+    )
+}
+
+proptest! {
+    /// Merged sets partition the input universe: every input address appears
+    /// in exactly one output set (or none, if its set collapsed below 2).
+    #[test]
+    fn merge_forms_a_partition(sets in addr_sets()) {
+        let merged = merge_sets(sets.clone());
+        let mut seen: HashMap<Ipv4, usize> = HashMap::new();
+        for (i, set) in merged.iter().enumerate() {
+            prop_assert!(set.len() >= 2);
+            for &a in set {
+                prop_assert!(seen.insert(a, i).is_none(), "{a} in two output sets");
+            }
+        }
+        // Connectivity: two addresses sharing an input set end up together.
+        for set in &sets {
+            let groups: HashSet<_> = set.iter().filter_map(|a| seen.get(a)).collect();
+            prop_assert!(groups.len() <= 1, "input set split across outputs");
+        }
+    }
+
+    /// Merging is idempotent: feeding the output back in changes nothing.
+    #[test]
+    fn merge_is_idempotent(sets in addr_sets()) {
+        let once = merge_sets(sets);
+        let twice = merge_sets(once.clone());
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Merging is order-insensitive.
+    #[test]
+    fn merge_is_order_insensitive(sets in addr_sets()) {
+        let forward = merge_sets(sets.clone());
+        let mut rev = sets;
+        rev.reverse();
+        let backward = merge_sets(rev);
+        prop_assert_eq!(forward, backward);
+    }
+}

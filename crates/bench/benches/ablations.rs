@@ -1,0 +1,163 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md.
+//!
+//! Each variant runs the pipeline under one modified knob; the benchmark
+//! reports the runtime cost, and the setup prints the *outcome* deltas once
+//! (coverage, visibility, accuracy) so the quality impact is visible next
+//! to the time impact.
+
+use cloudmap::pipeline::{Pipeline, PipelineConfig};
+use cloudmap::pinning::PinningConfig;
+use cm_bgp::BgpView;
+use cm_dataplane::DataPlaneConfig;
+use cm_topology::{CloudId, Internet, ResponsePolicyMix, TopologyConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn quiet_cfg() -> PipelineConfig {
+    PipelineConfig {
+        crossval_folds: 0,
+        run_vpi: false,
+        ..PipelineConfig::default()
+    }
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let inet = Internet::generate(TopologyConfig::tiny(), 2019);
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+
+    // --- expansion probing on/off (§4.2) --------------------------------
+    {
+        let with = Pipeline::new(&inet, quiet_cfg()).run();
+        let without = Pipeline::new(
+            &inet,
+            PipelineConfig {
+                run_expansion: false,
+                ..quiet_cfg()
+            },
+        )
+        .run();
+        eprintln!(
+            "# ablation expansion: CBIs {} -> {} without round two",
+            with.pool.cbis.len(),
+            without.pool.cbis.len()
+        );
+    }
+    g.bench_function("expansion_on", |b| {
+        b.iter(|| Pipeline::new(&inet, quiet_cfg()).run())
+    });
+    g.bench_function("expansion_off", |b| {
+        b.iter(|| {
+            Pipeline::new(
+                &inet,
+                PipelineConfig {
+                    run_expansion: false,
+                    ..quiet_cfg()
+                },
+            )
+            .run()
+        })
+    });
+
+    // --- collector density (BGP visibility) ------------------------------
+    {
+        for n in [4usize, 16, 64] {
+            let view = BgpView::compute(&inet, CloudId(0), n, 2019);
+            eprintln!(
+                "# ablation collectors: {n} feeders -> {} visible peerings",
+                view.visible_peers.len()
+            );
+        }
+    }
+    g.bench_function("bgp_view_16_feeders", |b| {
+        b.iter(|| BgpView::compute(&inet, CloudId(0), 16, 2019))
+    });
+
+    // --- co-presence threshold (§6.1 rule 2) ------------------------------
+    {
+        for t in [1.0f64, 2.0, 4.0] {
+            let atlas = Pipeline::new(
+                &inet,
+                PipelineConfig {
+                    pinning: PinningConfig {
+                        copresence_ms: t,
+                        ..PinningConfig::default()
+                    },
+                    ..quiet_cfg()
+                },
+            )
+            .run();
+            let s = cloudmap::score::pin_score(&atlas);
+            eprintln!(
+                "# ablation copresence {t} ms: coverage {:.3}, accuracy {:.3}",
+                s.metro_coverage, s.metro_accuracy
+            );
+        }
+    }
+
+    // --- anchor-source ablation (§6.1) -------------------------------------
+    {
+        let names = ["dns", "ixp", "footprint", "native"];
+        for drop in 0..4usize {
+            let mut anchors = [true; 4];
+            anchors[drop] = false;
+            let atlas = Pipeline::new(
+                &inet,
+                PipelineConfig {
+                    pinning: PinningConfig {
+                        enabled_anchors: anchors,
+                        ..PinningConfig::default()
+                    },
+                    ..quiet_cfg()
+                },
+            )
+            .run();
+            let s = cloudmap::score::pin_score(&atlas);
+            eprintln!(
+                "# ablation anchors without {}: coverage {:.3}, accuracy {:.3}",
+                names[drop], s.metro_coverage, s.metro_accuracy
+            );
+        }
+    }
+
+    // --- response-policy mix (silent/third-party routers) -----------------
+    {
+        let noisy = Internet::generate(
+            TopologyConfig {
+                response_mix: ResponsePolicyMix {
+                    incoming: 0.60,
+                    fixed: 0.25,
+                    silent: 0.15,
+                },
+                ..TopologyConfig::tiny()
+            },
+            2019,
+        );
+        let atlas = Pipeline::new(&noisy, quiet_cfg()).run();
+        let s = cloudmap::score::border_score(&atlas);
+        eprintln!(
+            "# ablation noisy responders: CBI precision {:.3}, peer recall {:.3}",
+            s.cbi.precision, s.peers.recall
+        );
+    }
+
+    // --- probe-loss sensitivity -------------------------------------------
+    g.bench_function("lossy_dataplane", |b| {
+        b.iter(|| {
+            Pipeline::new(
+                &inet,
+                PipelineConfig {
+                    dataplane: DataPlaneConfig {
+                        loss_rate: 0.10,
+                        ..DataPlaneConfig::default()
+                    },
+                    ..quiet_cfg()
+                },
+            )
+            .run()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

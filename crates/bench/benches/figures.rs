@@ -1,0 +1,65 @@
+//! One benchmark per paper figure: regenerating each figure's data series.
+
+use cloudmap::icg::Icg;
+use cloudmap::pinning::{Pinner, PinningConfig};
+use cm_bench::{build_internet, report, run_study};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let inet = build_internet("tiny", 2019);
+    let atlas = run_study(&inet);
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    // Figures 4a/4b/5 all come out of the pinning engine.
+    g.bench_function("fig4_and_5_pinning_run", |b| {
+        b.iter(|| {
+            let pinner = Pinner {
+                pool: &atlas.pool,
+                dns: &atlas.dns,
+                rtt: &atlas.rtt,
+                datasets: &atlas.datasets,
+                alias_sets: &atlas.alias_sets,
+                region_metro: &atlas.region_metro,
+                catalog: &inet.metros,
+                cfg: PinningConfig::default(),
+            };
+            pinner.run()
+        })
+    });
+    g.bench_function("fig4a_render", |b| {
+        b.iter(|| report::fig4a(black_box(&atlas)))
+    });
+    g.bench_function("fig4b_render", |b| {
+        b.iter(|| report::fig4b(black_box(&atlas)))
+    });
+    g.bench_function("fig5_render", |b| {
+        b.iter(|| report::fig5(black_box(&atlas)))
+    });
+    g.bench_function("fig6_features_render", |b| {
+        b.iter(|| report::fig6(black_box(&atlas)))
+    });
+    g.bench_function("fig7_icg_build", |b| {
+        b.iter(|| Icg::build(&atlas.pool, &atlas.pinning))
+    });
+    g.bench_function("pinning_cross_validation", |b| {
+        b.iter(|| {
+            let pinner = Pinner {
+                pool: &atlas.pool,
+                dns: &atlas.dns,
+                rtt: &atlas.rtt,
+                datasets: &atlas.datasets,
+                alias_sets: &atlas.alias_sets,
+                region_metro: &atlas.region_metro,
+                catalog: &inet.metros,
+                cfg: PinningConfig::default(),
+            };
+            pinner.cross_validate(3, 0.7, 5)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Stage-level benchmarks of the measurement pipeline.
+
+use cloudmap::annotate::Annotator;
+use cloudmap::borders::BorderCollector;
+use cloudmap::pipeline::{Pipeline, PipelineConfig};
+use cm_bgp::{bgp_snapshot, BgpView, RoutingTable};
+use cm_dataplane::{DataPlane, DataPlaneConfig};
+use cm_datasets::{DatasetConfig, PublicDatasets};
+use cm_probe::Campaign;
+use cm_topology::{CloudId, Internet, TopologyConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+
+    g.bench_function("generate_tiny_internet", |b| {
+        b.iter(|| Internet::generate(TopologyConfig::tiny(), black_box(7)))
+    });
+
+    let inet = Internet::generate(TopologyConfig::tiny(), 7);
+    g.bench_function("build_routing_table", |b| {
+        b.iter(|| RoutingTable::build(&inet, CloudId(0)))
+    });
+    g.bench_function("build_dataplane", |b| {
+        b.iter(|| DataPlane::new(&inet, DataPlaneConfig::default()))
+    });
+
+    let plane = DataPlane::new(&inet, DataPlaneConfig::default());
+    let region = inet.primary_cloud().regions[0];
+    let some_peer = inet.cloud_interconnects(CloudId(0)).next().unwrap().peer;
+    let dst = inet.as_node(some_peer).prefixes[0].base().saturating_next();
+    g.bench_function("single_traceroute", |b| {
+        b.iter(|| plane.traceroute(CloudId(0), region, black_box(dst)))
+    });
+
+    let snap = bgp_snapshot(&inet);
+    let view = BgpView::compute(&inet, CloudId(0), 16, 7);
+    let visible = view
+        .visible_peers
+        .iter()
+        .map(|&p| inet.as_node(p).asn)
+        .collect();
+    let ds = PublicDatasets::derive(&inet, DatasetConfig::default(), &visible, 7);
+    let org = ds
+        .as2org
+        .org_of(inet.as_node(inet.primary_cloud().ases[0]).asn)
+        .unwrap();
+    let ann = Annotator::new(&snap, &ds);
+    g.bench_function("sweep_and_border_inference", |b| {
+        b.iter(|| {
+            let campaign = Campaign::new(&plane, CloudId(0));
+            let mut collector = BorderCollector::new(&ann, org);
+            campaign.sweep_each(|t| collector.observe(t));
+            collector.finish()
+        })
+    });
+
+    g.bench_function("full_pipeline_tiny", |b| {
+        b.iter(|| {
+            Pipeline::new(
+                &inet,
+                PipelineConfig {
+                    crossval_folds: 0,
+                    ..PipelineConfig::default()
+                },
+            )
+            .run()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

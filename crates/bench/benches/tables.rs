@@ -1,0 +1,55 @@
+//! One benchmark per paper table: each measures regenerating that table's
+//! content from the shared atlas (the expensive analysis plus rendering).
+//! Run `cargo run --release -p cm-bench --bin experiments` for the values.
+
+use cloudmap::groups::Grouping;
+use cloudmap::verify::run_heuristics;
+use cm_bench::{build_internet, report, run_study};
+use cm_dataplane::publicly_reachable;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let inet = build_internet("tiny", 2019);
+    let atlas = run_study(&inet);
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+
+    g.bench_function("table1_annotation_fractions", |b| {
+        b.iter(|| report::table1(black_box(&atlas)))
+    });
+    g.bench_function("table2_heuristics", |b| {
+        b.iter(|| {
+            let h = run_heuristics(&atlas.pool, |a| publicly_reachable(&inet, a));
+            report::table2(&atlas);
+            h
+        })
+    });
+    g.bench_function("table3_pinning_render", |b| {
+        b.iter(|| report::table3(black_box(&atlas)))
+    });
+    g.bench_function("table4_vpi_render", |b| {
+        b.iter(|| report::table4(black_box(&atlas)))
+    });
+    g.bench_function("table5_grouping", |b| {
+        b.iter(|| {
+            let grouping = Grouping::build(
+                &atlas.pool,
+                &atlas.vpi,
+                &atlas.datasets.asrel,
+                &atlas.cloud_asns,
+                &atlas.pinning,
+                &atlas.segment_diffs,
+                &atlas.snapshot,
+            );
+            grouping.table5()
+        })
+    });
+    g.bench_function("table6_hybrid_census", |b| {
+        b.iter(|| atlas.groups.table6())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments [EXPERIMENT] [--scale tiny|small|full] [--seed N] [--dump DIR]
+//!
+//! EXPERIMENT: all (default) | table1..table6 | fig4a | fig4b | fig5 | fig6
+//!             | fig7 | pinning-eval | icg | hiding-map | bdrmap | scores
+//! ```
+//!
+//! Run with `cargo run --release -p cm-bench --bin experiments`.
+
+use cm_bench::{build_internet, report, run_study, score_summary};
+
+fn main() {
+    let mut experiment = String::from("all");
+    let mut scale = String::from("small");
+    let mut seed: u64 = 2019;
+    let mut dump: Option<std::path::PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => scale = args.next().expect("--scale needs a value"),
+            "--seed" => {
+                seed = args
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("seed must be an integer")
+            }
+            "--dump" => dump = Some(args.next().expect("--dump needs a directory").into()),
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [EXPERIMENT] [--scale tiny|small|full] [--seed N] [--dump DIR]"
+                );
+                return;
+            }
+            other if !other.starts_with('-') => experiment = other.to_string(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    const EXPERIMENTS: [&str; 17] = [
+        "all", "table1", "table2", "table3", "table4", "table5", "table6", "fig4a", "fig4b",
+        "fig5", "fig6", "fig7", "pinning-eval", "icg", "hiding-map", "bdrmap", "scores",
+    ];
+    if !EXPERIMENTS.contains(&experiment.as_str()) {
+        eprintln!("error: unknown experiment {experiment:?}; one of {EXPERIMENTS:?}");
+        std::process::exit(2);
+    }
+    if !["tiny", "small", "full"].contains(&scale.as_str()) {
+        eprintln!("error: unknown scale {scale:?} (tiny|small|full)");
+        std::process::exit(2);
+    }
+
+    eprintln!("# generating ground truth (scale={scale}, seed={seed}) ...");
+    let t0 = std::time::Instant::now();
+    let inet = build_internet(&scale, seed);
+    eprintln!(
+        "#   {} ASes, {} interconnects, {} interfaces [{:.1}s]",
+        inet.ases.len(),
+        inet.interconnects.len(),
+        inet.ifaces.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    eprintln!("# running the measurement study ...");
+    let t1 = std::time::Instant::now();
+    let atlas = run_study(&inet);
+    eprintln!(
+        "#   sweep {} traces ({:.2}% complete), {} CBIs, {} ABIs [{:.1}s]",
+        atlas.sweep_stats.launched,
+        100.0 * atlas.sweep_stats.completion_rate(),
+        atlas.pool.cbis.len(),
+        atlas.pool.abis.len(),
+        t1.elapsed().as_secs_f64()
+    );
+
+    let run = |name: &str| -> Option<String> {
+        Some(match name {
+            "table1" => report::table1(&atlas),
+            "table2" => report::table2(&atlas),
+            "table3" => report::table3(&atlas),
+            "table4" => report::table4(&atlas),
+            "table5" => report::table5(&atlas),
+            "table6" => report::table6(&atlas),
+            "fig4a" => report::fig4a(&atlas),
+            "fig4b" => report::fig4b(&atlas),
+            "fig5" => report::fig5(&atlas),
+            "fig6" => report::fig6(&atlas),
+            "fig7" => report::fig7(&atlas),
+            "pinning-eval" => report::pinning_eval(&atlas),
+            "icg" => report::icg(&atlas),
+            "hiding-map" => report::hiding_map(&atlas),
+            "bdrmap" => report::bdrmap(&atlas),
+            "scores" => score_summary(&atlas),
+            _ => return None,
+        })
+    };
+
+    if experiment == "all" {
+        for name in [
+            "table1", "table2", "table3", "table4", "table5", "table6", "fig4a", "fig4b",
+            "fig5", "fig6", "fig7", "pinning-eval", "icg", "hiding-map", "bdrmap", "scores",
+        ] {
+            println!("{}", run(name).unwrap());
+        }
+    } else {
+        match run(&experiment) {
+            Some(s) => println!("{s}"),
+            None => panic!("unknown experiment {experiment:?}"),
+        }
+    }
+
+    if let Some(dir) = dump {
+        report::dump_tsv(&atlas, &dir).expect("TSV dump failed");
+        eprintln!("# figure series written to {}", dir.display());
+    }
+}

@@ -1,0 +1,102 @@
+//! # cm-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper from a synthetic
+//! Internet, rendering each next to the paper's reference values so the
+//! *shape* comparison is immediate. The `experiments` binary drives the
+//! functions here; the Criterion benches reuse the same entry points.
+
+use cloudmap::pipeline::{Atlas, Pipeline, PipelineConfig};
+use cloudmap::score;
+use cm_topology::{Internet, TopologyConfig};
+
+pub mod report;
+
+/// Builds a ground-truth Internet at a named scale.
+///
+/// * `tiny` — CI-sized (seconds);
+/// * `small` — ~¼ paper scale, the harness default;
+/// * `full` — the paper-scale default configuration.
+pub fn build_internet(scale: &str, seed: u64) -> Internet {
+    let cfg = match scale {
+        "tiny" => TopologyConfig::tiny(),
+        "small" => TopologyConfig::small(),
+        "full" => TopologyConfig::default(),
+        other => panic!("unknown scale {other:?} (tiny|small|full)"),
+    };
+    Internet::generate(cfg, seed)
+}
+
+/// Runs the full pipeline with default settings.
+pub fn run_study(inet: &Internet) -> Atlas<'_> {
+    Pipeline::new(inet, PipelineConfig::default()).run()
+}
+
+/// Quantile of a pre-sorted f64 slice.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let pos = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[pos.min(sorted.len() - 1)]
+}
+
+/// Fraction of values at or below `x`.
+pub fn cdf_at(sorted: &[f64], x: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted.partition_point(|&v| v <= x) as f64 / sorted.len() as f64
+}
+
+/// Sorts a copy ascending.
+pub fn sorted(v: &[f64]) -> Vec<f64> {
+    let mut s = v.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    s
+}
+
+/// Ground-truth score summary line (simulation-only capability).
+pub fn score_summary(atlas: &Atlas<'_>) -> String {
+    let s = score::full_score(atlas);
+    format!(
+        "ground truth: CBI p={:.3} r={:.3} | ABI p={:.3} r={:.3} | peers p={:.3} r={:.3} | \
+         pin metro acc={:.3} cov={:.3} | VPI p={:.3} r={:.3}",
+        s.border.cbi.precision,
+        s.border.cbi.recall,
+        s.border.abi.precision,
+        s.border.abi.recall,
+        s.border.peers.precision,
+        s.border.peers.recall,
+        s.pin.metro_accuracy,
+        s.pin.metro_coverage,
+        s.vpi.precision,
+        s.vpi.recall,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_and_cdf() {
+        let v = sorted(&[3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 4.0);
+        assert!((cdf_at(&v, 2.0) - 0.5).abs() < 1e-12);
+        assert_eq!(cdf_at(&[], 1.0), 0.0);
+        assert!(quantile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn scales_resolve() {
+        let t = build_internet("tiny", 1);
+        assert_eq!(t.primary_cloud().regions.len(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_scale_panics() {
+        build_internet("galactic", 1);
+    }
+}

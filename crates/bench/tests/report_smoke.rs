@@ -1,0 +1,47 @@
+//! Every report renders on a tiny atlas and mentions its paper reference.
+
+use cm_bench::{build_internet, report, run_study};
+
+#[test]
+fn every_report_renders() {
+    let inet = build_internet("tiny", 3);
+    let atlas = run_study(&inet);
+    let checks: Vec<(&str, String, &str)> = vec![
+        ("table1", report::table1(&atlas), "Table 1"),
+        ("table2", report::table2(&atlas), "87.8%"),
+        ("table3", report::table3(&atlas), "Table 3"),
+        ("table4", report::table4(&atlas), "20.2%"),
+        ("table5", report::table5(&atlas), "Pr-nB-nV"),
+        ("table6", report::table6(&atlas), "Table 6"),
+        ("fig4a", report::fig4a(&atlas), "2 ms"),
+        ("fig4b", report::fig4b(&atlas), "2 ms"),
+        ("fig5", report::fig5(&atlas), "57%"),
+        ("fig6", report::fig6(&atlas), "cone"),
+        ("fig7", report::fig7(&atlas), "degree"),
+        ("pinning-eval", report::pinning_eval(&atlas), "precision"),
+        ("icg", report::icg(&atlas), "component"),
+    ];
+    for (name, text, needle) in checks {
+        assert!(!text.trim().is_empty(), "{name} rendered empty");
+        assert!(
+            text.contains(needle),
+            "{name} missing {needle:?}:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn tsv_dump_writes_all_series() {
+    let inet = build_internet("tiny", 3);
+    let atlas = run_study(&inet);
+    let dir = std::env::temp_dir().join("cm_bench_tsv_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    report::dump_tsv(&atlas, &dir).unwrap();
+    for f in ["fig4a.tsv", "fig4b.tsv", "fig5.tsv", "fig6.tsv", "fig7a.tsv", "fig7b.tsv"] {
+        let p = dir.join(f);
+        let content = std::fs::read_to_string(&p).unwrap_or_else(|_| panic!("{f} missing"));
+        assert!(content.lines().count() >= 1, "{f} empty");
+        assert!(content.lines().next().unwrap().contains('\t'), "{f} has no header");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,25 @@
+//! # cm-bgp — routing over the synthetic Internet
+//!
+//! Three pieces:
+//!
+//! * [`RoutingTable`] — per-cloud egress selection: which interconnect a
+//!   probe to a destination leaves through, and the AS path it then follows
+//!   (built from the per-interconnect announcements in the ground truth:
+//!   own prefixes, full customer cone, or partner-specific prefixes).
+//! * [`BgpView`] — the public-BGP visibility model: a limited set of feeder
+//!   ASes export their best (Gao–Rexford) path towards the cloud to the
+//!   collectors; a peering link is "visible in BGP" only if some feeder's
+//!   best path crosses it. This mechanically reproduces the paper's central
+//!   observation that most cloud peerings never show up in RouteViews/RIS
+//!   (§7.2: only ~250 of 3.3k peerings were BGP-visible).
+//! * [`snapshot`] — the prefix-origin table the inference pipeline uses for
+//!   IP→ASN annotation (announced space only; WHOIS-only infrastructure
+//!   space is deliberately absent, as in real BGP snapshots).
+
+pub mod collectors;
+pub mod rib;
+pub mod snapshot;
+
+pub use collectors::BgpView;
+pub use rib::{Candidate, Route, RoutingTable};
+pub use snapshot::{bgp_snapshot, cone_slash24s};

@@ -1,0 +1,469 @@
+//! Per-cloud egress routing.
+
+use cm_net::stablehash;
+use cm_net::{Ipv4, PrefixTrie};
+use cm_topology::{AsIndex, CloudId, IcAnnouncement, IcId, IcKind, Internet, RegionId};
+use std::collections::HashMap;
+
+/// One way a destination prefix can be reached from a cloud: leave through
+/// interconnect `ic` and descend `path_len` AS hops to `origin`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Candidate {
+    /// The interconnect the traffic egresses through.
+    pub ic: IcId,
+    /// The AS originating the prefix.
+    pub origin: AsIndex,
+    /// Number of ASes on the path (1 = the peer originates the prefix).
+    pub path_len: u8,
+    /// Egress preference class at equal path length: direct-connect VPIs
+    /// beat cross-connects beat public peering (clouds prefer private
+    /// interconnects for the traffic they carry).
+    pub pref: u8,
+}
+
+/// Preference class of an interconnect kind.
+fn kind_pref(kind: IcKind) -> u8 {
+    match kind {
+        IcKind::Vpi { .. } => 0,
+        IcKind::CrossConnect => 1,
+        IcKind::PublicIxp(_) => 2,
+    }
+}
+
+/// Per-prefix announcement subsetting (traffic engineering): a peer with
+/// several interconnects does not announce every prefix everywhere. Each
+/// own-prefix is announced on a deterministic subset of the peer's links —
+/// always including the peer's first interconnect so reachability never
+/// regresses to transit for single-homed peers.
+fn announces_prefix(
+    inet: &Internet,
+    ic: &cm_topology::Interconnect,
+    first_ic: IcId,
+    p: cm_net::Prefix,
+) -> bool {
+    if ic.id == first_ic {
+        return true;
+    }
+    let rate = match ic.kind {
+        IcKind::Vpi { .. } => 0.8,
+        IcKind::CrossConnect => 0.85,
+        IcKind::PublicIxp(_) => 0.75,
+    };
+    stablehash::chance(
+        inet.seed,
+        &[0xA44, ic.id.0 as u64, u64::from(p.base().to_u32())],
+        rate,
+    )
+}
+
+/// A selected route: the egress interconnect plus the full AS path from the
+/// peer down to the origin.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Route {
+    /// Egress interconnect.
+    pub ic: IcId,
+    /// AS path starting at the peer and ending at the origin (length ≥ 1).
+    pub as_path: Vec<AsIndex>,
+}
+
+/// The egress routing table of one cloud.
+///
+/// Best-route selection follows BGP intuition: shortest AS path first, then
+/// hot-potato (egress closest to the source region), then lowest
+/// interconnect id as a deterministic tie-break.
+pub struct RoutingTable {
+    /// The cloud this table routes for.
+    pub cloud: CloudId,
+    trie: PrefixTrie<Vec<Candidate>>,
+    /// Per transit peer: parent array of the customer-edge BFS tree used to
+    /// reconstruct descent paths (`parent[d] == u32::MAX` means unreachable).
+    descent: HashMap<AsIndex, Vec<u32>>,
+    /// Region-to-region great-circle km, symmetric.
+    region_km: HashMap<(RegionId, RegionId), f64>,
+}
+
+impl RoutingTable {
+    /// Builds the routing table for `cloud` from the ground-truth
+    /// interconnect announcements.
+    pub fn build(inet: &Internet, cloud: CloudId) -> Self {
+        let mut trie: PrefixTrie<Vec<Candidate>> = PrefixTrie::new();
+        let mut descent: HashMap<AsIndex, Vec<u32>> = HashMap::new();
+        // Prefix → owner map for Specific announcements.
+        let mut owner_of_prefix: HashMap<cm_net::Prefix, AsIndex> = HashMap::new();
+        for a in &inet.ases {
+            for &p in &a.prefixes {
+                owner_of_prefix.insert(p, a.idx);
+            }
+        }
+
+        // Accumulate per-prefix candidate lists first, then build the trie
+        // once (repeated trie re-insertion would be quadratic for prefixes
+        // announced by every tier-1 cone).
+        let mut acc: HashMap<cm_net::Prefix, Vec<Candidate>> = HashMap::new();
+        let add = |acc: &mut HashMap<cm_net::Prefix, Vec<Candidate>>,
+                   prefix: cm_net::Prefix,
+                   cand: Candidate| {
+            acc.entry(prefix).or_default().push(cand);
+        };
+
+        // First interconnect per peer (announcement fallback anchor).
+        let mut first_ic: HashMap<AsIndex, IcId> = HashMap::new();
+        for ic in inet.cloud_interconnects(cloud) {
+            let e = first_ic.entry(ic.peer).or_insert(ic.id);
+            if ic.id.0 < e.0 {
+                *e = ic.id;
+            }
+        }
+
+        for ic in inet.cloud_interconnects(cloud) {
+            let pref = kind_pref(ic.kind);
+            match &ic.announced {
+                IcAnnouncement::OwnPrefixes => {
+                    for &p in &inet.as_node(ic.peer).prefixes {
+                        if !announces_prefix(inet, ic, first_ic[&ic.peer], p) {
+                            continue;
+                        }
+                        add(
+                            &mut acc,
+                            p,
+                            Candidate {
+                                ic: ic.id,
+                                origin: ic.peer,
+                                path_len: 1,
+                                pref,
+                            },
+                        );
+                    }
+                }
+                IcAnnouncement::CustomerCone => {
+                    descent
+                        .entry(ic.peer)
+                        .or_insert_with(|| bfs_descent(inet, ic.peer));
+                    let parents = &descent[&ic.peer];
+                    for &member in &inet.cones[ic.peer.index()] {
+                        let depth = descent_depth(parents, ic.peer, member);
+                        let Some(depth) = depth else { continue };
+                        for &p in &inet.as_node(member).prefixes {
+                            add(
+                                &mut acc,
+                                p,
+                                Candidate {
+                                    ic: ic.id,
+                                    origin: member,
+                                    path_len: depth + 1,
+                                    pref,
+                                },
+                            );
+                        }
+                    }
+                }
+                IcAnnouncement::Specific(prefixes) => {
+                    for &p in prefixes {
+                        let origin = owner_of_prefix.get(&p).copied().unwrap_or(ic.peer);
+                        let len = if origin == ic.peer { 1 } else { 2 };
+                        add(
+                            &mut acc,
+                            p,
+                            Candidate {
+                                ic: ic.id,
+                                origin,
+                                path_len: len,
+                                pref,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
+        for (prefix, mut cands) in acc {
+            // Deterministic candidate order regardless of HashMap iteration.
+            cands.sort_by_key(|c| (c.path_len, c.pref, c.ic.0));
+            trie.insert(prefix, cands);
+        }
+
+        // Region distance matrix for hot-potato tie-breaking.
+        let mut region_km = HashMap::new();
+        let regions = &inet.clouds[cloud.index()].regions;
+        for &a in regions {
+            for &b in regions {
+                let km = inet.metro_km(inet.region(a).metro, inet.region(b).metro);
+                region_km.insert((a, b), km);
+            }
+        }
+
+        RoutingTable {
+            cloud,
+            trie,
+            descent,
+            region_km,
+        }
+    }
+
+    /// Number of distinct prefixes with at least one candidate.
+    pub fn prefix_count(&self) -> usize {
+        self.trie.len()
+    }
+
+    /// Selects the best route from `src_region` to `dest`.
+    ///
+    /// Returns `None` when no interconnect announces a covering prefix
+    /// (including destinations inside the cloud's own address space, which
+    /// never leave the cloud). Equivalent to [`RoutingTable::route_at`] at
+    /// epoch 0 (the churn-free baseline).
+    pub fn route(&self, inet: &Internet, dest: Ipv4, src_region: RegionId) -> Option<Route> {
+        self.route_at(inet, dest, src_region, 0)
+    }
+
+    /// Epoch-aware route selection.
+    ///
+    /// A measurement campaign spans days; BGP sessions flap, links drain
+    /// for maintenance, and traffic engineering shifts. Each epoch > 0
+    /// deterministically marks a share of candidates "down", so repeated
+    /// sweeps traverse *different* interconnects of the same peer — the
+    /// path diversity a 16-day campaign accumulates (§3 of the paper).
+    /// Epoch 0 never suffers outages; if churn removes every candidate for
+    /// a prefix, the epoch-0 choice is used (the fabric never partitions).
+    pub fn route_at(
+        &self,
+        inet: &Internet,
+        dest: Ipv4,
+        src_region: RegionId,
+        epoch: u32,
+    ) -> Option<Route> {
+        let candidates = self.trie.lookup(dest)?;
+        let up = |c: &Candidate| -> bool {
+            epoch == 0
+                || !stablehash::chance(inet.seed, &[0xF1A9, epoch as u64, c.ic.0 as u64], 0.18)
+        };
+        let pick = |filter_up: bool| -> Option<&Candidate> {
+            candidates
+                .iter()
+                .filter(|c| !filter_up || up(c))
+                .min_by(|x, y| {
+                    let dx = self.hot_potato_km(inet, x.ic, src_region);
+                    let dy = self.hot_potato_km(inet, y.ic, src_region);
+                    // Final tie (parallel links at one facility): per-destination
+                    // flow hashing, so every member of a LAG bundle carries some
+                    // prefixes and becomes observable.
+                    let hx = stablehash::mix(
+                        0xECB0,
+                        &[u64::from(dest.to_u32()) >> 8, x.ic.0 as u64, epoch as u64],
+                    );
+                    let hy = stablehash::mix(
+                        0xECB0,
+                        &[u64::from(dest.to_u32()) >> 8, y.ic.0 as u64, epoch as u64],
+                    );
+                    x.path_len
+                        .cmp(&y.path_len)
+                        .then(x.pref.cmp(&y.pref))
+                        .then(dx.partial_cmp(&dy).unwrap())
+                        .then(hx.cmp(&hy))
+                })
+        };
+        let best = pick(true).or_else(|| pick(false))?;
+        let peer = inet.interconnect(best.ic).peer;
+        let as_path = self.reconstruct_path(peer, best.origin);
+        Some(Route {
+            ic: best.ic,
+            as_path,
+        })
+    }
+
+    fn hot_potato_km(&self, inet: &Internet, ic: IcId, src: RegionId) -> f64 {
+        let egress = inet.interconnect(ic).region;
+        *self.region_km.get(&(src, egress)).unwrap_or(&f64::MAX)
+    }
+
+    /// Walks the descent tree from `origin` back to `peer`.
+    fn reconstruct_path(&self, peer: AsIndex, origin: AsIndex) -> Vec<AsIndex> {
+        if peer == origin {
+            return vec![peer];
+        }
+        match self.descent.get(&peer) {
+            Some(parents) => {
+                let mut rev = vec![origin];
+                let mut cur = origin;
+                while cur != peer {
+                    let p = parents[cur.index()];
+                    if p == u32::MAX {
+                        // Origin not actually in the tree (Specific route):
+                        // fall back to the two-hop path.
+                        return vec![peer, origin];
+                    }
+                    cur = AsIndex(p);
+                    rev.push(cur);
+                }
+                rev.reverse();
+                rev
+            }
+            None => vec![peer, origin],
+        }
+    }
+}
+
+/// BFS over customer edges rooted at `root`; returns the parent array
+/// (`u32::MAX` = not reachable / the root itself).
+fn bfs_descent(inet: &Internet, root: AsIndex) -> Vec<u32> {
+    let mut parents = vec![u32::MAX; inet.ases.len()];
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(root);
+    let mut visited = vec![false; inet.ases.len()];
+    visited[root.index()] = true;
+    while let Some(u) = queue.pop_front() {
+        // Deterministic order: customers are stored in generation order.
+        for &c in &inet.as_node(u).customers {
+            if !visited[c.index()] {
+                visited[c.index()] = true;
+                parents[c.index()] = u.0;
+                queue.push_back(c);
+            }
+        }
+    }
+    parents
+}
+
+/// Depth of `node` under `root` in the descent tree (0 for the root).
+fn descent_depth(parents: &[u32], root: AsIndex, node: AsIndex) -> Option<u8> {
+    let mut cur = node;
+    let mut d = 0u16;
+    while cur != root {
+        let p = parents[cur.index()];
+        if p == u32::MAX {
+            return None;
+        }
+        cur = AsIndex(p);
+        d += 1;
+        if d > 64 {
+            return None; // defensive: malformed tree
+        }
+    }
+    Some(d.min(255) as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_topology::{Internet, TopologyConfig};
+
+    fn tiny() -> Internet {
+        Internet::generate(TopologyConfig::tiny(), 11)
+    }
+
+    #[test]
+    fn builds_and_routes_to_peer_prefix() {
+        let inet = tiny();
+        let table = RoutingTable::build(&inet, CloudId(0));
+        assert!(table.prefix_count() > 0);
+        // Pick any interconnect peer with own-prefix announcement and route
+        // to one of its addresses.
+        let ic = inet
+            .cloud_interconnects(CloudId(0))
+            .find(|ic| ic.announced == IcAnnouncement::OwnPrefixes)
+            .expect("some own-prefix peering exists");
+        let peer = ic.peer;
+        let dest = inet.as_node(peer).prefixes[0].base().saturating_next();
+        let region = inet.primary_cloud().regions[0];
+        let route = table.route(&inet, dest, region).expect("route exists");
+        let chosen = inet.interconnect(route.ic);
+        assert_eq!(chosen.peer, peer, "direct peering must win");
+        assert_eq!(route.as_path, vec![peer]);
+    }
+
+    #[test]
+    fn transit_covers_non_peers() {
+        let inet = tiny();
+        let table = RoutingTable::build(&inet, CloudId(0));
+        let peers: std::collections::HashSet<AsIndex> =
+            inet.cloud_peers(CloudId(0)).into_iter().collect();
+        let region = inet.primary_cloud().regions[0];
+        // Find an AS that is not a direct peer; it must still be routable
+        // via some transit cone.
+        let non_peer = inet
+            .ases
+            .iter()
+            .find(|a| {
+                !peers.contains(&a.idx)
+                    && a.tier != cm_topology::AsTier::Cloud
+                    && !a.prefixes.is_empty()
+            })
+            .expect("some non-peer AS exists");
+        let dest = non_peer.prefixes[0].base().saturating_next();
+        let route = table
+            .route(&inet, dest, region)
+            .expect("transit path must exist");
+        assert!(route.as_path.len() >= 2, "non-peer must be ≥ 2 AS hops");
+        assert_eq!(*route.as_path.last().unwrap(), non_peer.idx);
+        // Path must follow provider->customer edges.
+        for w in route.as_path.windows(2) {
+            assert!(
+                inet.as_node(w[0]).customers.contains(&w[1]),
+                "{:?} is not a customer edge",
+                w
+            );
+        }
+    }
+
+    #[test]
+    fn cloud_own_space_is_not_routed_out() {
+        let inet = tiny();
+        let table = RoutingTable::build(&inet, CloudId(0));
+        let region = inet.primary_cloud().regions[0];
+        let own = inet.as_node(inet.primary_cloud().ases[0]).prefixes[0]
+            .base()
+            .saturating_next();
+        assert!(table.route(&inet, own, region).is_none());
+    }
+
+    #[test]
+    fn shorter_paths_preferred() {
+        let inet = tiny();
+        let table = RoutingTable::build(&inet, CloudId(0));
+        let region = inet.primary_cloud().regions[0];
+        // For every direct peer with own prefixes, the selected route to its
+        // space must be the one-hop route.
+        for ic in inet.cloud_interconnects(CloudId(0)) {
+            if ic.announced != IcAnnouncement::OwnPrefixes {
+                continue;
+            }
+            let p = inet.as_node(ic.peer).prefixes.first();
+            let Some(&p) = p else { continue };
+            if let Some(r) = table.route(&inet, p.base().saturating_next(), region) {
+                assert_eq!(r.as_path.len(), 1, "direct peer route must be 1 hop");
+            }
+        }
+    }
+
+    #[test]
+    fn hot_potato_picks_near_egress() {
+        let inet = tiny();
+        let table = RoutingTable::build(&inet, CloudId(0));
+        // A tier-1 with cross-connects in several regions: routes from a
+        // region that hosts one of them should egress in that region.
+        let t1_ics: Vec<_> = inet
+            .cloud_interconnects(CloudId(0))
+            .filter(|ic| {
+                inet.as_node(ic.peer).tier == cm_topology::AsTier::Tier1
+                    && ic.announced == IcAnnouncement::CustomerCone
+            })
+            .collect();
+        if t1_ics.len() < 2 {
+            return; // tiny topologies may not have enough spread
+        }
+        let peer = t1_ics[0].peer;
+        let same_peer: Vec<_> = t1_ics.iter().filter(|ic| ic.peer == peer).collect();
+        if same_peer.len() < 2 {
+            return;
+        }
+        let dest = inet.as_node(peer).prefixes[0].base().saturating_next();
+        for ic in &same_peer {
+            let r = table.route(&inet, dest, ic.region).unwrap();
+            let egress = inet.interconnect(r.ic).region;
+            let km_chosen = inet.metro_km(inet.region(ic.region).metro, inet.region(egress).metro);
+            // The chosen egress can be no farther than this peer's
+            // interconnect in the source region itself (0 km).
+            let km_own = inet.metro_km(inet.region(ic.region).metro, inet.region(ic.region).metro);
+            assert!(km_chosen <= km_own + 1e-9, "hot potato violated");
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! BGP snapshots (prefix → origin ASN) and customer-cone address counts.
+
+use cm_net::{Asn, PrefixTrie};
+use cm_topology::{AsIndex, Internet, PoolKind};
+
+/// Builds the prefix-origin table corresponding to a RouteViews/RIS snapshot
+/// taken during the measurement campaign (§3 of the paper).
+///
+/// Only *announced* host space appears; WHOIS-registered infrastructure
+/// blocks, IXP LANs and cloud-provided interconnect pools are absent — those
+/// addresses are exactly the ones the paper had to resolve via WHOIS or IXP
+/// datasets (Table 1).
+pub fn bgp_snapshot(inet: &Internet) -> PrefixTrie<Asn> {
+    let mut trie = PrefixTrie::new();
+    for (prefix, owner) in &inet.addr_plan.blocks {
+        if owner.kind == PoolKind::HostAnnounced {
+            let asn = inet.ases[owner.owner.index()].asn;
+            trie.insert(*prefix, asn);
+        }
+    }
+    trie
+}
+
+/// Number of /24-equivalents announced by the customer cone of `idx`
+/// (the Figure 6 "BGP /24" feature).
+pub fn cone_slash24s(inet: &Internet, idx: AsIndex) -> u64 {
+    inet.cones[idx.index()]
+        .iter()
+        .map(|&m| inet.as_node(m).announced_slash24s())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_topology::{AsTier, CloudId, Internet, TopologyConfig};
+
+    fn tiny() -> Internet {
+        Internet::generate(TopologyConfig::tiny(), 5)
+    }
+
+    #[test]
+    fn snapshot_resolves_announced_space() {
+        let inet = tiny();
+        let snap = bgp_snapshot(&inet);
+        let a = &inet.ases[0];
+        let addr = a.prefixes[0].base().saturating_next();
+        assert_eq!(snap.lookup(addr), Some(&a.asn));
+    }
+
+    #[test]
+    fn snapshot_omits_infra_and_ixp_space() {
+        let inet = tiny();
+        let snap = bgp_snapshot(&inet);
+        let a = &inet.ases[0];
+        let infra_addr = a.infra_prefixes[0].base().saturating_next();
+        assert_eq!(snap.lookup(infra_addr), None, "infra space must be hidden");
+        let ixp_addr = inet.ixps[0].prefix.base().saturating_next();
+        assert_eq!(snap.lookup(ixp_addr), None, "IXP LAN must be hidden");
+    }
+
+    #[test]
+    fn snapshot_omits_cloud_provided_pool() {
+        let inet = tiny();
+        let snap = bgp_snapshot(&inet);
+        let pool = inet
+            .addr_plan
+            .blocks_of_kind(PoolKind::CloudProvidedInterconnect)
+            .next();
+        if let Some((p, _)) = pool {
+            assert_eq!(snap.lookup(p.base().saturating_next()), None);
+        }
+    }
+
+    #[test]
+    fn cone_counts_are_monotone_up_the_hierarchy() {
+        let inet = tiny();
+        // A tier-1's cone must announce at least as many /24s as any one of
+        // its customers' cones.
+        let t1 = inet
+            .ases
+            .iter()
+            .find(|a| a.tier == AsTier::Tier1 && !a.customers.is_empty())
+            .expect("tier-1 with customers");
+        let own = cone_slash24s(&inet, t1.idx);
+        for &c in &t1.customers {
+            assert!(own >= cone_slash24s(&inet, c));
+        }
+        // And strictly more than its own announced space.
+        assert!(own > t1.announced_slash24s());
+        let _ = CloudId(0);
+    }
+}

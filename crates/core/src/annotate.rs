@@ -1,0 +1,216 @@
+//! IP annotation (§3 of the paper).
+//!
+//! Every traceroute hop is annotated with (i) its origin ASN, (ii) its
+//! organization, and (iii) whether it belongs to an IXP LAN. The sources are
+//! tried in the paper's order:
+//!
+//! 1. **IXP datasets** — addresses inside published IXP LAN prefixes;
+//! 2. **BGP snapshot** — longest-prefix match over announced space;
+//! 3. **private/shared detection** — RFC1918/RFC6598 addresses become AS0;
+//! 4. **WHOIS** — registered-but-unannounced space (7% of the paper's hops).
+
+use cm_datasets::PublicDatasets;
+use cm_net::{Asn, Ipv4, OrgId, PrefixTrie};
+
+/// Where an annotation came from (drives the Table 1 percentage columns).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NoteSource {
+    /// Covered by an announced prefix in the BGP snapshot.
+    Bgp,
+    /// Resolved through WHOIS registration data.
+    Whois,
+    /// Inside an IXP LAN prefix.
+    Ixp,
+    /// Private / shared / completely unknown space (AS0).
+    None,
+}
+
+/// The annotation of one address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HopNote {
+    /// Origin ASN; `Asn::RESERVED` (AS0) when unknown.
+    pub asn: Asn,
+    /// Organization of `asn`; reserved when unknown.
+    pub org: OrgId,
+    /// Index into the IXP dataset when the address is on an IXP LAN.
+    pub ixp: Option<usize>,
+    /// Which source produced the annotation.
+    pub source: NoteSource,
+}
+
+impl HopNote {
+    /// The AS0 annotation.
+    pub const UNKNOWN: HopNote = HopNote {
+        asn: Asn::RESERVED,
+        org: OrgId::RESERVED,
+        ixp: None,
+        source: NoteSource::None,
+    };
+}
+
+/// Annotates addresses against the public datasets.
+pub struct Annotator<'d> {
+    datasets: &'d PublicDatasets,
+    snapshot: &'d PrefixTrie<Asn>,
+}
+
+impl<'d> Annotator<'d> {
+    /// Builds an annotator over a BGP snapshot and the dataset bundle.
+    pub fn new(snapshot: &'d PrefixTrie<Asn>, datasets: &'d PublicDatasets) -> Self {
+        Annotator { snapshot, datasets }
+    }
+
+    /// Annotates a single address.
+    pub fn annotate(&self, addr: Ipv4) -> HopNote {
+        // IXP LANs take precedence: the address belongs to a member, not to
+        // whoever might announce a covering prefix.
+        if let Some(ix) = self.datasets.ixp.ixp_of(addr) {
+            let member = self.datasets.ixp.member_of(addr);
+            let asn = member.unwrap_or(Asn::RESERVED);
+            let org = member
+                .and_then(|a| self.datasets.as2org.org_of(a))
+                .unwrap_or(OrgId::RESERVED);
+            return HopNote {
+                asn,
+                org,
+                ixp: Some(ix),
+                source: NoteSource::Ixp,
+            };
+        }
+        if let Some(&asn) = self.snapshot.lookup(addr) {
+            let org = self.datasets.as2org.org_of(asn).unwrap_or(OrgId::RESERVED);
+            return HopNote {
+                asn,
+                org,
+                ixp: None,
+                source: NoteSource::Bgp,
+            };
+        }
+        if addr.is_private_or_shared() {
+            return HopNote::UNKNOWN;
+        }
+        if let Some(rec) = self.datasets.whois.lookup(addr) {
+            if let Some(asn) = rec.asn {
+                let org = self.datasets.as2org.org_of(asn).unwrap_or(OrgId::RESERVED);
+                return HopNote {
+                    asn,
+                    org,
+                    ixp: None,
+                    source: NoteSource::Whois,
+                };
+            }
+        }
+        HopNote::UNKNOWN
+    }
+
+    /// Does this annotation belong to the measured cloud's organization?
+    /// AS0 hops (private/unknown space) are treated as *internal*, exactly
+    /// as the paper's walk does ("ORG number is neither 0 nor 7224").
+    pub fn is_cloud_internal(&self, note: &HopNote, cloud_org: OrgId) -> bool {
+        note.org.is_reserved() || note.org == cloud_org
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_bgp::{bgp_snapshot, BgpView};
+    use cm_datasets::DatasetConfig;
+    use cm_topology::{CloudId, Internet, TopologyConfig};
+
+    fn setup() -> (Internet, cm_net::PrefixTrie<Asn>, PublicDatasets) {
+        let inet = Internet::generate(TopologyConfig::tiny(), 37);
+        let snap = bgp_snapshot(&inet);
+        let view = BgpView::compute(&inet, CloudId(0), 16, 37);
+        let visible = view
+            .visible_peers
+            .iter()
+            .map(|&p| inet.as_node(p).asn)
+            .collect();
+        let ds = PublicDatasets::derive(&inet, DatasetConfig::default(), &visible, 37);
+        (inet, snap, ds)
+    }
+
+    #[test]
+    fn announced_space_maps_via_bgp() {
+        let (inet, snap, ds) = setup();
+        let ann = Annotator::new(&snap, &ds);
+        let a = &inet.ases[0];
+        let note = ann.annotate(a.prefixes[0].base().saturating_next());
+        assert_eq!(note.asn, a.asn);
+        assert_eq!(note.source, NoteSource::Bgp);
+        assert_eq!(note.ixp, None);
+    }
+
+    #[test]
+    fn infra_space_maps_via_whois() {
+        let (inet, snap, ds) = setup();
+        let ann = Annotator::new(&snap, &ds);
+        let a = &inet.ases[0];
+        let note = ann.annotate(a.infra_prefixes[0].base().saturating_next());
+        assert_eq!(note.asn, a.asn);
+        assert_eq!(note.source, NoteSource::Whois);
+    }
+
+    #[test]
+    fn private_space_is_as0() {
+        let (_inet, snap, ds) = setup();
+        let ann = Annotator::new(&snap, &ds);
+        let note = ann.annotate("10.1.2.3".parse().unwrap());
+        assert_eq!(note, HopNote::UNKNOWN);
+    }
+
+    #[test]
+    fn ixp_lan_wins_and_names_member() {
+        let (inet, snap, ds) = setup();
+        let ann = Annotator::new(&snap, &ds);
+        // A LAN address with a published member assignment.
+        let some_member = inet
+            .ixp_members
+            .iter()
+            .find_map(|&(_, a, fid)| {
+                let addr = inet.iface(fid).addr?;
+                ds.ixp.member_of(addr).map(|asn| (addr, asn, a))
+            });
+        let Some((addr, asn, _)) = some_member else {
+            panic!("no published IXP member addresses")
+        };
+        let note = ann.annotate(addr);
+        assert_eq!(note.source, NoteSource::Ixp);
+        assert!(note.ixp.is_some());
+        assert_eq!(note.asn, asn);
+    }
+
+    #[test]
+    fn cloud_internal_check_covers_siblings_and_as0() {
+        let (inet, snap, ds) = setup();
+        let ann = Annotator::new(&snap, &ds);
+        let cloud = inet.primary_cloud();
+        let cloud_org = ds
+            .as2org
+            .org_of(inet.as_node(cloud.ases[0]).asn)
+            .unwrap();
+        for &sib in &cloud.ases {
+            let asn = inet.as_node(sib).asn;
+            let note = HopNote {
+                asn,
+                org: ds.as2org.org_of(asn).unwrap(),
+                ixp: None,
+                source: NoteSource::Bgp,
+            };
+            assert!(ann.is_cloud_internal(&note, cloud_org));
+        }
+        assert!(ann.is_cloud_internal(&HopNote::UNKNOWN, cloud_org));
+        let client = &inet.ases[0];
+        let note = ann.annotate(client.prefixes[0].base().saturating_next());
+        assert!(!ann.is_cloud_internal(&note, cloud_org));
+    }
+
+    #[test]
+    fn unregistered_space_is_unknown() {
+        let (_inet, snap, ds) = setup();
+        let ann = Annotator::new(&snap, &ds);
+        let note = ann.annotate("223.255.250.9".parse().unwrap());
+        assert_eq!(note.source, NoteSource::None);
+    }
+}

@@ -1,0 +1,60 @@
+//! §8: comparing the pipeline against the bdrmap-style baseline.
+//!
+//! The paper ran bdrmap from every region and contrasted its output with
+//! the cloud-aware pipeline, quantifying the overlap and the baseline's
+//! inconsistency classes. This module computes the same summary from an
+//! [`Atlas`] and a [`cm_bdrmap::BdrmapResult`].
+
+use crate::pipeline::Atlas;
+use cm_bdrmap::BdrmapResult;
+use cm_net::{Asn, Ipv4};
+use std::collections::HashSet;
+
+/// The §8 comparison summary.
+#[derive(Clone, Debug, Default)]
+pub struct BdrmapComparison {
+    /// Our ABIs / the baseline's ABIs / common.
+    pub abis: (usize, usize, usize),
+    /// Our CBIs / the baseline's CBIs / common.
+    pub cbis: (usize, usize, usize),
+    /// Our peer ASes / the baseline's / common.
+    pub ases: (usize, usize, usize),
+    /// Baseline CBIs without an owner (AS0).
+    pub as0_cbis: usize,
+    /// Baseline interfaces with conflicting owners across regions.
+    pub multi_owner: usize,
+    /// Baseline interfaces flipping between ABI and CBI across regions.
+    pub flips: usize,
+    /// Peer ASes only the baseline claims (investigated in §8).
+    pub baseline_exclusive_ases: usize,
+}
+
+/// Computes the comparison.
+pub fn compare(atlas: &Atlas<'_>, bdr: &BdrmapResult) -> BdrmapComparison {
+    let our_abis: HashSet<Ipv4> = atlas.pool.abis.keys().copied().collect();
+    let our_cbis: HashSet<Ipv4> = atlas.pool.cbis.keys().copied().collect();
+    let our_ases: HashSet<Asn> = atlas.groups.per_as.keys().copied().collect();
+    let their_cbis: HashSet<Ipv4> = bdr.cbis.keys().copied().collect();
+    let their_ases = bdr.peer_ases();
+    BdrmapComparison {
+        abis: (
+            our_abis.len(),
+            bdr.abis.len(),
+            our_abis.intersection(&bdr.abis).count(),
+        ),
+        cbis: (
+            our_cbis.len(),
+            their_cbis.len(),
+            our_cbis.intersection(&their_cbis).count(),
+        ),
+        ases: (
+            our_ases.len(),
+            their_ases.len(),
+            our_ases.intersection(&their_ases).count(),
+        ),
+        as0_cbis: bdr.as0_cbis,
+        multi_owner: bdr.multi_owner,
+        flips: bdr.flips,
+        baseline_exclusive_ases: their_ases.difference(&our_ases).count(),
+    }
+}

@@ -1,0 +1,384 @@
+//! End-to-end orchestration of the measurement study.
+//!
+//! [`Pipeline::run`] executes the paper start to finish against one
+//! ground-truth [`Internet`]:
+//!
+//! 1. take a BGP snapshot, compute the collector view, derive the public
+//!    datasets (§3);
+//! 2. sweep every /24 from every region, infer candidate segments (§4.1),
+//!    then expansion-probe the CBIs' /24s (§4.2) — Table 1;
+//! 3. run the verification heuristics and the alias-set corrections (§5) —
+//!    Table 2;
+//! 4. run the ICMP campaigns and pin interfaces (§6) — Table 3, Figures
+//!    4a/4b/5, cross-validation;
+//! 5. probe the CBI pool from the secondary clouds (§7.1) — Table 4;
+//! 6. group all peerings and extract features (§7.2–7.3) — Tables 5/6,
+//!    Figure 6;
+//! 7. build the ICG (§7.4) — Figures 7a/7b.
+//!
+//! The result is an [`Atlas`] holding every intermediate product, which the
+//! examples and the benchmark harness render into the paper's tables.
+
+use crate::annotate::Annotator;
+use crate::borders::{BorderCollector, SegmentPool};
+use crate::groups::Grouping;
+use crate::icg::Icg;
+use crate::pinning::{CrossValReport, PinOutcome, Pinner, PinningConfig};
+use crate::verify::{apply_alias_corrections, run_heuristics, ChangeStats, HeuristicOutcome};
+use crate::vpi::{detect, VpiDetection};
+use cm_bgp::{bgp_snapshot, BgpView};
+use cm_dataplane::{publicly_reachable, DataPlane, DataPlaneConfig};
+use cm_datasets::{DatasetConfig, PublicDatasets};
+use cm_dns::DnsDb;
+use cm_geo::MetroId;
+use cm_net::{Asn, Ipv4, OrgId, PrefixTrie};
+use cm_probe::{Campaign, CampaignStats, RttCampaign};
+use cm_topology::{CloudId, Internet, RegionId};
+use std::collections::{HashMap, HashSet};
+
+/// Pipeline knobs. Every stage can be toggled for ablations.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineConfig {
+    /// Dataplane artifact rates.
+    pub dataplane: DataPlaneConfig,
+    /// Dataset degradation knobs.
+    pub datasets: DatasetConfig,
+    /// Pinning thresholds.
+    pub pinning: PinningConfig,
+    /// Number of BGP collector feeders.
+    pub n_feeders: usize,
+    /// ICMP echoes per RTT target.
+    pub rtt_attempts: u32,
+    /// Whether to run the §4.2 expansion round (ablation knob).
+    pub run_expansion: bool,
+    /// Whether to run the §7.1 multi-cloud probing.
+    pub run_vpi: bool,
+    /// Campaign epochs (days) for the sweep and expansion rounds; churn
+    /// between epochs accumulates path diversity like the paper's 16-day
+    /// campaign.
+    pub sweep_epochs: u32,
+    /// Cross-validation folds (0 disables).
+    pub crossval_folds: usize,
+    /// Extra seed folded into every derived randomness source.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            dataplane: DataPlaneConfig::default(),
+            datasets: DatasetConfig::default(),
+            pinning: PinningConfig::default(),
+            n_feeders: 300,
+            rtt_attempts: 8,
+            run_expansion: true,
+            run_vpi: true,
+            sweep_epochs: 2,
+            crossval_folds: 10,
+            seed: 0x0C10_0D0A,
+        }
+    }
+}
+
+/// One Table 1 row: interface count and annotation-source fractions.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Table1Row {
+    /// Interface count.
+    pub count: usize,
+    /// Fraction resolved via the BGP snapshot.
+    pub bgp: f64,
+    /// Fraction resolved via WHOIS.
+    pub whois: f64,
+    /// Fraction inside IXP LANs.
+    pub ixp: f64,
+}
+
+/// Coverage comparison against public BGP (§7.3, "Coverage of Amazon's
+/// Interconnections").
+#[derive(Clone, Debug, Default)]
+pub struct CoverageReport {
+    /// Peer ASes visible in public BGP.
+    pub bgp_peers: usize,
+    /// Of those, peers also discovered by the traceroute pipeline.
+    pub discovered_of_bgp: usize,
+    /// Total peer ASes discovered by the pipeline.
+    pub inferred_peers: usize,
+}
+
+/// Everything the study produced.
+pub struct Atlas<'i> {
+    /// The measured ground truth (used by examples for scoring only).
+    pub inet: &'i Internet,
+    /// The configuration used.
+    pub config: PipelineConfig,
+    /// BGP snapshot (prefix → origin).
+    pub snapshot: PrefixTrie<Asn>,
+    /// Collector view of the primary cloud.
+    pub view: BgpView,
+    /// Public datasets.
+    pub datasets: PublicDatasets,
+    /// Reverse DNS.
+    pub dns: DnsDb,
+    /// The measured cloud's org and sibling ASNs.
+    pub cloud_org: OrgId,
+    /// Sibling ASNs of the measured cloud.
+    pub cloud_asns: HashSet<Asn>,
+    /// Region → metro (public knowledge).
+    pub region_metro: HashMap<RegionId, MetroId>,
+    /// Round-one campaign stats.
+    pub sweep_stats: CampaignStats,
+    /// Round-two campaign stats.
+    pub expansion_stats: Option<CampaignStats>,
+    /// Table 1 rows: ABI, CBI (round one), eABI, eCBI (after expansion).
+    pub table1: [Table1Row; 4],
+    /// The final (verified, corrected) segment pool.
+    pub pool: SegmentPool,
+    /// §5.1 heuristic outcome.
+    pub heuristics: HeuristicOutcome,
+    /// §5.2 alias sets.
+    pub alias_sets: Vec<Vec<Ipv4>>,
+    /// §5.2 relabeling counts.
+    pub changes: ChangeStats,
+    /// The ICMP min-RTT campaign.
+    pub rtt: RttCampaign,
+    /// Per-segment min-RTT differences.
+    pub segment_diffs: HashMap<(Ipv4, Ipv4), f64>,
+    /// §6 pinning outcome.
+    pub pinning: PinOutcome,
+    /// §6.2 cross-validation.
+    pub crossval: CrossValReport,
+    /// §7.1 VPI detection.
+    pub vpi: VpiDetection,
+    /// §7.2–7.3 grouping.
+    pub groups: Grouping,
+    /// §7.4 connectivity graph.
+    pub icg: Icg,
+    /// §7.3 coverage vs public BGP.
+    pub coverage: CoverageReport,
+}
+
+impl<'i> Atlas<'i> {
+    /// Rebuilds an annotator over the atlas's own snapshot and datasets.
+    pub fn annotator(&self) -> Annotator<'_> {
+        Annotator::new(&self.snapshot, &self.datasets)
+    }
+
+    /// Total border interfaces (ABIs + CBIs) in the final pool.
+    pub fn interface_count(&self) -> usize {
+        self.pool.abis.len() + self.pool.cbis.len()
+    }
+}
+
+/// The pipeline runner.
+pub struct Pipeline<'i> {
+    inet: &'i Internet,
+    cfg: PipelineConfig,
+}
+
+impl<'i> Pipeline<'i> {
+    /// Creates a runner over one ground-truth Internet.
+    pub fn new(inet: &'i Internet, cfg: PipelineConfig) -> Self {
+        Pipeline { inet, cfg }
+    }
+
+    /// Executes the full study.
+    pub fn run(self) -> Atlas<'i> {
+        let inet = self.inet;
+        let cfg = self.cfg;
+        let seed = inet.seed ^ cfg.seed;
+        let primary = CloudId(0);
+
+        // ---- public data (§3 inputs) --------------------------------------
+        let snapshot = bgp_snapshot(inet);
+        let view = BgpView::compute(inet, primary, cfg.n_feeders, seed);
+        let visible_asns: HashSet<Asn> = view
+            .visible_peers
+            .iter()
+            .map(|&p| inet.as_node(p).asn)
+            .collect();
+        let datasets = PublicDatasets::derive(inet, cfg.datasets, &visible_asns, seed);
+        let dns = DnsDb::synthesize(inet, seed);
+        let cloud_asns: HashSet<Asn> = inet
+            .primary_cloud()
+            .ases
+            .iter()
+            .map(|&i| inet.as_node(i).asn)
+            .collect();
+        let main_asn = inet.as_node(inet.primary_cloud().ases[0]).asn;
+        let cloud_org = datasets
+            .as2org
+            .org_of(main_asn)
+            .expect("cloud org present in AS2ORG");
+        let region_metro: HashMap<RegionId, MetroId> = inet
+            .primary_cloud()
+            .regions
+            .iter()
+            .map(|&r| (r, inet.region(r).metro))
+            .collect();
+
+        let annotator = Annotator::new(&snapshot, &datasets);
+        let plane = DataPlane::new(inet, cfg.dataplane);
+        let campaign = Campaign::new(&plane, primary);
+
+        // ---- round one (§3, §4.1) -----------------------------------------
+        let run_round = |targets: &[Ipv4]| -> (SegmentPool, CampaignStats) {
+            let (collectors, stats) = campaign.run_parallel(
+                targets,
+                cfg.sweep_epochs.max(1),
+                || BorderCollector::new(&annotator, cloud_org),
+                |c, t| c.observe(t),
+            );
+            let mut pools = collectors.into_iter().map(BorderCollector::finish);
+            let mut pool = pools.next().expect("at least one region");
+            for p in pools {
+                pool.merge(p);
+            }
+            (pool, stats)
+        };
+        let sweep_targets = campaign.sweep_targets();
+        let (mut pool, sweep_stats) = run_round(&sweep_targets);
+        let t1_abi = table1_row(pool.abis.values());
+        let t1_cbi = table1_row(pool.cbis.values().map(|c| &c.note));
+
+        // ---- round two (§4.2) ----------------------------------------------
+        let expansion_stats = if cfg.run_expansion {
+            let targets = campaign.expansion_targets(&pool.expansion_prefixes());
+            let (round2, stats) = run_round(&targets);
+            pool.merge(round2);
+            Some(stats)
+        } else {
+            None
+        };
+        let t1_eabi = table1_row(pool.abis.values());
+        let t1_ecbi = table1_row(pool.cbis.values().map(|c| &c.note));
+        let table1 = [t1_abi, t1_cbi, t1_eabi, t1_ecbi];
+
+        // ---- verification (§5) ----------------------------------------------
+        let heuristics = run_heuristics(&pool, |a| publicly_reachable(inet, a));
+        let mut addrs: Vec<Ipv4> = pool.abis.keys().copied().collect();
+        addrs.extend(pool.cbis.keys().copied());
+        addrs.sort_unstable();
+        let alias_sets = cm_alias::resolve_all_regions(inet, primary, &addrs, seed);
+        let ds_ref = &datasets;
+        let changes = apply_alias_corrections(
+            &mut pool,
+            &annotator,
+            cloud_org,
+            |asn| ds_ref.as2org.org_of(asn),
+            &alias_sets,
+        );
+
+        // ---- RTT campaign + pinning (§6) ------------------------------------
+        let mut rtt_targets: Vec<Ipv4> = pool.abis.keys().copied().collect();
+        rtt_targets.extend(pool.cbis.keys().copied());
+        rtt_targets.extend(datasets.ixp.published_addrs().map(|(a, _)| a));
+        rtt_targets.sort_unstable();
+        rtt_targets.dedup();
+        let rtt = RttCampaign::run(&plane, primary, &rtt_targets, cfg.rtt_attempts);
+
+        let pinner = Pinner {
+            pool: &pool,
+            dns: &dns,
+            rtt: &rtt,
+            datasets: &datasets,
+            alias_sets: &alias_sets,
+            region_metro: &region_metro,
+            catalog: &inet.metros,
+            cfg: cfg.pinning,
+        };
+        let pinning = pinner.run();
+        let crossval = if cfg.crossval_folds > 0 {
+            pinner.cross_validate(cfg.crossval_folds, 0.7, seed)
+        } else {
+            CrossValReport::default()
+        };
+
+        // Per-segment diffs, reused by grouping.
+        let mut segment_diffs: HashMap<(Ipv4, Ipv4), f64> = HashMap::new();
+        for seg in pool.segments.keys() {
+            if let Some((region, abi_rtt)) = rtt.closest_region(seg.abi) {
+                if let Some(&cbi_rtt) = rtt.min_rtt.get(&seg.cbi).and_then(|m| m.get(&region)) {
+                    segment_diffs.insert((seg.abi, seg.cbi), (cbi_rtt - abi_rtt).abs());
+                }
+            }
+        }
+
+        // ---- VPI detection (§7.1) -------------------------------------------
+        let vpi = if cfg.run_vpi {
+            let secondary: Vec<(CloudId, OrgId)> = inet
+                .clouds
+                .iter()
+                .skip(1)
+                .filter_map(|c| {
+                    let asn = inet.as_node(c.ases[0]).asn;
+                    datasets.as2org.org_of(asn).map(|o| (c.id, o))
+                })
+                .collect();
+            detect(&plane, &annotator, &pool, &secondary)
+        } else {
+            VpiDetection::default()
+        };
+
+        // ---- grouping + ICG (§7.2–7.4) --------------------------------------
+        let groups = Grouping::build(
+            &pool,
+            &vpi,
+            &datasets.asrel,
+            &cloud_asns,
+            &pinning,
+            &segment_diffs,
+            &snapshot,
+        );
+        let icg = Icg::build(&pool, &pinning);
+
+        // ---- coverage vs public BGP (§7.3) ----------------------------------
+        let inferred_peers: HashSet<Asn> = groups.per_as.keys().copied().collect();
+        let coverage = CoverageReport {
+            bgp_peers: visible_asns.len(),
+            discovered_of_bgp: visible_asns
+                .iter()
+                .filter(|a| inferred_peers.contains(a))
+                .count(),
+            inferred_peers: inferred_peers.len(),
+        };
+
+        Atlas {
+            inet,
+            config: cfg,
+            snapshot,
+            view,
+            datasets,
+            dns,
+            cloud_org,
+            cloud_asns,
+            region_metro,
+            sweep_stats,
+            expansion_stats,
+            table1,
+            pool,
+            heuristics,
+            alias_sets,
+            changes,
+            rtt,
+            segment_diffs,
+            pinning,
+            crossval,
+            vpi,
+            groups,
+            icg,
+            coverage,
+        }
+    }
+}
+
+fn table1_row<'x>(notes: impl Iterator<Item = &'x crate::annotate::HopNote>) -> Table1Row {
+    let notes: Vec<_> = notes.collect();
+    let count = notes.len();
+    let (bgp, whois, ixp) = SegmentPool::source_fractions(notes.into_iter());
+    Table1Row {
+        count,
+        bgp,
+        whois,
+        ixp,
+    }
+}

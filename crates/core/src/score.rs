@@ -1,0 +1,320 @@
+//! Ground-truth scoring of every inference stage.
+//!
+//! The paper could not validate its findings — Amazon publishes no ground
+//! truth (§9). In this reproduction the ground truth is the generator's
+//! output, so every stage can be scored exactly. These scores are *not*
+//! part of the inference pipeline; they exist for the experiment harness
+//! and the test suite.
+
+use crate::pipeline::Atlas;
+use cm_net::{Asn, Ipv4};
+use cm_topology::{CloudId, IcKind, IfaceKind, Internet, ResponseMode, RouterRole};
+use std::collections::{HashMap, HashSet};
+
+/// Precision/recall pair.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Pr {
+    /// Fraction of inferred items that are correct.
+    pub precision: f64,
+    /// Fraction of true (discoverable) items that were inferred.
+    pub recall: f64,
+}
+
+fn pr(correct: usize, inferred: usize, truth: usize) -> Pr {
+    Pr {
+        precision: if inferred == 0 {
+            0.0
+        } else {
+            correct as f64 / inferred as f64
+        },
+        recall: if truth == 0 {
+            0.0
+        } else {
+            correct as f64 / truth as f64
+        },
+    }
+}
+
+/// Scores for the border-inference stage (§4–§5).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BorderScore {
+    /// Inferred CBIs sitting on client-owned routers.
+    pub cbi: Pr,
+    /// Inferred ABIs sitting on cloud-owned routers.
+    pub abi: Pr,
+    /// Inferred peer ASes vs. ground-truth peers.
+    pub peers: Pr,
+}
+
+/// Scores the final pool against the ground truth.
+pub fn border_score(atlas: &Atlas<'_>) -> BorderScore {
+    let inet = atlas.inet;
+    let is_client_addr = |a: Ipv4| -> bool {
+        inet.iface_by_addr
+            .get(&a)
+            .map(|&f| {
+                matches!(
+                    inet.router(inet.iface(f).router).role,
+                    RouterRole::ClientBorder | RouterRole::ClientInternal
+                )
+            })
+            .unwrap_or(false)
+    };
+    let is_cloud_addr = |a: Ipv4| -> bool {
+        inet.iface_by_addr
+            .get(&a)
+            .map(|&f| {
+                matches!(
+                    inet.router(inet.iface(f).router).role,
+                    RouterRole::CloudBorder | RouterRole::CloudCore
+                )
+            })
+            .unwrap_or(false)
+    };
+
+    // CBI truth base: the client port addresses of the primary cloud's
+    // interconnects whose router answers probes at all.
+    let truth_cbis: HashSet<Ipv4> = inet
+        .cloud_interconnects(CloudId(0))
+        .filter(|ic| inet.router(ic.client_router).response != ResponseMode::Silent)
+        .filter_map(|ic| inet.iface(ic.client_iface).addr)
+        .collect();
+    let cbi_correct = atlas
+        .pool
+        .cbis
+        .keys()
+        .filter(|&&a| is_client_addr(a))
+        .count();
+    let cbi_found_of_truth = truth_cbis
+        .iter()
+        .filter(|a| atlas.pool.cbis.contains_key(a))
+        .count();
+    let cbi = Pr {
+        precision: if atlas.pool.cbis.is_empty() {
+            0.0
+        } else {
+            cbi_correct as f64 / atlas.pool.cbis.len() as f64
+        },
+        recall: if truth_cbis.is_empty() {
+            0.0
+        } else {
+            cbi_found_of_truth as f64 / truth_cbis.len() as f64
+        },
+    };
+
+    // ABI truth base: addressed uplink interfaces of cloud border routers
+    // that terminate at least one interconnect.
+    let active_borders: HashSet<_> = inet
+        .cloud_interconnects(CloudId(0))
+        .map(|ic| ic.cloud_router)
+        .collect();
+    let truth_abis: HashSet<Ipv4> = inet
+        .routers
+        .iter()
+        .filter(|r| active_borders.contains(&r.id) && r.response == ResponseMode::Incoming)
+        .flat_map(|r| r.ifaces.iter())
+        .filter_map(|&f| {
+            let i = inet.iface(f);
+            (i.kind == IfaceKind::Internal).then_some(i.addr).flatten()
+        })
+        .collect();
+    let abi_correct = atlas
+        .pool
+        .abis
+        .keys()
+        .filter(|&&a| is_cloud_addr(a))
+        .count();
+    let abi_found = truth_abis
+        .iter()
+        .filter(|a| atlas.pool.abis.contains_key(a))
+        .count();
+    let abi = Pr {
+        precision: if atlas.pool.abis.is_empty() {
+            0.0
+        } else {
+            abi_correct as f64 / atlas.pool.abis.len() as f64
+        },
+        recall: if truth_abis.is_empty() {
+            0.0
+        } else {
+            abi_found as f64 / truth_abis.len() as f64
+        },
+    };
+
+    // Peer ASes.
+    let truth_peers: HashSet<Asn> = inet
+        .cloud_peers(CloudId(0))
+        .into_iter()
+        .map(|i| inet.as_node(i).asn)
+        .collect();
+    let inferred: HashSet<Asn> = atlas.groups.per_as.keys().copied().collect();
+    let correct = inferred.intersection(&truth_peers).count();
+    let peers = pr(correct, inferred.len(), truth_peers.len());
+
+    BorderScore { cbi, abi, peers }
+}
+
+/// Scores metro pins against the true interface locations.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PinScore {
+    /// Metro-pinned interfaces with the correct metro.
+    pub metro_accuracy: f64,
+    /// Metro-level coverage over all inferred interfaces.
+    pub metro_coverage: f64,
+    /// Region-pinned interfaces whose true metro is closest to the chosen
+    /// region (among all regions).
+    pub region_accuracy: f64,
+    /// Combined coverage (metro + regional pins).
+    pub total_coverage: f64,
+}
+
+/// Scores the §6 output.
+pub fn pin_score(atlas: &Atlas<'_>) -> PinScore {
+    let inet = atlas.inet;
+    let true_metro = |a: Ipv4| -> Option<cm_geo::MetroId> {
+        inet.iface_by_addr
+            .get(&a)
+            .map(|&f| inet.router(inet.iface(f).router).metro)
+    };
+    let mut metro_ok = 0usize;
+    let mut metro_known = 0usize;
+    for (&a, pin) in &atlas.pinning.pins {
+        if let Some(t) = true_metro(a) {
+            metro_known += 1;
+            if t == pin.metro {
+                metro_ok += 1;
+            }
+        }
+    }
+    let mut region_ok = 0usize;
+    let mut region_known = 0usize;
+    for (&a, &region) in &atlas.pinning.region_pins {
+        let Some(t) = true_metro(a) else { continue };
+        region_known += 1;
+        // Correct when the chosen region is (one of) the closest to the
+        // true metro.
+        let d_chosen = inet.metro_km(atlas.region_metro[&region], t);
+        let d_best = atlas
+            .region_metro
+            .values()
+            .map(|&m| inet.metro_km(m, t))
+            .fold(f64::MAX, f64::min);
+        if d_chosen <= d_best + 1.0 {
+            region_ok += 1;
+        }
+    }
+    let total = atlas.interface_count().max(1);
+    PinScore {
+        metro_accuracy: if metro_known == 0 {
+            0.0
+        } else {
+            metro_ok as f64 / metro_known as f64
+        },
+        metro_coverage: atlas.pinning.pins.len() as f64 / total as f64,
+        region_accuracy: if region_known == 0 {
+            0.0
+        } else {
+            region_ok as f64 / region_known as f64
+        },
+        total_coverage: (atlas.pinning.pins.len() + atlas.pinning.region_pins.len()) as f64
+            / total as f64,
+    }
+}
+
+/// Scores §7.1 VPI detection.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VpiScore {
+    /// Detected VPI CBIs that really belong to routers holding a VPI port.
+    pub precision: f64,
+    /// Detectable (multi-cloud, responsive) VPI ports that were found.
+    pub recall: f64,
+    /// Ground-truth multi-cloud ports.
+    pub detectable: usize,
+}
+
+/// Scores the VPI stage.
+pub fn vpi_score(atlas: &Atlas<'_>) -> VpiScore {
+    let inet = atlas.inet;
+    // Routers holding any VPI port (any cloud).
+    let mut vpi_routers = HashSet::new();
+    let mut port_clouds: HashMap<Ipv4, HashSet<CloudId>> = HashMap::new();
+    for ic in &inet.interconnects {
+        if let IcKind::Vpi { .. } = ic.kind {
+            vpi_routers.insert(ic.client_router);
+            if let Some(a) = inet.iface(ic.client_iface).addr {
+                port_clouds.entry(a).or_default().insert(ic.cloud);
+            }
+        }
+    }
+    // Detectable = multi-cloud ports on responsive routers that the primary
+    // campaign actually observed as CBIs (the §7.1 method can only overlap
+    // addresses it has in its candidate pool).
+    let detectable: HashSet<Ipv4> = port_clouds
+        .iter()
+        .filter(|(a, clouds)| {
+            clouds.len() >= 2
+                && atlas.pool.cbis.contains_key(a)
+                && inet
+                    .iface_by_addr
+                    .get(a)
+                    .map(|&f| {
+                        inet.router(inet.iface(f).router).response == ResponseMode::Incoming
+                    })
+                    .unwrap_or(false)
+        })
+        .map(|(&a, _)| a)
+        .collect();
+    let correct = atlas
+        .vpi
+        .vpi_cbis
+        .iter()
+        .filter(|a| {
+            inet.iface_by_addr
+                .get(a)
+                .map(|&f| vpi_routers.contains(&inet.iface(f).router))
+                .unwrap_or(false)
+        })
+        .count();
+    let found = detectable
+        .iter()
+        .filter(|a| atlas.vpi.vpi_cbis.contains(a))
+        .count();
+    VpiScore {
+        precision: if atlas.vpi.vpi_cbis.is_empty() {
+            0.0
+        } else {
+            correct as f64 / atlas.vpi.vpi_cbis.len() as f64
+        },
+        recall: if detectable.is_empty() {
+            0.0
+        } else {
+            found as f64 / detectable.len() as f64
+        },
+        detectable: detectable.len(),
+    }
+}
+
+/// Convenience: all scores at once.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FullScore {
+    /// §4–§5 scores.
+    pub border: BorderScore,
+    /// §6 scores.
+    pub pin: PinScore,
+    /// §7.1 scores.
+    pub vpi: VpiScore,
+}
+
+/// Scores everything.
+pub fn full_score(atlas: &Atlas<'_>) -> FullScore {
+    FullScore {
+        border: border_score(atlas),
+        pin: pin_score(atlas),
+        vpi: vpi_score(atlas),
+    }
+}
+
+/// Returns the ground-truth peer count (helper for reports).
+pub fn truth_peer_count(inet: &Internet) -> usize {
+    inet.cloud_peers(CloudId(0)).len()
+}

@@ -1,0 +1,61 @@
+//! §8: the cloud-aware pipeline against the bdrmap-style baseline.
+
+use cloudmap::compare::compare;
+use cloudmap::pipeline::{Pipeline, PipelineConfig};
+use cm_bdrmap::Bdrmap;
+use cm_dataplane::DataPlane;
+use cm_topology::{CloudId, Internet, TopologyConfig};
+
+#[test]
+fn pipeline_beats_baseline_on_peer_discovery() {
+    let inet = Internet::generate(TopologyConfig::tiny(), 101);
+    let atlas = Pipeline::new(
+        &inet,
+        PipelineConfig {
+            crossval_folds: 0,
+            run_vpi: false,
+            ..PipelineConfig::default()
+        },
+    )
+    .run();
+    let plane = DataPlane::new(&inet, atlas.config.dataplane);
+    let bdr = Bdrmap {
+        snapshot: &atlas.snapshot,
+        datasets: &atlas.datasets,
+        cloud_asns: &atlas.cloud_asns,
+    };
+    let result = bdr.run(&plane, CloudId(0));
+    let cmp = compare(&atlas, &result);
+
+    // The baseline misses IXP and WHOIS-only peers: we must find more ASes.
+    assert!(
+        cmp.ases.0 > cmp.ases.1,
+        "pipeline found {} ASes vs baseline {}",
+        cmp.ases.0,
+        cmp.ases.1
+    );
+    // Substantial overlap nevertheless (both see announced-space borders).
+    assert!(
+        cmp.ases.2 * 2 > cmp.ases.1,
+        "overlap {} too small vs baseline {}",
+        cmp.ases.2,
+        cmp.ases.1
+    );
+    // The documented §8 inconsistency classes all occur.
+    assert!(cmp.as0_cbis > 0, "no AS0 owners");
+    assert!(cmp.flips > 0, "no ABI/CBI flips");
+    // And the baseline's peer precision is worse than ours against truth.
+    let truth: std::collections::HashSet<_> = inet
+        .cloud_peers(CloudId(0))
+        .into_iter()
+        .map(|i| inet.as_node(i).asn)
+        .collect();
+    let baseline_peers = result.peer_ases();
+    let baseline_correct = baseline_peers.iter().filter(|a| truth.contains(a)).count();
+    let baseline_precision = baseline_correct as f64 / baseline_peers.len().max(1) as f64;
+    let ours = cloudmap::score::border_score(&atlas).peers.precision;
+    assert!(
+        ours >= baseline_precision,
+        "ours {ours} vs baseline {baseline_precision}"
+    );
+}

@@ -1,0 +1,149 @@
+//! Diagnostic (ignored by default): per-source pin accuracy breakdown.
+
+use cloudmap::pipeline::{Pipeline, PipelineConfig};
+use cm_topology::{Internet, TopologyConfig};
+use std::collections::HashMap;
+
+#[test]
+#[ignore]
+fn pin_accuracy_by_source() {
+    let inet = Internet::generate(TopologyConfig::tiny(), 71);
+    let atlas = Pipeline::new(&inet, PipelineConfig::default()).run();
+    let mut per_source: HashMap<String, (usize, usize)> = HashMap::new();
+    for (&a, pin) in &atlas.pinning.pins {
+        let Some(&f) = inet.iface_by_addr.get(&a) else {
+            continue;
+        };
+        let truth = inet.router(inet.iface(f).router).metro;
+        let e = per_source
+            .entry(format!("{:?}", pin.source))
+            .or_insert((0, 0));
+        e.1 += 1;
+        if truth == pin.metro {
+            e.0 += 1;
+        }
+    }
+    let mut rows: Vec<_> = per_source.into_iter().collect();
+    rows.sort();
+    for (src, (ok, n)) in rows {
+        println!("{src:>16}: {ok}/{n} = {:.3}", ok as f64 / n as f64);
+    }
+    panic!("diagnostic only");
+}
+
+#[test]
+#[ignore]
+fn icg_component_diagnostic() {
+    use std::collections::{HashMap, HashSet};
+    let inet = Internet::generate(TopologyConfig::tiny(), 71);
+    let atlas = Pipeline::new(&inet, PipelineConfig::default()).run();
+    // Per CBI: set of ABI metros (ground truth metro of the ABI's router).
+    let mut cbi_metros: HashMap<cm_net::Ipv4, HashSet<u16>> = HashMap::new();
+    for seg in atlas.pool.segments.keys() {
+        if let Some(&f) = inet.iface_by_addr.get(&seg.abi) {
+            let m = inet.router(inet.iface(f).router).metro.0;
+            cbi_metros.entry(seg.cbi).or_default().insert(m);
+        }
+    }
+    let multi = cbi_metros.values().filter(|s| s.len() >= 2).count();
+    println!("CBIs: {}, multi-metro CBIs (bridges): {}", cbi_metros.len(), multi);
+    // Degree stats.
+    let abi_deg = atlas.icg.abi_degrees();
+    let cbi_deg = atlas.icg.cbi_degrees();
+    println!("max ABI degree {}, max CBI degree {}",
+        abi_deg.last().unwrap_or(&0), cbi_deg.last().unwrap_or(&0));
+    println!("LCC {}", atlas.icg.largest_component_share);
+    println!("nodes {} edges {}", atlas.icg.nodes, atlas.icg.edges);
+    println!("pool.cbis {} pool.abis {} segments {} accepted {}",
+        atlas.pool.cbis.len(), atlas.pool.abis.len(),
+        atlas.pool.segments.len(), atlas.pool.accepted);
+    println!("discards {:?}", atlas.pool.discards);
+    panic!("diag");
+}
+
+#[test]
+#[ignore]
+fn bridge_router_diagnostic() {
+    use cm_topology::*;
+    use std::collections::{HashMap, HashSet};
+    let inet = Internet::generate(TopologyConfig::tiny(), 71);
+    // Per client router: fabric metros of its primary-cloud interconnects.
+    let mut fabric_metros: HashMap<RouterId, HashSet<u16>> = HashMap::new();
+    for ic in inet.cloud_interconnects(CloudId(0)) {
+        let m = inet.facility(ic.facility).metro.0;
+        fabric_metros.entry(ic.client_router).or_default().insert(m);
+    }
+    let multi: Vec<_> = fabric_metros.iter().filter(|(_, s)| s.len() >= 2).collect();
+    let fixed_multi = multi
+        .iter()
+        .filter(|(r, _)| matches!(inet.router(**r).response, ResponseMode::Fixed(_)))
+        .count();
+    println!(
+        "client routers {}, multi-fabric-metro {}, of which Fixed {}",
+        fabric_metros.len(),
+        multi.len(),
+        fixed_multi
+    );
+    panic!("diag");
+}
+
+#[test]
+#[ignore]
+fn public_peer_observability() {
+    use cloudmap::annotate::NoteSource;
+    use cm_topology::*;
+    use std::collections::{HashMap, HashSet};
+    let inet = Internet::generate(TopologyConfig::tiny(), 71);
+    let atlas = Pipeline::new(&inet, PipelineConfig::default()).run();
+    // GT: peers with only PublicIxp interconnects on the primary cloud.
+    let mut kinds: HashMap<AsIndex, HashSet<u8>> = HashMap::new();
+    let mut ixp_ports: HashMap<AsIndex, Vec<cm_net::Ipv4>> = HashMap::new();
+    for ic in inet.cloud_interconnects(CloudId(0)) {
+        let k = match ic.kind {
+            IcKind::PublicIxp(_) => 0u8,
+            IcKind::CrossConnect => 1,
+            IcKind::Vpi { .. } => 2,
+        };
+        kinds.entry(ic.peer).or_default().insert(k);
+        if k == 0 {
+            if let Some(a) = inet.iface(ic.client_iface).addr {
+                ixp_ports.entry(ic.peer).or_default().push(a);
+            }
+        }
+    }
+    let mut pub_only = 0;
+    let mut observed_any = 0;
+    let mut observed_as_ixp = 0;
+    let mut in_groups_pb = 0;
+    let mut silent_router = 0;
+    for (peer, ks) in &kinds {
+        if ks.len() != 1 || !ks.contains(&0) {
+            continue;
+        }
+        pub_only += 1;
+        let asn = inet.as_node(*peer).asn;
+        let ports = &ixp_ports[peer];
+        let seen: Vec<_> = ports.iter().filter(|a| atlas.pool.cbis.contains_key(a)).collect();
+        if !seen.is_empty() {
+            observed_any += 1;
+            if seen.iter().any(|a| {
+                atlas.pool.cbis[a].note.source == NoteSource::Ixp
+            }) {
+                observed_as_ixp += 1;
+            }
+        }
+        if let Some(p) = atlas.groups.per_as.get(&asn) {
+            if p.cbis_by_group.keys().any(|g| matches!(g, cloudmap::groups::PeeringGroup::PbNb | cloudmap::groups::PeeringGroup::PbB)) {
+                in_groups_pb += 1;
+            }
+        }
+        for ic in inet.cloud_interconnects(CloudId(0)) {
+            if ic.peer == *peer && inet.router(ic.client_router).response == ResponseMode::Silent {
+                silent_router += 1;
+                break;
+            }
+        }
+    }
+    println!("public-only peers {pub_only}, port observed {observed_any}, as IXP source {observed_as_ixp}, in Pb groups {in_groups_pb}, with silent router {silent_router}");
+    panic!("diag");
+}

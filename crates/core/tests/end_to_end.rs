@@ -1,0 +1,165 @@
+//! End-to-end pipeline test over the tiny synthetic Internet.
+
+use cloudmap::pipeline::{Pipeline, PipelineConfig};
+use cloudmap::score;
+use cm_topology::{Internet, TopologyConfig};
+
+fn run_atlas(inet: &Internet) -> cloudmap::Atlas<'_> {
+    Pipeline::new(inet, PipelineConfig::default()).run()
+}
+
+#[test]
+fn full_pipeline_on_tiny_world() {
+    let inet = Internet::generate(TopologyConfig::tiny(), 71);
+    let atlas = run_atlas(&inet);
+
+    // --- Table 1 shape: expansion grows CBIs, ABIs roughly stable. --------
+    let [abi, cbi, eabi, ecbi] = atlas.table1;
+    assert!(cbi.count > 50, "round-1 CBIs: {}", cbi.count);
+    assert!(ecbi.count > cbi.count, "expansion did not add CBIs");
+    assert!(
+        eabi.count as f64 <= abi.count as f64 * 1.6 + 4.0,
+        "ABIs should stay roughly constant ({} -> {})",
+        abi.count,
+        eabi.count
+    );
+    // Annotation sources: CBIs mostly BGP with IXP share; ABIs lean WHOIS.
+    assert!(ecbi.bgp > 0.3, "eCBI BGP share {}", ecbi.bgp);
+    assert!(ecbi.ixp > 0.02, "eCBI IXP share {}", ecbi.ixp);
+    assert!(eabi.whois > 0.3, "eABI WHOIS share {}", eabi.whois);
+
+    // --- §3: completion rate is low, as in the paper (≈ 7.7%). ------------
+    let rate = atlas.sweep_stats.completion_rate();
+    assert!((0.01..0.40).contains(&rate), "completion rate {rate}");
+
+    // --- §5: most ABIs confirmed. ------------------------------------------
+    let confirmed = atlas.heuristics.confirmed().len();
+    assert!(
+        confirmed * 2 > atlas.pool.abis.len(),
+        "only {confirmed}/{} confirmed",
+        atlas.pool.abis.len()
+    );
+
+    // --- §6: pinning covers a substantial share with high accuracy. -------
+    let pin = score::pin_score(&atlas);
+    assert!(
+        pin.metro_coverage > 0.25,
+        "metro coverage {}",
+        pin.metro_coverage
+    );
+    assert!(
+        pin.metro_accuracy > 0.85,
+        "metro accuracy {}",
+        pin.metro_accuracy
+    );
+    assert!(
+        pin.total_coverage > pin.metro_coverage,
+        "regional fallback added nothing"
+    );
+    // Cross-validation: precision near 1, recall well below.
+    assert!(
+        atlas.crossval.precision_mean > 0.9,
+        "cv precision {}",
+        atlas.crossval.precision_mean
+    );
+    // Recall depends on anchor density; the tiny world is dense, so only
+    // sanity-check the range (the paper's 57% shows up at full scale).
+    assert!(
+        (0.2..=1.0).contains(&atlas.crossval.recall_mean),
+        "cv recall {}",
+        atlas.crossval.recall_mean
+    );
+
+    // --- §7.1: VPIs detected with decent precision. -------------------------
+    let vpi = score::vpi_score(&atlas);
+    if atlas.vpi.vpi_cbis.len() >= 3 {
+        assert!(vpi.precision > 0.8, "VPI precision {}", vpi.precision);
+    }
+    assert!(
+        vpi.recall > 0.4 || vpi.detectable < 5,
+        "VPI recall {} of {} detectable",
+        vpi.recall,
+        vpi.detectable
+    );
+
+    // --- §7.2: all six groups have a chance to exist; hidden share > 0. ----
+    assert!(atlas.groups.peer_count() > 30);
+    assert!(atlas.groups.hidden_share() > 0.05);
+    let t5 = atlas.groups.table5();
+    let pb = &t5[2].1; // aggregate "Pb"
+    let pr_nb = &t5[5].1;
+    assert!(pb.ases > 0 && pr_nb.ases > 0);
+
+    // --- §7.4: a dominant component; ABI degrees skewed. The tiny world
+    // has too few fabrics/bridges for the paper's 92% — the full-scale
+    // shape is checked by the experiment harness.
+    assert!(
+        atlas.icg.largest_component_share > 0.10,
+        "largest CC {}",
+        atlas.icg.largest_component_share
+    );
+    let abi_deg = atlas.icg.abi_degrees();
+    let cbi_deg = atlas.icg.cbi_degrees();
+    // ABI hubs dominate at full scale (Fig. 7a is log-scale); in the tiny
+    // world just require they are not out-skewed by CBIs.
+    assert!(
+        abi_deg.last().copied().unwrap_or(0) + 4 >= cbi_deg.last().copied().unwrap_or(0)
+    );
+
+    // --- borders score against ground truth. -------------------------------
+    let b = score::border_score(&atlas);
+    assert!(b.cbi.precision > 0.9, "CBI precision {}", b.cbi.precision);
+    assert!(b.abi.precision > 0.8, "ABI precision {}", b.abi.precision); // §4.1 ambiguity survivors
+    assert!(b.peers.precision > 0.9, "peer precision {}", b.peers.precision);
+    assert!(b.peers.recall > 0.5, "peer recall {}", b.peers.recall);
+
+    // --- coverage report is self-consistent. --------------------------------
+    assert!(atlas.coverage.discovered_of_bgp <= atlas.coverage.bgp_peers);
+    assert!(atlas.coverage.inferred_peers >= atlas.coverage.discovered_of_bgp);
+    assert!(
+        atlas.coverage.inferred_peers > atlas.coverage.bgp_peers,
+        "the pipeline must discover peerings hidden from BGP"
+    );
+}
+
+#[test]
+fn expansion_ablation_reduces_cbis() {
+    let inet = Internet::generate(TopologyConfig::tiny(), 72);
+    let with = Pipeline::new(
+        &inet,
+        PipelineConfig {
+            run_expansion: true,
+            crossval_folds: 0,
+            run_vpi: false,
+            ..PipelineConfig::default()
+        },
+    )
+    .run();
+    let without = Pipeline::new(
+        &inet,
+        PipelineConfig {
+            run_expansion: false,
+            crossval_folds: 0,
+            run_vpi: false,
+            ..PipelineConfig::default()
+        },
+    )
+    .run();
+    assert!(with.pool.cbis.len() > without.pool.cbis.len());
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let inet = Internet::generate(TopologyConfig::tiny(), 73);
+    let cfg = PipelineConfig {
+        crossval_folds: 0,
+        ..PipelineConfig::default()
+    };
+    let a = Pipeline::new(&inet, cfg).run();
+    let b = Pipeline::new(&inet, cfg).run();
+    assert_eq!(a.pool.cbis.len(), b.pool.cbis.len());
+    assert_eq!(a.pool.abis.len(), b.pool.abis.len());
+    assert_eq!(a.vpi.vpi_cbis.len(), b.vpi.vpi_cbis.len());
+    assert_eq!(a.pinning.pins.len(), b.pinning.pins.len());
+    assert_eq!(a.groups.peer_count(), b.groups.peer_count());
+}

@@ -1,0 +1,42 @@
+//! Property-based tests for the inference-side pure logic.
+
+use cloudmap::groups::PeeringGroup;
+use cloudmap::icg::Icg;
+use proptest::prelude::*;
+
+proptest! {
+    /// Every (public, bgp, virtual) combination maps to exactly one of the
+    /// six groups, and the mapping matches the paper's notation.
+    #[test]
+    fn group_classification_is_total_and_disjoint(public in any::<bool>(), bgp in any::<bool>(), virt in any::<bool>()) {
+        let group = match (public, bgp, virt) {
+            (true, false, _) => PeeringGroup::PbNb,
+            (true, true, _) => PeeringGroup::PbB,
+            (false, false, true) => PeeringGroup::PrNbV,
+            (false, false, false) => PeeringGroup::PrNbNv,
+            (false, true, false) => PeeringGroup::PrBNv,
+            (false, true, true) => PeeringGroup::PrBV,
+        };
+        // Label encodes the axes faithfully.
+        let label = group.label();
+        prop_assert_eq!(label.starts_with("Pb"), public);
+        if !public {
+            prop_assert_eq!(label.contains("-B"), bgp);
+            prop_assert_eq!(label.ends_with("-V"), virt);
+        }
+        // Exactly one of the six.
+        prop_assert_eq!(PeeringGroup::ALL.iter().filter(|g| **g == group).count(), 1);
+    }
+
+    /// The CDF helper is a monotone map into [0, 1] hitting 1 at the max.
+    #[test]
+    fn cdf_at_is_monotone(mut degrees in proptest::collection::vec(0usize..100, 1..50), x in 0usize..120, y in 0usize..120) {
+        degrees.sort_unstable();
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        let a = Icg::cdf_at(&degrees, lo);
+        let b = Icg::cdf_at(&degrees, hi);
+        prop_assert!(a <= b);
+        prop_assert!((0.0..=1.0).contains(&a));
+        prop_assert_eq!(Icg::cdf_at(&degrees, *degrees.last().unwrap()), 1.0);
+    }
+}

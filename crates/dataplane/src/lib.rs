@@ -1,0 +1,26 @@
+//! # cm-dataplane — packet-level measurement simulation
+//!
+//! Executes traceroutes and pings over the ground-truth router graph, the
+//! way Scamper would observe them from a cloud VM (§3 of the paper):
+//!
+//! * hop addresses are the *incoming* interfaces of the routers on the
+//!   forward path (or a fixed interface / silence, per the router's
+//!   [`cm_topology::ResponseMode`]),
+//! * the layer-2 fabrics (IXP LANs, cloud exchanges, remote-peering
+//!   carriers) are invisible: a probe goes straight from the cloud border
+//!   router to the client router, exactly the property that defeats
+//!   MAP-IT/bdrmapIT-style tools and motivates the paper,
+//! * RTTs follow the geographic model in `cm-geo` plus per-probe jitter;
+//!   minimum-RTT campaigns converge to the propagation floor,
+//! * measurement artifacts (probe loss, duplicate hops, loops) are injected
+//!   at configurable rates so the §4.1 traceroute filters have something to
+//!   filter.
+//!
+//! Inference code must only read [`TraceHop::addr`] and [`TraceHop::rtt_ms`];
+//! the ground-truth [`TraceHop::iface`] is carried for scoring only.
+
+mod plane;
+pub mod reachability;
+
+pub use plane::{DataPlane, DataPlaneConfig, TraceHop, TraceStatus, Traceroute};
+pub use reachability::publicly_reachable;

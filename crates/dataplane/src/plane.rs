@@ -1,0 +1,796 @@
+//! Traceroute and ping execution.
+
+use cm_bgp::RoutingTable;
+use cm_net::stablehash;
+use cm_net::{Ipv4, Prefix};
+use cm_topology::{
+    AsIndex, CloudId, IcId, IfaceId, IfaceKind, Internet, RegionId, ResponseMode, RouterId,
+    RouterRole,
+};
+use std::collections::HashMap;
+
+/// Artifact and probing knobs for the dataplane.
+#[derive(Clone, Copy, Debug)]
+pub struct DataPlaneConfig {
+    /// Probability that any single hop response is lost (rate limiting).
+    pub loss_rate: f64,
+    /// Probability that a hop is duplicated in the output (a known
+    /// traceroute artifact the paper filters, §4.1).
+    pub dup_rate: f64,
+    /// Probability that a probe's tail enters a forwarding loop.
+    pub loop_rate: f64,
+    /// Consecutive unresponsive hops before a probe is abandoned
+    /// (the paper used five, §3).
+    pub gap_limit: u8,
+    /// Maximum TTL explored.
+    pub max_ttl: u8,
+    /// Jitter amplitude in milliseconds (exponential-ish tail).
+    pub jitter_ms: f64,
+}
+
+impl Default for DataPlaneConfig {
+    fn default() -> Self {
+        DataPlaneConfig {
+            loss_rate: 0.01,
+            dup_rate: 0.004,
+            loop_rate: 0.002,
+            gap_limit: 5,
+            max_ttl: 30,
+            jitter_ms: 2.0,
+        }
+    }
+}
+
+/// One traceroute hop.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceHop {
+    /// TTL of the probe that elicited this response (1-based).
+    pub ttl: u8,
+    /// Responding address; `None` is a `*` (no response).
+    pub addr: Option<Ipv4>,
+    /// Round-trip time of the response, when present.
+    pub rtt_ms: Option<f64>,
+    /// Ground truth: the interface the packet actually arrived on.
+    /// **Scoring only** — inference code must never read this.
+    pub iface: Option<IfaceId>,
+}
+
+/// How a traceroute terminated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceStatus {
+    /// The destination answered.
+    Completed,
+    /// Abandoned after `gap_limit` consecutive silent hops.
+    GapLimit,
+    /// TTL budget exhausted (looping tail).
+    MaxTtl,
+}
+
+/// A full traceroute observation.
+#[derive(Clone, Debug)]
+pub struct Traceroute {
+    /// Probing cloud.
+    pub cloud: CloudId,
+    /// Source region.
+    pub src_region: RegionId,
+    /// Probed destination.
+    pub dst: Ipv4,
+    /// Hops in TTL order.
+    pub hops: Vec<TraceHop>,
+    /// Termination status.
+    pub status: TraceStatus,
+}
+
+impl Traceroute {
+    /// The responding hop addresses in order (gaps skipped).
+    pub fn responding_addrs(&self) -> impl Iterator<Item = Ipv4> + '_ {
+        self.hops.iter().filter_map(|h| h.addr)
+    }
+}
+
+/// A step on the router-level forward path, before response behaviour and
+/// artifacts are applied.
+struct PathStep {
+    router: RouterId,
+    /// The incoming interface (None when arriving over an unnumbered hop).
+    in_iface: Option<IfaceId>,
+    /// Cumulative one-way kilometres from the VM.
+    km: f64,
+    /// True when this step is the destination answering the probe itself.
+    is_destination: bool,
+    /// Destination address override for the final answering step.
+    dest_addr: Option<Ipv4>,
+}
+
+/// The measurement dataplane: executes probes for every cloud over one
+/// ground-truth [`Internet`].
+pub struct DataPlane<'a> {
+    /// The ground truth being measured.
+    pub inet: &'a Internet,
+    /// Per-cloud egress tables.
+    pub tables: HashMap<CloudId, RoutingTable>,
+    /// Artifact configuration.
+    pub cfg: DataPlaneConfig,
+    /// Downstream (toward the client's internal router) interface per
+    /// client border router.
+    downstream: HashMap<RouterId, (IfaceId, f64)>,
+    /// IXP LAN interface of each cloud's border routers: (cloud, ixp) → ic.
+    ixp_port: HashMap<(CloudId, u32), IcId>,
+    /// Addressed uplink interfaces of all border routers per (cloud,
+    /// facility): the ECMP ingress pool. Real cloud edge PoPs front their
+    /// border routers with a Clos fabric, so a probe crossing any
+    /// interconnect at the facility may arrive on any pool member — this is
+    /// what lets one CBI pair with several ABIs (Figure 7b's degrees) and
+    /// knits the ICG into one large component (§7.4).
+    facility_uplinks: HashMap<(CloudId, u16), Vec<IfaceId>>,
+    /// Seed for per-probe deterministic noise.
+    seed: u64,
+}
+
+impl<'a> DataPlane<'a> {
+    /// Builds the dataplane (routing tables for every cloud are computed
+    /// here; this is the expensive step).
+    pub fn new(inet: &'a Internet, cfg: DataPlaneConfig) -> Self {
+        let mut tables = HashMap::new();
+        for c in &inet.clouds {
+            tables.insert(c.id, RoutingTable::build(inet, c.id));
+        }
+        // Client border router → (internal-side iface of its downstream
+        // link, link km).
+        let mut downstream = HashMap::new();
+        for r in &inet.routers {
+            if r.role != RouterRole::ClientBorder {
+                continue;
+            }
+            for &f in &r.ifaces {
+                let iface = inet.iface(f);
+                if iface.kind != IfaceKind::Internal {
+                    continue;
+                }
+                if let Some(l) = iface.link {
+                    let link = inet.link(l);
+                    let other = link.other_end(f);
+                    if inet.router(inet.iface(other).router).role == RouterRole::ClientInternal {
+                        downstream.insert(r.id, (other, link.km));
+                        break;
+                    }
+                }
+            }
+        }
+        // First interconnect per (cloud, IXP): used to route pings to IXP
+        // LAN addresses (the minIXRTT measurements of §6.1).
+        let mut ixp_port = HashMap::new();
+        for ic in &inet.interconnects {
+            if let cm_topology::IcKind::PublicIxp(ix) = ic.kind {
+                ixp_port.entry((ic.cloud, ix.0)).or_insert(ic.id);
+            }
+        }
+        // ECMP ingress pools: every addressed internal (uplink) interface of
+        // the border routers at each (cloud, facility).
+        let mut facility_uplinks: HashMap<(CloudId, u16), Vec<IfaceId>> = HashMap::new();
+        {
+            let mut border_cloud: HashMap<RouterId, (CloudId, u16)> = HashMap::new();
+            for ic in &inet.interconnects {
+                let metro = inet.facility(ic.facility).metro;
+                border_cloud
+                    .entry(ic.cloud_router)
+                    .or_insert((ic.cloud, metro.0));
+            }
+            for r in &inet.routers {
+                let Some(&key) = border_cloud.get(&r.id) else {
+                    continue;
+                };
+                if r.response == ResponseMode::Silent {
+                    continue;
+                }
+                for &f in &r.ifaces {
+                    let i = inet.iface(f);
+                    if i.kind == IfaceKind::Internal && i.addr.is_some() {
+                        facility_uplinks.entry(key).or_default().push(f);
+                    }
+                }
+            }
+            for v in facility_uplinks.values_mut() {
+                v.sort_unstable();
+            }
+        }
+        DataPlane {
+            inet,
+            tables,
+            cfg,
+            downstream,
+            ixp_port,
+            facility_uplinks,
+            seed: inet.seed ^ 0x0DA7_A91A_4E00_55AA,
+        }
+    }
+
+    /// Executes one traceroute from a region of a cloud (campaign epoch 0).
+    pub fn traceroute(&self, cloud: CloudId, src_region: RegionId, dst: Ipv4) -> Traceroute {
+        self.traceroute_at(cloud, src_region, dst, 0)
+    }
+
+    /// Executes one traceroute during a given campaign epoch. Routing churn
+    /// (session flaps, drained links, TE shifts) makes later epochs traverse
+    /// different interconnects and ECMP members of the same destinations —
+    /// the diversity a multi-day campaign accumulates.
+    pub fn traceroute_at(
+        &self,
+        cloud: CloudId,
+        src_region: RegionId,
+        dst: Ipv4,
+        epoch: u32,
+    ) -> Traceroute {
+        let steps = self.forward_path(cloud, src_region, dst, epoch);
+        self.render(cloud, src_region, dst, steps)
+    }
+
+    /// Minimum RTT to `target` over `attempts` probes from a region, or
+    /// `None` when the target never answers. Models the ICMP campaigns used
+    /// for anchor identification and co-presence checks (§6.1).
+    pub fn ping_min_rtt(
+        &self,
+        cloud: CloudId,
+        src_region: RegionId,
+        target: Ipv4,
+        attempts: u32,
+    ) -> Option<f64> {
+        let steps = self.forward_path(cloud, src_region, target, 0);
+        let last = steps.last()?;
+        if !last.is_destination {
+            return None;
+        }
+        // The destination must be willing to answer at all.
+        if matches!(
+            self.inet.router(last.router).response,
+            ResponseMode::Silent
+        ) {
+            return None;
+        }
+        let base = self.base_rtt(last.km, steps.len() as u32);
+        let jitter = (0..attempts)
+            .map(|a| self.jitter(&[target.0 as u64, 0xFFFF, a as u64]))
+            .fold(f64::MAX, f64::min);
+        Some(base + jitter)
+    }
+
+    // ----- path construction ----------------------------------------------
+
+    /// Builds the router-level forward path from the region's VM to `dst`.
+    fn forward_path(
+        &self,
+        cloud: CloudId,
+        src_region: RegionId,
+        dst: Ipv4,
+        epoch: u32,
+    ) -> Vec<PathStep> {
+        let inet = self.inet;
+        let region = inet.region(src_region);
+        debug_assert_eq!(region.cloud, cloud);
+        let mut steps = Vec::new();
+        let mut km = 0.0;
+
+        // Destination owned by an interface somewhere?
+        let dst_iface = inet.iface_by_addr.get(&dst).copied();
+
+        // 1. Internal destinations (own cloud space, own infrastructure).
+        if let Some(fid) = dst_iface {
+            let owner = inet.router(inet.iface(fid).router).owner;
+            if inet.clouds[cloud.index()].ases.contains(&owner) {
+                return self.internal_path(src_region, fid, dst);
+            }
+        }
+
+        // 2. First hop(s): VM → core (ECMP by destination /24), then to the
+        // first core if a second core was chosen (the backbone and the
+        // border uplinks hang off core 0 for cross-region egress).
+        let core_pick = stablehash::pick(
+            self.seed,
+            &[0xEC39, src_region.0 as u64, u64::from(dst.slash24_base().to_u32())],
+            region.core_routers.len(),
+        );
+        let chosen_core = region.core_routers[core_pick];
+        km += 0.2;
+        steps.push(PathStep {
+            router: chosen_core,
+            in_iface: self.incoming_iface_from(region.vm_router, chosen_core),
+            km,
+            is_destination: false,
+            dest_addr: None,
+        });
+
+        // 3. Egress selection.
+        let route = match self.select_route(cloud, src_region, dst, dst_iface, epoch) {
+            Some(r) => r,
+            None => return steps, // unrouted: probe dies after the core
+        };
+        let ic = inet.interconnect(route.ic);
+
+        // Cross-region transit via core 0 of both regions.
+        let egress_region = ic.region;
+        let mut last_core = chosen_core;
+        if egress_region != src_region {
+            let core0_src = region.core_routers[0];
+            if chosen_core != core0_src {
+                km += 0.5;
+                steps.push(PathStep {
+                    router: core0_src,
+                    in_iface: self.incoming_iface_from(chosen_core, core0_src),
+                    km,
+                    is_destination: false,
+                    dest_addr: None,
+                });
+            }
+            let er = inet.region(egress_region);
+            let core0_dst = er.core_routers[0];
+            km += inet.metro_km(region.metro, er.metro).max(1.0);
+            steps.push(PathStep {
+                router: core0_dst,
+                in_iface: self.incoming_iface_from(core0_src, core0_dst),
+                km,
+                is_destination: false,
+                dest_addr: None,
+            });
+            last_core = core0_dst;
+        }
+
+        // 4. Border complex ingress: ECMP across the uplinks of all border
+        // routers in the egress metro; IXP crossings spread further, over
+        // every metro where the cloud attaches to that fabric (multi-metro
+        // fabrics bridge regions — the §7.4 remote-peering effect). Falls
+        // back to the interconnect's own router when the pool is empty.
+        let fac_metro = inet.facility(ic.facility).metro;
+        let mut pool_metros = vec![fac_metro];
+        if let cm_topology::IcKind::PublicIxp(ix) = ic.kind {
+            if let Some(hosts) = inet.ixp_presence.get(&(cloud, ix)) {
+                for &h in hosts {
+                    let m = inet.facility(h).metro;
+                    if !pool_metros.contains(&m) {
+                        pool_metros.push(m);
+                    }
+                }
+            }
+        }
+        let mut pool: Vec<IfaceId> = Vec::new();
+        for m in &pool_metros {
+            if let Some(p) = self.facility_uplinks.get(&(cloud, m.0)) {
+                pool.extend_from_slice(p);
+            }
+        }
+        let uplink = if pool.is_empty() {
+            self.incoming_iface_from(last_core, ic.cloud_router)
+                .or_else(|| self.any_uplink(ic.cloud_router))
+        } else {
+            // Flow placement hashes on the destination only (a flow keeps
+            // its path regardless of where it entered the backbone), and is
+            // deliberately skewed: a few pool members carry most prefixes
+            // (aggregation routers) while many carry a handful — the source
+            // of Figure 7a's 30% degree-one ABIs next to thousand-degree
+            // hubs.
+            let u = stablehash::unit_f64(stablehash::mix(
+                self.seed,
+                &[
+                    0x00B0_4DE4,
+                    u64::from(dst.slash24_base().to_u32()),
+                    epoch as u64,
+                ],
+            ));
+            let idx = (u.powf(3.0) * pool.len() as f64) as usize;
+            Some(pool[idx.min(pool.len() - 1)])
+        };
+        let border = uplink
+            .map(|u| inet.iface(u).router)
+            .unwrap_or(ic.cloud_router);
+        let border_km = inet
+            .metro_km(inet.region(egress_region).metro, inet.router(border).metro)
+            .max(5.0);
+        km += border_km;
+        steps.push(PathStep {
+            router: border,
+            in_iface: uplink,
+            km,
+            is_destination: false,
+            dest_addr: None,
+        });
+
+        // 5. Across the fabric to the client border router.
+        km += ic.fabric_km;
+        let client_is_dest = dst_iface
+            .map(|f| inet.iface(f).router == ic.client_router)
+            .unwrap_or(false);
+        steps.push(PathStep {
+            router: ic.client_router,
+            in_iface: Some(ic.client_iface),
+            km,
+            is_destination: client_is_dest,
+            dest_addr: client_is_dest.then_some(dst),
+        });
+        if client_is_dest {
+            return steps;
+        }
+
+        // 6. Descend the AS path.
+        let mut current_metro = ic.client_metro;
+        // First, the peer's internal router.
+        if let Some(&(down_iface, down_km)) = self.downstream.get(&ic.client_router) {
+            km += down_km;
+            let internal_router = inet.iface(down_iface).router;
+            current_metro = inet.router(internal_router).metro;
+            let internal_is_dest = dst_iface
+                .map(|f| inet.iface(f).router == internal_router)
+                .unwrap_or(false);
+            steps.push(PathStep {
+                router: internal_router,
+                in_iface: Some(down_iface),
+                km,
+                is_destination: internal_is_dest,
+                dest_addr: internal_is_dest.then_some(dst),
+            });
+            if internal_is_dest {
+                return steps;
+            }
+        }
+        for w in route.as_path.windows(2) {
+            let (prev, next) = (w[0], w[1]);
+            let Some(&down_iface) = inet.transit_in_iface.get(&(prev, next)) else {
+                break;
+            };
+            let next_router = inet.iface(down_iface).router;
+            let next_metro = inet.router(next_router).metro;
+            km += inet.metro_km(current_metro, next_metro).max(1.0);
+            current_metro = next_metro;
+            let is_dest = dst_iface
+                .map(|f| inet.iface(f).router == next_router)
+                .unwrap_or(false);
+            steps.push(PathStep {
+                router: next_router,
+                in_iface: Some(down_iface),
+                km,
+                is_destination: is_dest,
+                dest_addr: is_dest.then_some(dst),
+            });
+            if is_dest {
+                return steps;
+            }
+        }
+
+        // 7. Destination endpoint. Either an interface we can attribute, or
+        // a synthetic host in the origin's announced space.
+        let origin = *route.as_path.last().unwrap();
+        if let Some(fid) = dst_iface {
+            let r = inet.iface(fid).router;
+            let r_metro = inet.router(r).metro;
+            km += inet.metro_km(current_metro, r_metro).max(1.0);
+            steps.push(PathStep {
+                router: r,
+                in_iface: Some(fid),
+                km,
+                is_destination: true,
+                dest_addr: Some(dst),
+            });
+            return steps;
+        }
+        if self.synthetic_host_answers(origin, dst) {
+            km += 5.0;
+            // The "router" of a synthetic host is the origin's internal
+            // router for bookkeeping; the response comes from `dst` itself.
+            let host_router = steps.last().map(|s| s.router).unwrap_or(chosen_core);
+            steps.push(PathStep {
+                router: host_router,
+                in_iface: None,
+                km,
+                is_destination: true,
+                dest_addr: Some(dst),
+            });
+        }
+        steps
+    }
+
+    /// Routes `dst`, with the direct-interface special cases evaluated
+    /// before the RIB:
+    ///
+    /// * the client side of one of this cloud's own interconnects (including
+    ///   unannounced /31s and cloud-provided addressing) is directly
+    ///   connected;
+    /// * IXP LAN addresses are reachable when this cloud has a port on that
+    ///   IXP's fabric.
+    fn select_route(
+        &self,
+        cloud: CloudId,
+        src_region: RegionId,
+        dst: Ipv4,
+        dst_iface: Option<IfaceId>,
+        epoch: u32,
+    ) -> Option<cm_bgp::Route> {
+        let inet = self.inet;
+        if let Some(fid) = dst_iface {
+            match inet.iface(fid).kind {
+                IfaceKind::Interconnect(ic) if inet.interconnect(ic).cloud == cloud => {
+                    let peer = inet.interconnect(ic).peer;
+                    return Some(cm_bgp::Route {
+                        ic,
+                        as_path: vec![peer],
+                    });
+                }
+                IfaceKind::IxpLan(ix) => {
+                    if let Some(&ic) = self.ixp_port.get(&(cloud, ix.0)) {
+                        // Route to the member over the shared fabric: egress
+                        // through the cloud's port, then the member answers.
+                        let owner = inet.router(inet.iface(fid).router).owner;
+                        return Some(cm_bgp::Route {
+                            ic,
+                            as_path: vec![owner],
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.tables.get(&cloud)?.route_at(inet, dst, src_region, epoch)
+    }
+
+    /// A member of an IXP LAN answering over the fabric is not on the
+    /// egress interconnect's AS path; patch the client hop accordingly.
+    /// (Handled inside `forward_path` by the iface ownership checks.)
+    fn any_uplink(&self, border: RouterId) -> Option<IfaceId> {
+        self.inet
+            .router(border)
+            .ifaces
+            .iter()
+            .copied()
+            .find(|&f| {
+                let i = self.inet.iface(f);
+                i.kind == IfaceKind::Internal && i.addr.is_some()
+            })
+    }
+
+    /// The interface on `to` that terminates a link from `from`.
+    fn incoming_iface_from(&self, from: RouterId, to: RouterId) -> Option<IfaceId> {
+        let inet = self.inet;
+        for &f in &inet.router(to).ifaces {
+            let iface = inet.iface(f);
+            if let Some(l) = iface.link {
+                let link = inet.link(l);
+                let other = link.other_end(f);
+                if inet.iface(other).router == from {
+                    return Some(f);
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether a synthetic end host answers at `dst` (per-/24 ground-truth
+    /// responsiveness drawn from the topology seed).
+    fn synthetic_host_answers(&self, origin: AsIndex, dst: Ipv4) -> bool {
+        let inet = self.inet;
+        // The /24 must actually be announced space of the origin.
+        let covered = inet
+            .as_node(origin)
+            .prefixes
+            .iter()
+            .any(|p| p.contains(dst));
+        if !covered {
+            return false;
+        }
+        stablehash::chance(
+            inet.seed,
+            &[0xD057, u64::from(dst.slash24_base().to_u32())],
+            inet.config.host_responsive,
+        )
+    }
+
+    // ----- rendering (responses, artifacts) --------------------------------
+
+    fn base_rtt(&self, km: f64, hops: u32) -> f64 {
+        self.inet.rtt.min_rtt_ms_with_hops(km, hops)
+    }
+
+    /// Deterministic non-negative jitter with a light tail.
+    fn jitter(&self, parts: &[u64]) -> f64 {
+        let u = stablehash::unit_f64(stablehash::mix(self.seed, parts));
+        // Squaring skews toward zero: min over a handful of attempts is
+        // close to the propagation floor.
+        self.cfg.jitter_ms * u * u
+    }
+
+    fn render(
+        &self,
+        cloud: CloudId,
+        src_region: RegionId,
+        dst: Ipv4,
+        steps: Vec<PathStep>,
+    ) -> Traceroute {
+        let inet = self.inet;
+        let mut hops: Vec<TraceHop> = Vec::with_capacity(steps.len() + 4);
+        let mut ttl = 0u8;
+        let mut gap = 0u8;
+        let probe_key = u64::from(dst.to_u32()) ^ ((src_region.0 as u64) << 40);
+
+        let push_silent = |hops: &mut Vec<TraceHop>, ttl: &mut u8, gap: &mut u8| {
+            *ttl += 1;
+            hops.push(TraceHop {
+                ttl: *ttl,
+                addr: None,
+                rtt_ms: None,
+                iface: None,
+            });
+            *gap += 1;
+        };
+
+        let mut completed = false;
+        for (i, step) in steps.iter().enumerate() {
+            if ttl >= self.cfg.max_ttl || gap >= self.cfg.gap_limit {
+                break;
+            }
+            let router = inet.router(step.router);
+            // Decide the responding address.
+            let (addr, iface) = if step.is_destination {
+                // Destinations answer with the probed address.
+                (step.dest_addr, step.in_iface)
+            } else {
+                match router.response {
+                    ResponseMode::Silent => (None, None),
+                    ResponseMode::Fixed(lo) => (inet.iface(lo).addr, Some(lo)),
+                    ResponseMode::Incoming => match step.in_iface {
+                        Some(f) => (inet.iface(f).addr, Some(f)),
+                        None => (None, None),
+                    },
+                }
+            };
+            // Rate-limit loss applies to transit hops, not the destination.
+            let lost = !step.is_destination
+                && stablehash::chance(
+                    self.seed,
+                    &[0x1055, probe_key, i as u64],
+                    self.cfg.loss_rate,
+                );
+            let addr = if lost { None } else { addr };
+            match addr {
+                Some(a) => {
+                    ttl += 1;
+                    gap = 0;
+                    let rtt = self.base_rtt(step.km, ttl as u32)
+                        + self.jitter(&[probe_key, ttl as u64]);
+                    hops.push(TraceHop {
+                        ttl,
+                        addr: Some(a),
+                        rtt_ms: Some(rtt),
+                        iface,
+                    });
+                    if step.is_destination {
+                        completed = true;
+                        break;
+                    }
+                    // Duplicate-hop artifact.
+                    if stablehash::chance(
+                        self.seed,
+                        &[0xD0B1, probe_key, i as u64],
+                        self.cfg.dup_rate,
+                    ) && ttl < self.cfg.max_ttl
+                    {
+                        ttl += 1;
+                        hops.push(TraceHop {
+                            ttl,
+                            addr: Some(a),
+                            rtt_ms: Some(
+                                self.base_rtt(step.km, ttl as u32)
+                                    + self.jitter(&[probe_key, ttl as u64, 7]),
+                            ),
+                            iface,
+                        });
+                    }
+                }
+                None => push_silent(&mut hops, &mut ttl, &mut gap),
+            }
+        }
+
+        // Loop artifact: a small share of incomplete probes end bouncing
+        // between the last two responding hops until the TTL budget runs out.
+        if !completed
+            && hops.iter().filter(|h| h.addr.is_some()).count() >= 2
+            && stablehash::chance(self.seed, &[0x100B, probe_key], self.cfg.loop_rate)
+        {
+            let responding: Vec<TraceHop> = hops
+                .iter()
+                .rev()
+                .filter(|h| h.addr.is_some())
+                .take(2)
+                .copied()
+                .collect();
+            // Truncate trailing silence, then bounce.
+            while hops.last().map(|h| h.addr.is_none()).unwrap_or(false) {
+                hops.pop();
+                ttl = ttl.saturating_sub(1);
+            }
+            let mut flip = 0;
+            while ttl < self.cfg.max_ttl {
+                ttl += 1;
+                let src = responding[flip % 2];
+                hops.push(TraceHop {
+                    ttl,
+                    addr: src.addr,
+                    rtt_ms: src.rtt_ms,
+                    iface: src.iface,
+                });
+                flip += 1;
+            }
+            return Traceroute {
+                cloud,
+                src_region,
+                dst,
+                hops,
+                status: TraceStatus::MaxTtl,
+            };
+        }
+
+        // Unfinished probes keep probing into silence up to the gap limit.
+        if !completed {
+            while gap < self.cfg.gap_limit && ttl < self.cfg.max_ttl {
+                push_silent(&mut hops, &mut ttl, &mut gap);
+            }
+        }
+
+        let status = if completed {
+            TraceStatus::Completed
+        } else if ttl >= self.cfg.max_ttl {
+            TraceStatus::MaxTtl
+        } else {
+            TraceStatus::GapLimit
+        };
+        Traceroute {
+            cloud,
+            src_region,
+            dst,
+            hops,
+            status,
+        }
+    }
+
+    /// Internal path for destinations inside the probing cloud: the probe
+    /// ends at the owning router without ever crossing a border.
+    fn internal_path(&self, src_region: RegionId, fid: IfaceId, dst: Ipv4) -> Vec<PathStep> {
+        let inet = self.inet;
+        let region = inet.region(src_region);
+        let target_router = inet.iface(fid).router;
+        let mut steps = Vec::new();
+        let core = region.core_routers[0];
+        let mut km = 0.2;
+        if target_router != core {
+            steps.push(PathStep {
+                router: core,
+                in_iface: self.incoming_iface_from(region.vm_router, core),
+                km,
+                is_destination: false,
+                dest_addr: None,
+            });
+        }
+        km += inet
+            .metro_km(region.metro, inet.router(target_router).metro)
+            .max(0.5);
+        steps.push(PathStep {
+            router: target_router,
+            in_iface: Some(fid),
+            km,
+            is_destination: true,
+            dest_addr: Some(dst),
+        });
+        steps
+    }
+
+    /// Every /24 the sweep campaign should target: all ground-truth
+    /// allocated space (announced, infrastructure, IXP LANs, cloud pools).
+    /// Unallocated IPv4 space would never produce a response and is skipped,
+    /// a shortcut documented in DESIGN.md.
+    pub fn sweep_slash24s(&self) -> Vec<Prefix> {
+        let mut out = Vec::new();
+        for (block, _) in &self.inet.addr_plan.blocks {
+            let n = (block.num_addresses() / 256).max(1);
+            let base = u64::from(block.base().to_u32());
+            for k in 0..n {
+                out.push(Prefix::new(Ipv4((base + k * 256) as u32), 24));
+            }
+        }
+        out
+    }
+}

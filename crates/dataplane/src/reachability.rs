@@ -1,0 +1,107 @@
+//! Public-Internet reachability of individual addresses.
+//!
+//! The §5.1 "Interface Reachability" heuristic probes candidate ABIs and
+//! CBIs from a vantage point in the public Internet (the authors used a node
+//! at the University of Oregon). This module answers those probes:
+//!
+//! * the address must be covered by **announced** space (WHOIS-only
+//!   infrastructure has no route from the outside),
+//! * the owning router must be configured to answer arbitrary external
+//!   probes ([`cm_topology::Router::publicly_reachable`]) and not be silent,
+//! * cloud-owned routers never answer outside probes (provider filtering) —
+//!   which is exactly why unreachability is evidence *for* an ABI.
+
+use cm_net::Ipv4;
+use cm_topology::{Internet, PoolKind, ResponseMode, RouterRole};
+
+/// Would a probe from a generic public-Internet vantage point get an answer
+/// from `addr`?
+pub fn publicly_reachable(inet: &Internet, addr: Ipv4) -> bool {
+    // Needs a route: only announced space is reachable from outside.
+    match inet.addr_plan.owner_of(addr) {
+        Some(owner) if owner.kind == PoolKind::HostAnnounced => {}
+        _ => return false,
+    }
+    let Some(&fid) = inet.iface_by_addr.get(&addr) else {
+        // Synthetic hosts answer when their /24 is responsive.
+        return cm_net::stablehash::chance(
+            inet.seed,
+            &[0xD057, u64::from(addr.slash24_base().to_u32())],
+            inet.config.host_responsive,
+        );
+    };
+    let router = inet.router(inet.iface(fid).router);
+    // Cloud infrastructure filters external probes wholesale.
+    if matches!(
+        router.role,
+        RouterRole::CloudBorder | RouterRole::CloudCore | RouterRole::CloudVmHost
+    ) {
+        return false;
+    }
+    if matches!(router.response, ResponseMode::Silent) {
+        return false;
+    }
+    router.publicly_reachable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_topology::{IfaceKind, Internet, TopologyConfig};
+
+    fn tiny() -> Internet {
+        Internet::generate(TopologyConfig::tiny(), 3)
+    }
+
+    #[test]
+    fn cloud_infrastructure_is_never_reachable() {
+        let inet = tiny();
+        for r in &inet.routers {
+            if r.role == RouterRole::CloudBorder {
+                for &f in &r.ifaces {
+                    if let Some(a) = inet.iface(f).addr {
+                        assert!(
+                            !publicly_reachable(&inet, a),
+                            "cloud border iface {a} must filter outside probes"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn whois_only_space_is_unrouted() {
+        let inet = tiny();
+        // Any interface numbered from InfraUnannounced space must be
+        // unreachable regardless of router config.
+        let mut checked = 0;
+        for f in &inet.ifaces {
+            let Some(a) = f.addr else { continue };
+            if let Some(o) = inet.addr_plan.owner_of(a) {
+                if o.kind == PoolKind::InfraUnannounced {
+                    assert!(!publicly_reachable(&inet, a));
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 0, "no WHOIS-only interfaces generated");
+    }
+
+    #[test]
+    fn some_client_interfaces_answer() {
+        let inet = tiny();
+        let reachable = inet
+            .ifaces
+            .iter()
+            .filter(|f| {
+                matches!(f.kind, IfaceKind::Interconnect(_))
+                    && f.addr.map(|a| publicly_reachable(&inet, a)).unwrap_or(false)
+            })
+            .count();
+        assert!(
+            reachable > 0,
+            "expected some publicly reachable client interfaces"
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests of traceroute semantics over arbitrary targets.
+
+use cm_dataplane::{DataPlane, DataPlaneConfig, TraceStatus};
+use cm_net::Ipv4;
+use cm_topology::{CloudId, Internet, TopologyConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn world() -> &'static Internet {
+    static W: OnceLock<Internet> = OnceLock::new();
+    W.get_or_init(|| Internet::generate(TopologyConfig::tiny(), 55))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any target, any region: hops come back in strictly increasing TTL
+    /// order, a completed trace ends at its destination, and the trailing
+    /// silence never exceeds the gap limit.
+    #[test]
+    fn traceroute_semantics(addr in any::<u32>(), region_pick in 0usize..4, epoch in 0u32..4) {
+        let inet = world();
+        let plane = DataPlane::new(inet, DataPlaneConfig::default());
+        let regions = &inet.primary_cloud().regions;
+        let region = regions[region_pick % regions.len()];
+        let dst = Ipv4(addr);
+        let tr = plane.traceroute_at(CloudId(0), region, dst, epoch);
+
+        let mut prev = 0u8;
+        for h in &tr.hops {
+            prop_assert!(h.ttl > prev, "ttl not increasing");
+            prev = h.ttl;
+            if let Some(r) = h.rtt_ms {
+                prop_assert!(r >= 0.0);
+            }
+            prop_assert_eq!(h.addr.is_some(), h.rtt_ms.is_some());
+        }
+        prop_assert!(tr.hops.len() <= plane.cfg.max_ttl as usize + 1);
+        match tr.status {
+            TraceStatus::Completed => {
+                prop_assert_eq!(tr.hops.last().unwrap().addr, Some(dst));
+            }
+            TraceStatus::GapLimit => {
+                let trailing = tr
+                    .hops
+                    .iter()
+                    .rev()
+                    .take_while(|h| h.addr.is_none())
+                    .count();
+                prop_assert!(trailing <= plane.cfg.gap_limit as usize);
+            }
+            TraceStatus::MaxTtl => {
+                prop_assert!(prev >= plane.cfg.max_ttl);
+            }
+        }
+    }
+
+    /// Epoch 0 traceroutes are reproducible, and pings only answer with
+    /// non-negative RTTs.
+    #[test]
+    fn determinism_and_ping(addr in any::<u32>()) {
+        let inet = world();
+        let plane = DataPlane::new(inet, DataPlaneConfig::default());
+        let region = inet.primary_cloud().regions[0];
+        let dst = Ipv4(addr);
+        let a = plane.traceroute(CloudId(0), region, dst);
+        let b = plane.traceroute(CloudId(0), region, dst);
+        prop_assert_eq!(a.hops, b.hops);
+        if let Some(rtt) = plane.ping_min_rtt(CloudId(0), region, dst, 4) {
+            prop_assert!(rtt >= 0.0);
+            // More attempts can only lower (or keep) the minimum.
+            let more = plane.ping_min_rtt(CloudId(0), region, dst, 16).unwrap();
+            prop_assert!(more <= rtt + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! End-to-end traceroute behaviour over a tiny ground-truth Internet.
+
+use cm_dataplane::{DataPlane, DataPlaneConfig, TraceStatus};
+use cm_topology::*;
+
+fn plane(inet: &Internet) -> DataPlane<'_> {
+    DataPlane::new(inet, DataPlaneConfig::default())
+}
+
+fn quiet() -> DataPlaneConfig {
+    DataPlaneConfig {
+        loss_rate: 0.0,
+        dup_rate: 0.0,
+        loop_rate: 0.0,
+        ..DataPlaneConfig::default()
+    }
+}
+
+#[test]
+fn traceroute_to_peer_space_crosses_its_interconnect() {
+    let inet = Internet::generate(TopologyConfig::tiny(), 21);
+    let dp = DataPlane::new(&inet, quiet());
+    let region = inet.primary_cloud().regions[0];
+    // Find a non-silent own-prefix peer.
+    let ic = inet
+        .cloud_interconnects(CloudId(0))
+        .find(|ic| {
+            ic.announced == IcAnnouncement::OwnPrefixes
+                && inet.router(ic.client_router).response == ResponseMode::Incoming
+                && inet.router(ic.cloud_router).response == ResponseMode::Incoming
+        })
+        .expect("responsive own-prefix peer");
+    let peer = inet.as_node(ic.peer);
+    let dst = peer.prefixes[0].base().saturating_next();
+    let tr = dp.traceroute(CloudId(0), region, dst);
+    // The trace must contain a client-interface address of the peer: the
+    // hop right after the last cloud-owned hop.
+    let addrs: Vec<_> = tr.responding_addrs().collect();
+    assert!(!addrs.is_empty());
+    let peer_ic_addrs: Vec<_> = inet
+        .cloud_interconnects(CloudId(0))
+        .filter(|c| c.peer == ic.peer)
+        .filter_map(|c| inet.iface(c.client_iface).addr)
+        .collect();
+    assert!(
+        addrs.iter().any(|a| peer_ic_addrs.contains(a)),
+        "no client border interface of the peer on the path: {addrs:?}"
+    );
+}
+
+#[test]
+fn unrouted_space_dies_inside_the_cloud() {
+    let inet = Internet::generate(TopologyConfig::tiny(), 21);
+    let dp = plane(&inet);
+    let region = inet.primary_cloud().regions[0];
+    // An address beyond all allocations.
+    let dst: cm_net::Ipv4 = "223.255.250.1".parse().unwrap();
+    let tr = dp.traceroute(CloudId(0), region, dst);
+    assert_eq!(tr.status, TraceStatus::GapLimit);
+    // At most the core hops respond; no interconnect address appears.
+    for a in tr.responding_addrs() {
+        let owner = inet.addr_plan.owner_of(a);
+        assert!(
+            owner.is_none() || a.is_private_or_shared(),
+            "unexpected responding hop {a}"
+        );
+    }
+}
+
+#[test]
+fn first_hop_is_private_address() {
+    let inet = Internet::generate(TopologyConfig::tiny(), 21);
+    let dp = DataPlane::new(&inet, quiet());
+    let region = inet.primary_cloud().regions[0];
+    let ic = inet.cloud_interconnects(CloudId(0)).next().unwrap();
+    let dst = inet.as_node(ic.peer).prefixes[0].base().saturating_next();
+    let tr = dp.traceroute(CloudId(0), region, dst);
+    let first = tr.hops.iter().find_map(|h| h.addr).unwrap();
+    assert!(
+        first.is_private_or_shared(),
+        "first hop {first} should be the core's private incoming interface"
+    );
+}
+
+#[test]
+fn traceroutes_are_deterministic() {
+    let inet = Internet::generate(TopologyConfig::tiny(), 21);
+    let dp = plane(&inet);
+    let region = inet.primary_cloud().regions[0];
+    let ic = inet.cloud_interconnects(CloudId(0)).next().unwrap();
+    let dst = inet.as_node(ic.peer).prefixes[0].base().saturating_next();
+    let a = dp.traceroute(CloudId(0), region, dst);
+    let b = dp.traceroute(CloudId(0), region, dst);
+    assert_eq!(a.hops, b.hops);
+    assert_eq!(a.status, b.status);
+}
+
+#[test]
+fn completed_traces_end_at_destination() {
+    let inet = Internet::generate(TopologyConfig::tiny(), 21);
+    let dp = plane(&inet);
+    let region = inet.primary_cloud().regions[0];
+    let mut completed = 0;
+    for (block, owner) in inet.addr_plan.blocks.iter().take(400) {
+        if owner.kind != PoolKind::HostAnnounced {
+            continue;
+        }
+        let dst = block.base().slash24_probe_target();
+        let tr = dp.traceroute(CloudId(0), region, dst);
+        if tr.status == TraceStatus::Completed {
+            completed += 1;
+            assert_eq!(tr.hops.last().unwrap().addr, Some(dst));
+        }
+    }
+    assert!(completed > 0, "no sweep target completed at all");
+}
+
+#[test]
+fn rtt_grows_along_the_path() {
+    let inet = Internet::generate(TopologyConfig::tiny(), 21);
+    let dp = DataPlane::new(&inet, quiet());
+    let region = inet.primary_cloud().regions[0];
+    let ic = inet
+        .cloud_interconnects(CloudId(0))
+        .find(|ic| matches!(ic.kind, IcKind::CrossConnect))
+        .unwrap();
+    let dst = inet.as_node(ic.peer).prefixes[0].base().saturating_next();
+    let tr = dp.traceroute(CloudId(0), region, dst);
+    let rtts: Vec<f64> = tr.hops.iter().filter_map(|h| h.rtt_ms).collect();
+    assert!(rtts.len() >= 2);
+    // Allow jitter wiggle; propagation dominates across metros.
+    assert!(
+        rtts.last().unwrap() + 3.0 > rtts[0],
+        "last hop should not be much faster than the first"
+    );
+}
+
+#[test]
+fn ping_min_rtt_reflects_distance() {
+    let inet = Internet::generate(TopologyConfig::tiny(), 21);
+    let dp = DataPlane::new(&inet, quiet());
+    let prim = inet.primary_cloud();
+    // ABI of a border router in the region's own metro: fast.
+    let region = prim.regions[0];
+    let r = inet.region(region);
+    let local_border = r
+        .border_routers
+        .iter()
+        .map(|&b| inet.router(b))
+        .find(|b| b.metro == r.metro && b.response == ResponseMode::Incoming);
+    if let Some(b) = local_border {
+        let abi = b
+            .ifaces
+            .iter()
+            .find_map(|&f| {
+                let i = inet.iface(f);
+                (i.kind == IfaceKind::Internal).then_some(i.addr).flatten()
+            })
+            .unwrap();
+        let rtt = dp.ping_min_rtt(CloudId(0), region, abi, 8).unwrap();
+        assert!(rtt < 2.0, "same-metro ABI should be < 2 ms, got {rtt}");
+    }
+    // A border router in a distant DX metro must be slower from a far region.
+    let far_border = prim
+        .regions
+        .iter()
+        .flat_map(|&rid| inet.region(rid).border_routers.iter())
+        .map(|&b| inet.router(b))
+        .find(|b| {
+            b.response == ResponseMode::Incoming
+                && inet.metro_km(b.metro, inet.region(region).metro) > 3000.0
+        });
+    if let Some(b) = far_border {
+        let abi = b
+            .ifaces
+            .iter()
+            .find_map(|&f| {
+                let i = inet.iface(f);
+                (i.kind == IfaceKind::Internal).then_some(i.addr).flatten()
+            })
+            .unwrap();
+        let rtt = dp.ping_min_rtt(CloudId(0), region, abi, 8).unwrap();
+        assert!(rtt > 2.0, "distant ABI should exceed 2 ms, got {rtt}");
+    }
+}
+
+#[test]
+fn vpi_shared_port_visible_from_both_clouds() {
+    let inet = Internet::generate(TopologyConfig::tiny(), 21);
+    let dp = DataPlane::new(&inet, quiet());
+    // Collect multi-cloud VPI ports on cooperative routers.
+    let mut by_iface: std::collections::HashMap<IfaceId, Vec<&Interconnect>> =
+        std::collections::HashMap::new();
+    for ic in &inet.interconnects {
+        if ic.kind.is_vpi() {
+            by_iface.entry(ic.client_iface).or_default().push(ic);
+        }
+    }
+    // Traffic engineering means any single destination may be announced on
+    // only a subset of the client's VIFs, so scan ports and prefixes until
+    // one port is provably seen from two clouds.
+    let mut best_seen = 0usize;
+    for (f, ics) in by_iface {
+        let clouds: std::collections::HashSet<_> = ics.iter().map(|c| c.cloud).collect();
+        if clouds.len() < 2
+            || inet.router(inet.iface(f).router).response != ResponseMode::Incoming
+        {
+            continue;
+        }
+        let port_addr = inet.iface(f).addr.unwrap();
+        let peer = ics[0].peer;
+        let mut seen_from = std::collections::HashSet::new();
+        for prefix in inet.as_node(peer).prefixes.iter().take(4) {
+            let dst = prefix.base().saturating_next();
+            for &cloud in &clouds {
+                let region = inet.clouds[cloud.index()].regions[0];
+                let tr = dp.traceroute(cloud, region, dst);
+                if tr.responding_addrs().any(|a| a == port_addr) {
+                    seen_from.insert(cloud);
+                }
+            }
+        }
+        best_seen = best_seen.max(seen_from.len());
+        if best_seen >= 2 {
+            break;
+        }
+    }
+    assert!(
+        best_seen >= 2,
+        "no shared VPI port observable from two clouds (best: {best_seen})"
+    );
+}
+
+#[test]
+fn gap_limit_is_respected() {
+    let inet = Internet::generate(TopologyConfig::tiny(), 21);
+    let dp = plane(&inet);
+    let region = inet.primary_cloud().regions[0];
+    let dst: cm_net::Ipv4 = "223.255.250.1".parse().unwrap();
+    let tr = dp.traceroute(CloudId(0), region, dst);
+    let trailing_gaps = tr
+        .hops
+        .iter()
+        .rev()
+        .take_while(|h| h.addr.is_none())
+        .count();
+    assert!(trailing_gaps <= dp.cfg.gap_limit as usize);
+}
+
+#[test]
+fn sweep_targets_cover_all_pools() {
+    let inet = Internet::generate(TopologyConfig::tiny(), 21);
+    let dp = plane(&inet);
+    let targets = dp.sweep_slash24s();
+    assert!(targets.len() > 500);
+    // Every interconnect /31 must be inside some target /24.
+    for ic in inet.cloud_interconnects(CloudId(0)).take(50) {
+        if let Some(a) = inet.iface(ic.client_iface).addr {
+            assert!(
+                targets.iter().any(|p| p.contains(a)),
+                "{a} not covered by the sweep"
+            );
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! # cm-geo — geography and delay model
+//!
+//! The pinning methodology of the paper (§6) is entirely driven by geography:
+//! anchors come from airport codes and city names embedded in DNS hostnames,
+//! co-presence is decided by RTT thresholds, and the native-colo heuristic
+//! relies on the propagation delay between a VM and a border router.
+//!
+//! This crate provides:
+//!
+//! * a catalog of world [`Metro`]s with real coordinates, IATA-style airport
+//!   codes and the compact city tokens that operators embed in hostnames,
+//! * great-circle distance ([`haversine_km`]),
+//! * an [`RttModel`] mapping fiber distance to minimum round-trip time
+//!   (propagation at ~2/3 c with a path-inflation factor, plus per-hop
+//!   processing), which produces the 2 ms knees of Figures 4a/4b.
+
+pub mod metro;
+pub mod rtt;
+
+pub use metro::{Metro, MetroCatalog, MetroId};
+pub use rtt::RttModel;
+
+/// Great-circle distance between two `(lat, lon)` points in kilometres.
+///
+/// ```
+/// let d = cm_geo::haversine_km((48.8566, 2.3522), (51.5074, -0.1278));
+/// assert!((d - 344.0).abs() < 10.0, "Paris-London ≈ 344 km, got {d}");
+/// ```
+pub fn haversine_km(a: (f64, f64), b: (f64, f64)) -> f64 {
+    const EARTH_RADIUS_KM: f64 = 6371.0;
+    let (lat1, lon1) = (a.0.to_radians(), a.1.to_radians());
+    let (lat2, lon2) = (b.0.to_radians(), b.1.to_radians());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haversine_zero_for_same_point() {
+        assert_eq!(haversine_km((10.0, 20.0), (10.0, 20.0)), 0.0);
+    }
+
+    #[test]
+    fn haversine_known_distances() {
+        // New York (JFK) to London (LHR): ~5540 km
+        let d = haversine_km((40.6413, -73.7781), (51.4700, -0.4543));
+        assert!((d - 5540.0).abs() < 60.0, "got {d}");
+        // Antipodal-ish: should be close to half circumference (~20015 km)
+        let d = haversine_km((0.0, 0.0), (0.0, 180.0));
+        assert!((d - 20015.0).abs() < 10.0, "got {d}");
+    }
+
+    #[test]
+    fn haversine_symmetric() {
+        let a = (35.0, 139.0);
+        let b = (-33.0, 151.0);
+        assert!((haversine_km(a, b) - haversine_km(b, a)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,295 @@
+//! World metro catalog.
+//!
+//! The catalog is a fixed, deterministic list of metropolitan areas that the
+//! topology generator places colo facilities, IXPs and cloud regions in. Each
+//! metro carries the two identifiers that show up in operator DNS names and
+//! that the DRoP-style parser (cm-dns) extracts: a 3-letter airport code
+//! (`"atl"`) and a compact city token (`"atlanta"`). Coordinates are real so
+//! the RTT model produces plausible inter-metro delays.
+
+use std::fmt;
+
+/// Index of a metro in the [`MetroCatalog`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MetroId(pub u16);
+
+impl fmt::Display for MetroId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", self.0)
+    }
+}
+
+/// A metropolitan area.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Metro {
+    /// Identifier (index into the catalog).
+    pub id: MetroId,
+    /// Human-readable city name, e.g. `"Atlanta"`.
+    pub name: &'static str,
+    /// Lower-case IATA-style airport code used in hostnames, e.g. `"atl"`.
+    pub airport: &'static str,
+    /// Compact city token used in hostnames, e.g. `"atlanta"`.
+    pub token: &'static str,
+    /// ISO country code.
+    pub country: &'static str,
+    /// Latitude in degrees.
+    pub lat: f64,
+    /// Longitude in degrees.
+    pub lon: f64,
+}
+
+impl Metro {
+    /// `(lat, lon)` pair for distance computation.
+    pub fn coords(&self) -> (f64, f64) {
+        (self.lat, self.lon)
+    }
+}
+
+/// Static rows: (name, airport, token, country, lat, lon).
+///
+/// The first 15 entries are the home metros of the 15 Amazon regions the
+/// paper could probe from in August 2018 (§3); the remainder are common
+/// peering metros worldwide, including the three metros the paper could not
+/// pin any interface to (Bangalore, Zhongwei, Cape Town — §6.2).
+const ROWS: &[(&str, &str, &str, &str, f64, f64)] = &[
+    // --- Amazon region homes (paper's 15 probe-able regions) ---
+    ("Ashburn", "iad", "ashburn", "US", 39.0438, -77.4874),
+    ("Columbus", "cmh", "columbus", "US", 39.9612, -82.9988),
+    ("San Jose", "sjc", "sanjose", "US", 37.3382, -121.8863),
+    ("Portland", "pdx", "portland", "US", 45.5152, -122.6784),
+    ("Montreal", "yul", "montreal", "CA", 45.5017, -73.5673),
+    ("Sao Paulo", "gru", "saopaulo", "BR", -23.5505, -46.6333),
+    ("Dublin", "dub", "dublin", "IE", 53.3498, -6.2603),
+    ("London", "lhr", "london", "GB", 51.5074, -0.1278),
+    ("Paris", "cdg", "paris", "FR", 48.8566, 2.3522),
+    ("Frankfurt", "fra", "frankfurt", "DE", 50.1109, 8.6821),
+    ("Tokyo", "nrt", "tokyo", "JP", 35.6762, 139.6503),
+    ("Seoul", "icn", "seoul", "KR", 37.5665, 126.9780),
+    ("Singapore", "sin", "singapore", "SG", 1.3521, 103.8198),
+    ("Sydney", "syd", "sydney", "AU", -33.8688, 151.2093),
+    ("Mumbai", "bom", "mumbai", "IN", 19.0760, 72.8777),
+    // --- other North American metros ---
+    ("New York", "jfk", "newyork", "US", 40.7128, -74.0060),
+    ("Chicago", "ord", "chicago", "US", 41.8781, -87.6298),
+    ("Dallas", "dfw", "dallas", "US", 32.7767, -96.7970),
+    ("Los Angeles", "lax", "losangeles", "US", 34.0522, -118.2437),
+    ("Seattle", "sea", "seattle", "US", 47.6062, -122.3321),
+    ("Atlanta", "atl", "atlanta", "US", 33.7490, -84.3880),
+    ("Miami", "mia", "miami", "US", 25.7617, -80.1918),
+    ("Denver", "den", "denver", "US", 39.7392, -104.9903),
+    ("Phoenix", "phx", "phoenix", "US", 33.4484, -112.0740),
+    ("Salt Lake City", "slc", "saltlake", "US", 40.7608, -111.8910),
+    ("Houston", "iah", "houston", "US", 29.7604, -95.3698),
+    ("Boston", "bos", "boston", "US", 42.3601, -71.0589),
+    ("Philadelphia", "phl", "philadelphia", "US", 39.9526, -75.1652),
+    ("Minneapolis", "msp", "minneapolis", "US", 44.9778, -93.2650),
+    ("Kansas City", "mci", "kansascity", "US", 39.0997, -94.5786),
+    ("St Louis", "stl", "stlouis", "US", 38.6270, -90.1994),
+    ("Detroit", "dtw", "detroit", "US", 42.3314, -83.0458),
+    ("Toronto", "yyz", "toronto", "CA", 43.6532, -79.3832),
+    ("Vancouver", "yvr", "vancouver", "CA", 49.2827, -123.1207),
+    ("Mexico City", "mex", "mexicocity", "MX", 19.4326, -99.1332),
+    ("Las Vegas", "las", "lasvegas", "US", 36.1699, -115.1398),
+    ("Charlotte", "clt", "charlotte", "US", 35.2271, -80.8431),
+    ("Nashville", "bna", "nashville", "US", 36.1627, -86.7816),
+    ("Pittsburgh", "pit", "pittsburgh", "US", 40.4406, -79.9959),
+    ("San Antonio", "sat", "sanantonio", "US", 29.4241, -98.4936),
+    // --- Europe ---
+    ("Amsterdam", "ams", "amsterdam", "NL", 52.3676, 4.9041),
+    ("Madrid", "mad", "madrid", "ES", 40.4168, -3.7038),
+    ("Milan", "mxp", "milan", "IT", 45.4642, 9.1900),
+    ("Zurich", "zrh", "zurich", "CH", 47.3769, 8.5417),
+    ("Vienna", "vie", "vienna", "AT", 48.2082, 16.3738),
+    ("Warsaw", "waw", "warsaw", "PL", 52.2297, 21.0122),
+    ("Moscow", "dme", "moscow", "RU", 55.7558, 37.6173),
+    ("Istanbul", "ist", "istanbul", "TR", 41.0082, 28.9784),
+    ("Stockholm", "arn", "stockholm", "SE", 59.3293, 18.0686),
+    ("Helsinki", "hel", "helsinki", "FI", 60.1699, 24.9384),
+    ("Oslo", "osl", "oslo", "NO", 59.9139, 10.7522),
+    ("Copenhagen", "cph", "copenhagen", "DK", 55.6761, 12.5683),
+    ("Brussels", "bru", "brussels", "BE", 50.8503, 4.3517),
+    ("Prague", "prg", "prague", "CZ", 50.0755, 14.4378),
+    ("Budapest", "bud", "budapest", "HU", 47.4979, 19.0402),
+    ("Bucharest", "otp", "bucharest", "RO", 44.4268, 26.1025),
+    ("Sofia", "sof", "sofia", "BG", 42.6977, 23.3219),
+    ("Athens", "ath", "athens", "GR", 37.9838, 23.7275),
+    ("Lisbon", "lis", "lisbon", "PT", 38.7223, -9.1393),
+    ("Barcelona", "bcn", "barcelona", "ES", 41.3851, 2.1734),
+    ("Manchester", "man", "manchester", "GB", 53.4808, -2.2426),
+    ("Marseille", "mrs", "marseille", "FR", 43.2965, 5.3698),
+    ("Munich", "muc", "munich", "DE", 48.1351, 11.5820),
+    ("Berlin", "ber", "berlin", "DE", 52.5200, 13.4050),
+    ("Hamburg", "ham", "hamburg", "DE", 53.5511, 9.9937),
+    ("Dusseldorf", "dus", "dusseldorf", "DE", 51.2277, 6.7735),
+    ("Kyiv", "kbp", "kyiv", "UA", 50.4501, 30.5234),
+    // --- Asia-Pacific ---
+    ("Hong Kong", "hkg", "hongkong", "HK", 22.3193, 114.1694),
+    ("Taipei", "tpe", "taipei", "TW", 25.0330, 121.5654),
+    ("Osaka", "kix", "osaka", "JP", 34.6937, 135.5023),
+    ("Jakarta", "cgk", "jakarta", "ID", -6.2088, 106.8456),
+    ("Kuala Lumpur", "kul", "kualalumpur", "MY", 3.1390, 101.6869),
+    ("Bangkok", "bkk", "bangkok", "TH", 13.7563, 100.5018),
+    ("Manila", "mnl", "manila", "PH", 14.5995, 120.9842),
+    ("Auckland", "akl", "auckland", "NZ", -36.8509, 174.7645),
+    ("Melbourne", "mel", "melbourne", "AU", -37.8136, 144.9631),
+    ("Perth", "per", "perth", "AU", -31.9523, 115.8613),
+    ("Brisbane", "bne", "brisbane", "AU", -27.4698, 153.0251),
+    ("Chennai", "maa", "chennai", "IN", 13.0827, 80.2707),
+    ("New Delhi", "del", "newdelhi", "IN", 28.6139, 77.2090),
+    ("Bangalore", "blr", "bangalore", "IN", 12.9716, 77.5946),
+    ("Beijing", "pek", "beijing", "CN", 39.9042, 116.4074),
+    ("Shanghai", "pvg", "shanghai", "CN", 31.2304, 121.4737),
+    ("Zhongwei", "zhy", "zhongwei", "CN", 37.5149, 105.1967),
+    // --- South America / Africa / Middle East ---
+    ("Buenos Aires", "eze", "buenosaires", "AR", -34.6037, -58.3816),
+    ("Santiago", "scl", "santiago", "CL", -33.4489, -70.6693),
+    ("Bogota", "bog", "bogota", "CO", 4.7110, -74.0721),
+    ("Lima", "lim", "lima", "PE", -12.0464, -77.0428),
+    ("Rio de Janeiro", "gig", "rio", "BR", -22.9068, -43.1729),
+    ("Johannesburg", "jnb", "johannesburg", "ZA", -26.2041, 28.0473),
+    ("Cape Town", "cpt", "capetown", "ZA", -33.9249, 18.4241),
+    ("Lagos", "los", "lagos", "NG", 6.5244, 3.3792),
+    ("Nairobi", "nbo", "nairobi", "KE", -1.2921, 36.8219),
+    ("Dubai", "dxb", "dubai", "AE", 25.2048, 55.2708),
+    ("Tel Aviv", "tlv", "telaviv", "IL", 32.0853, 34.7818),
+];
+
+/// Number of Amazon regions in the catalog prefix (the paper's 15).
+pub const NUM_CLOUD_REGION_METROS: usize = 15;
+
+/// Fixed catalog of world metros.
+///
+/// ```
+/// use cm_geo::MetroCatalog;
+/// let cat = MetroCatalog::world();
+/// assert!(cat.len() > 80);
+/// let atl = cat.by_airport("atl").unwrap();
+/// assert_eq!(atl.name, "Atlanta");
+/// ```
+#[derive(Clone, Debug)]
+pub struct MetroCatalog {
+    metros: Vec<Metro>,
+}
+
+impl MetroCatalog {
+    /// Builds the full world catalog.
+    pub fn world() -> Self {
+        let metros = ROWS
+            .iter()
+            .enumerate()
+            .map(|(i, &(name, airport, token, country, lat, lon))| Metro {
+                id: MetroId(i as u16),
+                name,
+                airport,
+                token,
+                country,
+                lat,
+                lon,
+            })
+            .collect();
+        MetroCatalog { metros }
+    }
+
+    /// Number of metros.
+    pub fn len(&self) -> usize {
+        self.metros.len()
+    }
+
+    /// True if the catalog is empty (never for [`MetroCatalog::world`]).
+    pub fn is_empty(&self) -> bool {
+        self.metros.is_empty()
+    }
+
+    /// Looks a metro up by id.
+    pub fn get(&self, id: MetroId) -> &Metro {
+        &self.metros[id.0 as usize]
+    }
+
+    /// All metros in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Metro> {
+        self.metros.iter()
+    }
+
+    /// The metros that host the simulated cloud's regions (catalog prefix).
+    pub fn cloud_region_metros(&self) -> &[Metro] {
+        &self.metros[..NUM_CLOUD_REGION_METROS]
+    }
+
+    /// Finds a metro by its airport code.
+    pub fn by_airport(&self, airport: &str) -> Option<&Metro> {
+        self.metros.iter().find(|m| m.airport == airport)
+    }
+
+    /// Finds a metro by its city token.
+    pub fn by_token(&self, token: &str) -> Option<&Metro> {
+        self.metros.iter().find(|m| m.token == token)
+    }
+
+    /// Distance between two metros in kilometres.
+    pub fn distance_km(&self, a: MetroId, b: MetroId) -> f64 {
+        crate::haversine_km(self.get(a).coords(), self.get(b).coords())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_catalog_is_well_formed() {
+        let cat = MetroCatalog::world();
+        assert!(cat.len() >= 80);
+        // ids match positions
+        for (i, m) in cat.iter().enumerate() {
+            assert_eq!(m.id.0 as usize, i);
+            assert!(!m.name.is_empty());
+            assert_eq!(m.airport.len(), 3, "{}", m.name);
+            assert!(m.lat.abs() <= 90.0 && m.lon.abs() <= 180.0);
+        }
+    }
+
+    #[test]
+    fn airport_codes_unique() {
+        let cat = MetroCatalog::world();
+        let mut codes: Vec<_> = cat.iter().map(|m| m.airport).collect();
+        codes.sort_unstable();
+        let before = codes.len();
+        codes.dedup();
+        assert_eq!(codes.len(), before, "duplicate airport code");
+    }
+
+    #[test]
+    fn tokens_unique() {
+        let cat = MetroCatalog::world();
+        let mut toks: Vec<_> = cat.iter().map(|m| m.token).collect();
+        toks.sort_unstable();
+        let before = toks.len();
+        toks.dedup();
+        assert_eq!(toks.len(), before, "duplicate metro token");
+    }
+
+    #[test]
+    fn fifteen_region_metros() {
+        let cat = MetroCatalog::world();
+        assert_eq!(cat.cloud_region_metros().len(), 15);
+        assert_eq!(cat.cloud_region_metros()[0].name, "Ashburn");
+    }
+
+    #[test]
+    fn lookup_by_airport_and_token() {
+        let cat = MetroCatalog::world();
+        assert_eq!(cat.by_airport("fra").unwrap().name, "Frankfurt");
+        assert_eq!(cat.by_token("capetown").unwrap().airport, "cpt");
+        assert!(cat.by_airport("zzz").is_none());
+    }
+
+    #[test]
+    fn intra_vs_inter_continental_distance() {
+        let cat = MetroCatalog::world();
+        let ashburn = cat.by_airport("iad").unwrap().id;
+        let ny = cat.by_airport("jfk").unwrap().id;
+        let tokyo = cat.by_airport("nrt").unwrap().id;
+        assert!(cat.distance_km(ashburn, ny) < 500.0);
+        assert!(cat.distance_km(ashburn, tokyo) > 9000.0);
+    }
+}

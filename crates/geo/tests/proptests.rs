@@ -1,0 +1,45 @@
+//! Property-based tests for the geography and RTT model.
+
+use cm_geo::{haversine_km, MetroCatalog, RttModel};
+use proptest::prelude::*;
+
+fn coord() -> impl Strategy<Value = (f64, f64)> {
+    (-90.0f64..=90.0, -180.0f64..=180.0)
+}
+
+proptest! {
+    /// Haversine is symmetric, non-negative and bounded by half the
+    /// circumference.
+    #[test]
+    fn haversine_metric_properties(a in coord(), b in coord()) {
+        let d1 = haversine_km(a, b);
+        let d2 = haversine_km(b, a);
+        prop_assert!(d1 >= 0.0);
+        prop_assert!((d1 - d2).abs() < 1e-6);
+        prop_assert!(d1 <= 20_038.0, "distance {d1} exceeds half circumference");
+        prop_assert!(haversine_km(a, a) < 1e-9);
+    }
+
+    /// The RTT model is monotone in distance and hops, and
+    /// `distance_for_rtt` inverts `min_rtt_ms` above the base.
+    #[test]
+    fn rtt_model_monotone_and_invertible(km in 0.0f64..20_000.0, extra in 0.1f64..5_000.0, hops in 0u32..64) {
+        let m = RttModel::default();
+        prop_assert!(m.min_rtt_ms(km + extra) > m.min_rtt_ms(km));
+        prop_assert!(m.min_rtt_ms_with_hops(km, hops + 1) > m.min_rtt_ms_with_hops(km, hops));
+        let r = m.min_rtt_ms(km);
+        prop_assert!((m.distance_for_rtt(r) - km).abs() < 1e-6);
+        // RTT can never undercut the speed-of-light floor.
+        prop_assert!(r >= 2.0 * km / m.fiber_km_per_ms);
+    }
+
+    /// Catalog distances agree with raw haversine on the stored coordinates.
+    #[test]
+    fn catalog_distance_consistent(i in 0usize..90, j in 0usize..90) {
+        let cat = MetroCatalog::world();
+        let a = cat.iter().nth(i % cat.len()).unwrap();
+        let b = cat.iter().nth(j % cat.len()).unwrap();
+        let d = cat.distance_km(a.id, b.id);
+        prop_assert!((d - haversine_km(a.coords(), b.coords())).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,219 @@
+//! IPv4 address type backed by a `u32`.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 address.
+///
+/// Stored as a big-endian `u32` so that ordering, masking and `+1`
+/// neighbour computation (used by the VPI target-pool construction, §7.1 of
+/// the paper) are single integer operations.
+///
+/// ```
+/// use cm_net::Ipv4;
+/// let a: Ipv4 = "203.0.113.7".parse().unwrap();
+/// assert_eq!(a.octets(), [203, 0, 113, 7]);
+/// assert_eq!(a.saturating_next().to_string(), "203.0.113.8");
+/// assert_eq!(a.slash24_base().to_string(), "203.0.113.0");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ipv4(pub u32);
+
+impl Ipv4 {
+    /// The unspecified address `0.0.0.0`.
+    pub const UNSPECIFIED: Ipv4 = Ipv4(0);
+
+    /// Builds an address from four octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+    }
+
+    /// Returns the four octets, most significant first.
+    pub const fn octets(self) -> [u8; 4] {
+        [
+            (self.0 >> 24) as u8,
+            (self.0 >> 16) as u8,
+            (self.0 >> 8) as u8,
+            self.0 as u8,
+        ]
+    }
+
+    /// The raw big-endian integer value.
+    pub const fn to_u32(self) -> u32 {
+        self.0
+    }
+
+    /// The next address, saturating at `255.255.255.255`.
+    pub const fn saturating_next(self) -> Ipv4 {
+        Ipv4(self.0.saturating_add(1))
+    }
+
+    /// The previous address, saturating at `0.0.0.0`.
+    pub const fn saturating_prev(self) -> Ipv4 {
+        Ipv4(self.0.saturating_sub(1))
+    }
+
+    /// The base (`.0`) address of the enclosing /24.
+    pub const fn slash24_base(self) -> Ipv4 {
+        Ipv4(self.0 & 0xffff_ff00)
+    }
+
+    /// The `.1` address of the enclosing /24 — the sweep target used by the
+    /// paper's first probing round (§3).
+    pub const fn slash24_probe_target(self) -> Ipv4 {
+        Ipv4((self.0 & 0xffff_ff00) | 1)
+    }
+
+    /// The low byte within the /24.
+    pub const fn host_byte(self) -> u8 {
+        self.0 as u8
+    }
+
+    /// True for RFC1918 private space or RFC6598 shared space — the ranges
+    /// the paper maps to `AS0` during annotation (§3).
+    pub const fn is_private_or_shared(self) -> bool {
+        let v = self.0;
+        // 10.0.0.0/8
+        (v >> 24) == 10
+            // 172.16.0.0/12
+            || (v >> 20) == 0xac1
+            // 192.168.0.0/16
+            || (v >> 16) == 0xc0a8
+            // 100.64.0.0/10 (shared address space)
+            || (v >> 22) == (0x6440_0000u32 >> 22)
+    }
+
+    /// True for multicast (224/4) or the broadcast-ish 240/4 block, which the
+    /// paper excludes from the sweep target list (§3).
+    pub const fn is_multicast_or_reserved(self) -> bool {
+        (self.0 >> 28) >= 0xe
+    }
+}
+
+impl fmt::Display for Ipv4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+impl fmt::Debug for Ipv4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ipv4({})", self)
+    }
+}
+
+/// Error produced when parsing a dotted-quad string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddrParseError(pub String);
+
+impl fmt::Display for AddrParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid IPv4 address: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for AddrParseError {}
+
+impl FromStr for Ipv4 {
+    type Err = AddrParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.split('.');
+        let mut v: u32 = 0;
+        let mut n = 0;
+        for p in parts.by_ref() {
+            let b: u8 = p.parse().map_err(|_| AddrParseError(s.to_string()))?;
+            v = (v << 8) | b as u32;
+            n += 1;
+            if n > 4 {
+                return Err(AddrParseError(s.to_string()));
+            }
+        }
+        if n != 4 {
+            return Err(AddrParseError(s.to_string()));
+        }
+        Ok(Ipv4(v))
+    }
+}
+
+impl From<u32> for Ipv4 {
+    fn from(v: u32) -> Self {
+        Ipv4(v)
+    }
+}
+
+impl From<[u8; 4]> for Ipv4 {
+    fn from(o: [u8; 4]) -> Self {
+        Ipv4::new(o[0], o[1], o[2], o[3])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_display_parse() {
+        for s in ["0.0.0.0", "10.1.2.3", "203.0.113.255", "255.255.255.255"] {
+            let a: Ipv4 = s.parse().unwrap();
+            assert_eq!(a.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in ["", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1..2.3"] {
+            assert!(s.parse::<Ipv4>().is_err(), "{s} should not parse");
+        }
+    }
+
+    #[test]
+    fn octet_order_is_big_endian() {
+        let a = Ipv4::new(1, 2, 3, 4);
+        assert_eq!(a.0, 0x0102_0304);
+        assert_eq!(a.octets(), [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn slash24_helpers() {
+        let a: Ipv4 = "198.51.100.77".parse().unwrap();
+        assert_eq!(a.slash24_base().to_string(), "198.51.100.0");
+        assert_eq!(a.slash24_probe_target().to_string(), "198.51.100.1");
+        assert_eq!(a.host_byte(), 77);
+    }
+
+    #[test]
+    fn neighbours_saturate() {
+        assert_eq!(Ipv4(u32::MAX).saturating_next(), Ipv4(u32::MAX));
+        assert_eq!(Ipv4(0).saturating_prev(), Ipv4(0));
+        assert_eq!(Ipv4(5).saturating_next(), Ipv4(6));
+    }
+
+    #[test]
+    fn private_and_shared_ranges() {
+        assert!("10.0.0.1".parse::<Ipv4>().unwrap().is_private_or_shared());
+        assert!("172.16.0.1".parse::<Ipv4>().unwrap().is_private_or_shared());
+        assert!("172.31.255.255".parse::<Ipv4>().unwrap().is_private_or_shared());
+        assert!(!"172.32.0.0".parse::<Ipv4>().unwrap().is_private_or_shared());
+        assert!("192.168.4.4".parse::<Ipv4>().unwrap().is_private_or_shared());
+        assert!("100.64.0.1".parse::<Ipv4>().unwrap().is_private_or_shared());
+        assert!("100.127.255.1".parse::<Ipv4>().unwrap().is_private_or_shared());
+        assert!(!"100.128.0.1".parse::<Ipv4>().unwrap().is_private_or_shared());
+        assert!(!"8.8.8.8".parse::<Ipv4>().unwrap().is_private_or_shared());
+    }
+
+    #[test]
+    fn multicast_detection() {
+        assert!("224.0.0.1".parse::<Ipv4>().unwrap().is_multicast_or_reserved());
+        assert!("240.0.0.1".parse::<Ipv4>().unwrap().is_multicast_or_reserved());
+        assert!(!"223.255.255.255".parse::<Ipv4>().unwrap().is_multicast_or_reserved());
+    }
+
+    #[test]
+    fn ordering_matches_numeric() {
+        let a: Ipv4 = "1.0.0.0".parse().unwrap();
+        let b: Ipv4 = "2.0.0.0".parse().unwrap();
+        assert!(a < b);
+    }
+}

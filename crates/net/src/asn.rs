@@ -1,0 +1,100 @@
+//! Autonomous-system and organization identifiers.
+
+use std::fmt;
+
+/// An autonomous system number.
+///
+/// `Asn(0)` is reserved: the paper (§3) annotates hops from private or shared
+/// address space with AS0, and inference code treats AS0 specially (it never
+/// terminates the Amazon-internal portion of a traceroute).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// The reserved ASN used for private / shared / unrouted address space.
+    pub const RESERVED: Asn = Asn(0);
+
+    /// True if this is the reserved AS0 marker.
+    pub const fn is_reserved(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl fmt::Debug for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(v: u32) -> Self {
+        Asn(v)
+    }
+}
+
+/// An organization identifier in the style of CAIDA's AS2ORG dataset.
+///
+/// Multiple ASNs may map to one organization (the paper observed eight
+/// Amazon-owned ASNs, footnote 4); border inference walks hops until it
+/// leaves the *organization*, not merely the ASN.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct OrgId(pub u32);
+
+impl OrgId {
+    /// Organization id 0 mirrors AS0: address space without an owner.
+    pub const RESERVED: OrgId = OrgId(0);
+
+    /// True if this is the reserved marker.
+    pub const fn is_reserved(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for OrgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ORG{}", self.0)
+    }
+}
+
+impl fmt::Debug for OrgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ORG{}", self.0)
+    }
+}
+
+impl From<u32> for OrgId {
+    fn from(v: u32) -> Self {
+        OrgId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_markers() {
+        assert!(Asn::RESERVED.is_reserved());
+        assert!(!Asn(7224).is_reserved());
+        assert!(OrgId::RESERVED.is_reserved());
+        assert!(!OrgId(1).is_reserved());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Asn(16509).to_string(), "AS16509");
+        assert_eq!(OrgId(42).to_string(), "ORG42");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Asn(1) < Asn(2));
+        assert!(OrgId(1) < OrgId(2));
+    }
+}

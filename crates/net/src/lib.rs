@@ -1,0 +1,29 @@
+//! # cm-net — addressing primitives for the cloudmap workspace
+//!
+//! This crate provides the small, dependency-free vocabulary used by every
+//! other crate in the workspace:
+//!
+//! * [`Ipv4`] — a `u32`-backed IPv4 address with dotted-quad formatting and
+//!   parsing, plus the arithmetic the probing engine needs (`+1` neighbours,
+//!   /24 bucketing).
+//! * [`Prefix`] — a CIDR prefix with containment checks and host iteration.
+//! * [`PrefixTrie`] — a binary longest-prefix-match trie used for IP→ASN
+//!   annotation from BGP snapshots and for IXP-prefix membership tests.
+//! * [`Asn`] / [`OrgId`] — newtypes for autonomous-system and organization
+//!   identifiers (CAIDA AS2ORG-style), including the paper's convention of
+//!   `AS0` for private/shared address space.
+//!
+//! The types are deliberately plain: the simulator and the inference pipeline
+//! exchange millions of them, so everything here is `Copy` where possible and
+//! avoids allocation on the hot paths.
+
+pub mod addr;
+pub mod asn;
+pub mod prefix;
+pub mod stablehash;
+pub mod trie;
+
+pub use addr::Ipv4;
+pub use asn::{Asn, OrgId};
+pub use prefix::{Prefix, PrefixParseError};
+pub use trie::PrefixTrie;

@@ -1,0 +1,232 @@
+//! CIDR prefixes.
+
+use crate::addr::Ipv4;
+use std::fmt;
+use std::str::FromStr;
+
+/// A CIDR prefix, canonicalized so that host bits below the mask are zero.
+///
+/// ```
+/// use cm_net::{Ipv4, Prefix};
+/// let p: Prefix = "203.0.113.0/24".parse().unwrap();
+/// assert!(p.contains("203.0.113.200".parse().unwrap()));
+/// assert!(!p.contains("203.0.114.1".parse().unwrap()));
+/// assert_eq!(p.num_addresses(), 256);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Prefix {
+    base: Ipv4,
+    len: u8,
+}
+
+impl Prefix {
+    /// Creates a prefix, masking away any host bits in `base`.
+    ///
+    /// # Panics
+    /// Panics if `len > 32`.
+    pub fn new(base: Ipv4, len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len} out of range");
+        Prefix {
+            base: Ipv4(base.0 & Self::mask(len)),
+            len,
+        }
+    }
+
+    /// The /24 that contains `addr`.
+    pub fn slash24_of(addr: Ipv4) -> Self {
+        Prefix::new(addr, 24)
+    }
+
+    /// The netmask for a given prefix length.
+    const fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len as u32)
+        }
+    }
+
+    /// The (masked) base address.
+    pub const fn base(self) -> Ipv4 {
+        self.base
+    }
+
+    /// The prefix length in bits. (A prefix always covers at least one
+    /// address, so there is deliberately no `is_empty`.)
+    #[allow(clippy::len_without_is_empty)]
+    pub const fn len(self) -> u8 {
+        self.len
+    }
+
+    /// Whether this is the default route `0.0.0.0/0`.
+    pub const fn is_default(self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of addresses covered (2^(32-len)), as u64 to fit /0.
+    pub const fn num_addresses(self) -> u64 {
+        1u64 << (32 - self.len as u32)
+    }
+
+    /// The last address inside the prefix.
+    pub const fn last(self) -> Ipv4 {
+        Ipv4(self.base.0 | !Self::mask(self.len))
+    }
+
+    /// Containment test.
+    pub const fn contains(self, addr: Ipv4) -> bool {
+        (addr.0 & Self::mask(self.len)) == self.base.0
+    }
+
+    /// True if `other` is fully contained in `self` (including equality).
+    pub const fn covers(self, other: Prefix) -> bool {
+        self.len <= other.len && self.contains(other.base)
+    }
+
+    /// Iterates every address in the prefix, in order.
+    ///
+    /// Intended for small prefixes (the /24 expansion probing of §4.2 and
+    /// the /30-/31 interconnect prefixes); iterating a /8 works but is slow.
+    pub fn addresses(self) -> impl Iterator<Item = Ipv4> {
+        let start = self.base.0 as u64;
+        let n = self.num_addresses();
+        (start..start + n).map(|v| Ipv4(v as u32))
+    }
+
+    /// Iterates the host addresses of the prefix: for prefixes shorter than
+    /// /31 this skips the network and broadcast addresses; /31 and /32 yield
+    /// all addresses (RFC 3021 point-to-point semantics).
+    pub fn hosts(self) -> impl Iterator<Item = Ipv4> {
+        let skip_edges = self.len < 31;
+        let start = self.base.0 as u64;
+        let n = self.num_addresses();
+        let (lo, hi) = if skip_edges {
+            (start + 1, start + n - 1)
+        } else {
+            (start, start + n)
+        };
+        (lo..hi).map(|v| Ipv4(v as u32))
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.base, self.len)
+    }
+}
+
+impl fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Prefix({})", self)
+    }
+}
+
+/// Error from parsing a `a.b.c.d/len` string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixParseError(pub String);
+
+impl fmt::Display for PrefixParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid prefix: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for PrefixParseError {}
+
+impl FromStr for Prefix {
+    type Err = PrefixParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s.split_once('/').ok_or_else(|| PrefixParseError(s.into()))?;
+        let base: Ipv4 = addr.parse().map_err(|_| PrefixParseError(s.into()))?;
+        let len: u8 = len.parse().map_err(|_| PrefixParseError(s.into()))?;
+        if len > 32 {
+            return Err(PrefixParseError(s.into()));
+        }
+        Ok(Prefix::new(base, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalizes_host_bits() {
+        let p = Prefix::new("10.1.2.3".parse().unwrap(), 24);
+        assert_eq!(p.to_string(), "10.1.2.0/24");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for s in ["0.0.0.0/0", "10.0.0.0/8", "203.0.113.64/26", "1.2.3.4/32"] {
+            let p: Prefix = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_len() {
+        assert!("1.2.3.0/33".parse::<Prefix>().is_err());
+        assert!("1.2.3.0".parse::<Prefix>().is_err());
+        assert!("1.2.3/24".parse::<Prefix>().is_err());
+    }
+
+    #[test]
+    fn containment() {
+        let p: Prefix = "192.0.2.0/25".parse().unwrap();
+        assert!(p.contains("192.0.2.0".parse().unwrap()));
+        assert!(p.contains("192.0.2.127".parse().unwrap()));
+        assert!(!p.contains("192.0.2.128".parse().unwrap()));
+    }
+
+    #[test]
+    fn default_route_contains_everything() {
+        let d: Prefix = "0.0.0.0/0".parse().unwrap();
+        assert!(d.contains("255.255.255.255".parse().unwrap()));
+        assert!(d.is_default());
+        assert_eq!(d.num_addresses(), 1 << 32);
+    }
+
+    #[test]
+    fn covers_relation() {
+        let p8: Prefix = "10.0.0.0/8".parse().unwrap();
+        let p24: Prefix = "10.9.9.0/24".parse().unwrap();
+        assert!(p8.covers(p24));
+        assert!(!p24.covers(p8));
+        assert!(p8.covers(p8));
+        let other: Prefix = "11.0.0.0/24".parse().unwrap();
+        assert!(!p8.covers(other));
+    }
+
+    #[test]
+    fn slash30_hosts_skip_network_and_broadcast() {
+        let p: Prefix = "198.51.100.4/30".parse().unwrap();
+        let hosts: Vec<_> = p.hosts().map(|a| a.to_string()).collect();
+        assert_eq!(hosts, ["198.51.100.5", "198.51.100.6"]);
+    }
+
+    #[test]
+    fn slash31_hosts_are_both_addresses() {
+        let p: Prefix = "198.51.100.4/31".parse().unwrap();
+        let hosts: Vec<_> = p.hosts().map(|a| a.to_string()).collect();
+        assert_eq!(hosts, ["198.51.100.4", "198.51.100.5"]);
+    }
+
+    #[test]
+    fn slash24_address_iteration() {
+        let p: Prefix = "10.0.0.0/24".parse().unwrap();
+        let addrs: Vec<_> = p.addresses().collect();
+        assert_eq!(addrs.len(), 256);
+        assert_eq!(addrs[0].to_string(), "10.0.0.0");
+        assert_eq!(addrs[255].to_string(), "10.0.0.255");
+        assert_eq!(p.last().to_string(), "10.0.0.255");
+    }
+
+    #[test]
+    fn slash32_single_host() {
+        let p: Prefix = "8.8.8.8/32".parse().unwrap();
+        assert_eq!(p.hosts().count(), 1);
+        assert_eq!(p.num_addresses(), 1);
+    }
+}

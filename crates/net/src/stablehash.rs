@@ -1,0 +1,114 @@
+//! Deterministic, seedable mixing — the workspace's source of *stable*
+//! per-entity randomness.
+//!
+//! The simulator must be reproducible across runs and platforms: a probe's
+//! jitter, a router's ECMP choice, or a /24's responsiveness may not depend
+//! on `HashMap` iteration order or on how many random draws happened before.
+//! Instead, each decision hashes the relevant identifiers with a seed.
+//! SplitMix64 is small, fast, and statistically fine for this purpose.
+
+/// One round of SplitMix64.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Mixes a sequence of labelled values into one 64-bit digest.
+///
+/// ```
+/// use cm_net::stablehash::mix;
+/// let a = mix(42, &[1, 2, 3]);
+/// let b = mix(42, &[1, 2, 3]);
+/// let c = mix(42, &[1, 2, 4]);
+/// assert_eq!(a, b);
+/// assert_ne!(a, c);
+/// ```
+#[inline]
+pub fn mix(seed: u64, parts: &[u64]) -> u64 {
+    let mut acc = splitmix64(seed ^ 0x517c_c1b7_2722_0a95);
+    for &p in parts {
+        acc = splitmix64(acc ^ p);
+    }
+    acc
+}
+
+/// A uniform `f64` in `[0, 1)` derived from a digest.
+#[inline]
+pub fn unit_f64(digest: u64) -> f64 {
+    // 53 high bits -> [0,1) double.
+    (digest >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Bernoulli draw with probability `p`, keyed by `(seed, parts)`.
+#[inline]
+pub fn chance(seed: u64, parts: &[u64], p: f64) -> bool {
+    unit_f64(mix(seed, parts)) < p
+}
+
+/// Picks an index in `0..n` keyed by `(seed, parts)`.
+///
+/// # Panics
+/// Panics if `n == 0`.
+#[inline]
+pub fn pick(seed: u64, parts: &[u64], n: usize) -> usize {
+    assert!(n > 0, "pick from empty range");
+    (mix(seed, parts) % n as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_known_nonzero() {
+        assert_ne!(splitmix64(0), 0);
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+
+    #[test]
+    fn mix_depends_on_order() {
+        assert_ne!(mix(7, &[1, 2]), mix(7, &[2, 1]));
+    }
+
+    #[test]
+    fn mix_depends_on_seed() {
+        assert_ne!(mix(1, &[5]), mix(2, &[5]));
+    }
+
+    #[test]
+    fn unit_in_range() {
+        for i in 0..1000u64 {
+            let u = unit_f64(mix(9, &[i]));
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        assert!(!chance(1, &[1], 0.0));
+        assert!(chance(1, &[1], 1.0));
+    }
+
+    #[test]
+    fn chance_roughly_calibrated() {
+        let hits = (0..10_000u64).filter(|&i| chance(3, &[i], 0.3)).count();
+        assert!((2700..3300).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn pick_bounds() {
+        for i in 0..100u64 {
+            assert!(pick(4, &[i], 7) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn pick_empty_panics() {
+        pick(1, &[], 0);
+    }
+}

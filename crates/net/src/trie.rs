@@ -1,0 +1,246 @@
+//! Binary longest-prefix-match trie.
+
+use crate::addr::Ipv4;
+use crate::prefix::Prefix;
+
+/// A binary trie mapping [`Prefix`]es to values with longest-prefix-match
+/// lookup, the core of IP→ASN annotation (§3 of the paper) and of the
+/// dataplane's forwarding tables.
+///
+/// ```
+/// use cm_net::{Prefix, PrefixTrie};
+/// let mut t = PrefixTrie::new();
+/// t.insert("10.0.0.0/8".parse().unwrap(), "coarse");
+/// t.insert("10.1.0.0/16".parse().unwrap(), "fine");
+/// let (p, v) = t.longest_match("10.1.2.3".parse().unwrap()).unwrap();
+/// assert_eq!(*v, "fine");
+/// assert_eq!(p.to_string(), "10.1.0.0/16");
+/// assert_eq!(*t.longest_match("10.9.9.9".parse().unwrap()).unwrap().1, "coarse");
+/// assert!(t.longest_match("11.0.0.0".parse().unwrap()).is_none());
+/// ```
+#[derive(Clone, Debug)]
+pub struct PrefixTrie<T> {
+    nodes: Vec<Node<T>>,
+    len: usize,
+}
+
+#[derive(Clone, Debug)]
+struct Node<T> {
+    children: [Option<u32>; 2],
+    value: Option<(Prefix, T)>,
+}
+
+impl<T> Default for Node<T> {
+    fn default() -> Self {
+        Node {
+            children: [None, None],
+            value: None,
+        }
+    }
+}
+
+impl<T> Default for PrefixTrie<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PrefixTrie<T> {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        PrefixTrie {
+            nodes: vec![Node::default()],
+            len: 0,
+        }
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no prefixes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn bit(addr: Ipv4, depth: u8) -> usize {
+        ((addr.0 >> (31 - depth as u32)) & 1) as usize
+    }
+
+    /// Inserts `prefix` with `value`, returning the previous value if the
+    /// exact prefix was already present.
+    pub fn insert(&mut self, prefix: Prefix, value: T) -> Option<T> {
+        let mut idx = 0usize;
+        for depth in 0..prefix.len() {
+            let b = Self::bit(prefix.base(), depth);
+            let next = match self.nodes[idx].children[b] {
+                Some(n) => n as usize,
+                None => {
+                    self.nodes.push(Node::default());
+                    let n = self.nodes.len() - 1;
+                    self.nodes[idx].children[b] = Some(n as u32);
+                    n
+                }
+            };
+            idx = next;
+        }
+        let old = self.nodes[idx].value.replace((prefix, value));
+        if old.is_none() {
+            self.len += 1;
+        }
+        old.map(|(_, v)| v)
+    }
+
+    /// Returns the value stored at exactly `prefix`, if any.
+    pub fn get_exact(&self, prefix: Prefix) -> Option<&T> {
+        let mut idx = 0usize;
+        for depth in 0..prefix.len() {
+            let b = Self::bit(prefix.base(), depth);
+            idx = self.nodes[idx].children[b]? as usize;
+        }
+        self.nodes[idx].value.as_ref().map(|(_, v)| v)
+    }
+
+    /// Longest-prefix-match lookup: the most specific stored prefix that
+    /// contains `addr`, together with its value.
+    pub fn longest_match(&self, addr: Ipv4) -> Option<(Prefix, &T)> {
+        let mut idx = 0usize;
+        let mut best: Option<(Prefix, &T)> = None;
+        for depth in 0..=32u8 {
+            if let Some((p, v)) = &self.nodes[idx].value {
+                best = Some((*p, v));
+            }
+            if depth == 32 {
+                break;
+            }
+            match self.nodes[idx].children[Self::bit(addr, depth)] {
+                Some(n) => idx = n as usize,
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Convenience: longest-match value only.
+    pub fn lookup(&self, addr: Ipv4) -> Option<&T> {
+        self.longest_match(addr).map(|(_, v)| v)
+    }
+
+    /// Iterates all stored `(prefix, value)` pairs in trie (prefix) order.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, &T)> {
+        // Depth-first walk with an explicit stack; left (0) child first
+        // yields prefixes in ascending base-address order.
+        let mut stack = vec![0usize];
+        let mut out = Vec::new();
+        while let Some(idx) = stack.pop() {
+            if let Some((p, v)) = &self.nodes[idx].value {
+                out.push((*p, v));
+            }
+            // push right first so left pops first
+            if let Some(r) = self.nodes[idx].children[1] {
+                stack.push(r as usize);
+            }
+            if let Some(l) = self.nodes[idx].children[0] {
+                stack.push(l as usize);
+            }
+        }
+        out.into_iter()
+    }
+}
+
+impl<T> FromIterator<(Prefix, T)> for PrefixTrie<T> {
+    fn from_iter<I: IntoIterator<Item = (Prefix, T)>>(iter: I) -> Self {
+        let mut t = PrefixTrie::new();
+        for (p, v) in iter {
+            t.insert(p, v);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn a(s: &str) -> Ipv4 {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_trie_matches_nothing() {
+        let t: PrefixTrie<u32> = PrefixTrie::new();
+        assert!(t.longest_match(a("1.2.3.4")).is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn default_route_fallback() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), 0u32);
+        t.insert(p("10.0.0.0/8"), 10);
+        assert_eq!(*t.lookup(a("10.1.1.1")).unwrap(), 10);
+        assert_eq!(*t.lookup(a("99.1.1.1")).unwrap(), 0);
+    }
+
+    #[test]
+    fn most_specific_wins() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 8u8);
+        t.insert(p("10.1.0.0/16"), 16);
+        t.insert(p("10.1.2.0/24"), 24);
+        t.insert(p("10.1.2.128/25"), 25);
+        assert_eq!(*t.lookup(a("10.1.2.129")).unwrap(), 25);
+        assert_eq!(*t.lookup(a("10.1.2.1")).unwrap(), 24);
+        assert_eq!(*t.lookup(a("10.1.9.1")).unwrap(), 16);
+        assert_eq!(*t.lookup(a("10.200.0.1")).unwrap(), 8);
+    }
+
+    #[test]
+    fn insert_replaces_and_reports_old() {
+        let mut t = PrefixTrie::new();
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1u8), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn exact_lookup_distinguishes_lengths() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 8u8);
+        t.insert(p("10.0.0.0/16"), 16);
+        assert_eq!(*t.get_exact(p("10.0.0.0/8")).unwrap(), 8);
+        assert_eq!(*t.get_exact(p("10.0.0.0/16")).unwrap(), 16);
+        assert!(t.get_exact(p("10.0.0.0/12")).is_none());
+    }
+
+    #[test]
+    fn host_route_matches_only_itself() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("1.2.3.4/32"), ());
+        assert!(t.lookup(a("1.2.3.4")).is_some());
+        assert!(t.lookup(a("1.2.3.5")).is_none());
+    }
+
+    #[test]
+    fn iter_yields_all_in_order() {
+        let mut t = PrefixTrie::new();
+        for s in ["10.0.0.0/8", "9.0.0.0/8", "10.1.0.0/16", "11.0.0.0/8"] {
+            t.insert(p(s), s.to_string());
+        }
+        let got: Vec<String> = t.iter().map(|(pre, _)| pre.to_string()).collect();
+        assert_eq!(got, ["9.0.0.0/8", "10.0.0.0/8", "10.1.0.0/16", "11.0.0.0/8"]);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let t: PrefixTrie<u8> = vec![(p("10.0.0.0/8"), 1), (p("20.0.0.0/8"), 2)]
+            .into_iter()
+            .collect();
+        assert_eq!(t.len(), 2);
+    }
+}

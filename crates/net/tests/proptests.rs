@@ -1,0 +1,103 @@
+//! Property-based tests for the addressing primitives.
+
+use cm_net::{Ipv4, Prefix, PrefixTrie};
+use proptest::prelude::*;
+
+proptest! {
+    /// Display/parse round-trips for every address.
+    #[test]
+    fn ipv4_display_parse_roundtrip(v in any::<u32>()) {
+        let a = Ipv4(v);
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<Ipv4>().unwrap(), a);
+    }
+
+    /// The /24 helpers agree with masking arithmetic.
+    #[test]
+    fn slash24_helpers_consistent(v in any::<u32>()) {
+        let a = Ipv4(v);
+        prop_assert_eq!(a.slash24_base().to_u32(), v & 0xffff_ff00);
+        prop_assert_eq!(a.slash24_probe_target().host_byte(), 1);
+        prop_assert!(Prefix::slash24_of(a).contains(a));
+    }
+
+    /// Canonicalization makes base/contains consistent.
+    #[test]
+    fn prefix_contains_its_base_and_last(v in any::<u32>(), len in 0u8..=32) {
+        let p = Prefix::new(Ipv4(v), len);
+        prop_assert!(p.contains(p.base()));
+        prop_assert!(p.contains(p.last()));
+        // One past the last address is outside (unless the prefix is /0).
+        if !p.is_default() && p.last().to_u32() != u32::MAX {
+            prop_assert!(!p.contains(p.last().saturating_next()));
+        }
+    }
+
+    /// `covers` is a partial order consistent with containment.
+    #[test]
+    fn covers_is_consistent(a in any::<u32>(), la in 0u8..=32, b in any::<u32>(), lb in 0u8..=32) {
+        let pa = Prefix::new(Ipv4(a), la);
+        let pb = Prefix::new(Ipv4(b), lb);
+        if pa.covers(pb) {
+            prop_assert!(pa.contains(pb.base()));
+            prop_assert!(pa.contains(pb.last()));
+            prop_assert!(pa.len() <= pb.len());
+        }
+        // Reflexivity.
+        prop_assert!(pa.covers(pa));
+    }
+
+    /// The trie agrees with a naive longest-prefix-match scan.
+    #[test]
+    fn trie_matches_naive_lpm(
+        entries in proptest::collection::vec((any::<u32>(), 8u8..=32), 1..40),
+        probes in proptest::collection::vec(any::<u32>(), 1..40),
+    ) {
+        let mut trie = PrefixTrie::new();
+        let mut list: Vec<(Prefix, usize)> = Vec::new();
+        for (i, (base, len)) in entries.iter().enumerate() {
+            let p = Prefix::new(Ipv4(*base), *len);
+            trie.insert(p, i);
+            list.retain(|(q, _)| *q != p);
+            list.push((p, i));
+        }
+        for v in probes {
+            let addr = Ipv4(v);
+            let naive = list
+                .iter()
+                .filter(|(p, _)| p.contains(addr))
+                .max_by_key(|(p, _)| p.len())
+                .map(|(p, i)| (*p, *i));
+            let got = trie.longest_match(addr).map(|(p, i)| (p, *i));
+            prop_assert_eq!(got, naive);
+        }
+    }
+
+    /// Host iteration yields exactly the contained, non-edge addresses.
+    #[test]
+    fn hosts_subset_of_prefix(v in any::<u32>(), len in 22u8..=32) {
+        let p = Prefix::new(Ipv4(v), len);
+        let hosts: Vec<Ipv4> = p.hosts().collect();
+        for h in &hosts {
+            prop_assert!(p.contains(*h));
+        }
+        let expected = if len >= 31 {
+            p.num_addresses()
+        } else {
+            p.num_addresses() - 2
+        };
+        prop_assert_eq!(hosts.len() as u64, expected);
+    }
+}
+
+proptest! {
+    /// Stable hashing is a pure function and `pick` respects bounds.
+    #[test]
+    fn stablehash_properties(seed in any::<u64>(), parts in proptest::collection::vec(any::<u64>(), 0..8), n in 1usize..1000) {
+        use cm_net::stablehash::{mix, pick, unit_f64};
+        prop_assert_eq!(mix(seed, &parts), mix(seed, &parts));
+        let u = unit_f64(mix(seed, &parts));
+        prop_assert!((0.0..1.0).contains(&u));
+        prop_assert!(pick(seed, &parts, n) < n);
+    }
+}

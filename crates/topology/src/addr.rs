@@ -1,0 +1,198 @@
+//! Address allocation and ground-truth ownership.
+
+use crate::ids::AsIndex;
+use cm_net::{Ipv4, Prefix, PrefixTrie};
+
+/// Why a block of address space exists (ground truth).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolKind {
+    /// Announced host space (VMs, services, eyeballs) — appears in BGP.
+    HostAnnounced,
+    /// Unannounced infrastructure space — WHOIS-registered only. Used for
+    /// router-to-router links; the majority of true ABIs live here
+    /// (Table 1: 61.6% of ABIs resolved via WHOIS).
+    InfraUnannounced,
+    /// An IXP LAN prefix (published in the IXP datasets).
+    IxpLan,
+    /// Interconnect /31s carved from the cloud's infrastructure space and
+    /// handed to clients (the §4.1 ambiguity source).
+    CloudProvidedInterconnect,
+}
+
+/// Ground-truth owner record for a block of address space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AddrOwner {
+    /// The AS the space belongs to (for `IxpLan`, the IXP operator's
+    /// pseudo-AS is not modelled; the owner is the IXP id encoded by the
+    /// caller via `ixp`).
+    pub owner: AsIndex,
+    /// Pool classification.
+    pub kind: PoolKind,
+    /// Set when the block is an IXP LAN (index into `Internet::ixps`).
+    pub ixp: Option<u32>,
+}
+
+/// A simple bump allocator handing out aligned CIDR blocks from the unicast
+/// IPv4 space, starting at `1.0.0.0` and skipping reserved ranges.
+///
+/// Determinism matters more than compactness: the same sequence of requests
+/// always yields the same prefixes.
+#[derive(Clone, Debug)]
+pub struct BlockAllocator {
+    cursor: u64,
+}
+
+impl Default for BlockAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BlockAllocator {
+    /// Starts allocating at `1.0.0.0`.
+    pub fn new() -> Self {
+        BlockAllocator {
+            cursor: u64::from(Ipv4::new(1, 0, 0, 0).to_u32()),
+        }
+    }
+
+    /// Allocates the next aligned block of the given prefix length.
+    ///
+    /// # Panics
+    /// Panics if the unicast space is exhausted (cannot happen with the
+    /// generator's budgets) or if `len > 32`.
+    pub fn alloc(&mut self, len: u8) -> Prefix {
+        assert!(len <= 32);
+        let size = 1u64 << (32 - len as u32);
+        loop {
+            // Align the cursor up to the block size.
+            let base = (self.cursor + size - 1) & !(size - 1);
+            assert!(base + size <= (1u64 << 32), "IPv4 space exhausted");
+            let candidate = Prefix::new(Ipv4(base as u32), len);
+            if Self::is_reserved(candidate) {
+                self.cursor = base + size;
+                continue;
+            }
+            self.cursor = base + size;
+            return candidate;
+        }
+    }
+
+    /// True for blocks overlapping space the generator must not hand out:
+    /// private (10/8, 172.16/12, 192.168/16), shared (100.64/10), loopback
+    /// (127/8), link-local (169.254/16) and multicast+ (224/3).
+    fn is_reserved(p: Prefix) -> bool {
+        const RESERVED: &[(u32, u8)] = &[
+            (0x0a00_0000, 8),   // 10/8
+            (0x6440_0000, 10),  // 100.64/10
+            (0x7f00_0000, 8),   // 127/8
+            (0xa9fe_0000, 16),  // 169.254/16
+            (0xac10_0000, 12),  // 172.16/12
+            (0xc0a8_0000, 16),  // 192.168/16
+            (0xe000_0000, 3),   // 224/3
+        ];
+        RESERVED.iter().any(|&(base, len)| {
+            let r = Prefix::new(Ipv4(base), len);
+            r.covers(p) || p.covers(r)
+        })
+    }
+}
+
+/// The complete ground-truth address plan: every allocated block with its
+/// owner and pool kind, plus a trie for lookups.
+#[derive(Clone, Debug, Default)]
+pub struct AddrPlan {
+    /// All allocated blocks in allocation order.
+    pub blocks: Vec<(Prefix, AddrOwner)>,
+    trie: PrefixTrie<AddrOwner>,
+}
+
+impl AddrPlan {
+    /// Records a block.
+    pub fn add(&mut self, prefix: Prefix, owner: AddrOwner) {
+        self.blocks.push((prefix, owner));
+        self.trie.insert(prefix, owner);
+    }
+
+    /// Ground-truth owner of an address (most specific block).
+    pub fn owner_of(&self, addr: Ipv4) -> Option<AddrOwner> {
+        self.trie.lookup(addr).copied()
+    }
+
+    /// Ground-truth owning block of an address.
+    pub fn block_of(&self, addr: Ipv4) -> Option<(Prefix, AddrOwner)> {
+        self.trie.longest_match(addr).map(|(p, o)| (p, *o))
+    }
+
+    /// Iterates blocks of a given pool kind.
+    pub fn blocks_of_kind(&self, kind: PoolKind) -> impl Iterator<Item = &(Prefix, AddrOwner)> {
+        self.blocks.iter().filter(move |(_, o)| o.kind == kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocator_is_aligned_and_disjoint() {
+        let mut a = BlockAllocator::new();
+        let mut seen: Vec<Prefix> = Vec::new();
+        for len in [24u8, 20, 24, 30, 16, 31, 24] {
+            let p = a.alloc(len);
+            assert_eq!(p.base().to_u32() % (1 << (32 - len as u32)), 0, "unaligned {p}");
+            for q in &seen {
+                assert!(!p.covers(*q) && !q.covers(p), "{p} overlaps {q}");
+            }
+            seen.push(p);
+        }
+    }
+
+    #[test]
+    fn allocator_skips_reserved() {
+        let mut a = BlockAllocator::new();
+        // Exhaust enough space to walk past 10/8.
+        for _ in 0..40 {
+            let p = a.alloc(8);
+            assert!(!p.contains("10.1.2.3".parse().unwrap()), "allocated {p} covering 10/8");
+            assert!(!p.contains("127.0.0.1".parse().unwrap()));
+            assert!(!p.contains("172.16.0.1".parse().unwrap()));
+            assert!(!p.contains("192.168.0.1".parse().unwrap()));
+            if p.base().to_u32() > 0xc100_0000 {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn allocator_deterministic() {
+        let mut a = BlockAllocator::new();
+        let mut b = BlockAllocator::new();
+        for len in [24u8, 22, 31, 16] {
+            assert_eq!(a.alloc(len), b.alloc(len));
+        }
+    }
+
+    #[test]
+    fn plan_lookup_most_specific() {
+        let mut plan = AddrPlan::default();
+        let big: Prefix = "20.0.0.0/8".parse().unwrap();
+        let small: Prefix = "20.1.2.0/31".parse().unwrap();
+        let o_big = AddrOwner {
+            owner: AsIndex(1),
+            kind: PoolKind::HostAnnounced,
+            ixp: None,
+        };
+        let o_small = AddrOwner {
+            owner: AsIndex(2),
+            kind: PoolKind::CloudProvidedInterconnect,
+            ixp: None,
+        };
+        plan.add(big, o_big);
+        plan.add(small, o_small);
+        assert_eq!(plan.owner_of("20.1.2.1".parse().unwrap()), Some(o_small));
+        assert_eq!(plan.owner_of("20.9.9.9".parse().unwrap()), Some(o_big));
+        assert_eq!(plan.owner_of("21.0.0.1".parse().unwrap()), None);
+        assert_eq!(plan.blocks_of_kind(PoolKind::HostAnnounced).count(), 1);
+    }
+}

@@ -1,0 +1,189 @@
+//! Autonomous systems and their business relationships.
+
+use crate::ids::AsIndex;
+use cm_geo::MetroId;
+use cm_net::{Asn, OrgId, Prefix};
+
+/// The structural role of an AS in the synthetic Internet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum AsTier {
+    /// Transit-free backbone (AT&T/Level3/NTT-class). Peers with every other
+    /// tier-1; sells transit to tier-2 and below.
+    Tier1,
+    /// Regional transit provider; buys from tier-1s, sells downward.
+    Tier2,
+    /// Access / eyeball network.
+    Access,
+    /// Content provider or CDN.
+    Content,
+    /// Enterprise or campus network.
+    Enterprise,
+    /// A cloud provider ASN (the primary cloud or a secondary vantage cloud).
+    Cloud,
+}
+
+impl AsTier {
+    /// True for networks that resell connectivity (announce a customer cone).
+    pub fn is_transit(self) -> bool {
+        matches!(self, AsTier::Tier1 | AsTier::Tier2 | AsTier::Access)
+    }
+}
+
+/// An autonomous system in the ground-truth Internet.
+#[derive(Clone, Debug)]
+pub struct AsNode {
+    /// Arena index.
+    pub idx: AsIndex,
+    /// The AS number.
+    pub asn: Asn,
+    /// Organization (CAIDA AS2ORG-style); cloud siblings share one org.
+    pub org: OrgId,
+    /// Display name, e.g. `"tr2-frankfurt-17"`.
+    pub name: String,
+    /// Structural role.
+    pub tier: AsTier,
+    /// Metro of the AS's headquarters / main deployment.
+    pub home_metro: MetroId,
+    /// Every metro where the AS operates routers (superset of `home_metro`).
+    pub presence: Vec<MetroId>,
+    /// Upstream transit providers.
+    pub providers: Vec<AsIndex>,
+    /// Settlement-free (non-cloud) peers.
+    pub peers: Vec<AsIndex>,
+    /// Transit customers.
+    pub customers: Vec<AsIndex>,
+    /// BGP-announced address space.
+    pub prefixes: Vec<Prefix>,
+    /// Unannounced, WHOIS-registered infrastructure space.
+    pub infra_prefixes: Vec<Prefix>,
+}
+
+impl AsNode {
+    /// Number of announced /24-equivalents this AS originates.
+    pub fn announced_slash24s(&self) -> u64 {
+        self.prefixes.iter().map(|p| p.num_addresses() / 256).sum()
+    }
+
+    /// True if `other` is listed as a direct customer.
+    pub fn has_customer(&self, other: AsIndex) -> bool {
+        self.customers.contains(&other)
+    }
+}
+
+/// Computes the customer cone (the AS itself plus all ASes reachable by
+/// repeatedly following customer edges) for every AS.
+///
+/// Returned as a `Vec<Vec<AsIndex>>` indexed by `AsIndex`, each sorted and
+/// deduplicated. Used by BGP route origination ("announce your cone to
+/// providers/peers") and by the Figure 6 "BGP /24" feature.
+pub fn customer_cones(ases: &[AsNode]) -> Vec<Vec<AsIndex>> {
+    let n = ases.len();
+    let mut cones: Vec<Vec<AsIndex>> = vec![Vec::new(); n];
+    // Process in reverse-topological order: since provider->customer edges
+    // form a DAG by construction (tiers only point downward), an iterative
+    // DFS with memoization is safe.
+    fn cone_of(
+        i: usize,
+        ases: &[AsNode],
+        cones: &mut Vec<Vec<AsIndex>>,
+        visiting: &mut Vec<bool>,
+    ) {
+        if !cones[i].is_empty() {
+            return;
+        }
+        if visiting[i] {
+            // Relationship cycle: degrade gracefully to a self-only cone to
+            // keep the function total; the generator never produces cycles.
+            cones[i] = vec![AsIndex(i as u32)];
+            return;
+        }
+        visiting[i] = true;
+        let mut acc = vec![AsIndex(i as u32)];
+        let customers = ases[i].customers.clone();
+        for c in customers {
+            cone_of(c.index(), ases, cones, visiting);
+            acc.extend_from_slice(&cones[c.index()]);
+        }
+        acc.sort_unstable();
+        acc.dedup();
+        visiting[i] = false;
+        cones[i] = acc;
+    }
+    let mut visiting = vec![false; n];
+    for i in 0..n {
+        cone_of(i, ases, &mut cones, &mut visiting);
+    }
+    cones
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(idx: u32, tier: AsTier) -> AsNode {
+        AsNode {
+            idx: AsIndex(idx),
+            asn: Asn(1000 + idx),
+            org: OrgId(idx + 1),
+            name: format!("as{idx}"),
+            tier,
+            home_metro: MetroId(0),
+            presence: vec![MetroId(0)],
+            providers: vec![],
+            peers: vec![],
+            customers: vec![],
+            prefixes: vec![],
+            infra_prefixes: vec![],
+        }
+    }
+
+    #[test]
+    fn tier_transit_flag() {
+        assert!(AsTier::Tier1.is_transit());
+        assert!(AsTier::Access.is_transit());
+        assert!(!AsTier::Enterprise.is_transit());
+        assert!(!AsTier::Cloud.is_transit());
+    }
+
+    #[test]
+    fn announced_slash24s_counts() {
+        let mut a = mk(0, AsTier::Tier2);
+        a.prefixes = vec!["10.0.0.0/22".parse().unwrap(), "10.1.0.0/24".parse().unwrap()];
+        assert_eq!(a.announced_slash24s(), 4 + 1);
+    }
+
+    #[test]
+    fn cones_follow_customer_edges() {
+        // 0 -> {1, 2}, 1 -> {3}, diamond: 2 -> {3}
+        let mut ases = vec![
+            mk(0, AsTier::Tier1),
+            mk(1, AsTier::Tier2),
+            mk(2, AsTier::Tier2),
+            mk(3, AsTier::Enterprise),
+        ];
+        ases[0].customers = vec![AsIndex(1), AsIndex(2)];
+        ases[1].customers = vec![AsIndex(3)];
+        ases[2].customers = vec![AsIndex(3)];
+        let cones = customer_cones(&ases);
+        assert_eq!(cones[0], vec![AsIndex(0), AsIndex(1), AsIndex(2), AsIndex(3)]);
+        assert_eq!(cones[1], vec![AsIndex(1), AsIndex(3)]);
+        assert_eq!(cones[3], vec![AsIndex(3)]);
+    }
+
+    #[test]
+    fn cone_of_leaf_is_self() {
+        let ases = vec![mk(0, AsTier::Enterprise)];
+        assert_eq!(customer_cones(&ases)[0], vec![AsIndex(0)]);
+    }
+
+    #[test]
+    fn cycle_degrades_to_self_cone() {
+        let mut ases = vec![mk(0, AsTier::Tier2), mk(1, AsTier::Tier2)];
+        ases[0].customers = vec![AsIndex(1)];
+        ases[1].customers = vec![AsIndex(0)];
+        let cones = customer_cones(&ases);
+        // No panic; each cone contains at least the AS itself.
+        assert!(cones[0].contains(&AsIndex(0)));
+        assert!(cones[1].contains(&AsIndex(1)));
+    }
+}

@@ -1,0 +1,72 @@
+//! Cloud providers and their regions.
+
+use crate::ids::{AsIndex, CloudId, FacilityId, RegionId, RouterId};
+use cm_geo::MetroId;
+use cm_net::{Ipv4, OrgId};
+
+/// A cloud provider.
+///
+/// `clouds[0]` is always the *primary* cloud — the measurement target,
+/// playing Amazon's role. The remaining entries are the secondary vantage
+/// clouds used for VPI detection (§7.1: Microsoft, Google, IBM, Oracle).
+#[derive(Clone, Debug)]
+pub struct Cloud {
+    /// Arena index.
+    pub id: CloudId,
+    /// Display name, e.g. `"primary"`, `"cloud-b"`.
+    pub name: String,
+    /// The organization shared by all of this cloud's ASNs.
+    pub org: OrgId,
+    /// The cloud's sibling ASes (the paper observed eight for Amazon).
+    pub ases: Vec<AsIndex>,
+    /// Regions, in catalog order.
+    pub regions: Vec<RegionId>,
+}
+
+/// A cloud region: a datacenter cluster in one metro with a probing VM.
+#[derive(Clone, Debug)]
+pub struct Region {
+    /// Global arena index.
+    pub id: RegionId,
+    /// Owning cloud.
+    pub cloud: CloudId,
+    /// Region ordinal within the cloud (0-based).
+    pub ordinal: usize,
+    /// Region name, e.g. `"pc-east-1"`.
+    pub name: String,
+    /// Home metro.
+    pub metro: MetroId,
+    /// The router representing the VM host (traceroute source).
+    pub vm_router: RouterId,
+    /// The VM's source address.
+    pub vm_addr: Ipv4,
+    /// Core (backbone) routers of the region.
+    pub core_routers: Vec<RouterId>,
+    /// Border routers, one or more per native facility.
+    pub border_routers: Vec<RouterId>,
+    /// Facilities in/near the metro where the cloud is native.
+    pub native_facilities: Vec<FacilityId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_fields_accessible() {
+        let r = Region {
+            id: RegionId(3),
+            cloud: CloudId(0),
+            ordinal: 3,
+            name: "pc-test".into(),
+            metro: MetroId(7),
+            vm_router: RouterId(1),
+            vm_addr: Ipv4::new(10, 0, 0, 1),
+            core_routers: vec![RouterId(2)],
+            border_routers: vec![RouterId(3), RouterId(4)],
+            native_facilities: vec![FacilityId(0)],
+        };
+        assert_eq!(r.border_routers.len(), 2);
+        assert_eq!(r.id, RegionId(3));
+    }
+}

@@ -1,0 +1,95 @@
+//! Colocation facilities, IXPs and cloud exchanges.
+
+use crate::ids::{CloudId, FacilityId, IxpId};
+use cm_geo::MetroId;
+use cm_net::Prefix;
+
+/// A colocation facility in a metro.
+///
+/// Facilities are where peerings physically happen: cross-connects between
+/// tenant routers, IXP switch ports, and — when the facility operates a
+/// cloud exchange — VPI provisioning (§2 of the paper, Figure 1).
+#[derive(Clone, Debug)]
+pub struct Facility {
+    /// Arena index.
+    pub id: FacilityId,
+    /// Display name, e.g. `"Equinix-Ashburn-2"`.
+    pub name: String,
+    /// The metro the facility is in.
+    pub metro: MetroId,
+    /// IXP whose switching fabric is hosted here, if any.
+    pub ixp: Option<IxpId>,
+    /// True if the facility operates a cloud exchange (VPI switching fabric).
+    pub cloud_exchange: bool,
+    /// Clouds that house native border routers here.
+    pub native_clouds: Vec<CloudId>,
+}
+
+impl Facility {
+    /// True if the given cloud is native (has border routers) here.
+    pub fn is_native(&self, cloud: CloudId) -> bool {
+        self.native_clouds.contains(&cloud)
+    }
+}
+
+/// An Internet exchange point.
+///
+/// Each IXP owns a LAN prefix; every member router port on the fabric has an
+/// address inside it. Members may connect locally (router in the same metro)
+/// or remotely through a layer-2 carrier (§6.1 "remote peering").
+#[derive(Clone, Debug)]
+pub struct Ixp {
+    /// Arena index.
+    pub id: IxpId,
+    /// Display name, e.g. `"IX-Frankfurt-1"`.
+    pub name: String,
+    /// The LAN prefix assigned to the peering fabric.
+    pub prefix: Prefix,
+    /// Facilities where the switching fabric has a presence. Multi-facility
+    /// within one metro is common; a handful of IXPs span multiple metros
+    /// and are excluded from pinning (§6.1).
+    pub facilities: Vec<FacilityId>,
+    /// The metros covered by `facilities` (cached, deduplicated).
+    pub metros: Vec<MetroId>,
+}
+
+impl Ixp {
+    /// True if the fabric spans more than one metro (unusable as a pinning
+    /// anchor, §6.1).
+    pub fn is_multi_metro(&self) -> bool {
+        self.metros.len() > 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facility_native_check() {
+        let f = Facility {
+            id: FacilityId(0),
+            name: "X".into(),
+            metro: MetroId(0),
+            ixp: None,
+            cloud_exchange: true,
+            native_clouds: vec![CloudId(0)],
+        };
+        assert!(f.is_native(CloudId(0)));
+        assert!(!f.is_native(CloudId(1)));
+    }
+
+    #[test]
+    fn ixp_multi_metro() {
+        let mut ix = Ixp {
+            id: IxpId(0),
+            name: "IX".into(),
+            prefix: "198.32.0.0/24".parse().unwrap(),
+            facilities: vec![FacilityId(0), FacilityId(1)],
+            metros: vec![MetroId(3)],
+        };
+        assert!(!ix.is_multi_metro());
+        ix.metros.push(MetroId(4));
+        assert!(ix.is_multi_metro());
+    }
+}

@@ -1,0 +1,103 @@
+//! Typed identifiers for every entity in the synthetic Internet.
+//!
+//! All identifiers are indices into the flat `Vec` arenas held by
+//! [`crate::Internet`]; the newtypes exist so the compiler catches
+//! router-vs-interface mixups across crates.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The arena index.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                $name(v as u32)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Index of an autonomous system in [`crate::Internet::ases`].
+    AsIndex,
+    "as#"
+);
+id_type!(
+    /// Index of a colocation facility.
+    FacilityId,
+    "fac#"
+);
+id_type!(
+    /// Index of an Internet exchange point.
+    IxpId,
+    "ixp#"
+);
+id_type!(
+    /// Index of a cloud provider.
+    CloudId,
+    "cloud#"
+);
+id_type!(
+    /// Index of a cloud region (scoped to the whole Internet, not per cloud).
+    RegionId,
+    "region#"
+);
+id_type!(
+    /// Index of a router.
+    RouterId,
+    "rtr#"
+);
+id_type!(
+    /// Index of a network interface.
+    IfaceId,
+    "if#"
+);
+id_type!(
+    /// Index of a point-to-point link.
+    LinkId,
+    "link#"
+);
+id_type!(
+    /// Index of a ground-truth interconnect (one end of a peering).
+    IcId,
+    "ic#"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(RouterId(7).to_string(), "rtr#7");
+        assert_eq!(IfaceId(3).index(), 3);
+        assert_eq!(AsIndex::from(9usize), AsIndex(9));
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(IcId(1) < IcId(2));
+    }
+}

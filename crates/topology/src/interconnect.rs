@@ -1,0 +1,132 @@
+//! Ground-truth interconnects between clouds and client networks.
+
+use crate::ids::{AsIndex, CloudId, FacilityId, IcId, IfaceId, IxpId, RegionId, RouterId};
+use cm_geo::MetroId;
+use cm_net::Prefix;
+
+/// The physical/logical flavour of an interconnect (Figure 1 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IcKind {
+    /// Public peering across an IXP's layer-2 fabric.
+    PublicIxp(IxpId),
+    /// Private physical cross-connect inside a facility.
+    CrossConnect,
+    /// Virtual private interconnect over a cloud-exchange fabric.
+    Vpi {
+        /// True when the client reaches the exchange through a layer-2
+        /// connectivity partner from a facility/metro where the cloud is
+        /// not native (Figure 1's AS5).
+        remote: bool,
+    },
+}
+
+impl IcKind {
+    /// True for VPIs.
+    pub fn is_vpi(self) -> bool {
+        matches!(self, IcKind::Vpi { .. })
+    }
+
+    /// True for public (IXP) peerings.
+    pub fn is_public(self) -> bool {
+        matches!(self, IcKind::PublicIxp(_))
+    }
+}
+
+/// Who supplies the /30-/31 (or IXP LAN) addresses on the interconnect.
+///
+/// Cloud-provided addressing is the root cause of the §4.1 inference
+/// ambiguity: the client-side interface then carries an address that WHOIS
+/// maps to the cloud, so the naive border walk overshoots by one segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AddrProvider {
+    /// Addresses from the cloud's (usually unannounced) infrastructure space.
+    Cloud,
+    /// Addresses from the client's space (announced or WHOIS-only).
+    Client,
+    /// Addresses from the IXP's LAN prefix.
+    Ixp,
+}
+
+/// What the client announces to the cloud over this interconnect, which in
+/// turn determines which probe destinations egress through it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IcAnnouncement {
+    /// Only the client's own prefixes (typical edge/content peering).
+    OwnPrefixes,
+    /// The client's full customer cone (transit networks, Pr-B-nV).
+    CustomerCone,
+    /// A specific list of prefixes (partner-brought enterprises, Pr-B-V).
+    Specific(Vec<Prefix>),
+}
+
+/// One ground-truth interconnect: a single (cloud-interface,
+/// client-interface) pair at a facility.
+///
+/// A *peering* in the paper's sense is the set of all interconnects between
+/// the cloud and one peer AS; peerings are derived, interconnects are stored.
+#[derive(Clone, Debug)]
+pub struct Interconnect {
+    /// Arena index.
+    pub id: IcId,
+    /// The cloud side.
+    pub cloud: CloudId,
+    /// The region whose border routers terminate this interconnect.
+    pub region: RegionId,
+    /// The peer AS.
+    pub peer: AsIndex,
+    /// Flavour.
+    pub kind: IcKind,
+    /// Facility housing the cloud-side port (and the fabric, if any).
+    pub facility: FacilityId,
+    /// Cloud-side border router and its interconnect interface.
+    pub cloud_router: RouterId,
+    /// Cloud-side interface (one of the true interconnection-segment ends).
+    pub cloud_iface: IfaceId,
+    /// Client border router.
+    pub client_router: RouterId,
+    /// Client-side interface — the ground-truth CBI *port*.
+    pub client_iface: IfaceId,
+    /// Metro where the client router actually sits (differs from
+    /// `facility`'s metro for remote peering).
+    pub client_metro: MetroId,
+    /// One-way fiber kilometres between the cloud-side border router and the
+    /// client router, including any layer-2 backhaul (IXP fabric reach,
+    /// remote-peering carrier, connectivity partner). Interconnects are not
+    /// [`crate::router::Link`]s because the layer-2 fabric between the two
+    /// routers is invisible to traceroute; this field carries the distance
+    /// the dataplane charges when a probe crosses the fabric.
+    pub fabric_km: f64,
+    /// Who numbered the interconnect.
+    pub addr_provider: AddrProvider,
+    /// The interconnect prefix (a /31, or the IXP LAN prefix).
+    pub prefix: Prefix,
+    /// Client's announcement over this interconnect.
+    pub announced: IcAnnouncement,
+}
+
+impl Interconnect {
+    /// True when the client router is in a different metro than the fabric.
+    pub fn is_remote(&self, facility_metro: MetroId) -> bool {
+        self.client_metro != facility_metro
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(IcKind::Vpi { remote: false }.is_vpi());
+        assert!(!IcKind::CrossConnect.is_vpi());
+        assert!(IcKind::PublicIxp(IxpId(0)).is_public());
+        assert!(!IcKind::Vpi { remote: true }.is_public());
+    }
+
+    #[test]
+    fn announcement_variants() {
+        let s = IcAnnouncement::Specific(vec!["10.0.0.0/24".parse().unwrap()]);
+        assert_ne!(s, IcAnnouncement::OwnPrefixes);
+        assert_ne!(IcAnnouncement::OwnPrefixes, IcAnnouncement::CustomerCone);
+    }
+}

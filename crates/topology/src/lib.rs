@@ -1,0 +1,48 @@
+//! # cm-topology — the synthetic Internet (ground truth)
+//!
+//! The paper is a measurement study of a live system that this environment
+//! cannot reach: Amazon's peering fabric, probed from VMs inside five clouds.
+//! Per the reproduction plan (see `DESIGN.md` at the workspace root), this
+//! crate generates a *synthetic but structurally faithful* Internet that the
+//! measurement and inference crates operate on:
+//!
+//! * a tiered AS-level topology with provider/customer/peer relationships,
+//! * metros, colocation facilities, IXPs and cloud exchanges,
+//! * a primary cloud with 15 regions, sibling ASNs, native and
+//!   "direct-connect" facilities, plus secondary vantage clouds,
+//! * a router-level fabric: VM hosts, cores, border routers, client border
+//!   and internal routers, with per-router traceroute response behaviour,
+//! * ground-truth interconnects of all the paper's types: public IXP
+//!   peerings, private cross-connects, and local/remote VPIs (with
+//!   multi-cloud shared ports), each with cloud- or client-provided
+//!   addressing and per-interconnect BGP announcements,
+//! * a complete address plan (announced, WHOIS-only, IXP LAN and
+//!   cloud-provided pools).
+//!
+//! Everything is generated deterministically from `(TopologyConfig, seed)`.
+//! The inference pipeline never looks at the ground truth — it only sees
+//! probe results and public dataset views — but the experiment harness uses
+//! it to score every inference stage.
+
+pub mod addr;
+pub mod asys;
+pub mod cloud;
+pub mod config;
+pub mod facility;
+mod generate;
+pub mod ids;
+pub mod interconnect;
+pub mod internet;
+pub mod router;
+
+pub use addr::{AddrOwner, AddrPlan, BlockAllocator, PoolKind};
+pub use asys::{customer_cones, AsNode, AsTier};
+pub use cloud::{Cloud, Region};
+pub use config::{AsCounts, PeeringPropensity, PrefixBudget, ResponsePolicyMix, TopologyConfig};
+pub use facility::{Facility, Ixp};
+pub use ids::{
+    AsIndex, CloudId, FacilityId, IcId, IfaceId, IxpId, LinkId, RegionId, RouterId,
+};
+pub use interconnect::{AddrProvider, IcAnnouncement, IcKind, Interconnect};
+pub use internet::Internet;
+pub use router::{Iface, IfaceKind, Link, ResponseMode, Router, RouterRole};

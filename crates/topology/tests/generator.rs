@@ -1,0 +1,244 @@
+//! Integration tests for the synthetic-Internet generator.
+
+use cm_topology::*;
+use std::collections::HashSet;
+
+fn tiny() -> Internet {
+    Internet::generate(TopologyConfig::tiny(), 7)
+}
+
+#[test]
+fn generation_is_deterministic() {
+    let a = Internet::generate(TopologyConfig::tiny(), 42);
+    let b = Internet::generate(TopologyConfig::tiny(), 42);
+    assert_eq!(a.ases.len(), b.ases.len());
+    assert_eq!(a.ifaces.len(), b.ifaces.len());
+    assert_eq!(a.interconnects.len(), b.interconnects.len());
+    for (x, y) in a.interconnects.iter().zip(&b.interconnects) {
+        assert_eq!(x.peer, y.peer);
+        assert_eq!(x.prefix, y.prefix);
+        assert_eq!(x.kind, y.kind);
+    }
+    // Different seeds must diverge.
+    let c = Internet::generate(TopologyConfig::tiny(), 43);
+    assert_ne!(
+        a.interconnects.len(),
+        usize::MAX,
+        "sanity"
+    );
+    let same = a.interconnects.len() == c.interconnects.len()
+        && a.ifaces.len() == c.ifaces.len()
+        && a.routers.len() == c.routers.len();
+    assert!(!same, "different seeds produced identical arena sizes");
+}
+
+#[test]
+fn invariants_hold() {
+    let inet = tiny();
+    inet.check_invariants().unwrap();
+}
+
+#[test]
+fn regions_and_clouds_match_config() {
+    let inet = tiny();
+    let cfg = TopologyConfig::tiny();
+    assert_eq!(inet.clouds.len(), 1 + cfg.secondary_clouds);
+    assert_eq!(inet.primary_cloud().regions.len(), cfg.primary_regions);
+    assert_eq!(inet.primary_cloud().ases.len(), cfg.primary_cloud_asns);
+    for &rid in &inet.primary_cloud().regions {
+        let r = inet.region(rid);
+        assert!(!r.core_routers.is_empty());
+        assert!(!r.native_facilities.is_empty(), "{} has no native colo", r.name);
+    }
+}
+
+#[test]
+fn all_peering_kinds_are_present() {
+    let inet = tiny();
+    let prim = inet.primary_cloud().id;
+    let mut public = 0;
+    let mut cross = 0;
+    let mut vpi_local = 0;
+    let mut vpi_remote = 0;
+    for ic in inet.cloud_interconnects(prim) {
+        match ic.kind {
+            IcKind::PublicIxp(_) => public += 1,
+            IcKind::CrossConnect => cross += 1,
+            IcKind::Vpi { remote: false } => vpi_local += 1,
+            IcKind::Vpi { remote: true } => vpi_remote += 1,
+        }
+    }
+    assert!(public > 0, "no public peerings");
+    assert!(cross > 0, "no cross-connects");
+    assert!(vpi_local + vpi_remote > 0, "no VPIs");
+}
+
+#[test]
+fn multicloud_vpi_ports_are_shared() {
+    let inet = tiny();
+    // Find a client interface referenced by interconnects of two clouds.
+    let mut by_iface: std::collections::HashMap<IfaceId, HashSet<CloudId>> =
+        std::collections::HashMap::new();
+    for ic in &inet.interconnects {
+        if ic.kind.is_vpi() {
+            by_iface.entry(ic.client_iface).or_default().insert(ic.cloud);
+        }
+    }
+    let shared = by_iface.values().filter(|s| s.len() >= 2).count();
+    assert!(shared > 0, "no multi-cloud VPI ports generated");
+}
+
+#[test]
+fn interconnect_endpoints_are_border_routers() {
+    let inet = tiny();
+    for ic in &inet.interconnects {
+        assert_eq!(inet.router(ic.cloud_router).role, RouterRole::CloudBorder);
+        assert_eq!(inet.router(ic.client_router).role, RouterRole::ClientBorder);
+        // Cloud side owned by a cloud sibling AS.
+        let owner = inet.router(ic.cloud_router).owner;
+        assert!(inet.clouds[ic.cloud.index()].ases.contains(&owner));
+    }
+}
+
+#[test]
+fn abi_addresses_live_on_cloud_border_uplinks() {
+    let inet = tiny();
+    // Every cloud border router must have at least one addressed internal
+    // (uplink) interface: that is where true ABIs live.
+    for r in &inet.routers {
+        if r.role == RouterRole::CloudBorder {
+            let uplinks = r
+                .ifaces
+                .iter()
+                .filter(|&&f| {
+                    let i = inet.iface(f);
+                    i.kind == IfaceKind::Internal && i.addr.is_some()
+                })
+                .count();
+            assert!(uplinks >= 1, "{} has no addressed uplink", r.id);
+        }
+    }
+}
+
+#[test]
+fn ixp_lan_addresses_inside_ixp_prefix() {
+    let inet = tiny();
+    for f in &inet.ifaces {
+        if let IfaceKind::IxpLan(ix) = f.kind {
+            let p = inet.ixps[ix.index()].prefix;
+            let a = f.addr.expect("LAN port must be numbered");
+            assert!(p.contains(a), "{a} outside {p}");
+        }
+    }
+}
+
+#[test]
+fn address_plan_covers_every_interconnect_prefix() {
+    let inet = tiny();
+    for ic in &inet.interconnects {
+        let client_addr = inet.iface(ic.client_iface).addr.unwrap();
+        let owner = inet.addr_plan.owner_of(client_addr);
+        assert!(owner.is_some(), "{client_addr} not in address plan");
+        match ic.addr_provider {
+            AddrProvider::Ixp => {
+                assert_eq!(owner.unwrap().kind, PoolKind::IxpLan);
+            }
+            AddrProvider::Cloud => {
+                assert_eq!(owner.unwrap().kind, PoolKind::CloudProvidedInterconnect);
+            }
+            AddrProvider::Client => {
+                let k = owner.unwrap().kind;
+                assert!(
+                    k == PoolKind::HostAnnounced || k == PoolKind::InfraUnannounced,
+                    "unexpected pool {k:?}"
+                );
+                assert_eq!(owner.unwrap().owner, ic.peer);
+            }
+        }
+    }
+}
+
+#[test]
+fn remote_peerings_have_distant_clients() {
+    let inet = tiny();
+    let mut seen_remote = false;
+    for ic in &inet.interconnects {
+        if let IcKind::Vpi { remote: true } = ic.kind {
+            seen_remote = true;
+            assert!(ic.fabric_km >= 1.0);
+        }
+    }
+    assert!(seen_remote, "expected at least one remote VPI");
+}
+
+#[test]
+fn customer_cones_cover_all_ases_via_tier1() {
+    let inet = tiny();
+    let t1_count = inet.config.as_counts.tier1;
+    let mut covered: HashSet<AsIndex> = HashSet::new();
+    for i in 0..t1_count {
+        covered.extend(inet.cones[i].iter().copied());
+    }
+    // Every non-cloud AS must be in some tier-1 cone (guarantees full
+    // reachability from the clouds through tier-1 cone announcements).
+    for a in &inet.ases {
+        if a.tier != AsTier::Cloud {
+            assert!(covered.contains(&a.idx), "{} not transit-covered", a.name);
+        }
+    }
+}
+
+#[test]
+fn every_as_has_announced_space_except_none() {
+    let inet = tiny();
+    for a in &inet.ases {
+        if a.tier == AsTier::Cloud && !inet.clouds.iter().any(|c| c.ases[0] == a.idx) {
+            // Sibling cloud ASes share the main AS's space.
+            continue;
+        }
+        assert!(!a.prefixes.is_empty(), "{} has no announced space", a.name);
+    }
+}
+
+#[test]
+fn transit_in_ifaces_exist_for_every_edge() {
+    let inet = tiny();
+    for a in &inet.ases {
+        for &c in &a.customers {
+            assert!(
+                inet.transit_in_iface.contains_key(&(a.idx, c)),
+                "missing descent iface for {} -> {}",
+                a.name,
+                inet.as_node(c).name
+            );
+        }
+    }
+}
+
+#[test]
+fn ixps_have_members_beyond_cloud_peers() {
+    let inet = tiny();
+    let peer_set: HashSet<AsIndex> = inet.cloud_peers(CloudId(0)).into_iter().collect();
+    let non_peer_members = inet
+        .ixp_members
+        .iter()
+        .filter(|(_, a, _)| !peer_set.contains(a) && inet.as_node(*a).tier != AsTier::Cloud)
+        .count();
+    assert!(non_peer_members > 0, "IXPs only contain cloud peers");
+}
+
+#[test]
+fn default_scale_reaches_paper_magnitude() {
+    // One full-scale generation: sanity-check the orders of magnitude the
+    // experiments rely on. This is the slowest test in the crate.
+    let inet = Internet::generate(TopologyConfig::default(), 1);
+    inet.check_invariants().unwrap();
+    let peers = inet.cloud_peers(CloudId(0)).len();
+    assert!(
+        (2_000..6_000).contains(&peers),
+        "expected thousands of peer ASes, got {peers}"
+    );
+    let ics = inet.cloud_interconnects(CloudId(0)).count();
+    assert!(ics > 5_000, "expected >5k interconnects, got {ics}");
+    assert_eq!(inet.primary_cloud().regions.len(), 15);
+}

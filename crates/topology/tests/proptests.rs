@@ -1,0 +1,101 @@
+//! Property-based tests over the generator: structural invariants must hold
+//! for every seed, not just the ones unit tests happen to use.
+
+use cm_topology::*;
+use proptest::prelude::*;
+
+fn micro_config() -> TopologyConfig {
+    // Even smaller than `tiny` so dozens of generations stay fast.
+    TopologyConfig {
+        as_counts: AsCounts {
+            tier1: 3,
+            tier2: 6,
+            access: 10,
+            content: 8,
+            enterprise: 40,
+        },
+        prefix_budget: PrefixBudget {
+            tier1: 8,
+            tier2: 4,
+            access: 2,
+            content: 1,
+            enterprise: 1,
+            cloud: 16,
+        },
+        secondary_clouds: 1,
+        primary_regions: 3,
+        primary_cloud_asns: 2,
+        ixp_count: 5,
+        multi_metro_ixps: 1,
+        ..TopologyConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arena cross-references, address uniqueness and interconnect
+    /// consistency hold for arbitrary seeds.
+    #[test]
+    fn invariants_hold_for_any_seed(seed in any::<u64>()) {
+        let inet = Internet::generate(micro_config(), seed);
+        prop_assert_eq!(inet.check_invariants(), Ok(()));
+    }
+
+    /// Relationships stay acyclic (cones terminate) and every non-cloud AS
+    /// is transit-covered.
+    #[test]
+    fn hierarchy_is_wellformed(seed in any::<u64>()) {
+        let inet = Internet::generate(micro_config(), seed);
+        let t1 = inet.config.as_counts.tier1;
+        let mut covered = std::collections::HashSet::new();
+        for i in 0..t1 {
+            covered.extend(inet.cones[i].iter().copied());
+        }
+        for a in &inet.ases {
+            if a.tier != AsTier::Cloud {
+                prop_assert!(covered.contains(&a.idx), "{} uncovered", a.name);
+            }
+            // Providers and customers are mutual.
+            for &p in &a.providers {
+                prop_assert!(inet.as_node(p).customers.contains(&a.idx));
+            }
+        }
+    }
+
+    /// Every interconnect's addressing matches its declared provider, and
+    /// client routers belong to the peer.
+    #[test]
+    fn interconnect_addressing_is_consistent(seed in any::<u64>()) {
+        let inet = Internet::generate(micro_config(), seed);
+        for ic in &inet.interconnects {
+            let client_addr = inet.iface(ic.client_iface).addr.unwrap();
+            let owner = inet.addr_plan.owner_of(client_addr).unwrap();
+            match ic.addr_provider {
+                AddrProvider::Ixp => prop_assert_eq!(owner.kind, PoolKind::IxpLan),
+                AddrProvider::Cloud => {
+                    prop_assert_eq!(owner.kind, PoolKind::CloudProvidedInterconnect)
+                }
+                AddrProvider::Client => {
+                    prop_assert_eq!(owner.owner, ic.peer);
+                }
+            }
+            prop_assert_eq!(inet.router(ic.client_router).owner, ic.peer);
+            prop_assert!(ic.fabric_km >= 0.0);
+        }
+    }
+
+    /// The same seed always regenerates the identical Internet.
+    #[test]
+    fn generation_is_pure(seed in any::<u64>()) {
+        let a = Internet::generate(micro_config(), seed);
+        let b = Internet::generate(micro_config(), seed);
+        prop_assert_eq!(a.ifaces.len(), b.ifaces.len());
+        prop_assert_eq!(a.interconnects.len(), b.interconnects.len());
+        prop_assert_eq!(a.addr_plan.blocks.len(), b.addr_plan.blocks.len());
+        for (x, y) in a.interconnects.iter().zip(&b.interconnects) {
+            prop_assert_eq!(x.prefix, y.prefix);
+            prop_assert_eq!(x.kind, y.kind);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Offline analysis: archive a probing campaign, then re-run border
+//! inference on the file alone — the workflow for applying `cloudmap` to
+//! traceroutes collected outside the simulator (e.g. converted from
+//! Scamper output).
+//!
+//! ```sh
+//! cargo run --release -p cloudmap --example offline_analysis
+//! ```
+
+use cloudmap::annotate::Annotator;
+use cloudmap::borders::BorderCollector;
+use cm_bgp::{bgp_snapshot, BgpView};
+use cm_dataplane::{DataPlane, DataPlaneConfig};
+use cm_datasets::{DatasetConfig, PublicDatasets};
+use cm_probe::tracefile;
+use cm_probe::Campaign;
+use cm_topology::{CloudId, Internet, TopologyConfig};
+
+fn main() {
+    let inet = Internet::generate(TopologyConfig::tiny(), 33);
+    let plane = DataPlane::new(&inet, DataPlaneConfig::default());
+    let campaign = Campaign::new(&plane, CloudId(0));
+
+    // 1. Run (part of) the sweep and archive it.
+    let targets: Vec<_> = campaign.sweep_targets();
+    let (traces, stats) = campaign.targeted(&targets);
+    let archive = tracefile::write_traces(&traces);
+    let path = std::env::temp_dir().join("cloudmap_campaign.traces");
+    std::fs::write(&path, &archive).expect("write archive");
+    println!(
+        "archived {} traceroutes ({} KiB, {:.1}% complete) to {}",
+        stats.launched,
+        archive.len() / 1024,
+        100.0 * stats.completion_rate(),
+        path.display()
+    );
+
+    // 2. Later / elsewhere: load the archive and run inference on it alone.
+    //    Note the parsed hops carry no simulator internals — this is the
+    //    exact input shape real measurements provide.
+    let loaded = tracefile::read_traces(&std::fs::read_to_string(&path).unwrap())
+        .expect("parse archive");
+    let snapshot = bgp_snapshot(&inet);
+    let view = BgpView::compute(&inet, CloudId(0), 64, 33);
+    let visible = view
+        .visible_peers
+        .iter()
+        .map(|&p| inet.as_node(p).asn)
+        .collect();
+    let datasets = PublicDatasets::derive(&inet, DatasetConfig::default(), &visible, 33);
+    let annotator = Annotator::new(&snapshot, &datasets);
+    let cloud_org = datasets
+        .as2org
+        .org_of(inet.as_node(inet.primary_cloud().ases[0]).asn)
+        .unwrap();
+    let mut collector = BorderCollector::new(&annotator, cloud_org);
+    for t in &loaded {
+        collector.observe(t);
+    }
+    let pool = collector.finish();
+    println!(
+        "offline inference: {} segments, {} ABIs, {} CBIs from the archive",
+        pool.segments.len(),
+        pool.abis.len(),
+        pool.cbis.len()
+    );
+    println!(
+        "filters discarded {} traces ({:?})",
+        pool.discards.total(),
+        pool.discards
+    );
+    let _ = std::fs::remove_file(&path);
+}

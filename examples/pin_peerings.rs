@@ -1,0 +1,81 @@
+//! Geolocating one network's interconnections with the cloud.
+//!
+//! For a chosen peer AS, this example shows where the §6 pinning engine
+//! places each of its client border interfaces (and on what evidence), and
+//! compares against the generator's ground truth — the per-interface view a
+//! network operator would actually want from this tool.
+//!
+//! ```sh
+//! cargo run --release -p cloudmap --example pin_peerings
+//! ```
+
+use cloudmap::pipeline::{Pipeline, PipelineConfig};
+use cm_topology::{Internet, TopologyConfig};
+
+fn main() {
+    let inet = Internet::generate(TopologyConfig::tiny(), 5);
+    let atlas = Pipeline::new(&inet, PipelineConfig::default()).run();
+
+    // Pick the peer with the most discovered CBIs (a transit-ish network).
+    let Some((&asn, profile)) = atlas
+        .groups
+        .per_as
+        .iter()
+        .max_by_key(|(_, p)| p.cbis_by_group.values().map(|s| s.len()).sum::<usize>())
+    else {
+        println!("no peers discovered");
+        return;
+    };
+    let name = atlas
+        .datasets
+        .as2org
+        .org_name(asn)
+        .unwrap_or("<unknown>")
+        .to_string();
+    println!("peer {asn} ({name}) — groups: {:?}", profile.groups().iter().map(|g| g.label()).collect::<Vec<_>>());
+    println!(
+        "BGP-visible: {} (how the paper's Table 5 splits B from nB)\n",
+        profile.bgp_visible
+    );
+
+    println!(
+        "{:<16} {:<10} {:<14} {:<14} {:<10}",
+        "CBI", "group", "pinned metro", "evidence", "truth"
+    );
+    let mut shown = 0;
+    for (group, cbis) in &profile.cbis_by_group {
+        for &cbi in cbis {
+            let (pin_metro, source) = match atlas.pinning.pins.get(&cbi) {
+                Some(p) => (
+                    inet.metros.get(p.metro).name.to_string(),
+                    format!("{:?}", p.source),
+                ),
+                None => match atlas.pinning.region_pins.get(&cbi) {
+                    Some(r) => (
+                        format!("~{}", inet.metros.get(atlas.region_metro[r]).name),
+                        "RegionRtt".into(),
+                    ),
+                    None => ("(unpinned)".into(), "-".into()),
+                },
+            };
+            let truth = inet
+                .iface_by_addr
+                .get(&cbi)
+                .map(|&f| inet.metros.get(inet.router(inet.iface(f).router).metro).name)
+                .unwrap_or("?");
+            println!(
+                "{:<16} {:<10} {:<14} {:<14} {:<10}",
+                cbi.to_string(),
+                group.label(),
+                pin_metro,
+                source,
+                truth
+            );
+            shown += 1;
+            if shown >= 20 {
+                println!("... (truncated)");
+                return;
+            }
+        }
+    }
+}

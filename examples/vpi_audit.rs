@@ -1,0 +1,92 @@
+//! Auditing virtual private interconnects (VPIs) with multi-cloud probing.
+//!
+//! A cloud exchange port that answers probes arriving from two different
+//! clouds must be a multi-homed VPI (§7.1). This example walks the method
+//! step by step for one synthetic enterprise and then grades the global
+//! detection against the generator's ground truth — including the VPIs the
+//! method *cannot* see (single-cloud ports), which is the paper's basis for
+//! arguing that Pr-nB-nV hides more VPIs.
+//!
+//! ```sh
+//! cargo run --release -p cloudmap --example vpi_audit
+//! ```
+
+use cloudmap::pipeline::{Pipeline, PipelineConfig};
+use cloudmap::score;
+use cm_topology::{CloudId, IcKind, Internet, ResponseMode, TopologyConfig};
+use std::collections::{HashMap, HashSet};
+
+fn main() {
+    let inet = Internet::generate(TopologyConfig::tiny(), 99);
+
+    // Ground truth: every VPI port and the clouds it serves.
+    let mut port_clouds: HashMap<cm_net::Ipv4, HashSet<CloudId>> = HashMap::new();
+    let mut port_peer = HashMap::new();
+    for ic in &inet.interconnects {
+        if let IcKind::Vpi { .. } = ic.kind {
+            if let Some(a) = inet.iface(ic.client_iface).addr {
+                port_clouds.entry(a).or_default().insert(ic.cloud);
+                port_peer.insert(a, ic.peer);
+            }
+        }
+    }
+    let multi = port_clouds.values().filter(|c| c.len() >= 2).count();
+    println!(
+        "ground truth: {} VPI ports, {} of them multi-cloud (detectable in principle)",
+        port_clouds.len(),
+        multi
+    );
+
+    // Pick a multi-cloud port on a cooperative router to narrate.
+    let example = port_clouds
+        .iter()
+        .find(|(a, clouds)| {
+            clouds.len() >= 2
+                && inet
+                    .iface_by_addr
+                    .get(a)
+                    .map(|&f| inet.router(inet.iface(f).router).response == ResponseMode::Incoming)
+                    .unwrap_or(false)
+        })
+        .map(|(&a, clouds)| (a, clouds.clone()));
+
+    let atlas = Pipeline::new(&inet, PipelineConfig::default()).run();
+
+    if let Some((port, clouds)) = example {
+        let peer = inet.as_node(port_peer[&port]);
+        println!(
+            "\nexample: {} (port of {}) is wired to {} clouds",
+            port,
+            peer.name,
+            clouds.len()
+        );
+        let seen_primary = atlas.pool.cbis.contains_key(&port);
+        let flagged = atlas.vpi.vpi_cbis.contains(&port);
+        println!("  observed as a CBI by the primary campaign: {seen_primary}");
+        for (name, set) in &atlas.vpi.per_cloud {
+            if set.contains(&port) {
+                println!("  re-observed from {name} -> overlap confirmed");
+            }
+        }
+        println!("  flagged as VPI: {flagged}");
+    }
+
+    println!("\nTable 4 reproduction:");
+    for (name, n) in atlas.vpi.pairwise() {
+        println!("  pairwise  {name}: {n}");
+    }
+    for (name, n) in atlas.vpi.cumulative() {
+        println!("  cumulative {name}: {n}");
+    }
+
+    let s = score::vpi_score(&atlas);
+    println!(
+        "\nscore: precision {:.3}, recall {:.3} over {} detectable ports",
+        s.precision, s.recall, s.detectable
+    );
+    let undetectable = port_clouds.values().filter(|c| c.len() == 1).count();
+    println!(
+        "undetectable single-cloud VPI ports: {undetectable} — these end up in the \
+         Pr-nB-nV group,\nwhich is why the paper calls its VPI count a lower bound."
+    );
+}
