@@ -21,6 +21,8 @@
 //! The output deliberately contains only addresses — inference code never
 //! learns the ground-truth router ids.
 
+#![deny(missing_docs)]
+
 use cm_net::stablehash;
 use cm_net::Ipv4;
 use cm_topology::{Internet, RegionId, ResponseMode};
@@ -77,15 +79,12 @@ impl<'a> AliasProber<'a> {
             return None;
         }
         // Rare per-probe loss.
-        if stablehash::chance(
-            self.seed,
-            &[0x116, addr.to_u32() as u64, k as u64],
-            0.03,
-        ) {
+        if stablehash::chance(self.seed, &[0x116, addr.to_u32() as u64, k as u64], 0.03) {
             return None;
         }
         let (base, rate) = self.router_counter(router.0);
-        let noise = (stablehash::mix(self.seed, &[0x117, addr.to_u32() as u64, k as u64]) % 3) as f64;
+        let noise =
+            (stablehash::mix(self.seed, &[0x117, addr.to_u32() as u64, k as u64]) % 3) as f64;
         Some(((base + rate * t + noise) as u64 % 65536) as u16)
     }
 
@@ -163,7 +162,12 @@ fn monotonic_bounds_test(a: &[(f64, f64)], b: &[(f64, f64)], rate: f64) -> bool 
 
 /// Runs alias resolution for the candidate addresses visible from one
 /// region. Returns alias sets of size ≥ 2 (singletons carry no information).
-pub fn resolve_region(inet: &Internet, region: RegionId, addrs: &[Ipv4], seed: u64) -> Vec<Vec<Ipv4>> {
+pub fn resolve_region(
+    inet: &Internet,
+    region: RegionId,
+    addrs: &[Ipv4],
+    seed: u64,
+) -> Vec<Vec<Ipv4>> {
     let prober = AliasProber::new(inet, seed);
     // Estimation stage.
     let mut estimates: Vec<(Estimate, Vec<(f64, f64)>)> = Vec::new();
@@ -323,9 +327,7 @@ mod tests {
     fn multi_iface_router_addrs(inet: &Internet) -> Option<Vec<Ipv4>> {
         inet.routers
             .iter()
-            .filter(|r| {
-                r.role == RouterRole::ClientBorder && r.response != ResponseMode::Silent
-            })
+            .filter(|r| r.role == RouterRole::ClientBorder && r.response != ResponseMode::Silent)
             .map(|r| {
                 r.ifaces
                     .iter()

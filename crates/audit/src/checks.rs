@@ -1,0 +1,553 @@
+//! The audit rules.
+//!
+//! Each function inspects one layer of the [`cloudmap::Atlas`] against the
+//! independent reference derivation (or against re-computed invariants) and
+//! pushes [`Finding`]s. Rule identifiers are stable strings documented in
+//! `DESIGN.md`; tests assert on them via [`Rule`].
+
+use crate::rederive::RefDerivation;
+use crate::{Finding, Rule, Severity};
+use cloudmap::icg::Icg;
+use cloudmap::pinning::PinSource;
+use cloudmap::Atlas;
+use cm_net::Ipv4;
+use std::collections::HashSet;
+
+fn sorted<T: Ord + Copy>(it: impl IntoIterator<Item = T>) -> Vec<T> {
+    let mut v: Vec<T> = it.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+/// B1 — every launched traceroute is accounted for exactly once.
+pub fn check_trace_conservation(
+    atlas: &Atlas<'_>,
+    reference: &RefDerivation,
+    out: &mut Vec<Finding>,
+) {
+    let launched =
+        atlas.sweep_stats.launched + atlas.expansion_stats.as_ref().map_or(0, |s| s.launched);
+    if reference.launched != launched {
+        out.push(Finding::new(
+            Rule::TraceConservation,
+            Severity::Error,
+            "campaign",
+            format!(
+                "atlas reports {launched} launched traceroutes, replay launched {}",
+                reference.launched
+            ),
+        ));
+    }
+    let accounted = reference.accepted + reference.discards.total() + reference.discards.no_border;
+    if accounted != reference.launched {
+        out.push(Finding::new(
+            Rule::TraceConservation,
+            Severity::Error,
+            "campaign",
+            format!(
+                "replay accounts for {accounted} of {} launched traceroutes",
+                reference.launched
+            ),
+        ));
+    }
+}
+
+/// B2 — every segment in the final pool is explained by the reference walk
+/// or by a §5.2 correction, and every reference segment is still accounted.
+pub fn check_segments(atlas: &Atlas<'_>, reference: &RefDerivation, out: &mut Vec<Finding>) {
+    let pool = &atlas.pool;
+    // Forward: final segments must come from somewhere. Three legal origins:
+    //  * observed directly by the walk;
+    //  * pass-1 shift: the CBI is an overridden (demoted) interface and the
+    //    ABI was a pre-ABI hop in some accepted trace;
+    //  * pass-2 shift: the ABI is a promoted reference CBI and the CBI was a
+    //    post-CBI hop.
+    for seg in sorted(pool.segments.keys().copied()) {
+        let observed = reference.segments.contains_key(&seg);
+        let pass1 =
+            pool.owner_override.contains_key(&seg.cbi) && reference.pre_abis.contains(&seg.abi);
+        let pass2 = reference.cbis.contains_key(&seg.abi) && reference.post_cbis.contains(&seg.cbi);
+        if !(observed || pass1 || pass2) {
+            out.push(Finding::new(
+                Rule::SegmentUnexplained,
+                Severity::Error,
+                format!("{}->{}", seg.abi, seg.cbi),
+                "final segment neither observed in replay nor produced by a \
+                 §5.2 shift"
+                    .to_string(),
+            ));
+        }
+    }
+    // Backward: observed segments may only disappear through a correction
+    // that relabeled one of their endpoints.
+    for seg in sorted(reference.segments.keys().copied()) {
+        let kept = pool.segments.contains_key(&seg);
+        let abi_demoted = pool.owner_override.contains_key(&seg.abi);
+        let cbi_promoted = pool.abis.contains_key(&seg.cbi);
+        if !(kept || abi_demoted || cbi_promoted) {
+            out.push(Finding::new(
+                Rule::SegmentUnexplained,
+                Severity::Error,
+                format!("{}->{}", seg.abi, seg.cbi),
+                "observed segment vanished without a §5.2 relabeling of \
+                 either endpoint"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// B3 — filter counters and the accepted count match the replay exactly.
+pub fn check_discards(atlas: &Atlas<'_>, reference: &RefDerivation, out: &mut Vec<Finding>) {
+    if atlas.pool.discards != reference.discards {
+        out.push(Finding::new(
+            Rule::DiscardMismatch,
+            Severity::Error,
+            "pool.discards",
+            format!(
+                "atlas {:?} vs replay {:?}",
+                atlas.pool.discards, reference.discards
+            ),
+        ));
+    }
+    if atlas.pool.accepted != reference.accepted {
+        out.push(Finding::new(
+            Rule::DiscardMismatch,
+            Severity::Error,
+            "pool.accepted",
+            format!(
+                "atlas accepted {} traceroutes, replay accepted {}",
+                atlas.pool.accepted, reference.accepted
+            ),
+        ));
+    }
+}
+
+/// T1 — Table 1 interface counts equal the replay's (rows 3/4, i.e. after
+/// expansion but before §5 corrections) and the round-one rows (1/2).
+pub fn check_table1(atlas: &Atlas<'_>, reference: &RefDerivation, out: &mut Vec<Finding>) {
+    let expect = [
+        ("ABI", 0, reference.round1_abis),
+        ("CBI", 1, reference.round1_cbis),
+        ("eABI", 2, reference.abis.len()),
+        ("eCBI", 3, reference.cbis.len()),
+    ];
+    for (label, row, want) in expect {
+        let got = atlas.table1[row].count;
+        if got != want {
+            out.push(Finding::new(
+                Rule::Table1Mismatch,
+                Severity::Error,
+                format!("table1.{label}"),
+                format!("atlas reports {got} interfaces, replay found {want}"),
+            ));
+        }
+    }
+}
+
+/// A1 — annotation totality: every CBI carries an external-organization
+/// note (or a §5.2 ownership override), every ABI a cloud-internal one (or
+/// is a promoted reference CBI).
+pub fn check_dispositions(atlas: &Atlas<'_>, reference: &RefDerivation, out: &mut Vec<Finding>) {
+    let pool = &atlas.pool;
+    let org = atlas.cloud_org;
+    let internal = |n: &cloudmap::HopNote| n.org.is_reserved() || n.org == org;
+    for cbi in sorted(pool.cbis.keys().copied()) {
+        let note = pool.cbis[&cbi].note;
+        if internal(&note) && !pool.owner_override.contains_key(&cbi) {
+            out.push(Finding::new(
+                Rule::Disposition,
+                Severity::Error,
+                cbi.to_string(),
+                "CBI annotates as cloud-internal with no ownership override".to_string(),
+            ));
+        }
+    }
+    for abi in sorted(pool.abis.keys().copied()) {
+        let note = pool.abis[&abi];
+        if !internal(&note) && !reference.cbis.contains_key(&abi) {
+            out.push(Finding::new(
+                Rule::Disposition,
+                Severity::Error,
+                abi.to_string(),
+                "ABI annotates as an external organization and is not a \
+                 promoted CBI"
+                    .to_string(),
+            ));
+        }
+    }
+    if let Some(&both) = sorted(pool.abis.keys().copied())
+        .iter()
+        .find(|a| pool.cbis.contains_key(*a))
+    {
+        out.push(Finding::new(
+            Rule::Disposition,
+            Severity::Error,
+            both.to_string(),
+            "address labeled both ABI and CBI".to_string(),
+        ));
+    }
+}
+
+/// A2 — stored notes are exactly what the annotator derives from the
+/// atlas's own snapshot and datasets (no stale or forged annotations).
+pub fn check_note_staleness(atlas: &Atlas<'_>, out: &mut Vec<Finding>) {
+    let ann = atlas.annotator();
+    let mut check = |addr: Ipv4, note: cloudmap::HopNote, kind: &str| {
+        let fresh = ann.annotate(addr);
+        if note != fresh {
+            out.push(Finding::new(
+                Rule::NoteStale,
+                Severity::Error,
+                addr.to_string(),
+                format!("stored {kind} note {note:?} but re-annotation gives {fresh:?}"),
+            ));
+        } else if (note.source == cloudmap::NoteSource::Ixp) != note.ixp.is_some() {
+            out.push(Finding::new(
+                Rule::NoteStale,
+                Severity::Error,
+                addr.to_string(),
+                format!("IXP source flag disagrees with IXP index in {note:?}"),
+            ));
+        }
+    };
+    for abi in sorted(atlas.pool.abis.keys().copied()) {
+        check(abi, atlas.pool.abis[&abi], "ABI");
+    }
+    for cbi in sorted(atlas.pool.cbis.keys().copied()) {
+        check(cbi, atlas.pool.cbis[&cbi].note, "CBI");
+    }
+}
+
+/// V1 — §5.1 totality: the heuristic outcome partitions the pre-correction
+/// ABI set, and every final ABI is either covered by it or explained by a
+/// §5.2 shift.
+pub fn check_witnesses(atlas: &Atlas<'_>, reference: &RefDerivation, out: &mut Vec<Finding>) {
+    let h = &atlas.heuristics;
+    let confirmed: HashSet<Ipv4> = h.confirmed();
+    for &abi in sorted(h.unconfirmed.iter().copied()).iter() {
+        if confirmed.contains(&abi) {
+            out.push(Finding::new(
+                Rule::Witness,
+                Severity::Error,
+                abi.to_string(),
+                "ABI both confirmed and unconfirmed by the §5.1 heuristics".to_string(),
+            ));
+        }
+    }
+    let covered: HashSet<Ipv4> = confirmed.union(&h.unconfirmed).copied().collect();
+    for &abi in covered.iter() {
+        if !reference.abis.contains_key(&abi) {
+            out.push(Finding::new(
+                Rule::Witness,
+                Severity::Error,
+                abi.to_string(),
+                "heuristic outcome covers an address the replay never \
+                 accepted as ABI"
+                    .to_string(),
+            ));
+        }
+    }
+    for abi in sorted(atlas.pool.abis.keys().copied()) {
+        let witnessed = covered.contains(&abi)
+            || reference.pre_abis.contains(&abi)
+            || reference.cbis.contains_key(&abi);
+        if !witnessed {
+            out.push(Finding::new(
+                Rule::Witness,
+                Severity::Error,
+                abi.to_string(),
+                "final ABI has no §5.1 heuristic disposition and no §5.2 \
+                 shift explanation"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// V2 — §5.2 bookkeeping: override count equals the relabeling counters,
+/// overrides name client ASes and cover known CBIs only.
+pub fn check_change_stats(atlas: &Atlas<'_>, out: &mut Vec<Finding>) {
+    let pool = &atlas.pool;
+    let want = atlas.changes.abi_to_cbi + atlas.changes.cbi_to_cbi;
+    if pool.owner_override.len() != want {
+        out.push(Finding::new(
+            Rule::ChangeStats,
+            Severity::Error,
+            "pool.owner_override",
+            format!(
+                "{} overrides recorded but counters say {} ({} ABI→CBI + {} CBI→CBI)",
+                pool.owner_override.len(),
+                want,
+                atlas.changes.abi_to_cbi,
+                atlas.changes.cbi_to_cbi
+            ),
+        ));
+    }
+    for addr in sorted(pool.owner_override.keys().copied()) {
+        let owner = pool.owner_override[&addr];
+        if !pool.cbis.contains_key(&addr) {
+            out.push(Finding::new(
+                Rule::ChangeStats,
+                Severity::Error,
+                addr.to_string(),
+                "ownership override on an address that is not a CBI".to_string(),
+            ));
+        }
+        if atlas.datasets.as2org.org_of(owner) == Some(atlas.cloud_org) {
+            out.push(Finding::new(
+                Rule::ChangeStats,
+                Severity::Error,
+                addr.to_string(),
+                format!("ownership override attributes a CBI to the cloud's own {owner:?}"),
+            ));
+        }
+    }
+}
+
+/// P1 — physics: DNS- and footprint-anchored pins must pass the same RTT
+/// feasibility test §6.1 imposes (speed of light in fiber, bounded path
+/// inflation).
+pub fn check_speed_of_light(atlas: &Atlas<'_>, out: &mut Vec<Finding>) {
+    let fiber = atlas.config.pinning.fiber_km_per_ms;
+    for addr in sorted(atlas.pinning.pins.keys().copied()) {
+        let pin = atlas.pinning.pins[&addr];
+        if !matches!(pin.source, PinSource::DnsName | PinSource::Footprint) {
+            continue;
+        }
+        let Some((region, rtt)) = atlas.rtt.closest_region(addr) else {
+            continue;
+        };
+        let vm_metro = atlas.region_metro[&region];
+        let km = atlas.inet.metros.distance_km(vm_metro, pin.metro);
+        let floor = 2.0 * km / fiber;
+        if rtt + 0.05 < floor {
+            out.push(Finding::new(
+                Rule::SpeedOfLight,
+                Severity::Error,
+                addr.to_string(),
+                format!(
+                    "min RTT {rtt:.3} ms undercuts the {floor:.3} ms propagation \
+                     floor of the pinned metro ({km:.0} km away)"
+                ),
+            ));
+        } else if rtt > 2.5 * floor + 2.5 {
+            out.push(Finding::new(
+                Rule::SpeedOfLight,
+                Severity::Error,
+                addr.to_string(),
+                format!(
+                    "min RTT {rtt:.3} ms far exceeds what the pinned metro can \
+                     explain (bound {:.3} ms)",
+                    2.5 * floor + 2.5
+                ),
+            ));
+        }
+    }
+}
+
+/// P2 — pin domains: pins cover known interfaces only, metro- and
+/// region-level pins are disjoint, and every pin names a real metro/region.
+pub fn check_pin_domain(atlas: &Atlas<'_>, out: &mut Vec<Finding>) {
+    let pool = &atlas.pool;
+    let known = |a: &Ipv4| pool.abis.contains_key(a) || pool.cbis.contains_key(a);
+    for addr in sorted(atlas.pinning.pins.keys().copied()) {
+        if !known(&addr) {
+            out.push(Finding::new(
+                Rule::PinDomain,
+                Severity::Error,
+                addr.to_string(),
+                "metro pin on an address outside the interface pool".to_string(),
+            ));
+        }
+        if atlas.pinning.pins[&addr].metro.0 as usize >= atlas.inet.metros.len() {
+            out.push(Finding::new(
+                Rule::PinDomain,
+                Severity::Error,
+                addr.to_string(),
+                "pin names a metro outside the catalog".to_string(),
+            ));
+        }
+        if atlas.pinning.region_pins.contains_key(&addr) {
+            out.push(Finding::new(
+                Rule::PinDomain,
+                Severity::Error,
+                addr.to_string(),
+                "address pinned at both metro and region granularity".to_string(),
+            ));
+        }
+    }
+    for addr in sorted(atlas.pinning.region_pins.keys().copied()) {
+        if !known(&addr) {
+            out.push(Finding::new(
+                Rule::PinDomain,
+                Severity::Error,
+                addr.to_string(),
+                "region pin on an address outside the interface pool".to_string(),
+            ));
+        }
+        let region = atlas.pinning.region_pins[&addr];
+        if !atlas.region_metro.contains_key(&region) {
+            out.push(Finding::new(
+                Rule::PinDomain,
+                Severity::Error,
+                addr.to_string(),
+                format!("region pin names unknown region {region:?}"),
+            ));
+        }
+    }
+}
+
+/// G1 — grouping: no peer profile for the cloud's own ASes, every grouped
+/// CBI attributes to its profile's AS, public groups iff the CBI sits on an
+/// IXP LAN.
+pub fn check_grouping(atlas: &Atlas<'_>, out: &mut Vec<Finding>) {
+    use cloudmap::groups::PeeringGroup;
+    let pool = &atlas.pool;
+    for asn in sorted(atlas.groups.per_as.keys().copied()) {
+        if atlas.cloud_asns.contains(&asn) {
+            out.push(Finding::new(
+                Rule::Grouping,
+                Severity::Error,
+                format!("{asn:?}"),
+                "peer profile exists for one of the cloud's own ASes".to_string(),
+            ));
+            continue;
+        }
+        let profile = &atlas.groups.per_as[&asn];
+        for group in profile.groups() {
+            let public = matches!(group, PeeringGroup::PbNb | PeeringGroup::PbB);
+            let Some(cbis) = profile.cbis_by_group.get(&group) else {
+                continue;
+            };
+            for &cbi in sorted(cbis.iter().copied()).iter() {
+                if pool.peer_of(cbi) != Some(asn) {
+                    out.push(Finding::new(
+                        Rule::Grouping,
+                        Severity::Error,
+                        cbi.to_string(),
+                        format!("CBI grouped under {asn:?} but attributes elsewhere"),
+                    ));
+                }
+                let on_ixp = pool
+                    .cbis
+                    .get(&cbi)
+                    .map(|i| i.note.source == cloudmap::NoteSource::Ixp)
+                    .unwrap_or(false);
+                if public != on_ixp {
+                    out.push(Finding::new(
+                        Rule::Grouping,
+                        Severity::Error,
+                        cbi.to_string(),
+                        format!(
+                            "CBI in {} group but IXP membership is {on_ixp}",
+                            group.label()
+                        ),
+                    ));
+                }
+            }
+            for &abi in sorted(
+                profile
+                    .abis_by_group
+                    .get(&group)
+                    .into_iter()
+                    .flat_map(|s| s.iter().copied()),
+            )
+            .iter()
+            {
+                if !pool.abis.contains_key(&abi) {
+                    out.push(Finding::new(
+                        Rule::Grouping,
+                        Severity::Error,
+                        abi.to_string(),
+                        "grouped ABI missing from the interface pool".to_string(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// I1 — the connectivity graph is exactly what its inputs dictate.
+pub fn check_icg(atlas: &Atlas<'_>, out: &mut Vec<Finding>) {
+    let fresh = Icg::build(&atlas.pool, &atlas.pinning);
+    let icg = &atlas.icg;
+    let mut mismatch = |what: &str, got: String, want: String| {
+        out.push(Finding::new(
+            Rule::IcgMismatch,
+            Severity::Error,
+            format!("icg.{what}"),
+            format!("atlas has {got}, rebuild gives {want}"),
+        ));
+    };
+    if icg.nodes != fresh.nodes {
+        mismatch("nodes", icg.nodes.to_string(), fresh.nodes.to_string());
+    }
+    if icg.edges != fresh.edges {
+        mismatch("edges", icg.edges.to_string(), fresh.edges.to_string());
+    }
+    if icg.largest_component_share != fresh.largest_component_share {
+        mismatch(
+            "largest_component_share",
+            format!("{}", icg.largest_component_share),
+            format!("{}", fresh.largest_component_share),
+        );
+    }
+    if icg.both_pinned != fresh.both_pinned {
+        mismatch(
+            "both_pinned",
+            icg.both_pinned.to_string(),
+            fresh.both_pinned.to_string(),
+        );
+    }
+    if icg.intra_metro != fresh.intra_metro {
+        mismatch(
+            "intra_metro",
+            icg.intra_metro.to_string(),
+            fresh.intra_metro.to_string(),
+        );
+    }
+    if icg.abi_degree != fresh.abi_degree {
+        mismatch(
+            "abi_degree",
+            format!("{} entries", icg.abi_degree.len()),
+            format!("{} entries", fresh.abi_degree.len()),
+        );
+    }
+    if icg.cbi_degree != fresh.cbi_degree {
+        mismatch(
+            "cbi_degree",
+            format!("{} entries", icg.cbi_degree.len()),
+            format!("{} entries", fresh.cbi_degree.len()),
+        );
+    }
+}
+
+/// C1 — the coverage report is arithmetically consistent with the grouping
+/// and with itself.
+pub fn check_coverage(atlas: &Atlas<'_>, out: &mut Vec<Finding>) {
+    let cov = &atlas.coverage;
+    if cov.inferred_peers != atlas.groups.per_as.len() {
+        out.push(Finding::new(
+            Rule::Coverage,
+            Severity::Error,
+            "coverage.inferred_peers",
+            format!(
+                "{} inferred peers reported but the grouping has {} profiles",
+                cov.inferred_peers,
+                atlas.groups.per_as.len()
+            ),
+        ));
+    }
+    if cov.discovered_of_bgp > cov.bgp_peers.min(cov.inferred_peers) {
+        out.push(Finding::new(
+            Rule::Coverage,
+            Severity::Error,
+            "coverage.discovered_of_bgp",
+            format!(
+                "{} discovered-of-BGP exceeds min(bgp_peers={}, inferred={})",
+                cov.discovered_of_bgp, cov.bgp_peers, cov.inferred_peers
+            ),
+        ));
+    }
+}

@@ -1,0 +1,247 @@
+//! Independent re-derivation of the §4.1 border inference.
+//!
+//! The pipeline's [`cloudmap::borders::BorderCollector`] folds traceroutes
+//! into a [`cloudmap::borders::SegmentPool`] as they stream by; nothing but
+//! the pool survives. To audit it, this module replays the exact probing
+//! campaign the pipeline ran (the dataplane is deterministic in the world
+//! seed and the pipeline configuration, both stored in the
+//! [`cloudmap::Atlas`]) and walks every traceroute with a **separate**
+//! implementation of the paper's border rules. The resulting reference sets
+//! are what the checks in [`crate::checks`] compare the atlas against.
+//!
+//! The walk here is written against the paper's prose (§4.1), not against
+//! the pipeline's code: a traceroute is classified by scanning for the
+//! first hop whose organization is neither AS0 nor the cloud's, then
+//! applying the discard filters in the paper's precedence order. Agreement
+//! between two independently written walks is the point of the exercise.
+
+use cloudmap::annotate::{Annotator, HopNote};
+use cloudmap::borders::{DiscardStats, Segment};
+use cloudmap::Atlas;
+use cm_dataplane::{DataPlane, Traceroute};
+use cm_net::{Ipv4, OrgId, Prefix};
+use cm_probe::Campaign;
+use cm_topology::CloudId;
+use std::collections::{HashMap, HashSet};
+
+/// Reference products of the independent §4.1 walk, **before** the §5.2
+/// alias corrections (which the checks account for separately).
+#[derive(Clone, Debug, Default)]
+pub struct RefDerivation {
+    /// Unique (ABI, CBI) segments with their accepted-trace counts.
+    pub segments: HashMap<Segment, usize>,
+    /// Reference ABI annotations.
+    pub abis: HashMap<Ipv4, HopNote>,
+    /// Reference CBI annotations.
+    pub cbis: HashMap<Ipv4, HopNote>,
+    /// Every hop observed immediately before an accepted ABI (contiguous
+    /// TTL); pass 1 of the §5.2 corrections can promote only these to ABIs.
+    pub pre_abis: HashSet<Ipv4>,
+    /// Every hop observed immediately after an accepted CBI; pass 2 of the
+    /// corrections can demote only these to CBIs.
+    pub post_cbis: HashSet<Ipv4>,
+    /// Discard counters re-derived from scratch.
+    pub discards: DiscardStats,
+    /// Accepted traceroutes.
+    pub accepted: usize,
+    /// Traceroutes launched across both rounds (sweep + expansion).
+    pub launched: usize,
+    /// Unique ABIs after round one only (Table 1 row 1).
+    pub round1_abis: usize,
+    /// Unique CBIs after round one only (Table 1 row 2).
+    pub round1_cbis: usize,
+}
+
+/// How one traceroute fared under the §4.1 rules.
+enum Verdict {
+    NoBorder,
+    CbiIsDestination,
+    GapBeforeBorder,
+    Looped,
+    Duplicate,
+    CloudReentry,
+    Accepted {
+        abi: Ipv4,
+        cbi: Ipv4,
+        abi_note: HopNote,
+        cbi_note: HopNote,
+        pre: Option<Ipv4>,
+        post: Option<Ipv4>,
+    },
+}
+
+/// Classifies one traceroute. `note_of` memoizes annotation lookups.
+fn walk(t: &Traceroute, cloud_org: OrgId, note_of: &mut impl FnMut(Ipv4) -> HopNote) -> Verdict {
+    // Responsive hops only, with their TTLs and annotations.
+    let hops: Vec<(u8, Ipv4, HopNote)> = t
+        .hops
+        .iter()
+        .filter_map(|h| h.addr.map(|a| (h.ttl, a, note_of(a))))
+        .collect();
+
+    // "The first hop whose ORG number is neither 0 nor the cloud's."
+    let external = |n: &HopNote| !n.org.is_reserved() && n.org != cloud_org;
+    let Some(cbi_pos) = hops.iter().position(|(_, _, n)| external(n)) else {
+        return Verdict::NoBorder;
+    };
+    let (cbi_ttl, cbi, cbi_note) = hops[cbi_pos];
+
+    // Filters, in the paper's precedence order.
+    if cbi == t.dst {
+        return Verdict::CbiIsDestination;
+    }
+    if cbi_pos == 0 {
+        return Verdict::GapBeforeBorder;
+    }
+    let (abi_ttl, abi, abi_note) = hops[cbi_pos - 1];
+    if cbi_ttl != abi_ttl + 1 {
+        return Verdict::GapBeforeBorder;
+    }
+    // Repeated addresses: at non-adjacent TTLs anywhere → loop; at adjacent
+    // TTLs at or before the border → duplicate artifact.
+    let mut last_ttl: HashMap<Ipv4, u8> = HashMap::new();
+    let mut duplicate = false;
+    for (i, &(ttl, a, _)) in hops.iter().enumerate() {
+        if let Some(&prev) = last_ttl.get(&a) {
+            if ttl != prev + 1 {
+                return Verdict::Looped;
+            }
+            if i <= cbi_pos {
+                duplicate = true;
+            }
+        }
+        last_ttl.insert(a, ttl);
+    }
+    if duplicate {
+        return Verdict::Duplicate;
+    }
+    if hops[cbi_pos + 1..]
+        .iter()
+        .any(|(_, _, n)| n.org == cloud_org)
+    {
+        return Verdict::CloudReentry;
+    }
+
+    let pre = (cbi_pos >= 2)
+        .then(|| hops[cbi_pos - 2])
+        .filter(|&(t2, a2, _)| t2 + 1 == abi_ttl && a2 != abi)
+        .map(|(_, a2, _)| a2);
+    let post = hops
+        .get(cbi_pos + 1)
+        .filter(|&&(t2, _, _)| t2 == cbi_ttl + 1)
+        .map(|&(_, a2, _)| a2);
+    Verdict::Accepted {
+        abi,
+        cbi,
+        abi_note,
+        cbi_note,
+        pre,
+        post,
+    }
+}
+
+impl RefDerivation {
+    fn observe(
+        &mut self,
+        t: &Traceroute,
+        cloud_org: OrgId,
+        note_of: &mut impl FnMut(Ipv4) -> HopNote,
+    ) {
+        match walk(t, cloud_org, note_of) {
+            Verdict::NoBorder => self.discards.no_border += 1,
+            Verdict::CbiIsDestination => self.discards.cbi_is_destination += 1,
+            Verdict::GapBeforeBorder => self.discards.gap_before_border += 1,
+            Verdict::Looped => self.discards.looped += 1,
+            Verdict::Duplicate => self.discards.duplicate += 1,
+            Verdict::CloudReentry => self.discards.cloud_reentry += 1,
+            Verdict::Accepted {
+                abi,
+                cbi,
+                abi_note,
+                cbi_note,
+                pre,
+                post,
+            } => {
+                self.accepted += 1;
+                *self.segments.entry(Segment { abi, cbi }).or_default() += 1;
+                self.abis.entry(abi).or_insert(abi_note);
+                self.cbis.entry(cbi).or_insert(cbi_note);
+                if let Some(p) = pre {
+                    self.pre_abis.insert(p);
+                }
+                if let Some(p) = post {
+                    self.post_cbis.insert(p);
+                }
+            }
+        }
+    }
+
+    fn absorb(&mut self, other: RefDerivation) {
+        for (seg, n) in other.segments {
+            *self.segments.entry(seg).or_default() += n;
+        }
+        for (a, n) in other.abis {
+            self.abis.entry(a).or_insert(n);
+        }
+        for (a, n) in other.cbis {
+            self.cbis.entry(a).or_insert(n);
+        }
+        self.pre_abis.extend(other.pre_abis);
+        self.post_cbis.extend(other.post_cbis);
+        self.discards.no_border += other.discards.no_border;
+        self.discards.gap_before_border += other.discards.gap_before_border;
+        self.discards.looped += other.discards.looped;
+        self.discards.duplicate += other.discards.duplicate;
+        self.discards.cbi_is_destination += other.discards.cbi_is_destination;
+        self.discards.cloud_reentry += other.discards.cloud_reentry;
+        self.accepted += other.accepted;
+        self.launched += other.launched;
+    }
+
+    /// The §4.2 expansion prefixes this reference pool would request.
+    fn expansion_prefixes(&self) -> Vec<Prefix> {
+        let mut v: Vec<Prefix> = self.cbis.keys().map(|&a| Prefix::slash24_of(a)).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// Replays the pipeline's probing campaign and re-derives the border
+/// products with the independent walk above.
+pub fn rederive(atlas: &Atlas<'_>) -> RefDerivation {
+    let cfg = &atlas.config;
+    let annotator = Annotator::new(&atlas.snapshot, &atlas.datasets);
+    let plane = DataPlane::new(atlas.inet, cfg.dataplane);
+    let campaign = Campaign::new(&plane, CloudId(0));
+    let cloud_org = atlas.cloud_org;
+    let epochs = cfg.sweep_epochs.max(1);
+
+    let run_round = |targets: &[Ipv4]| -> RefDerivation {
+        let (states, stats) = campaign.run_parallel(
+            targets,
+            epochs,
+            || (RefDerivation::default(), HashMap::<Ipv4, HopNote>::new()),
+            |(state, memo), t| {
+                let mut note_of = |a: Ipv4| *memo.entry(a).or_insert_with(|| annotator.annotate(a));
+                state.observe(t, cloud_org, &mut note_of);
+            },
+        );
+        let mut merged = RefDerivation::default();
+        for (state, _) in states {
+            merged.absorb(state);
+        }
+        merged.launched = stats.launched;
+        merged
+    };
+
+    let mut reference = run_round(&campaign.sweep_targets());
+    reference.round1_abis = reference.abis.len();
+    reference.round1_cbis = reference.cbis.len();
+    if cfg.run_expansion {
+        let targets = campaign.expansion_targets(&reference.expansion_prefixes());
+        let round2 = run_round(&targets);
+        reference.absorb(round2);
+    }
+    reference
+}

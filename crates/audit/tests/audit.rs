@@ -1,0 +1,366 @@
+//! End-to-end audit tests: clean atlases pass, targeted mutations are
+//! caught by the matching rule, and the audit itself is deterministic.
+
+use cloudmap::borders::Segment;
+use cloudmap::pinning::{Pin, PinSource};
+use cloudmap::pipeline::{Atlas, Pipeline, PipelineConfig};
+use cm_audit::{audit, audit_with_reference, rederive, RefDerivation, Rule};
+use cm_geo::MetroId;
+use cm_net::Ipv4;
+use cm_topology::{Internet, TopologyConfig};
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+// ---------------------------------------------------------------------------
+// Shared fixture: one tiny world, one atlas, one reference derivation. The
+// mutation tests borrow the atlas exclusively, tamper with one field, audit,
+// and restore the field before releasing the lock.
+// ---------------------------------------------------------------------------
+
+fn world() -> &'static Internet {
+    static WORLD: OnceLock<&'static Internet> = OnceLock::new();
+    WORLD.get_or_init(|| Box::leak(Box::new(Internet::generate(TopologyConfig::tiny(), 7))))
+}
+
+fn fixture() -> (MutexGuard<'static, Atlas<'static>>, &'static RefDerivation) {
+    static ATLAS: OnceLock<Mutex<Atlas<'static>>> = OnceLock::new();
+    static REFERENCE: OnceLock<RefDerivation> = OnceLock::new();
+    let atlas = ATLAS.get_or_init(|| {
+        Mutex::new(
+            Pipeline::new(world(), PipelineConfig::default())
+                .run()
+                .expect("pipeline run"),
+        )
+    });
+    let reference = REFERENCE.get_or_init(|| rederive(&atlas.lock().expect("fixture lock")));
+    (atlas.lock().expect("fixture lock"), reference)
+}
+
+/// Runs one mutation scenario: `mutate` tampers with the atlas and returns
+/// whatever is needed to `restore` it; the audit in between must fire
+/// `rule`, and the restored atlas must audit clean again.
+fn assert_catches<S>(
+    rule: Rule,
+    mutate: impl FnOnce(&mut Atlas<'static>, &RefDerivation) -> S,
+    restore: impl FnOnce(&mut Atlas<'static>, S),
+) {
+    let (mut atlas, reference) = fixture();
+    let saved = mutate(&mut atlas, reference);
+    let report = audit_with_reference(&atlas, reference);
+    let fired = report.fired(rule);
+    restore(&mut atlas, saved);
+    assert!(
+        fired,
+        "{} did not fire; findings were:\n{report}",
+        rule.id()
+    );
+    assert!(
+        audit_with_reference(&atlas, reference).is_clean(),
+        "fixture not restored after {} scenario",
+        rule.id()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Clean runs
+// ---------------------------------------------------------------------------
+
+#[test]
+fn default_atlas_audits_clean() {
+    let (atlas, reference) = fixture();
+    let report = audit_with_reference(&atlas, reference);
+    assert!(
+        report.is_clean(),
+        "clean atlas produced findings:\n{report}"
+    );
+}
+
+#[test]
+fn audit_is_deterministic() {
+    let (atlas, reference) = fixture();
+    let a = audit_with_reference(&atlas, reference);
+    let b = audit_with_reference(&atlas, reference);
+    assert_eq!(a, b, "two audits of one atlas disagree");
+    assert_eq!(a.digest(), b.digest());
+    // The digest is over rendered bytes, so equal digests mean
+    // byte-identical findings.
+    let lines_a: Vec<String> = a.findings.iter().map(|f| f.to_string()).collect();
+    let lines_b: Vec<String> = b.findings.iter().map(|f| f.to_string()).collect();
+    assert_eq!(lines_a, lines_b);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Any pipeline run over a random tiny Internet audits clean — the
+    /// full `audit` entry point, replay included.
+    #[test]
+    fn random_worlds_audit_clean(seed in 0u64..1000, ablate_expansion in any::<bool>()) {
+        let inet = Internet::generate(TopologyConfig::tiny(), seed);
+        let cfg = PipelineConfig {
+            run_expansion: !ablate_expansion,
+            ..PipelineConfig::default()
+        };
+        let atlas = Pipeline::new(&inet, cfg).run().expect("pipeline run");
+        let report = audit(&atlas);
+        prop_assert!(report.is_clean(), "seed {} produced findings:\n{}", seed, report);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutation scenarios — each forged field caught by its rule
+// ---------------------------------------------------------------------------
+
+#[test]
+fn swapped_segment_fires_b2() {
+    assert_catches(
+        Rule::SegmentUnexplained,
+        |atlas, _reference| {
+            let &seg = atlas
+                .pool
+                .segments
+                .keys()
+                .min()
+                .expect("fixture has segments");
+            let meta = atlas.pool.segments.remove(&seg).expect("segment present");
+            // Swap the endpoints: the reversed pair was never observed.
+            let forged = Segment {
+                abi: seg.cbi,
+                cbi: seg.abi,
+            };
+            atlas.pool.segments.insert(forged, meta.clone());
+            (seg, forged, meta)
+        },
+        |atlas, (seg, forged, meta)| {
+            atlas.pool.segments.remove(&forged);
+            atlas.pool.segments.insert(seg, meta);
+        },
+    );
+}
+
+#[test]
+fn forged_discard_counter_fires_b3() {
+    assert_catches(
+        Rule::DiscardMismatch,
+        |atlas, _reference| {
+            atlas.pool.discards.looped += 1;
+        },
+        |atlas, ()| {
+            atlas.pool.discards.looped -= 1;
+        },
+    );
+}
+
+#[test]
+fn forged_table1_count_fires_t1() {
+    assert_catches(
+        Rule::Table1Mismatch,
+        |atlas, _reference| {
+            atlas.table1[2].count += 1;
+        },
+        |atlas, ()| {
+            atlas.table1[2].count -= 1;
+        },
+    );
+}
+
+#[test]
+fn forged_as0_cbi_fires_a1() {
+    assert_catches(
+        Rule::Disposition,
+        |atlas, _reference| {
+            // Pick a CBI without an ownership override and erase its
+            // annotation to AS0: an unattributable client border.
+            let &cbi = atlas
+                .pool
+                .cbis
+                .keys()
+                .filter(|c| !atlas.pool.owner_override.contains_key(c))
+                .min()
+                .expect("fixture has un-overridden CBIs");
+            let info = atlas.pool.cbis.get_mut(&cbi).expect("cbi present");
+            let saved = info.note;
+            info.note = cloudmap::HopNote::UNKNOWN;
+            (cbi, saved)
+        },
+        |atlas, (cbi, saved)| {
+            atlas.pool.cbis.get_mut(&cbi).expect("cbi present").note = saved;
+        },
+    );
+}
+
+#[test]
+fn erased_heuristic_disposition_fires_v1() {
+    assert_catches(
+        Rule::Witness,
+        |atlas, reference| {
+            let &abi = atlas
+                .heuristics
+                .unconfirmed
+                .iter()
+                .chain(atlas.heuristics.ixp.iter())
+                .chain(atlas.heuristics.hybrid.iter())
+                .chain(atlas.heuristics.reachable.iter())
+                .filter(|a| {
+                    atlas.pool.abis.contains_key(a)
+                        && !reference.pre_abis.contains(a)
+                        && !reference.cbis.contains_key(a)
+                })
+                .min()
+                .expect("fixture has dispositioned ABIs");
+            let h = &mut atlas.heuristics;
+            let saved = (
+                h.ixp.remove(&abi),
+                h.hybrid.remove(&abi),
+                h.reachable.remove(&abi),
+                h.unconfirmed.remove(&abi),
+            );
+            (abi, saved)
+        },
+        |atlas, (abi, (ixp, hybrid, reachable, unconfirmed))| {
+            let h = &mut atlas.heuristics;
+            if ixp {
+                h.ixp.insert(abi);
+            }
+            if hybrid {
+                h.hybrid.insert(abi);
+            }
+            if reachable {
+                h.reachable.insert(abi);
+            }
+            if unconfirmed {
+                h.unconfirmed.insert(abi);
+            }
+        },
+    );
+}
+
+#[test]
+fn forged_owner_override_fires_v2() {
+    assert_catches(
+        Rule::ChangeStats,
+        |atlas, _reference| {
+            // An override the counters do not account for.
+            let &cbi = atlas
+                .pool
+                .cbis
+                .keys()
+                .filter(|c| !atlas.pool.owner_override.contains_key(c))
+                .min()
+                .expect("fixture has un-overridden CBIs");
+            let asn = *atlas.cloud_asns.iter().min().expect("cloud has ASNs");
+            atlas.pool.owner_override.insert(cbi, asn);
+            cbi
+        },
+        |atlas, cbi| {
+            atlas.pool.owner_override.remove(&cbi);
+        },
+    );
+}
+
+#[test]
+fn teleported_pin_fires_p1() {
+    assert_catches(
+        Rule::SpeedOfLight,
+        |atlas, _reference| {
+            // Pin the interface with the lowest measured RTT to the metro
+            // farthest from its closest region: light cannot cover that.
+            let (&addr, _) = atlas
+                .pinning
+                .pins
+                .iter()
+                .filter(|(a, _)| atlas.rtt.closest_region(**a).is_some())
+                .min_by(|(a, _), (b, _)| {
+                    let ra = atlas.rtt.closest_region(**a).expect("filtered").1;
+                    let rb = atlas.rtt.closest_region(**b).expect("filtered").1;
+                    ra.partial_cmp(&rb).expect("finite RTTs").then(a.cmp(b))
+                })
+                .expect("fixture has measured pins");
+            let (region, _) = atlas.rtt.closest_region(addr).expect("measured");
+            let vm_metro = atlas.region_metro[&region];
+            let far = (0..atlas.inet.metros.len() as u16)
+                .map(MetroId)
+                .max_by(|&a, &b| {
+                    let da = atlas.inet.metros.distance_km(vm_metro, a);
+                    let db = atlas.inet.metros.distance_km(vm_metro, b);
+                    da.partial_cmp(&db)
+                        .expect("finite distances")
+                        .then(a.cmp(&b))
+                })
+                .expect("catalog not empty");
+            let saved = atlas.pinning.pins.insert(
+                addr,
+                Pin {
+                    metro: far,
+                    source: PinSource::DnsName,
+                },
+            );
+            (addr, saved)
+        },
+        |atlas, (addr, saved)| {
+            match saved {
+                Some(pin) => atlas.pinning.pins.insert(addr, pin),
+                None => atlas.pinning.pins.remove(&addr),
+            };
+        },
+    );
+}
+
+#[test]
+fn pin_outside_pool_fires_p2() {
+    assert_catches(
+        Rule::PinDomain,
+        |atlas, _reference| {
+            let stray: Ipv4 = "9.9.9.9".parse().expect("literal address");
+            assert!(!atlas.pool.abis.contains_key(&stray));
+            assert!(!atlas.pool.cbis.contains_key(&stray));
+            atlas.pinning.pins.insert(
+                stray,
+                Pin {
+                    metro: MetroId(0),
+                    source: PinSource::AliasRule,
+                },
+            );
+            stray
+        },
+        |atlas, stray| {
+            atlas.pinning.pins.remove(&stray);
+        },
+    );
+}
+
+#[test]
+fn forged_icg_edge_count_fires_i1() {
+    assert_catches(
+        Rule::IcgMismatch,
+        |atlas, _reference| {
+            atlas.icg.edges += 1;
+        },
+        |atlas, ()| {
+            atlas.icg.edges -= 1;
+        },
+    );
+}
+
+#[test]
+fn forged_coverage_fires_c1() {
+    assert_catches(
+        Rule::Coverage,
+        |atlas, _reference| {
+            atlas.coverage.inferred_peers += 1;
+            atlas.coverage.discovered_of_bgp = atlas.coverage.bgp_peers + 1;
+        },
+        |atlas, ()| {
+            atlas.coverage.inferred_peers -= 1;
+            let inferred: std::collections::HashSet<_> =
+                atlas.groups.per_as.keys().copied().collect();
+            atlas.coverage.discovered_of_bgp = atlas
+                .view
+                .visible_peers
+                .iter()
+                .map(|&p| atlas.inet.as_node(p).asn)
+                .filter(|a| inferred.contains(a))
+                .count();
+        },
+    );
+}

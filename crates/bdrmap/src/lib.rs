@@ -22,6 +22,8 @@
 //! cross-region reconciliation — because reproducing those failure modes
 //! *is* the experiment.
 
+#![deny(missing_docs)]
+
 use cm_dataplane::{DataPlane, Traceroute};
 use cm_datasets::PublicDatasets;
 use cm_net::{Asn, Ipv4, PrefixTrie};
@@ -161,11 +163,9 @@ impl<'d> Bdrmap<'d> {
             if cbi_ttl != abi_ttl + 1 || cbi_addr == *dst {
                 continue;
             }
-            let prev_unrouted = self.snapshot.lookup(abi_addr).is_none()
-                && !abi_addr.is_private_or_shared();
-            if prev_unrouted
-                && succ_ases.get(&abi_addr).map(|s| s.len()).unwrap_or(0) >= 2
-            {
+            let prev_unrouted =
+                self.snapshot.lookup(abi_addr).is_none() && !abi_addr.is_private_or_shared();
+            if prev_unrouted && succ_ases.get(&abi_addr).map(|s| s.len()).unwrap_or(0) >= 2 {
                 // The unrouted hop fans out to several ASes: bdrmap reads it
                 // as the *neighbor's* aggregation router.
                 let pre = (ci >= 2).then(|| hops[ci - 2].1);

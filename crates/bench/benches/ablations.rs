@@ -5,8 +5,8 @@
 //! (coverage, visibility, accuracy) so the quality impact is visible next
 //! to the time impact.
 
-use cloudmap::pipeline::{Pipeline, PipelineConfig};
 use cloudmap::pinning::PinningConfig;
+use cloudmap::pipeline::{Pipeline, PipelineConfig};
 use cm_bgp::BgpView;
 use cm_dataplane::DataPlaneConfig;
 use cm_topology::{CloudId, Internet, ResponsePolicyMix, TopologyConfig};
@@ -27,7 +27,9 @@ fn bench_ablations(c: &mut Criterion) {
 
     // --- expansion probing on/off (§4.2) --------------------------------
     {
-        let with = Pipeline::new(&inet, quiet_cfg()).run();
+        let with = Pipeline::new(&inet, quiet_cfg())
+            .run()
+            .expect("pipeline run");
         let without = Pipeline::new(
             &inet,
             PipelineConfig {
@@ -35,7 +37,8 @@ fn bench_ablations(c: &mut Criterion) {
                 ..quiet_cfg()
             },
         )
-        .run();
+        .run()
+        .expect("pipeline run");
         eprintln!(
             "# ablation expansion: CBIs {} -> {} without round two",
             with.pool.cbis.len(),
@@ -85,7 +88,8 @@ fn bench_ablations(c: &mut Criterion) {
                     ..quiet_cfg()
                 },
             )
-            .run();
+            .run()
+            .expect("pipeline run");
             let s = cloudmap::score::pin_score(&atlas);
             eprintln!(
                 "# ablation copresence {t} ms: coverage {:.3}, accuracy {:.3}",
@@ -110,7 +114,8 @@ fn bench_ablations(c: &mut Criterion) {
                     ..quiet_cfg()
                 },
             )
-            .run();
+            .run()
+            .expect("pipeline run");
             let s = cloudmap::score::pin_score(&atlas);
             eprintln!(
                 "# ablation anchors without {}: coverage {:.3}, accuracy {:.3}",
@@ -132,7 +137,9 @@ fn bench_ablations(c: &mut Criterion) {
             },
             2019,
         );
-        let atlas = Pipeline::new(&noisy, quiet_cfg()).run();
+        let atlas = Pipeline::new(&noisy, quiet_cfg())
+            .run()
+            .expect("pipeline run");
         let s = cloudmap::score::border_score(&atlas);
         eprintln!(
             "# ablation noisy responders: CBI precision {:.3}, peer recall {:.3}",

@@ -45,9 +45,7 @@ fn bench_tables(c: &mut Criterion) {
             grouping.table5()
         })
     });
-    g.bench_function("table6_hybrid_census", |b| {
-        b.iter(|| atlas.groups.table6())
-    });
+    g.bench_function("table6_hybrid_census", |b| b.iter(|| atlas.groups.table6()));
     g.finish();
 }
 

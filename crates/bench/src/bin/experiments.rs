@@ -41,8 +41,23 @@ fn main() {
     }
 
     const EXPERIMENTS: [&str; 17] = [
-        "all", "table1", "table2", "table3", "table4", "table5", "table6", "fig4a", "fig4b",
-        "fig5", "fig6", "fig7", "pinning-eval", "icg", "hiding-map", "bdrmap", "scores",
+        "all",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "table6",
+        "fig4a",
+        "fig4b",
+        "fig5",
+        "fig6",
+        "fig7",
+        "pinning-eval",
+        "icg",
+        "hiding-map",
+        "bdrmap",
+        "scores",
     ];
     if !EXPERIMENTS.contains(&experiment.as_str()) {
         eprintln!("error: unknown experiment {experiment:?}; one of {EXPERIMENTS:?}");
@@ -99,8 +114,22 @@ fn main() {
 
     if experiment == "all" {
         for name in [
-            "table1", "table2", "table3", "table4", "table5", "table6", "fig4a", "fig4b",
-            "fig5", "fig6", "fig7", "pinning-eval", "icg", "hiding-map", "bdrmap", "scores",
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "fig4a",
+            "fig4b",
+            "fig5",
+            "fig6",
+            "fig7",
+            "pinning-eval",
+            "icg",
+            "hiding-map",
+            "bdrmap",
+            "scores",
         ] {
             println!("{}", run(name).unwrap());
         }

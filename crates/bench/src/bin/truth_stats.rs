@@ -28,7 +28,10 @@ fn main() {
     }
     let total = kinds.len();
     let with_pub = kinds.values().filter(|k| k.contains(&0)).count();
-    let pub_only = kinds.values().filter(|k| k.len() == 1 && k.contains(&0)).count();
+    let pub_only = kinds
+        .values()
+        .filter(|k| k.len() == 1 && k.contains(&0))
+        .count();
     let with_cross = kinds.values().filter(|k| k.contains(&1)).count();
     let with_vpi = kinds.values().filter(|k| k.contains(&2)).count();
     println!(

@@ -5,6 +5,8 @@
 //! *shape* comparison is immediate. The `experiments` binary drives the
 //! functions here; the Criterion benches reuse the same entry points.
 
+#![deny(missing_docs)]
+
 use cloudmap::pipeline::{Atlas, Pipeline, PipelineConfig};
 use cloudmap::score;
 use cm_topology::{Internet, TopologyConfig};
@@ -27,8 +29,16 @@ pub fn build_internet(scale: &str, seed: u64) -> Internet {
 }
 
 /// Runs the full pipeline with default settings.
+///
+/// # Panics
+/// On a degenerate Internet the pipeline cannot measure (no primary-cloud
+/// regions, or a cloud ASN absent from AS2ORG). The harness always probes
+/// generated worlds, where both conditions hold by construction.
 pub fn run_study(inet: &Internet) -> Atlas<'_> {
-    Pipeline::new(inet, PipelineConfig::default()).run()
+    match Pipeline::new(inet, PipelineConfig::default()).run() {
+        Ok(atlas) => atlas,
+        Err(e) => panic!("pipeline failed on generated Internet: {e}"),
+    }
 }
 
 /// Quantile of a pre-sorted f64 slice.

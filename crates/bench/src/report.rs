@@ -10,8 +10,12 @@ use std::fmt::Write as _;
 /// expansion probing.
 pub fn table1(atlas: &Atlas<'_>) -> String {
     let mut out = String::new();
-    writeln!(out, "Table 1 — border interfaces and annotation sources").unwrap();
-    writeln!(out, "{:<6} {:>8} {:>7} {:>8} {:>7}   paper", "", "All", "BGP%", "Whois%", "IXP%").unwrap();
+    let _ = writeln!(out, "Table 1 — border interfaces and annotation sources");
+    let _ = writeln!(
+        out,
+        "{:<6} {:>8} {:>7} {:>8} {:>7}   paper",
+        "", "All", "BGP%", "Whois%", "IXP%"
+    );
     let rows = [
         ("ABI", atlas.table1[0], "3.68k / 38.4 / 61.6 / -"),
         ("CBI", atlas.table1[1], "21.73k / 54.7 / 24.8 / 20.5"),
@@ -19,7 +23,7 @@ pub fn table1(atlas: &Atlas<'_>) -> String {
         ("eCBI", atlas.table1[3], "24.75k / 79.8 / 2.3 / 17.9"),
     ];
     for (name, r, paper) in rows {
-        writeln!(
+        let _ = writeln!(
             out,
             "{:<6} {:>8} {:>6.1}% {:>7.1}% {:>6.1}%   ({paper})",
             name,
@@ -27,8 +31,7 @@ pub fn table1(atlas: &Atlas<'_>) -> String {
             100.0 * r.bgp,
             100.0 * r.whois,
             100.0 * r.ixp
-        )
-        .unwrap();
+        );
     }
     out
 }
@@ -47,33 +50,36 @@ pub fn table2(atlas: &Atlas<'_>) -> String {
         .collect();
     let total_abis = universe.len().max(1);
     let mut out = String::new();
-    writeln!(out, "Table 2 — heuristic confirmation of candidate ABIs (CBIs)").unwrap();
-    writeln!(out, "{:<12} {:>14} {:>14} {:>14}", "", "IXP", "Hybrid", "Reachable").unwrap();
-    writeln!(
+    let _ = writeln!(
+        out,
+        "Table 2 — heuristic confirmation of candidate ABIs (CBIs)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>14} {:>14} {:>14}",
+        "", "IXP", "Hybrid", "Reachable"
+    );
+    let _ = writeln!(
         out,
         "{:<12} {:>7} ({:>5}) {:>7} ({:>5}) {:>7} ({:>5})",
         "Individual", t[0].0, t[0].1, t[1].0, t[1].1, t[2].0, t[2].1
-    )
-    .unwrap();
-    writeln!(
+    );
+    let _ = writeln!(
         out,
         "{:<12} {:>7} ({:>5}) {:>7} ({:>5}) {:>7} ({:>5})",
         "Cumulative", t[3].0, t[3].1, t[4].0, t[4].1, t[5].0, t[5].1
-    )
-    .unwrap();
-    writeln!(
+    );
+    let _ = writeln!(
         out,
         "confirmed: {:.1}% of ABIs (paper: 87.8%); unconfirmed: {}",
         100.0 * t[5].0 as f64 / total_abis as f64,
         atlas.heuristics.unconfirmed.len()
-    )
-    .unwrap();
-    writeln!(
+    );
+    let _ = writeln!(
         out,
         "alias corrections: {} ABI→CBI, {} CBI→ABI, {} CBI→CBI (paper: 18/2/25)",
         atlas.changes.abi_to_cbi, atlas.changes.cbi_to_abi, atlas.changes.cbi_to_cbi
-    )
-    .unwrap();
+    );
     out
 }
 
@@ -82,32 +88,28 @@ pub fn table3(atlas: &Atlas<'_>) -> String {
     let a = atlas.pinning.anchor_counts;
     let p = atlas.pinning.pinned_counts;
     let mut out = String::new();
-    writeln!(out, "Table 3 — anchors and co-presence pinning").unwrap();
-    writeln!(
+    let _ = writeln!(out, "Table 3 — anchors and co-presence pinning");
+    let _ = writeln!(
         out,
         "{:<6} {:>7} {:>7} {:>7} {:>8} | {:>7} {:>9}",
         "", "DNS", "IXP", "Metro", "Native", "Alias", "min-RTT"
-    )
-    .unwrap();
-    writeln!(
+    );
+    let _ = writeln!(
         out,
         "{:<6} {:>7} {:>7} {:>7} {:>8} | {:>7} {:>9}",
         "Exc.", a[0].0, a[1].0, a[2].0, a[3].0, p[0].0, p[1].0
-    )
-    .unwrap();
-    writeln!(
+    );
+    let _ = writeln!(
         out,
         "{:<6} {:>7} {:>7} {:>7} {:>8} | {:>7} {:>9}",
         "Cum.", a[0].1, a[1].1, a[2].1, a[3].1, p[0].1, p[1].1
-    )
-    .unwrap();
-    writeln!(
+    );
+    let _ = writeln!(
         out,
         "(paper exc.: 5.31k / 2.0k / 1.66k / 1.42k | 0.65k / 5.38k; 4 rounds)"
-    )
-    .unwrap();
+    );
     let total = atlas.interface_count().max(1);
-    writeln!(
+    let _ = writeln!(
         out,
         "metro-level coverage: {:.1}% of {} interfaces (paper: 50.2%); rounds: {}; dropped anchors: {}; conflicts: {}",
         100.0 * atlas.pinning.pins.len() as f64 / total as f64,
@@ -115,40 +117,37 @@ pub fn table3(atlas: &Atlas<'_>) -> String {
         atlas.pinning.rounds,
         atlas.pinning.dropped_anchors,
         atlas.pinning.conflicts,
-    )
-    .unwrap();
+    );
     let regional = atlas.pinning.region_pins.len();
-    writeln!(
+    let _ = writeln!(
         out,
         "regional fallback: +{} interfaces → total coverage {:.1}% (paper: 80.6%)",
         regional,
         100.0 * (atlas.pinning.pins.len() + regional) as f64 / total as f64
-    )
-    .unwrap();
+    );
     out
 }
 
 /// Table 4: VPI detection per vantage cloud.
 pub fn table4(atlas: &Atlas<'_>) -> String {
     let mut out = String::new();
-    writeln!(out, "Table 4 — VPIs: CBIs overlapping other clouds").unwrap();
+    let _ = writeln!(out, "Table 4 — VPIs: CBIs overlapping other clouds");
     let cand = atlas.vpi.candidates.max(1);
-    write!(out, "{:<11}", "Pairwise").unwrap();
+    let _ = write!(out, "{:<11}", "Pairwise");
     for (name, n) in atlas.vpi.pairwise() {
-        write!(out, " {name}: {n} ({:.1}%)", 100.0 * n as f64 / cand as f64).unwrap();
+        let _ = write!(out, " {name}: {n} ({:.1}%)", 100.0 * n as f64 / cand as f64);
     }
-    writeln!(out).unwrap();
-    write!(out, "{:<11}", "Cumulative").unwrap();
+    let _ = writeln!(out);
+    let _ = write!(out, "{:<11}", "Cumulative");
     for (name, n) in atlas.vpi.cumulative() {
-        write!(out, " {name}: {n} ({:.1}%)", 100.0 * n as f64 / cand as f64).unwrap();
+        let _ = write!(out, " {name}: {n} ({:.1}%)", 100.0 * n as f64 / cand as f64);
     }
-    writeln!(out).unwrap();
-    writeln!(
+    let _ = writeln!(out);
+    let _ = writeln!(
         out,
         "VPI share of non-IXP CBIs: {:.1}% (paper: 20.2%, pairwise 18.9/3.2/0.9/0.0)",
         100.0 * atlas.vpi.vpi_share()
-    )
-    .unwrap();
+    );
     out
 }
 
@@ -170,15 +169,14 @@ pub fn table5(atlas: &Atlas<'_>) -> String {
         ("Pr-B", "0.12k (3%) 7.76k (31%) 2.11k (56%)"),
     ];
     let mut out = String::new();
-    writeln!(out, "Table 5 — peering groups").unwrap();
-    writeln!(
+    let _ = writeln!(out, "Table 5 — peering groups");
+    let _ = writeln!(
         out,
         "{:<9} {:>7} {:>5} {:>7} {:>5} {:>7} {:>5}   paper (ASes CBIs ABIs)",
         "Group", "ASes", "%", "CBIs", "%", "ABIs", "%"
-    )
-    .unwrap();
+    );
     for (i, (label, r)) in rows.iter().enumerate() {
-        writeln!(
+        let _ = writeln!(
             out,
             "{:<9} {:>7} {:>4.0}% {:>7} {:>4.0}% {:>7} {:>4.0}%   ({})",
             label,
@@ -189,34 +187,34 @@ pub fn table5(atlas: &Atlas<'_>) -> String {
             r.abis,
             100.0 * r.abis as f64 / n_abi as f64,
             paper[i].1,
-        )
-        .unwrap();
+        );
     }
-    writeln!(
+    let _ = writeln!(
         out,
         "hidden peerings: {:.1}% of (AS, group) memberships (paper: 33.3%)",
         100.0 * atlas.groups.hidden_share()
-    )
-    .unwrap();
-    writeln!(
+    );
+    let _ = writeln!(
         out,
         "coverage vs BGP: {} BGP-visible peers, {} discovered ({:.0}%), {} inferred total (paper: 250 / 93% / 3.3k)",
         atlas.coverage.bgp_peers,
         atlas.coverage.discovered_of_bgp,
         100.0 * atlas.coverage.discovered_of_bgp as f64 / atlas.coverage.bgp_peers.max(1) as f64,
         atlas.coverage.inferred_peers,
-    )
-    .unwrap();
+    );
     out
 }
 
 /// Table 6: the hybrid-peering census.
 pub fn table6(atlas: &Atlas<'_>) -> String {
     let mut out = String::new();
-    writeln!(out, "Table 6 — hybrid peering combinations (top 15)").unwrap();
-    writeln!(out, "(paper top: Pb-nB 2187; Pr-nB-nV 686; Pr-nB-nV;Pb-nB 207; Pb-B 117; ...)").unwrap();
+    let _ = writeln!(out, "Table 6 — hybrid peering combinations (top 15)");
+    let _ = writeln!(
+        out,
+        "(paper top: Pb-nB 2187; Pr-nB-nV 686; Pr-nB-nV;Pb-nB 207; Pb-B 117; ...)"
+    );
     for (combo, n) in atlas.groups.table6().into_iter().take(15) {
-        writeln!(out, "{n:>6}  {combo}").unwrap();
+        let _ = writeln!(out, "{n:>6}  {combo}");
     }
     out
 }
@@ -225,8 +223,8 @@ pub fn table6(atlas: &Atlas<'_>) -> String {
 pub fn fig4a(atlas: &Atlas<'_>) -> String {
     let v = sorted(&atlas.pinning.fig4a_abi_rtts);
     let mut out = String::new();
-    writeln!(out, "Figure 4a — min-RTT to ABIs from the closest region").unwrap();
-    writeln!(
+    let _ = writeln!(out, "Figure 4a — min-RTT to ABIs from the closest region");
+    let _ = writeln!(
         out,
         "n={}, p25={:.2}ms p50={:.2}ms p75={:.2}ms p95={:.2}ms",
         v.len(),
@@ -234,14 +232,12 @@ pub fn fig4a(atlas: &Atlas<'_>) -> String {
         quantile(&v, 0.50),
         quantile(&v, 0.75),
         quantile(&v, 0.95)
-    )
-    .unwrap();
-    writeln!(
+    );
+    let _ = writeln!(
         out,
         "share below 2 ms: {:.1}% (paper: ~40% knee at 2 ms)",
         100.0 * cdf_at(&v, 2.0)
-    )
-    .unwrap();
+    );
     out
 }
 
@@ -249,8 +245,8 @@ pub fn fig4a(atlas: &Atlas<'_>) -> String {
 pub fn fig4b(atlas: &Atlas<'_>) -> String {
     let v = sorted(&atlas.pinning.fig4b_segment_diffs);
     let mut out = String::new();
-    writeln!(out, "Figure 4b — min-RTT difference across segments").unwrap();
-    writeln!(
+    let _ = writeln!(out, "Figure 4b — min-RTT difference across segments");
+    let _ = writeln!(
         out,
         "n={}, p25={:.2}ms p50={:.2}ms p75={:.2}ms p95={:.2}ms",
         v.len(),
@@ -258,14 +254,12 @@ pub fn fig4b(atlas: &Atlas<'_>) -> String {
         quantile(&v, 0.50),
         quantile(&v, 0.75),
         quantile(&v, 0.95)
-    )
-    .unwrap();
-    writeln!(
+    );
+    let _ = writeln!(
         out,
         "share below 2 ms: {:.1}% (paper: ~half, knee at 2 ms)",
         100.0 * cdf_at(&v, 2.0)
-    )
-    .unwrap();
+    );
     out
 }
 
@@ -273,42 +267,42 @@ pub fn fig4b(atlas: &Atlas<'_>) -> String {
 pub fn fig5(atlas: &Atlas<'_>) -> String {
     let v = sorted(&atlas.pinning.fig5_ratios);
     let mut out = String::new();
-    writeln!(out, "Figure 5 — ratio of two lowest min-RTTs (unpinned interfaces)").unwrap();
-    writeln!(
+    let _ = writeln!(
+        out,
+        "Figure 5 — ratio of two lowest min-RTTs (unpinned interfaces)"
+    );
+    let _ = writeln!(
         out,
         "n={}, p50={:.2} p75={:.2}; share with ratio > 1.5: {:.1}% (paper: 57%)",
         v.len(),
         quantile(&v, 0.50),
         quantile(&v, 0.75),
         100.0 * (1.0 - cdf_at(&v, 1.5))
-    )
-    .unwrap();
-    writeln!(
+    );
+    let _ = writeln!(
         out,
         "single-region interfaces: {} (paper: 1.11k)",
         atlas.pinning.single_region
-    )
-    .unwrap();
+    );
     out
 }
 
 /// Figure 6: per-group feature medians (full distributions in the TSV dump).
 pub fn fig6(atlas: &Atlas<'_>) -> String {
     let mut out = String::new();
-    writeln!(out, "Figure 6 — per-group features (median per AS)").unwrap();
-    writeln!(
+    let _ = writeln!(out, "Figure 6 — per-group features (median per AS)");
+    let _ = writeln!(
         out,
         "{:<9} {:>9} {:>9} {:>6} {:>6} {:>8} {:>7}",
         "Group", "cone/24", "reach/24", "ABIs", "CBIs", "RTTd ms", "metros"
-    )
-    .unwrap();
+    );
     for g in PeeringGroup::ALL {
         let Some(f) = atlas.groups.features.get(&g) else {
-            writeln!(out, "{:<9} (empty)", g.label()).unwrap();
+            let _ = writeln!(out, "{:<9} (empty)", g.label());
             continue;
         };
         let med = |v: &[f64]| quantile(&sorted(v), 0.5);
-        writeln!(
+        let _ = writeln!(
             out,
             "{:<9} {:>9.0} {:>9.0} {:>6.1} {:>6.1} {:>8.2} {:>7.1}",
             g.label(),
@@ -318,14 +312,12 @@ pub fn fig6(atlas: &Atlas<'_>) -> String {
             med(&f.cbis),
             med(&f.rtt_diff_ms),
             med(&f.metros)
-        )
-        .unwrap();
+        );
     }
-    writeln!(
+    let _ = writeln!(
         out,
         "(paper ordering: Pr-B-nV ≫ others in cone & CBIs; Pr-*-V highest RTT diff)"
-    )
-    .unwrap();
+    );
     out
 }
 
@@ -334,24 +326,22 @@ pub fn fig7(atlas: &Atlas<'_>) -> String {
     let abi: Vec<f64> = atlas.icg.abi_degrees().iter().map(|&d| d as f64).collect();
     let cbi: Vec<f64> = atlas.icg.cbi_degrees().iter().map(|&d| d as f64).collect();
     let mut out = String::new();
-    writeln!(out, "Figure 7 — ICG degree distributions").unwrap();
-    writeln!(
+    let _ = writeln!(out, "Figure 7 — ICG degree distributions");
+    let _ = writeln!(
         out,
         "ABI degree: ≤1 {:.0}%, <10 {:.0}%, <100 {:.0}%, max {} (paper: 30/70/95%, heavy tail)",
         100.0 * cdf_at(&abi, 1.0),
         100.0 * cdf_at(&abi, 9.0),
         100.0 * cdf_at(&abi, 99.0),
         abi.last().copied().unwrap_or(0.0)
-    )
-    .unwrap();
-    writeln!(
+    );
+    let _ = writeln!(
         out,
         "CBI degree: =1 {:.0}%, ≤8 {:.0}%, max {} (paper: 50% / 90%)",
         100.0 * cdf_at(&cbi, 1.0),
         100.0 * cdf_at(&cbi, 8.0),
         cbi.last().copied().unwrap_or(0.0)
-    )
-    .unwrap();
+    );
     out
 }
 
@@ -359,20 +349,18 @@ pub fn fig7(atlas: &Atlas<'_>) -> String {
 pub fn pinning_eval(atlas: &Atlas<'_>) -> String {
     let cv = atlas.crossval;
     let mut out = String::new();
-    writeln!(out, "§6.2 — pinning cross-validation ({} folds)", cv.folds).unwrap();
-    writeln!(
+    let _ = writeln!(out, "§6.2 — pinning cross-validation ({} folds)", cv.folds);
+    let _ = writeln!(
         out,
         "precision {:.3} ± {:.3} (paper: 0.993), recall {:.3} ± {:.3} (paper: 0.572)",
         cv.precision_mean, cv.precision_std, cv.recall_mean, cv.recall_std
-    )
-    .unwrap();
+    );
     let pin = cloudmap::score::pin_score(atlas);
-    writeln!(
+    let _ = writeln!(
         out,
         "ground truth (simulation only): metro accuracy {:.3}, coverage {:.3}, region accuracy {:.3}",
         pin.metro_accuracy, pin.metro_coverage, pin.region_accuracy
-    )
-    .unwrap();
+    );
     out
 }
 
@@ -380,34 +368,31 @@ pub fn pinning_eval(atlas: &Atlas<'_>) -> String {
 pub fn icg(atlas: &Atlas<'_>) -> String {
     let g = &atlas.icg;
     let mut out = String::new();
-    writeln!(out, "§7.4 — interface connectivity graph").unwrap();
-    writeln!(
+    let _ = writeln!(out, "§7.4 — interface connectivity graph");
+    let _ = writeln!(
         out,
         "nodes {} edges {}; largest component {:.1}% (paper: 92.3%)",
         g.nodes,
         g.edges,
         100.0 * g.largest_component_share
-    )
-    .unwrap();
-    writeln!(
+    );
+    let _ = writeln!(
         out,
         "both-ends-pinned segments: {}; intra-metro {:.1}% (paper: 98% intra-region)",
         g.both_pinned,
         100.0 * g.intra_metro_share()
-    )
-    .unwrap();
+    );
     if !g.remote_examples.is_empty() {
-        write!(out, "remote pinned pairs (examples):").unwrap();
+        let _ = write!(out, "remote pinned pairs (examples):");
         for (a, b) in g.remote_examples.iter().take(5) {
-            write!(
+            let _ = write!(
                 out,
                 " {}-{}",
                 atlas.inet.metros.get(*a).airport,
                 atlas.inet.metros.get(*b).airport
-            )
-            .unwrap();
+            );
         }
-        writeln!(out).unwrap();
+        let _ = writeln!(out);
     }
     out
 }
@@ -425,31 +410,27 @@ pub fn bdrmap(atlas: &Atlas<'_>) -> String {
     let result = bdr.run(&plane, cm_topology::CloudId(0));
     let cmp = cloudmap::compare::compare(atlas, &result);
     let mut out = String::new();
-    writeln!(out, "§8 — bdrmap-style baseline comparison").unwrap();
-    writeln!(
+    let _ = writeln!(out, "§8 — bdrmap-style baseline comparison");
+    let _ = writeln!(
         out,
         "ABIs  ours {} / baseline {} / common {} (paper: ~x / 4.83k / 1.85k)",
         cmp.abis.0, cmp.abis.1, cmp.abis.2
-    )
-    .unwrap();
-    writeln!(
+    );
+    let _ = writeln!(
         out,
         "CBIs  ours {} / baseline {} / common {} (paper: ~x / 9.65k / 5.48k)",
         cmp.cbis.0, cmp.cbis.1, cmp.cbis.2
-    )
-    .unwrap();
-    writeln!(
+    );
+    let _ = writeln!(
         out,
         "ASes  ours {} / baseline {} / common {} (paper: 3.55k / 2.66k / 2k)",
         cmp.ases.0, cmp.ases.1, cmp.ases.2
-    )
-    .unwrap();
-    writeln!(
+    );
+    let _ = writeln!(
         out,
         "baseline inconsistencies: AS0 owners {} (paper 0.32k), multi-owner {} (paper >500), ABI/CBI flips {} (paper 872), exclusive ASes {} (paper 0.65k)",
         cmp.as0_cbis, cmp.multi_owner, cmp.flips, cmp.baseline_exclusive_ases
-    )
-    .unwrap();
+    );
     out
 }
 
@@ -461,12 +442,20 @@ pub fn dump_tsv(atlas: &Atlas<'_>, dir: &std::path::Path) -> std::io::Result<()>
         s.push('\n');
         let v = sorted(series);
         for (i, x) in v.iter().enumerate() {
-            writeln!(s, "{x}\t{}", (i + 1) as f64 / v.len() as f64).unwrap();
+            let _ = writeln!(s, "{x}\t{}", (i + 1) as f64 / v.len() as f64);
         }
         std::fs::write(dir.join(name), s)
     };
-    dump("fig4a.tsv", "min_rtt_ms\tcdf", &atlas.pinning.fig4a_abi_rtts)?;
-    dump("fig4b.tsv", "rtt_diff_ms\tcdf", &atlas.pinning.fig4b_segment_diffs)?;
+    dump(
+        "fig4a.tsv",
+        "min_rtt_ms\tcdf",
+        &atlas.pinning.fig4a_abi_rtts,
+    )?;
+    dump(
+        "fig4b.tsv",
+        "rtt_diff_ms\tcdf",
+        &atlas.pinning.fig4b_segment_diffs,
+    )?;
     dump("fig5.tsv", "rtt_ratio\tcdf", &atlas.pinning.fig5_ratios)?;
     let abi: Vec<f64> = atlas.icg.abi_degrees().iter().map(|&d| d as f64).collect();
     let cbi: Vec<f64> = atlas.icg.cbi_degrees().iter().map(|&d| d as f64).collect();
@@ -487,7 +476,7 @@ pub fn dump_tsv(atlas: &Atlas<'_>, dir: &std::path::Path) -> std::io::Result<()>
                 let mut vs = vs.clone();
                 vs.sort_by(|a, b| a.partial_cmp(b).unwrap());
                 for v in vs {
-                    writeln!(s, "{}\t{feat}\t{v}", g.label()).unwrap();
+                    let _ = writeln!(s, "{}\t{feat}\t{v}", g.label());
                 }
             }
         }
@@ -504,7 +493,10 @@ pub fn hiding_map(atlas: &Atlas<'_>) -> String {
     use std::collections::HashMap;
     let mut per_metro: HashMap<u16, (usize, usize)> = HashMap::new();
     // CBI → hidden? via its peer's group memberships containing the CBI.
-    for profile in atlas.groups.per_as.values() {
+    // Iterate peers in ASN order so the report is identical across runs.
+    let mut peers: Vec<_> = atlas.groups.per_as.keys().copied().collect();
+    peers.sort_unstable();
+    for profile in peers.iter().map(|asn| &atlas.groups.per_as[asn]) {
         for (group, cbis) in &profile.cbis_by_group {
             for cbi in cbis {
                 let Some(pin) = atlas.pinning.pins.get(cbi) else {
@@ -520,21 +512,27 @@ pub fn hiding_map(atlas: &Atlas<'_>) -> String {
         }
     }
     let mut rows: Vec<(u16, (usize, usize))> = per_metro.into_iter().collect();
-    rows.sort_by_key(|(_, (h, v))| std::cmp::Reverse(h + v));
+    rows.sort_by_key(|&(m, (h, v))| (std::cmp::Reverse(h + v), m));
     let mut out = String::new();
-    writeln!(out, "Extension — where the traffic hides (top metros by pinned CBIs)").unwrap();
-    writeln!(out, "{:<16} {:>8} {:>9} {:>8}", "metro", "hidden", "visible", "hidden%").unwrap();
+    let _ = writeln!(
+        out,
+        "Extension — where the traffic hides (top metros by pinned CBIs)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>8} {:>9} {:>8}",
+        "metro", "hidden", "visible", "hidden%"
+    );
     for (metro, (h, v)) in rows.into_iter().take(15) {
         let name = atlas.inet.metros.get(cm_geo::MetroId(metro)).name;
-        writeln!(
+        let _ = writeln!(
             out,
             "{:<16} {:>8} {:>9} {:>7.0}%",
             name,
             h,
             v,
             100.0 * h as f64 / (h + v).max(1) as f64
-        )
-        .unwrap();
+        );
     }
     out
 }

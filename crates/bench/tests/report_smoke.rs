@@ -23,10 +23,7 @@ fn every_report_renders() {
     ];
     for (name, text, needle) in checks {
         assert!(!text.trim().is_empty(), "{name} rendered empty");
-        assert!(
-            text.contains(needle),
-            "{name} missing {needle:?}:\n{text}"
-        );
+        assert!(text.contains(needle), "{name} missing {needle:?}:\n{text}");
     }
 }
 
@@ -37,11 +34,21 @@ fn tsv_dump_writes_all_series() {
     let dir = std::env::temp_dir().join("cm_bench_tsv_test");
     let _ = std::fs::remove_dir_all(&dir);
     report::dump_tsv(&atlas, &dir).unwrap();
-    for f in ["fig4a.tsv", "fig4b.tsv", "fig5.tsv", "fig6.tsv", "fig7a.tsv", "fig7b.tsv"] {
+    for f in [
+        "fig4a.tsv",
+        "fig4b.tsv",
+        "fig5.tsv",
+        "fig6.tsv",
+        "fig7a.tsv",
+        "fig7b.tsv",
+    ] {
         let p = dir.join(f);
         let content = std::fs::read_to_string(&p).unwrap_or_else(|_| panic!("{f} missing"));
         assert!(content.lines().count() >= 1, "{f} empty");
-        assert!(content.lines().next().unwrap().contains('\t'), "{f} has no header");
+        assert!(
+            content.lines().next().unwrap().contains('\t'),
+            "{f} has no header"
+        );
     }
     let _ = std::fs::remove_dir_all(&dir);
 }

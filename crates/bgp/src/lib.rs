@@ -16,6 +16,8 @@
 //!   IP→ASN annotation (announced space only; WHOIS-only infrastructure
 //!   space is deliberately absent, as in real BGP snapshots).
 
+#![deny(missing_docs)]
+
 pub mod collectors;
 pub mod rib;
 pub mod snapshot;

@@ -165,13 +165,10 @@ mod tests {
         let (inet, snap, ds) = setup();
         let ann = Annotator::new(&snap, &ds);
         // A LAN address with a published member assignment.
-        let some_member = inet
-            .ixp_members
-            .iter()
-            .find_map(|&(_, a, fid)| {
-                let addr = inet.iface(fid).addr?;
-                ds.ixp.member_of(addr).map(|asn| (addr, asn, a))
-            });
+        let some_member = inet.ixp_members.iter().find_map(|&(_, a, fid)| {
+            let addr = inet.iface(fid).addr?;
+            ds.ixp.member_of(addr).map(|asn| (addr, asn, a))
+        });
         let Some((addr, asn, _)) = some_member else {
             panic!("no published IXP member addresses")
         };
@@ -186,10 +183,7 @@ mod tests {
         let (inet, snap, ds) = setup();
         let ann = Annotator::new(&snap, &ds);
         let cloud = inet.primary_cloud();
-        let cloud_org = ds
-            .as2org
-            .org_of(inet.as_node(cloud.ases[0]).asn)
-            .unwrap();
+        let cloud_org = ds.as2org.org_of(inet.as_node(cloud.ases[0]).asn).unwrap();
         for &sib in &cloud.ases {
             let asn = inet.as_node(sib).asn;
             let note = HopNote {

@@ -138,11 +138,7 @@ impl SegmentPool {
 
     /// The /24s of all discovered CBIs — the §4.2 expansion targets.
     pub fn expansion_prefixes(&self) -> Vec<Prefix> {
-        let mut v: Vec<Prefix> = self
-            .cbis
-            .keys()
-            .map(|a| Prefix::slash24_of(*a))
-            .collect();
+        let mut v: Vec<Prefix> = self.cbis.keys().map(|a| Prefix::slash24_of(*a)).collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -154,9 +150,7 @@ impl SegmentPool {
     }
 
     /// Fraction of interfaces per annotation source: `(bgp, whois, ixp)`.
-    pub fn source_fractions<'x>(
-        notes: impl Iterator<Item = &'x HopNote>,
-    ) -> (f64, f64, f64) {
+    pub fn source_fractions<'x>(notes: impl Iterator<Item = &'x HopNote>) -> (f64, f64, f64) {
         let mut n = 0usize;
         let (mut b, mut w, mut i) = (0usize, 0usize, 0usize);
         for note in notes {
@@ -176,6 +170,43 @@ impl SegmentPool {
             w as f64 / n as f64,
             i as f64 / n as f64,
         )
+    }
+
+    /// Cheap structural invariants, usable inline after every pool-mutating
+    /// stage (the deep §4.1/§5/§6 re-derivation checks live in `cm-audit`):
+    ///
+    /// * every segment endpoint is present in the corresponding interface
+    ///   map (`abis` / `cbis`);
+    /// * no address is labeled both ABI and CBI at once;
+    /// * per-segment trace counts never exceed the number of accepted
+    ///   traceroutes (equality holds before §5.2 corrections, which may
+    ///   drop unexplainable segments);
+    /// * `owner_override` only covers known interfaces.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for seg in self.segments.keys() {
+            if !self.abis.contains_key(&seg.abi) {
+                return Err(format!("segment {:?} has unknown ABI", seg));
+            }
+            if !self.cbis.contains_key(&seg.cbi) {
+                return Err(format!("segment {:?} has unknown CBI", seg));
+            }
+        }
+        if let Some(both) = self.abis.keys().find(|a| self.cbis.contains_key(a)) {
+            return Err(format!("{both} labeled both ABI and CBI"));
+        }
+        let counted: usize = self.segments.values().map(|m| m.count).sum();
+        if counted > self.accepted {
+            return Err(format!(
+                "segment counts ({counted}) exceed accepted traces ({})",
+                self.accepted
+            ));
+        }
+        for addr in self.owner_override.keys() {
+            if !self.abis.contains_key(addr) && !self.cbis.contains_key(addr) {
+                return Err(format!("owner override on unknown interface {addr}"));
+            }
+        }
+        Ok(())
     }
 
     /// Merges another pool into this one (round one + round two).
@@ -338,15 +369,28 @@ impl<'a, 'd> BorderCollector<'a, 'd> {
             return;
         }
         // Filter: the cloud must not reappear downstream of the CBI.
-        if hops[cbi_pos + 1..]
-            .iter()
-            .any(|(_, _, n)| n.org == org)
-        {
+        if hops[cbi_pos + 1..].iter().any(|(_, _, n)| n.org == org) {
             self.pool.discards.cloud_reentry += 1;
             return;
         }
 
         // Accept.
+        debug_assert!(
+            abi_ttl + 1 == cbi_ttl,
+            "accepted segment with non-contiguous border TTLs ({abi_ttl} -> {cbi_ttl})"
+        );
+        debug_assert!(
+            ann.is_cloud_internal(&abi_note, org),
+            "ABI {abi_addr} is not cloud-internal"
+        );
+        debug_assert!(
+            !ann.is_cloud_internal(&cbi_note, org),
+            "CBI {cbi_addr} is cloud-internal"
+        );
+        debug_assert!(
+            abi_addr != cbi_addr,
+            "degenerate segment: ABI equals CBI ({abi_addr})"
+        );
         self.pool.accepted += 1;
         let seg = Segment {
             abi: abi_addr,
@@ -369,21 +413,26 @@ impl<'a, 'd> BorderCollector<'a, 'd> {
             }
         }
         self.pool.abis.entry(abi_addr).or_insert(abi_note);
-        let info = self
-            .pool
-            .cbis
-            .entry(cbi_addr)
-            .or_insert_with(|| CbiInfo {
-                note: cbi_note,
-                first_dst: t.dst,
-                reachable_slash24: HashSet::new(),
-            });
-        info.reachable_slash24
-            .insert(t.dst.slash24_base().to_u32());
+        let info = self.pool.cbis.entry(cbi_addr).or_insert_with(|| CbiInfo {
+            note: cbi_note,
+            first_dst: t.dst,
+            reachable_slash24: HashSet::new(),
+        });
+        info.reachable_slash24.insert(t.dst.slash24_base().to_u32());
     }
 
     /// Consumes the collector, returning the pool.
     pub fn finish(self) -> SegmentPool {
+        debug_assert_eq!(
+            self.pool.segments.values().map(|m| m.count).sum::<usize>(),
+            self.pool.accepted,
+            "every accepted trace contributes exactly one segment observation"
+        );
+        debug_assert!(
+            self.pool.check_invariants().is_ok(),
+            "collector produced an inconsistent pool: {:?}",
+            self.pool.check_invariants()
+        );
         self.pool
     }
 }
@@ -449,8 +498,7 @@ mod tests {
         );
 
         // Found CBIs must include IXP-sourced and BGP-sourced addresses.
-        let (b, _w, i) =
-            SegmentPool::source_fractions(pool.cbis.values().map(|c| &c.note));
+        let (b, _w, i) = SegmentPool::source_fractions(pool.cbis.values().map(|c| &c.note));
         assert!(b > 0.2, "BGP share {b}");
         assert!(i > 0.02, "IXP share {i}");
 
@@ -465,8 +513,7 @@ mod tests {
                 let role = s.inet.router(s.inet.iface(fid).router).role;
                 if matches!(
                     role,
-                    cm_topology::RouterRole::ClientBorder
-                        | cm_topology::RouterRole::ClientInternal
+                    cm_topology::RouterRole::ClientBorder | cm_topology::RouterRole::ClientInternal
                 ) {
                     on_client_router += 1;
                 }
@@ -496,9 +543,7 @@ mod tests {
             std::collections::HashMap::new();
         for ic in s.inet.cloud_interconnects(CloudId(0)) {
             if let IcKind::Vpi { .. } = ic.kind {
-                if s.inet.router(ic.client_router).response
-                    != cm_topology::ResponseMode::Incoming
-                {
+                if s.inet.router(ic.client_router).response != cm_topology::ResponseMode::Incoming {
                     continue;
                 }
                 let e = per_as.entry(ic.peer).or_insert((false, false));

@@ -76,11 +76,14 @@ impl Icg {
             largest = largest.max(size);
         }
 
-        // Pinned-segment geography.
+        // Pinned-segment geography. Sorted order so the capped
+        // `remote_examples` sample is the same across runs.
+        let mut segs: Vec<&crate::borders::Segment> = pool.segments.keys().collect();
+        segs.sort_unstable();
         let mut both_pinned = 0usize;
         let mut intra = 0usize;
         let mut remote = Vec::new();
-        for seg in pool.segments.keys() {
+        for seg in segs {
             let (Some(a), Some(c)) = (pins.pins.get(&seg.abi), pins.pins.get(&seg.cbi)) else {
                 continue;
             };

@@ -29,10 +29,14 @@
 //! use cm_topology::{Internet, TopologyConfig};
 //!
 //! let inet = Internet::generate(TopologyConfig::tiny(), 42);
-//! let atlas = Pipeline::new(&inet, PipelineConfig::default()).run();
+//! let atlas = Pipeline::new(&inet, PipelineConfig::default())
+//!     .run()
+//!     .expect("pipeline run");
 //! println!("peer ASes: {}", atlas.groups.per_as.len());
 //! println!("VPI share: {:.1}%", 100.0 * atlas.vpi.vpi_share());
 //! ```
+
+#![deny(missing_docs)]
 
 pub mod annotate;
 pub mod borders;
@@ -47,4 +51,4 @@ pub mod vpi;
 
 pub use annotate::{Annotator, HopNote, NoteSource};
 pub use borders::{BorderCollector, Segment, SegmentPool};
-pub use pipeline::{Atlas, Pipeline, PipelineConfig};
+pub use pipeline::{Atlas, Pipeline, PipelineConfig, PipelineError};

@@ -25,7 +25,7 @@ use crate::borders::SegmentPool;
 use cm_datasets::PublicDatasets;
 use cm_dns::DnsDb;
 use cm_geo::{MetroCatalog, MetroId};
-use cm_net::{Ipv4, stablehash};
+use cm_net::{stablehash, Ipv4};
 use cm_probe::RttCampaign;
 use cm_topology::RegionId;
 use std::collections::{HashMap, HashSet};
@@ -187,11 +187,7 @@ impl<'x> Pinner<'x> {
 
     /// All interfaces in scope (ABIs + CBIs).
     fn universe(&self) -> impl Iterator<Item = Ipv4> + '_ {
-        self.pool
-            .abis
-            .keys()
-            .chain(self.pool.cbis.keys())
-            .copied()
+        self.pool.abis.keys().chain(self.pool.cbis.keys()).copied()
     }
 
     fn collect_anchors(
@@ -202,7 +198,12 @@ impl<'x> Pinner<'x> {
         let mut cands: HashMap<Ipv4, Vec<Pin>> = HashMap::new();
 
         // 1. DNS names with RTT-feasibility check.
-        for (&cbi, _) in self.pool.cbis.iter().filter(|_| self.cfg.enabled_anchors[0]) {
+        for (&cbi, _) in self
+            .pool
+            .cbis
+            .iter()
+            .filter(|_| self.cfg.enabled_anchors[0])
+        {
             let Some(name) = self.dns.lookup(cbi) else {
                 continue;
             };
@@ -220,7 +221,12 @@ impl<'x> Pinner<'x> {
 
         // 2. IXP association with the local/remote test.
         let ixp_metrics = self.ixp_metrics();
-        for (&cbi, info) in self.pool.cbis.iter().filter(|_| self.cfg.enabled_anchors[1]) {
+        for (&cbi, info) in self
+            .pool
+            .cbis
+            .iter()
+            .filter(|_| self.cfg.enabled_anchors[1])
+        {
             let Some(ix) = info.note.ixp else { continue };
             let rec = self.datasets.ixp.get(ix);
             if rec.metros.len() != 1 {
@@ -248,7 +254,12 @@ impl<'x> Pinner<'x> {
         // guard (PeeringDB listings are incomplete: an AS listed at one
         // facility may well run routers elsewhere, and the feasibility
         // check rejects the physically impossible claims).
-        for (&cbi, _) in self.pool.cbis.iter().filter(|_| self.cfg.enabled_anchors[2]) {
+        for (&cbi, _) in self
+            .pool
+            .cbis
+            .iter()
+            .filter(|_| self.cfg.enabled_anchors[2])
+        {
             let Some(asn) = self.pool.peer_of(cbi) else {
                 continue;
             };
@@ -501,8 +512,7 @@ impl<'x> Pinner<'x> {
             };
             if per.len() == 1 {
                 out.single_region += 1;
-                out.region_pins
-                    .insert(addr, *per.keys().next().unwrap());
+                out.region_pins.insert(addr, *per.keys().next().unwrap());
                 continue;
             }
             let Some((lo, Some(second))) = self.rtt.two_lowest(addr) else {
@@ -542,8 +552,7 @@ impl<'x> Pinner<'x> {
                 members.sort_by_key(|(a, _)| {
                     stablehash::mix(seed, &[fold as u64, metro.0 as u64, a.to_u32() as u64])
                 });
-                let n_train =
-                    ((members.len() as f64) * train_frac).round().max(1.0) as usize;
+                let n_train = ((members.len() as f64) * train_frac).round().max(1.0) as usize;
                 for (i, (a, p)) in members.into_iter().enumerate() {
                     if i < n_train {
                         train.insert(a, p);
@@ -643,8 +652,7 @@ pub fn refine_to_facilities(
             .iter()
             .copied()
             .filter(|&f| {
-                cloud_facs.contains(&f)
-                    && datasets.peeringdb.facilities[f].metro == pin.metro
+                cloud_facs.contains(&f) && datasets.peeringdb.facilities[f].metro == pin.metro
             })
             .collect();
         if !cands.is_empty() {

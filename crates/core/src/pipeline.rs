@@ -35,6 +35,34 @@ use cm_net::{Asn, Ipv4, OrgId, PrefixTrie};
 use cm_probe::{Campaign, CampaignStats, RttCampaign};
 use cm_topology::{CloudId, Internet, RegionId};
 use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Why a pipeline run could not produce an [`Atlas`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The measured cloud's main ASN has no AS2ORG entry, so no hop can be
+    /// classified as cloud-internal.
+    MissingCloudOrg,
+    /// The primary cloud has no regions to probe from.
+    NoRegions,
+    /// An inline self-audit invariant failed (only with
+    /// [`PipelineConfig::self_audit`] enabled).
+    SelfAudit(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::MissingCloudOrg => {
+                write!(f, "cloud ASN missing from the AS2ORG dataset")
+            }
+            PipelineError::NoRegions => write!(f, "primary cloud has no regions"),
+            PipelineError::SelfAudit(msg) => write!(f, "self-audit failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
 
 /// Pipeline knobs. Every stage can be toggled for ablations.
 #[derive(Clone, Copy, Debug)]
@@ -61,6 +89,11 @@ pub struct PipelineConfig {
     pub crossval_folds: usize,
     /// Extra seed folded into every derived randomness source.
     pub seed: u64,
+    /// Run the cheap inline invariant checks after each pool-mutating stage
+    /// ([`crate::borders::SegmentPool::check_invariants`]); a violation
+    /// aborts the run with [`PipelineError::SelfAudit`]. The deep
+    /// re-derivation checks live in the separate `cm-audit` crate.
+    pub self_audit: bool,
 }
 
 impl Default for PipelineConfig {
@@ -76,6 +109,7 @@ impl Default for PipelineConfig {
             sweep_epochs: 2,
             crossval_folds: 10,
             seed: 0x0C10_0D0A,
+            self_audit: false,
         }
     }
 }
@@ -182,11 +216,14 @@ impl<'i> Pipeline<'i> {
     }
 
     /// Executes the full study.
-    pub fn run(self) -> Atlas<'i> {
+    pub fn run(self) -> Result<Atlas<'i>, PipelineError> {
         let inet = self.inet;
         let cfg = self.cfg;
         let seed = inet.seed ^ cfg.seed;
         let primary = CloudId(0);
+        if inet.primary_cloud().regions.is_empty() {
+            return Err(PipelineError::NoRegions);
+        }
 
         // ---- public data (§3 inputs) --------------------------------------
         let snapshot = bgp_snapshot(inet);
@@ -208,7 +245,7 @@ impl<'i> Pipeline<'i> {
         let cloud_org = datasets
             .as2org
             .org_of(main_asn)
-            .expect("cloud org present in AS2ORG");
+            .ok_or(PipelineError::MissingCloudOrg)?;
         let region_metro: HashMap<RegionId, MetroId> = inet
             .primary_cloud()
             .regions
@@ -229,14 +266,26 @@ impl<'i> Pipeline<'i> {
                 |c, t| c.observe(t),
             );
             let mut pools = collectors.into_iter().map(BorderCollector::finish);
-            let mut pool = pools.next().expect("at least one region");
+            // `run_parallel` yields one collector per region, and the region
+            // list was checked non-empty above.
+            let mut pool = pools
+                .next()
+                .unwrap_or_else(|| BorderCollector::new(&annotator, cloud_org).finish());
             for p in pools {
                 pool.merge(p);
             }
             (pool, stats)
         };
+        let self_check = |pool: &SegmentPool, stage: &str| -> Result<(), PipelineError> {
+            if !cfg.self_audit {
+                return Ok(());
+            }
+            pool.check_invariants()
+                .map_err(|e| PipelineError::SelfAudit(format!("after {stage}: {e}")))
+        };
         let sweep_targets = campaign.sweep_targets();
         let (mut pool, sweep_stats) = run_round(&sweep_targets);
+        self_check(&pool, "round one")?;
         let t1_abi = table1_row(pool.abis.values());
         let t1_cbi = table1_row(pool.cbis.values().map(|c| &c.note));
 
@@ -245,6 +294,7 @@ impl<'i> Pipeline<'i> {
             let targets = campaign.expansion_targets(&pool.expansion_prefixes());
             let (round2, stats) = run_round(&targets);
             pool.merge(round2);
+            self_check(&pool, "expansion merge")?;
             Some(stats)
         } else {
             None
@@ -267,6 +317,7 @@ impl<'i> Pipeline<'i> {
             |asn| ds_ref.as2org.org_of(asn),
             &alias_sets,
         );
+        self_check(&pool, "alias corrections")?;
 
         // ---- RTT campaign + pinning (§6) ------------------------------------
         let mut rtt_targets: Vec<Ipv4> = pool.abis.keys().copied().collect();
@@ -342,7 +393,7 @@ impl<'i> Pipeline<'i> {
             inferred_peers: inferred_peers.len(),
         };
 
-        Atlas {
+        Ok(Atlas {
             inet,
             config: cfg,
             snapshot,
@@ -367,7 +418,7 @@ impl<'i> Pipeline<'i> {
             groups,
             icg,
             coverage,
-        }
+        })
     }
 }
 

@@ -257,9 +257,7 @@ pub fn vpi_score(atlas: &Atlas<'_>) -> VpiScore {
                 && inet
                     .iface_by_addr
                     .get(a)
-                    .map(|&f| {
-                        inet.router(inet.iface(f).router).response == ResponseMode::Incoming
-                    })
+                    .map(|&f| inet.router(inet.iface(f).router).response == ResponseMode::Incoming)
                     .unwrap_or(false)
         })
         .map(|(&a, _)| a)

@@ -337,7 +337,10 @@ mod tests {
             "only {confirmed}/{total} ABIs confirmed"
         );
         assert!(!out.ixp.is_empty(), "IXP heuristic found nothing");
-        assert!(!out.reachable.is_empty(), "reachability heuristic found nothing");
+        assert!(
+            !out.reachable.is_empty(),
+            "reachability heuristic found nothing"
+        );
         // Table 2 shape: cumulative counts are monotone.
         let t2 = out.table2(&pool);
         assert!(t2[3].0 <= t2[4].0 && t2[4].0 <= t2[5].0);
@@ -369,7 +372,10 @@ mod tests {
         assert_eq!(majority_owner(&ann, &set), Some(a.asn));
         // Mixed set with no majority.
         let b = &w.inet.ases[1];
-        let mixed = vec![base.saturating_next(), b.prefixes[0].base().saturating_next()];
+        let mixed = vec![
+            base.saturating_next(),
+            b.prefixes[0].base().saturating_next(),
+        ];
         assert_eq!(majority_owner(&ann, &mixed), None);
     }
 

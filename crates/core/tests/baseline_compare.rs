@@ -17,7 +17,8 @@ fn pipeline_beats_baseline_on_peer_discovery() {
             ..PipelineConfig::default()
         },
     )
-    .run();
+    .run()
+    .expect("pipeline run");
     let plane = DataPlane::new(&inet, atlas.config.dataplane);
     let bdr = Bdrmap {
         snapshot: &atlas.snapshot,

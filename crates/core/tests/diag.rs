@@ -8,7 +8,9 @@ use std::collections::HashMap;
 #[ignore]
 fn pin_accuracy_by_source() {
     let inet = Internet::generate(TopologyConfig::tiny(), 71);
-    let atlas = Pipeline::new(&inet, PipelineConfig::default()).run();
+    let atlas = Pipeline::new(&inet, PipelineConfig::default())
+        .run()
+        .expect("pipeline run");
     let mut per_source: HashMap<String, (usize, usize)> = HashMap::new();
     for (&a, pin) in &atlas.pinning.pins {
         let Some(&f) = inet.iface_by_addr.get(&a) else {
@@ -36,7 +38,9 @@ fn pin_accuracy_by_source() {
 fn icg_component_diagnostic() {
     use std::collections::{HashMap, HashSet};
     let inet = Internet::generate(TopologyConfig::tiny(), 71);
-    let atlas = Pipeline::new(&inet, PipelineConfig::default()).run();
+    let atlas = Pipeline::new(&inet, PipelineConfig::default())
+        .run()
+        .expect("pipeline run");
     // Per CBI: set of ABI metros (ground truth metro of the ABI's router).
     let mut cbi_metros: HashMap<cm_net::Ipv4, HashSet<u16>> = HashMap::new();
     for seg in atlas.pool.segments.keys() {
@@ -46,17 +50,28 @@ fn icg_component_diagnostic() {
         }
     }
     let multi = cbi_metros.values().filter(|s| s.len() >= 2).count();
-    println!("CBIs: {}, multi-metro CBIs (bridges): {}", cbi_metros.len(), multi);
+    println!(
+        "CBIs: {}, multi-metro CBIs (bridges): {}",
+        cbi_metros.len(),
+        multi
+    );
     // Degree stats.
     let abi_deg = atlas.icg.abi_degrees();
     let cbi_deg = atlas.icg.cbi_degrees();
-    println!("max ABI degree {}, max CBI degree {}",
-        abi_deg.last().unwrap_or(&0), cbi_deg.last().unwrap_or(&0));
+    println!(
+        "max ABI degree {}, max CBI degree {}",
+        abi_deg.last().unwrap_or(&0),
+        cbi_deg.last().unwrap_or(&0)
+    );
     println!("LCC {}", atlas.icg.largest_component_share);
     println!("nodes {} edges {}", atlas.icg.nodes, atlas.icg.edges);
-    println!("pool.cbis {} pool.abis {} segments {} accepted {}",
-        atlas.pool.cbis.len(), atlas.pool.abis.len(),
-        atlas.pool.segments.len(), atlas.pool.accepted);
+    println!(
+        "pool.cbis {} pool.abis {} segments {} accepted {}",
+        atlas.pool.cbis.len(),
+        atlas.pool.abis.len(),
+        atlas.pool.segments.len(),
+        atlas.pool.accepted
+    );
     println!("discards {:?}", atlas.pool.discards);
     panic!("diag");
 }
@@ -94,7 +109,9 @@ fn public_peer_observability() {
     use cm_topology::*;
     use std::collections::{HashMap, HashSet};
     let inet = Internet::generate(TopologyConfig::tiny(), 71);
-    let atlas = Pipeline::new(&inet, PipelineConfig::default()).run();
+    let atlas = Pipeline::new(&inet, PipelineConfig::default())
+        .run()
+        .expect("pipeline run");
     // GT: peers with only PublicIxp interconnects on the primary cloud.
     let mut kinds: HashMap<AsIndex, HashSet<u8>> = HashMap::new();
     let mut ixp_ports: HashMap<AsIndex, Vec<cm_net::Ipv4>> = HashMap::new();
@@ -123,17 +140,26 @@ fn public_peer_observability() {
         pub_only += 1;
         let asn = inet.as_node(*peer).asn;
         let ports = &ixp_ports[peer];
-        let seen: Vec<_> = ports.iter().filter(|a| atlas.pool.cbis.contains_key(a)).collect();
+        let seen: Vec<_> = ports
+            .iter()
+            .filter(|a| atlas.pool.cbis.contains_key(a))
+            .collect();
         if !seen.is_empty() {
             observed_any += 1;
-            if seen.iter().any(|a| {
-                atlas.pool.cbis[a].note.source == NoteSource::Ixp
-            }) {
+            if seen
+                .iter()
+                .any(|a| atlas.pool.cbis[a].note.source == NoteSource::Ixp)
+            {
                 observed_as_ixp += 1;
             }
         }
         if let Some(p) = atlas.groups.per_as.get(&asn) {
-            if p.cbis_by_group.keys().any(|g| matches!(g, cloudmap::groups::PeeringGroup::PbNb | cloudmap::groups::PeeringGroup::PbB)) {
+            if p.cbis_by_group.keys().any(|g| {
+                matches!(
+                    g,
+                    cloudmap::groups::PeeringGroup::PbNb | cloudmap::groups::PeeringGroup::PbB
+                )
+            }) {
                 in_groups_pb += 1;
             }
         }

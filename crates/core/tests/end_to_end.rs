@@ -5,7 +5,9 @@ use cloudmap::score;
 use cm_topology::{Internet, TopologyConfig};
 
 fn run_atlas(inet: &Internet) -> cloudmap::Atlas<'_> {
-    Pipeline::new(inet, PipelineConfig::default()).run()
+    Pipeline::new(inet, PipelineConfig::default())
+        .run()
+        .expect("pipeline run")
 }
 
 #[test]
@@ -102,15 +104,17 @@ fn full_pipeline_on_tiny_world() {
     let cbi_deg = atlas.icg.cbi_degrees();
     // ABI hubs dominate at full scale (Fig. 7a is log-scale); in the tiny
     // world just require they are not out-skewed by CBIs.
-    assert!(
-        abi_deg.last().copied().unwrap_or(0) + 4 >= cbi_deg.last().copied().unwrap_or(0)
-    );
+    assert!(abi_deg.last().copied().unwrap_or(0) + 4 >= cbi_deg.last().copied().unwrap_or(0));
 
     // --- borders score against ground truth. -------------------------------
     let b = score::border_score(&atlas);
     assert!(b.cbi.precision > 0.9, "CBI precision {}", b.cbi.precision);
     assert!(b.abi.precision > 0.8, "ABI precision {}", b.abi.precision); // §4.1 ambiguity survivors
-    assert!(b.peers.precision > 0.9, "peer precision {}", b.peers.precision);
+    assert!(
+        b.peers.precision > 0.9,
+        "peer precision {}",
+        b.peers.precision
+    );
     assert!(b.peers.recall > 0.5, "peer recall {}", b.peers.recall);
 
     // --- coverage report is self-consistent. --------------------------------
@@ -134,7 +138,8 @@ fn expansion_ablation_reduces_cbis() {
             ..PipelineConfig::default()
         },
     )
-    .run();
+    .run()
+    .expect("pipeline run");
     let without = Pipeline::new(
         &inet,
         PipelineConfig {
@@ -144,7 +149,8 @@ fn expansion_ablation_reduces_cbis() {
             ..PipelineConfig::default()
         },
     )
-    .run();
+    .run()
+    .expect("pipeline run");
     assert!(with.pool.cbis.len() > without.pool.cbis.len());
 }
 
@@ -155,8 +161,8 @@ fn pipeline_is_deterministic() {
         crossval_folds: 0,
         ..PipelineConfig::default()
     };
-    let a = Pipeline::new(&inet, cfg).run();
-    let b = Pipeline::new(&inet, cfg).run();
+    let a = Pipeline::new(&inet, cfg).run().expect("pipeline run");
+    let b = Pipeline::new(&inet, cfg).run().expect("pipeline run");
     assert_eq!(a.pool.cbis.len(), b.pool.cbis.len());
     assert_eq!(a.pool.abis.len(), b.pool.abis.len());
     assert_eq!(a.vpi.vpi_cbis.len(), b.vpi.vpi_cbis.len());

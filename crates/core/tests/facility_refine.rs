@@ -15,7 +15,8 @@ fn facility_refinement_is_precise() {
             ..PipelineConfig::default()
         },
     )
-    .run();
+    .run()
+    .expect("pipeline run");
     let refined = refine_to_facilities(
         &atlas.pool,
         &atlas.pinning.pins,
@@ -66,7 +67,9 @@ fn facility_refinement_is_precise() {
             inet.iface_by_addr
                 .get(addr)
                 .map(|&f| {
-                    inet.router(inet.iface(f).router).facility.map(|tf| tf.index())
+                    inet.router(inet.iface(f).router)
+                        .facility
+                        .map(|tf| tf.index())
                         == Some(fac)
                 })
                 .unwrap_or(false)

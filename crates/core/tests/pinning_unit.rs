@@ -78,8 +78,10 @@ impl Scenario {
         let mut rtt = RttCampaign::default();
         // `a` is 0.8 ms from region 0 (< 2 ms: native-colo anchor) and far
         // from region 1; `b` is 1.2 ms from region 0 (diff 0.4 ms < 2 ms).
-        rtt.min_rtt.insert(a, [(r0, 0.8), (r1, 40.0)].into_iter().collect());
-        rtt.min_rtt.insert(b, [(r0, 1.2), (r1, 40.4)].into_iter().collect());
+        rtt.min_rtt
+            .insert(a, [(r0, 0.8), (r1, 40.0)].into_iter().collect());
+        rtt.min_rtt
+            .insert(b, [(r0, 1.2), (r1, 40.4)].into_iter().collect());
         rtt.min_rtt.insert(d, [(r0, 1.3)].into_iter().collect());
 
         let region_metro: HashMap<RegionId, MetroId> = inet
@@ -123,7 +125,10 @@ fn propagation_chains_rules() {
     assert_eq!(a.source, PinSource::NativeColo);
     assert_eq!(a.metro, r0_metro);
 
-    let b = out.pins.get(&addr("9.0.1.1")).expect("CBI pinned by rule 2");
+    let b = out
+        .pins
+        .get(&addr("9.0.1.1"))
+        .expect("CBI pinned by rule 2");
     assert_eq!(b.source, PinSource::RttRule);
     assert_eq!(b.metro, r0_metro);
 
@@ -162,7 +167,11 @@ fn long_segments_do_not_propagate() {
 fn far_abis_are_not_native_anchors() {
     let mut s = Scenario::build();
     let r0 = s.inet.primary_cloud().regions[0];
-    s.rtt.min_rtt.get_mut(&addr("9.0.0.1")).unwrap().insert(r0, 9.0);
+    s.rtt
+        .min_rtt
+        .get_mut(&addr("9.0.0.1"))
+        .unwrap()
+        .insert(r0, 9.0);
     let out = s.pinner().run();
     assert!(
         !out.pins.contains_key(&addr("9.0.0.1")),

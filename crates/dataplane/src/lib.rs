@@ -19,6 +19,8 @@
 //! Inference code must only read [`TraceHop::addr`] and [`TraceHop::rtt_ms`];
 //! the ground-truth [`TraceHop::iface`] is carried for scoring only.
 
+#![deny(missing_docs)]
+
 mod plane;
 pub mod reachability;
 

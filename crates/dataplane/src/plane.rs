@@ -241,10 +241,7 @@ impl<'a> DataPlane<'a> {
             return None;
         }
         // The destination must be willing to answer at all.
-        if matches!(
-            self.inet.router(last.router).response,
-            ResponseMode::Silent
-        ) {
+        if matches!(self.inet.router(last.router).response, ResponseMode::Silent) {
             return None;
         }
         let base = self.base_rtt(last.km, steps.len() as u32);
@@ -286,7 +283,11 @@ impl<'a> DataPlane<'a> {
         // border uplinks hang off core 0 for cross-region egress).
         let core_pick = stablehash::pick(
             self.seed,
-            &[0xEC39, src_region.0 as u64, u64::from(dst.slash24_base().to_u32())],
+            &[
+                0xEC39,
+                src_region.0 as u64,
+                u64::from(dst.slash24_base().to_u32()),
+            ],
             region.core_routers.len(),
         );
         let chosen_core = region.core_routers[core_pick];
@@ -526,22 +527,19 @@ impl<'a> DataPlane<'a> {
                 _ => {}
             }
         }
-        self.tables.get(&cloud)?.route_at(inet, dst, src_region, epoch)
+        self.tables
+            .get(&cloud)?
+            .route_at(inet, dst, src_region, epoch)
     }
 
     /// A member of an IXP LAN answering over the fabric is not on the
     /// egress interconnect's AS path; patch the client hop accordingly.
     /// (Handled inside `forward_path` by the iface ownership checks.)
     fn any_uplink(&self, border: RouterId) -> Option<IfaceId> {
-        self.inet
-            .router(border)
-            .ifaces
-            .iter()
-            .copied()
-            .find(|&f| {
-                let i = self.inet.iface(f);
-                i.kind == IfaceKind::Internal && i.addr.is_some()
-            })
+        self.inet.router(border).ifaces.iter().copied().find(|&f| {
+            let i = self.inet.iface(f);
+            i.kind == IfaceKind::Internal && i.addr.is_some()
+        })
     }
 
     /// The interface on `to` that terminates a link from `from`.
@@ -650,8 +648,8 @@ impl<'a> DataPlane<'a> {
                 Some(a) => {
                     ttl += 1;
                     gap = 0;
-                    let rtt = self.base_rtt(step.km, ttl as u32)
-                        + self.jitter(&[probe_key, ttl as u64]);
+                    let rtt =
+                        self.base_rtt(step.km, ttl as u32) + self.jitter(&[probe_key, ttl as u64]);
                     hops.push(TraceHop {
                         ttl,
                         addr: Some(a),

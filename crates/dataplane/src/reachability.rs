@@ -96,7 +96,9 @@ mod tests {
             .iter()
             .filter(|f| {
                 matches!(f.kind, IfaceKind::Interconnect(_))
-                    && f.addr.map(|a| publicly_reachable(&inet, a)).unwrap_or(false)
+                    && f.addr
+                        .map(|a| publicly_reachable(&inet, a))
+                        .unwrap_or(false)
             })
             .count();
         assert!(

@@ -18,6 +18,8 @@
 //! this crate; the derivation keeps ground-truth identifiers out of the
 //! public schema (ASNs, names, prefixes — never arena ids).
 
+#![deny(missing_docs)]
+
 use cm_geo::MetroId;
 use cm_net::stablehash;
 use cm_net::{Asn, Ipv4, OrgId, Prefix, PrefixTrie};
@@ -284,8 +286,11 @@ impl PublicDatasets {
         // ---- AS relationships ---------------------------------------------
         let mut asrel = AsRel::default();
         let push_edge = |asrel: &mut AsRel, a: Asn, b: Asn, kind: AsRelKind, key: u64| {
-            if stablehash::chance(seed, &[0xE1, key, a.0 as u64, b.0 as u64], cfg.asrel_coverage)
-            {
+            if stablehash::chance(
+                seed,
+                &[0xE1, key, a.0 as u64, b.0 as u64],
+                cfg.asrel_coverage,
+            ) {
                 asrel.edges.push((a, b, kind));
                 asrel.index.insert((a, b));
             }
@@ -571,6 +576,9 @@ mod tests {
         let a = derive(&inet);
         let b = derive(&inet);
         assert_eq!(a.asrel.edges.len(), b.asrel.edges.len());
-        assert_eq!(a.peeringdb.as_facilities.len(), b.peeringdb.as_facilities.len());
+        assert_eq!(
+            a.peeringdb.as_facilities.len(),
+            b.peeringdb.as_facilities.len()
+        );
     }
 }

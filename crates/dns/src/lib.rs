@@ -15,6 +15,8 @@
 //! RTT-feasibility check exists to catch). [`parse_location`] and
 //! [`parse_vpi_hint`] are the DRoP-style extraction side used by inference.
 
+#![deny(missing_docs)]
+
 use cm_geo::{MetroCatalog, MetroId};
 use cm_net::stablehash;
 use cm_net::Ipv4;

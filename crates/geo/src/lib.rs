@@ -14,6 +14,8 @@
 //!   (propagation at ~2/3 c with a path-inflation factor, plus per-hop
 //!   processing), which produces the 2 ms knees of Figures 4a/4b.
 
+#![deny(missing_docs)]
+
 pub mod metro;
 pub mod rtt;
 

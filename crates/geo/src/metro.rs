@@ -78,10 +78,24 @@ const ROWS: &[(&str, &str, &str, &str, f64, f64)] = &[
     ("Miami", "mia", "miami", "US", 25.7617, -80.1918),
     ("Denver", "den", "denver", "US", 39.7392, -104.9903),
     ("Phoenix", "phx", "phoenix", "US", 33.4484, -112.0740),
-    ("Salt Lake City", "slc", "saltlake", "US", 40.7608, -111.8910),
+    (
+        "Salt Lake City",
+        "slc",
+        "saltlake",
+        "US",
+        40.7608,
+        -111.8910,
+    ),
     ("Houston", "iah", "houston", "US", 29.7604, -95.3698),
     ("Boston", "bos", "boston", "US", 42.3601, -71.0589),
-    ("Philadelphia", "phl", "philadelphia", "US", 39.9526, -75.1652),
+    (
+        "Philadelphia",
+        "phl",
+        "philadelphia",
+        "US",
+        39.9526,
+        -75.1652,
+    ),
     ("Minneapolis", "msp", "minneapolis", "US", 44.9778, -93.2650),
     ("Kansas City", "mci", "kansascity", "US", 39.0997, -94.5786),
     ("St Louis", "stl", "stlouis", "US", 38.6270, -90.1994),
@@ -141,12 +155,26 @@ const ROWS: &[(&str, &str, &str, &str, f64, f64)] = &[
     ("Shanghai", "pvg", "shanghai", "CN", 31.2304, 121.4737),
     ("Zhongwei", "zhy", "zhongwei", "CN", 37.5149, 105.1967),
     // --- South America / Africa / Middle East ---
-    ("Buenos Aires", "eze", "buenosaires", "AR", -34.6037, -58.3816),
+    (
+        "Buenos Aires",
+        "eze",
+        "buenosaires",
+        "AR",
+        -34.6037,
+        -58.3816,
+    ),
     ("Santiago", "scl", "santiago", "CL", -33.4489, -70.6693),
     ("Bogota", "bog", "bogota", "CO", 4.7110, -74.0721),
     ("Lima", "lim", "lima", "PE", -12.0464, -77.0428),
     ("Rio de Janeiro", "gig", "rio", "BR", -22.9068, -43.1729),
-    ("Johannesburg", "jnb", "johannesburg", "ZA", -26.2041, 28.0473),
+    (
+        "Johannesburg",
+        "jnb",
+        "johannesburg",
+        "ZA",
+        -26.2041,
+        28.0473,
+    ),
     ("Cape Town", "cpt", "capetown", "ZA", -33.9249, 18.4241),
     ("Lagos", "los", "lagos", "NG", 6.5244, 3.3792),
     ("Nairobi", "nbo", "nairobi", "KE", -1.2921, 36.8219),

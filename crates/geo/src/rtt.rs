@@ -99,7 +99,10 @@ mod tests {
     fn two_ms_threshold_is_metro_scale() {
         let m = RttModel::default();
         let km = m.distance_for_rtt(2.0);
-        assert!((50.0..250.0).contains(&km), "2 ms ≈ {km} km should be metro-scale");
+        assert!(
+            (50.0..250.0).contains(&km),
+            "2 ms ≈ {km} km should be metro-scale"
+        );
     }
 
     #[test]

@@ -194,20 +194,41 @@ mod tests {
     fn private_and_shared_ranges() {
         assert!("10.0.0.1".parse::<Ipv4>().unwrap().is_private_or_shared());
         assert!("172.16.0.1".parse::<Ipv4>().unwrap().is_private_or_shared());
-        assert!("172.31.255.255".parse::<Ipv4>().unwrap().is_private_or_shared());
+        assert!("172.31.255.255"
+            .parse::<Ipv4>()
+            .unwrap()
+            .is_private_or_shared());
         assert!(!"172.32.0.0".parse::<Ipv4>().unwrap().is_private_or_shared());
-        assert!("192.168.4.4".parse::<Ipv4>().unwrap().is_private_or_shared());
+        assert!("192.168.4.4"
+            .parse::<Ipv4>()
+            .unwrap()
+            .is_private_or_shared());
         assert!("100.64.0.1".parse::<Ipv4>().unwrap().is_private_or_shared());
-        assert!("100.127.255.1".parse::<Ipv4>().unwrap().is_private_or_shared());
-        assert!(!"100.128.0.1".parse::<Ipv4>().unwrap().is_private_or_shared());
+        assert!("100.127.255.1"
+            .parse::<Ipv4>()
+            .unwrap()
+            .is_private_or_shared());
+        assert!(!"100.128.0.1"
+            .parse::<Ipv4>()
+            .unwrap()
+            .is_private_or_shared());
         assert!(!"8.8.8.8".parse::<Ipv4>().unwrap().is_private_or_shared());
     }
 
     #[test]
     fn multicast_detection() {
-        assert!("224.0.0.1".parse::<Ipv4>().unwrap().is_multicast_or_reserved());
-        assert!("240.0.0.1".parse::<Ipv4>().unwrap().is_multicast_or_reserved());
-        assert!(!"223.255.255.255".parse::<Ipv4>().unwrap().is_multicast_or_reserved());
+        assert!("224.0.0.1"
+            .parse::<Ipv4>()
+            .unwrap()
+            .is_multicast_or_reserved());
+        assert!("240.0.0.1"
+            .parse::<Ipv4>()
+            .unwrap()
+            .is_multicast_or_reserved());
+        assert!(!"223.255.255.255"
+            .parse::<Ipv4>()
+            .unwrap()
+            .is_multicast_or_reserved());
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! exchange millions of them, so everything here is `Copy` where possible and
 //! avoids allocation on the hot paths.
 
+#![deny(missing_docs)]
+
 pub mod addr;
 pub mod asn;
 pub mod prefix;

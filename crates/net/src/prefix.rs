@@ -137,7 +137,9 @@ impl FromStr for Prefix {
     type Err = PrefixParseError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (addr, len) = s.split_once('/').ok_or_else(|| PrefixParseError(s.into()))?;
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| PrefixParseError(s.into()))?;
         let base: Ipv4 = addr.parse().map_err(|_| PrefixParseError(s.into()))?;
         let len: u8 = len.parse().map_err(|_| PrefixParseError(s.into()))?;
         if len > 32 {

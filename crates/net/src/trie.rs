@@ -233,7 +233,10 @@ mod tests {
             t.insert(p(s), s.to_string());
         }
         let got: Vec<String> = t.iter().map(|(pre, _)| pre.to_string()).collect();
-        assert_eq!(got, ["9.0.0.0/8", "10.0.0.0/8", "10.1.0.0/16", "11.0.0.0/8"]);
+        assert_eq!(
+            got,
+            ["9.0.0.0/8", "10.0.0.0/8", "10.1.0.0/16", "11.0.0.0/8"]
+        );
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! summary [`CampaignStats`]; the inference crate consumes them without ever
 //! touching the ground truth.
 
+#![deny(missing_docs)]
+
 pub mod tracefile;
 
 use cm_dataplane::{DataPlane, TraceStatus, Traceroute};
@@ -160,8 +162,7 @@ impl<'a, 'b> Campaign<'a, 'b> {
         let regions = self.regions().to_vec();
         let plane = self.plane;
         let cloud = self.cloud;
-        let mut slots: Vec<Option<(T, CampaignStats)>> =
-            (0..regions.len()).map(|_| None).collect();
+        let mut slots: Vec<Option<(T, CampaignStats)>> = (0..regions.len()).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for &region in &regions {
@@ -336,16 +337,9 @@ mod tests {
             .border_routers
             .iter()
             .map(|&b| inet.router(b))
-            .find(|b| {
-                b.metro == region.metro
-                    && b.response == cm_topology::ResponseMode::Incoming
-            });
+            .find(|b| b.metro == region.metro && b.response == cm_topology::ResponseMode::Incoming);
         let Some(b) = local else { return };
-        let abi = b
-            .ifaces
-            .iter()
-            .find_map(|&f| inet.iface(f).addr)
-            .unwrap();
+        let abi = b.ifaces.iter().find_map(|&f| inet.iface(f).addr).unwrap();
         let camp = RttCampaign::run(&plane, CloudId(0), &[abi], 4);
         let (closest, rtt) = camp.closest_region(abi).unwrap();
         assert_eq!(closest, r0, "closest region should host the ABI");
@@ -377,16 +371,11 @@ mod parallel_tests {
         let c = Campaign::new(&plane, CloudId(0));
         let targets: Vec<Ipv4> = c.sweep_targets().into_iter().take(300).collect();
         let (_, serial) = c.targeted(&targets);
-        let (states, parallel) = c.run_parallel(
-            &targets,
-            1,
-            Vec::new,
-            |v: &mut Vec<Ipv4>, t| {
-                if t.status == cm_dataplane::TraceStatus::Completed {
-                    v.push(t.dst);
-                }
-            },
-        );
+        let (states, parallel) = c.run_parallel(&targets, 1, Vec::new, |v: &mut Vec<Ipv4>, t| {
+            if t.status == cm_dataplane::TraceStatus::Completed {
+                v.push(t.dst);
+            }
+        });
         assert_eq!(serial, parallel);
         let total: usize = states.iter().map(|v| v.len()).sum();
         assert_eq!(total, parallel.completed);
@@ -431,12 +420,9 @@ mod parallel_tests {
         let c = Campaign::new(&plane, CloudId(0));
         let targets: Vec<Ipv4> = c.sweep_targets().into_iter().take(500).collect();
         let run = || {
-            let (states, stats) = c.run_parallel(
-                &targets,
-                3,
-                Vec::new,
-                |v: &mut Vec<Ipv4>, t| v.extend(t.responding_addrs()),
-            );
+            let (states, stats) = c.run_parallel(&targets, 3, Vec::new, |v: &mut Vec<Ipv4>, t| {
+                v.extend(t.responding_addrs())
+            });
             (states.into_iter().flatten().collect::<Vec<_>>(), stats)
         };
         assert_eq!(run(), run());

@@ -35,17 +35,19 @@ pub fn write_traces<'a>(traces: impl IntoIterator<Item = &'a Traceroute>) -> Str
             TraceStatus::GapLimit => 'G',
             TraceStatus::MaxTtl => 'M',
         };
-        writeln!(out, "T {} {} {} {}", t.cloud.0, t.src_region.0, t.dst, status).unwrap();
+        // Writing into a String is infallible; ignore the fmt::Result.
+        let _ = writeln!(
+            out,
+            "T {} {} {} {}",
+            t.cloud.0, t.src_region.0, t.dst, status
+        );
         for h in &t.hops {
-            let addr = h
-                .addr
-                .map(|a| a.to_string())
-                .unwrap_or_else(|| "*".into());
+            let addr = h.addr.map(|a| a.to_string()).unwrap_or_else(|| "*".into());
             let rtt = h
                 .rtt_ms
                 .map(|r| format!("{r:.3}"))
                 .unwrap_or_else(|| "-".into());
-            writeln!(out, "H {} {} {}", h.ttl, addr, rtt).unwrap();
+            let _ = writeln!(out, "H {} {} {}", h.ttl, addr, rtt);
         }
     }
     out
@@ -214,8 +216,10 @@ mod tests {
         assert!(read_traces(&format!("{hdr}T 0 0 bogus C\n")).is_err());
         assert!(read_traces(&format!("{hdr}Z what\n")).is_err());
         // Well-formed minimal file.
-        let ok = read_traces(&format!("{hdr}T 0 3 1.2.3.4 G\nH 1 * -\nH 2 5.6.7.8 1.25\n"))
-            .unwrap();
+        let ok = read_traces(&format!(
+            "{hdr}T 0 3 1.2.3.4 G\nH 1 * -\nH 2 5.6.7.8 1.25\n"
+        ))
+        .unwrap();
         assert_eq!(ok.len(), 1);
         assert_eq!(ok[0].hops.len(), 2);
         assert_eq!(ok[0].hops[1].rtt_ms, Some(1.25));
@@ -228,7 +232,11 @@ mod tests {
         let plane = DataPlane::new(&inet, DataPlaneConfig::default());
         let campaign = crate::Campaign::new(&plane, CloudId(0));
         let (traces, _) = campaign.targeted(
-            &campaign.sweep_targets().into_iter().take(2000).collect::<Vec<_>>(),
+            &campaign
+                .sweep_targets()
+                .into_iter()
+                .take(2000)
+                .collect::<Vec<_>>(),
         );
         let text = write_traces(&traces);
         let parsed = read_traces(&text).unwrap();

@@ -83,13 +83,13 @@ impl BlockAllocator {
     /// (127/8), link-local (169.254/16) and multicast+ (224/3).
     fn is_reserved(p: Prefix) -> bool {
         const RESERVED: &[(u32, u8)] = &[
-            (0x0a00_0000, 8),   // 10/8
-            (0x6440_0000, 10),  // 100.64/10
-            (0x7f00_0000, 8),   // 127/8
-            (0xa9fe_0000, 16),  // 169.254/16
-            (0xac10_0000, 12),  // 172.16/12
-            (0xc0a8_0000, 16),  // 192.168/16
-            (0xe000_0000, 3),   // 224/3
+            (0x0a00_0000, 8),  // 10/8
+            (0x6440_0000, 10), // 100.64/10
+            (0x7f00_0000, 8),  // 127/8
+            (0xa9fe_0000, 16), // 169.254/16
+            (0xac10_0000, 12), // 172.16/12
+            (0xc0a8_0000, 16), // 192.168/16
+            (0xe000_0000, 3),  // 224/3
         ];
         RESERVED.iter().any(|&(base, len)| {
             let r = Prefix::new(Ipv4(base), len);
@@ -140,7 +140,11 @@ mod tests {
         let mut seen: Vec<Prefix> = Vec::new();
         for len in [24u8, 20, 24, 30, 16, 31, 24] {
             let p = a.alloc(len);
-            assert_eq!(p.base().to_u32() % (1 << (32 - len as u32)), 0, "unaligned {p}");
+            assert_eq!(
+                p.base().to_u32() % (1 << (32 - len as u32)),
+                0,
+                "unaligned {p}"
+            );
             for q in &seen {
                 assert!(!p.covers(*q) && !q.covers(p), "{p} overlaps {q}");
             }
@@ -154,7 +158,10 @@ mod tests {
         // Exhaust enough space to walk past 10/8.
         for _ in 0..40 {
             let p = a.alloc(8);
-            assert!(!p.contains("10.1.2.3".parse().unwrap()), "allocated {p} covering 10/8");
+            assert!(
+                !p.contains("10.1.2.3".parse().unwrap()),
+                "allocated {p} covering 10/8"
+            );
             assert!(!p.contains("127.0.0.1".parse().unwrap()));
             assert!(!p.contains("172.16.0.1".parse().unwrap()));
             assert!(!p.contains("192.168.0.1".parse().unwrap()));

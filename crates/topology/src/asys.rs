@@ -82,12 +82,7 @@ pub fn customer_cones(ases: &[AsNode]) -> Vec<Vec<AsIndex>> {
     // Process in reverse-topological order: since provider->customer edges
     // form a DAG by construction (tiers only point downward), an iterative
     // DFS with memoization is safe.
-    fn cone_of(
-        i: usize,
-        ases: &[AsNode],
-        cones: &mut Vec<Vec<AsIndex>>,
-        visiting: &mut Vec<bool>,
-    ) {
+    fn cone_of(i: usize, ases: &[AsNode], cones: &mut Vec<Vec<AsIndex>>, visiting: &mut Vec<bool>) {
         if !cones[i].is_empty() {
             return;
         }
@@ -148,7 +143,10 @@ mod tests {
     #[test]
     fn announced_slash24s_counts() {
         let mut a = mk(0, AsTier::Tier2);
-        a.prefixes = vec!["10.0.0.0/22".parse().unwrap(), "10.1.0.0/24".parse().unwrap()];
+        a.prefixes = vec![
+            "10.0.0.0/22".parse().unwrap(),
+            "10.1.0.0/24".parse().unwrap(),
+        ];
         assert_eq!(a.announced_slash24s(), 4 + 1);
     }
 
@@ -165,7 +163,10 @@ mod tests {
         ases[1].customers = vec![AsIndex(3)];
         ases[2].customers = vec![AsIndex(3)];
         let cones = customer_cones(&ases);
-        assert_eq!(cones[0], vec![AsIndex(0), AsIndex(1), AsIndex(2), AsIndex(3)]);
+        assert_eq!(
+            cones[0],
+            vec![AsIndex(0), AsIndex(1), AsIndex(2), AsIndex(3)]
+        );
         assert_eq!(cones[1], vec![AsIndex(1), AsIndex(3)]);
         assert_eq!(cones[3], vec![AsIndex(3)]);
     }

@@ -60,7 +60,11 @@ impl Builder {
         let mut next_asn = 40_000u32;
         let n_metros = self.n_metros();
 
-        let mut push_as = |b: &mut Builder, tier: AsTier, name_prefix: &str, home: MetroId, presence: Vec<MetroId>| {
+        let mut push_as = |b: &mut Builder,
+                           tier: AsTier,
+                           name_prefix: &str,
+                           home: MetroId,
+                           presence: Vec<MetroId>| {
             let idx = AsIndex(b.ases.len() as u32);
             let asn = Asn(next_asn);
             next_asn += 1;
@@ -323,7 +327,13 @@ impl Builder {
         self.build_secondary_clouds();
     }
 
-    fn new_cloud_as(&mut self, asn: u32, org: cm_net::OrgId, name: String, home: MetroId) -> AsIndex {
+    fn new_cloud_as(
+        &mut self,
+        asn: u32,
+        org: cm_net::OrgId,
+        name: String,
+        home: MetroId,
+    ) -> AsIndex {
         let idx = AsIndex(self.ases.len() as u32);
         self.ases.push(AsNode {
             idx,
@@ -434,8 +444,10 @@ impl Builder {
         } else {
             DX_EXTRA_METROS
         };
-        let region_metro_set: Vec<MetroId> =
-            region_ids.iter().map(|&r| self.regions[r.index()].metro).collect();
+        let region_metro_set: Vec<MetroId> = region_ids
+            .iter()
+            .map(|&r| self.regions[r.index()].metro)
+            .collect();
         let mut added = 0;
         for m in 0..self.n_metros() {
             if added >= extra {
@@ -455,8 +467,12 @@ impl Builder {
             let rid = *region_ids
                 .iter()
                 .min_by(|&&a, &&b| {
-                    let da = self.metros.distance_km(self.regions[a.index()].metro, metro);
-                    let db = self.metros.distance_km(self.regions[b.index()].metro, metro);
+                    let da = self
+                        .metros
+                        .distance_km(self.regions[a.index()].metro, metro);
+                    let db = self
+                        .metros
+                        .distance_km(self.regions[b.index()].metro, metro);
                     da.partial_cmp(&db).unwrap()
                 })
                 .unwrap();
@@ -609,9 +625,10 @@ impl Builder {
                     self.regions[ra.index()].core_routers[0],
                     self.regions[rb.index()].core_routers[0],
                 );
-                let km = self
-                    .metros
-                    .distance_km(self.regions[ra.index()].metro, self.regions[rb.index()].metro);
+                let km = self.metros.distance_km(
+                    self.regions[ra.index()].metro,
+                    self.regions[rb.index()].metro,
+                );
                 let aa = self.cloud_infra_addr(cloud);
                 let ia = self.new_iface(ca, Some(aa), IfaceKind::Internal);
                 let ab = self.cloud_infra_addr(cloud);
@@ -632,7 +649,9 @@ impl Builder {
             // avoid clashing with the announced-space cursor.
             let block = self.ases[main.index()].infra_prefixes[0];
             let key = AsIndex(main.0 | 0x8000_0000);
-            self.host_cursors.entry(key).or_insert_with(|| super::HostCursor::new(block));
+            self.host_cursors
+                .entry(key)
+                .or_insert_with(|| super::HostCursor::new(block));
             if let Some(a) = self.host_cursors.get_mut(&key).unwrap().alloc() {
                 return a;
             }
@@ -647,7 +666,8 @@ impl Builder {
                 .alloc()
                 .expect("cloud infra space exhausted");
         }
-        self.alloc_host_addr(main).expect("cloud host space exhausted")
+        self.alloc_host_addr(main)
+            .expect("cloud host space exhausted")
     }
 
     // ================================================================ phase 6
@@ -753,12 +773,7 @@ impl Builder {
         }
     }
 
-    fn make_public_peerings(
-        &mut self,
-        cloud: CloudId,
-        idx: AsIndex,
-        ixps_by_metro: &[Vec<IxpId>],
-    ) {
+    fn make_public_peerings(&mut self, cloud: CloudId, idx: AsIndex, ixps_by_metro: &[Vec<IxpId>]) {
         let tier = self.ases[idx.index()].tier;
         let n_ixps = match tier {
             AsTier::Tier1 | AsTier::Tier2 => 1 + self.rng.gen_range(0..3usize),
@@ -890,9 +905,7 @@ impl Builder {
             let local_fac = self
                 .facilities
                 .iter()
-                .find(|f| {
-                    f.metro == home && f.cloud_exchange && f.native_clouds.contains(&cloud)
-                })
+                .find(|f| f.metro == home && f.cloud_exchange && f.native_clouds.contains(&cloud))
                 .map(|f| f.id);
             let force_remote = self.rng.gen_bool(self.cfg.remote_vpi);
             let (fac, remote) = match (local_fac, force_remote) {
@@ -1037,7 +1050,11 @@ impl Builder {
             idx,
             RouterRole::ClientBorder,
             metro,
-            if metro_override.is_none() { Some(fac) } else { None },
+            if metro_override.is_none() {
+                Some(fac)
+            } else {
+                None
+            },
             ResponseMode::Incoming,
             reachable,
         );
@@ -1107,9 +1124,13 @@ impl Builder {
         let cloud_addr = hosts.next().unwrap();
         let client_addr = hosts.next().unwrap();
         let id = IcId(self.interconnects.len() as u32);
-        let cloud_iface = self.new_iface(cloud_router, Some(cloud_addr), IfaceKind::Interconnect(id));
-        let client_iface =
-            self.new_iface(client_router, Some(client_addr), IfaceKind::Interconnect(id));
+        let cloud_iface =
+            self.new_iface(cloud_router, Some(cloud_addr), IfaceKind::Interconnect(id));
+        let client_iface = self.new_iface(
+            client_router,
+            Some(client_addr),
+            IfaceKind::Interconnect(id),
+        );
         let metro = self.facilities[fac.index()].metro;
         self.interconnects.push(Interconnect {
             id,
@@ -1147,8 +1168,7 @@ impl Builder {
             let mut hosts: Vec<FacilityId> = Vec::new();
             let metros = self.ixps[ixp.index()].metros.clone();
             for m in metros {
-                let f = self
-                    .ixps[ixp.index()]
+                let f = self.ixps[ixp.index()]
                     .facilities
                     .iter()
                     .copied()
@@ -1239,8 +1259,9 @@ impl Builder {
         };
         let id = IcId(self.interconnects.len() as u32);
 
-        let cloud_provided =
-            cloud.0 == 0 && self.rng.gen_bool(self.cfg.cloud_provided_addr) && shared_port.is_none();
+        let cloud_provided = cloud.0 == 0
+            && self.rng.gen_bool(self.cfg.cloud_provided_addr)
+            && shared_port.is_none();
         let (prefix, provider, cloud_addr, port_addr) = if cloud_provided {
             let main = self.clouds[cloud.index()].ases[0];
             let p = self.alloc_cloud_slash31(main);
@@ -1250,9 +1271,15 @@ impl Builder {
             let announced_space = self.rng.gen_bool(CLIENT_P2P_ANNOUNCED);
             let p = self.alloc_client_slash31(peer, announced_space);
             let mut h = p.hosts();
-            (p, AddrProvider::Client, h.next().unwrap(), h.next().unwrap())
+            (
+                p,
+                AddrProvider::Client,
+                h.next().unwrap(),
+                h.next().unwrap(),
+            )
         };
-        let cloud_iface = self.new_iface(cloud_router, Some(cloud_addr), IfaceKind::Interconnect(id));
+        let cloud_iface =
+            self.new_iface(cloud_router, Some(cloud_addr), IfaceKind::Interconnect(id));
         let client_iface = match shared_port {
             Some(p) => p,
             None => self.new_iface(client_router, Some(port_addr), IfaceKind::Interconnect(id)),

@@ -141,7 +141,9 @@ impl Internet {
 
     /// All interconnects of a given cloud.
     pub fn cloud_interconnects(&self, cloud: CloudId) -> impl Iterator<Item = &Interconnect> {
-        self.interconnects.iter().filter(move |ic| ic.cloud == cloud)
+        self.interconnects
+            .iter()
+            .filter(move |ic| ic.cloud == cloud)
     }
 
     /// Ground-truth great-circle distance between two metros, km.
@@ -161,10 +163,7 @@ impl Internet {
 
     /// All distinct peer ASes of a cloud (ground truth).
     pub fn cloud_peers(&self, cloud: CloudId) -> Vec<AsIndex> {
-        let mut v: Vec<AsIndex> = self
-            .cloud_interconnects(cloud)
-            .map(|ic| ic.peer)
-            .collect();
+        let mut v: Vec<AsIndex> = self.cloud_interconnects(cloud).map(|ic| ic.peer).collect();
         v.sort_unstable();
         v.dedup();
         v

@@ -24,6 +24,8 @@
 //! probe results and public dataset views — but the experiment harness uses
 //! it to score every inference stage.
 
+#![deny(missing_docs)]
+
 pub mod addr;
 pub mod asys;
 pub mod cloud;
@@ -40,9 +42,7 @@ pub use asys::{customer_cones, AsNode, AsTier};
 pub use cloud::{Cloud, Region};
 pub use config::{AsCounts, PeeringPropensity, PrefixBudget, ResponsePolicyMix, TopologyConfig};
 pub use facility::{Facility, Ixp};
-pub use ids::{
-    AsIndex, CloudId, FacilityId, IcId, IfaceId, IxpId, LinkId, RegionId, RouterId,
-};
+pub use ids::{AsIndex, CloudId, FacilityId, IcId, IfaceId, IxpId, LinkId, RegionId, RouterId};
 pub use interconnect::{AddrProvider, IcAnnouncement, IcKind, Interconnect};
 pub use internet::Internet;
 pub use router::{Iface, IfaceKind, Link, ResponseMode, Router, RouterRole};

@@ -21,11 +21,7 @@ fn generation_is_deterministic() {
     }
     // Different seeds must diverge.
     let c = Internet::generate(TopologyConfig::tiny(), 43);
-    assert_ne!(
-        a.interconnects.len(),
-        usize::MAX,
-        "sanity"
-    );
+    assert_ne!(a.interconnects.len(), usize::MAX, "sanity");
     let same = a.interconnects.len() == c.interconnects.len()
         && a.ifaces.len() == c.ifaces.len()
         && a.routers.len() == c.routers.len();
@@ -48,7 +44,11 @@ fn regions_and_clouds_match_config() {
     for &rid in &inet.primary_cloud().regions {
         let r = inet.region(rid);
         assert!(!r.core_routers.is_empty());
-        assert!(!r.native_facilities.is_empty(), "{} has no native colo", r.name);
+        assert!(
+            !r.native_facilities.is_empty(),
+            "{} has no native colo",
+            r.name
+        );
     }
 }
 
@@ -81,7 +81,10 @@ fn multicloud_vpi_ports_are_shared() {
         std::collections::HashMap::new();
     for ic in &inet.interconnects {
         if ic.kind.is_vpi() {
-            by_iface.entry(ic.client_iface).or_default().insert(ic.cloud);
+            by_iface
+                .entry(ic.client_iface)
+                .or_default()
+                .insert(ic.cloud);
         }
     }
     let shared = by_iface.values().filter(|s| s.len() >= 2).count();

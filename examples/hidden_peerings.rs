@@ -20,7 +20,10 @@ fn main() {
     let inet = Internet::generate(TopologyConfig::tiny(), 7);
     let truth_peers = inet.cloud_peers(CloudId(0)).len();
 
-    println!("collector feeders vs. visible peerings ({} true peers):", truth_peers);
+    println!(
+        "collector feeders vs. visible peerings ({} true peers):",
+        truth_peers
+    );
     for n in [2usize, 4, 8, 16, 32, 64, 128] {
         let view = BgpView::compute(&inet, CloudId(0), n, 7);
         println!(
@@ -36,7 +39,9 @@ fn main() {
          the enterprises that peer with the cloud.\n"
     );
 
-    let atlas = Pipeline::new(&inet, PipelineConfig::default()).run();
+    let atlas = Pipeline::new(&inet, PipelineConfig::default())
+        .run()
+        .expect("pipeline run");
     println!("peering groups found by the measurement study:");
     for (label, row) in atlas.groups.table5() {
         println!("  {:<9} {:>5} ASes {:>6} CBIs", label, row.ases, row.cbis);
@@ -67,6 +72,10 @@ fn main() {
             .values()
             .filter(|p| p.cbis_by_group.contains_key(g))
             .count();
-        println!("  {:<9} {:>5} ASes exchange traffic invisibly", g.label(), ases);
+        println!(
+            "  {:<9} {:>5} ASes exchange traffic invisibly",
+            g.label(),
+            ases
+        );
     }
 }

@@ -38,8 +38,8 @@ fn main() {
     // 2. Later / elsewhere: load the archive and run inference on it alone.
     //    Note the parsed hops carry no simulator internals — this is the
     //    exact input shape real measurements provide.
-    let loaded = tracefile::read_traces(&std::fs::read_to_string(&path).unwrap())
-        .expect("parse archive");
+    let loaded =
+        tracefile::read_traces(&std::fs::read_to_string(&path).unwrap()).expect("parse archive");
     let snapshot = bgp_snapshot(&inet);
     let view = BgpView::compute(&inet, CloudId(0), 64, 33);
     let visible = view

@@ -14,7 +14,9 @@ use cm_topology::{Internet, TopologyConfig};
 
 fn main() {
     let inet = Internet::generate(TopologyConfig::tiny(), 5);
-    let atlas = Pipeline::new(&inet, PipelineConfig::default()).run();
+    let atlas = Pipeline::new(&inet, PipelineConfig::default())
+        .run()
+        .expect("pipeline run");
 
     // Pick the peer with the most discovered CBIs (a transit-ish network).
     let Some((&asn, profile)) = atlas
@@ -32,7 +34,14 @@ fn main() {
         .org_name(asn)
         .unwrap_or("<unknown>")
         .to_string();
-    println!("peer {asn} ({name}) — groups: {:?}", profile.groups().iter().map(|g| g.label()).collect::<Vec<_>>());
+    println!(
+        "peer {asn} ({name}) — groups: {:?}",
+        profile
+            .groups()
+            .iter()
+            .map(|g| g.label())
+            .collect::<Vec<_>>()
+    );
     println!(
         "BGP-visible: {} (how the paper's Table 5 splits B from nB)\n",
         profile.bgp_visible
@@ -61,7 +70,11 @@ fn main() {
             let truth = inet
                 .iface_by_addr
                 .get(&cbi)
-                .map(|&f| inet.metros.get(inet.router(inet.iface(f).router).metro).name)
+                .map(|&f| {
+                    inet.metros
+                        .get(inet.router(inet.iface(f).router).metro)
+                        .name
+                })
                 .unwrap_or("?");
             println!(
                 "{:<16} {:<10} {:<14} {:<14} {:<10}",

@@ -19,7 +19,9 @@ fn main() {
         inet.primary_cloud().regions.len()
     );
 
-    let atlas = Pipeline::new(&inet, PipelineConfig::default()).run();
+    let atlas = Pipeline::new(&inet, PipelineConfig::default())
+        .run()
+        .expect("pipeline run");
 
     println!("\n--- what the measurement study found ---");
     println!(
@@ -36,8 +38,8 @@ fn main() {
     println!(
         "BGP sees only {} of those peers — {:.0}% of the fabric is invisible to it",
         atlas.coverage.bgp_peers,
-        100.0 * (1.0
-            - atlas.coverage.bgp_peers as f64 / atlas.coverage.inferred_peers.max(1) as f64)
+        100.0
+            * (1.0 - atlas.coverage.bgp_peers as f64 / atlas.coverage.inferred_peers.max(1) as f64)
     );
     println!(
         "VPIs: {} CBIs overlap another cloud ({:.1}% of private candidates)",

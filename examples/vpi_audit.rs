@@ -50,7 +50,9 @@ fn main() {
         })
         .map(|(&a, clouds)| (a, clouds.clone()));
 
-    let atlas = Pipeline::new(&inet, PipelineConfig::default()).run();
+    let atlas = Pipeline::new(&inet, PipelineConfig::default())
+        .run()
+        .expect("pipeline run");
 
     if let Some((port, clouds)) = example {
         let peer = inet.as_node(port_peer[&port]);
