@@ -218,9 +218,10 @@ pub fn rederive(atlas: &Atlas<'_>) -> RefDerivation {
     let epochs = cfg.sweep_epochs.max(1);
 
     let run_round = |targets: &[Ipv4]| -> RefDerivation {
-        let (states, stats) = campaign.run_parallel(
+        let (states, stats) = campaign.run_sharded(
             targets,
             epochs,
+            cfg.probe_workers,
             || (RefDerivation::default(), HashMap::<Ipv4, HopNote>::new()),
             |(state, memo), t| {
                 let mut note_of = |a: Ipv4| *memo.entry(a).or_insert_with(|| annotator.annotate(a));

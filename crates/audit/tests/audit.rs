@@ -107,6 +107,41 @@ proptest! {
     }
 }
 
+/// The sharded executor's worker count is a pure throughput knob: every
+/// count must yield a byte-identical atlas, so the audit (replay included)
+/// stays clean and its digest — plus every campaign-derived product —
+/// matches the serial run exactly.
+#[test]
+fn worker_count_does_not_change_the_atlas() {
+    let inet = Internet::generate(TopologyConfig::tiny(), 23);
+    let snapshot = |workers: usize| {
+        let cfg = PipelineConfig {
+            probe_workers: workers,
+            ..PipelineConfig::default()
+        };
+        let atlas = Pipeline::new(&inet, cfg).run().expect("pipeline run");
+        let report = audit(&atlas);
+        assert!(
+            report.is_clean(),
+            "workers={workers} produced findings:\n{report}"
+        );
+        let mut segments: Vec<Segment> = atlas.pool.segments.keys().copied().collect();
+        segments.sort_unstable();
+        (
+            report.digest(),
+            atlas.sweep_stats,
+            atlas.expansion_stats,
+            atlas.table1.map(|r| r.count),
+            segments,
+            atlas.pool.abis.len(),
+            atlas.pool.cbis.len(),
+            atlas.icg.edges,
+        )
+    };
+    let serial = snapshot(1);
+    assert_eq!(serial, snapshot(3), "3-worker atlas diverged from serial");
+}
+
 // ---------------------------------------------------------------------------
 // Mutation scenarios — each forged field caught by its rule
 // ---------------------------------------------------------------------------

@@ -2,10 +2,16 @@
 //!
 //! ```text
 //! experiments [EXPERIMENT] [--scale tiny|small|full] [--seed N] [--dump DIR]
+//!             [--bench-json PATH]
 //!
 //! EXPERIMENT: all (default) | table1..table6 | fig4a | fig4b | fig5 | fig6
 //!             | fig7 | pinning-eval | icg | hiding-map | bdrmap | scores
+//!             | timings
 //! ```
+//!
+//! Every run also writes a machine-readable record of the run's wall
+//! clocks and route-memo stats to `BENCH_pipeline.json` (path overridable
+//! with `--bench-json`).
 //!
 //! Run with `cargo run --release -p cm-bench --bin experiments`.
 
@@ -16,6 +22,7 @@ fn main() {
     let mut scale = String::from("small");
     let mut seed: u64 = 2019;
     let mut dump: Option<std::path::PathBuf> = None;
+    let mut bench_json = std::path::PathBuf::from("BENCH_pipeline.json");
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -29,9 +36,14 @@ fn main() {
                     .expect("seed must be an integer")
             }
             "--dump" => dump = Some(args.next().expect("--dump needs a directory").into()),
+            "--bench-json" => match args.next() {
+                Some(p) => bench_json = p.into(),
+                None => panic!("--bench-json needs a path"),
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [EXPERIMENT] [--scale tiny|small|full] [--seed N] [--dump DIR]"
+                    "usage: experiments [EXPERIMENT] [--scale tiny|small|full] [--seed N] \
+                     [--dump DIR] [--bench-json PATH]"
                 );
                 return;
             }
@@ -40,8 +52,9 @@ fn main() {
         }
     }
 
-    const EXPERIMENTS: [&str; 17] = [
+    const EXPERIMENTS: [&str; 18] = [
         "all",
+        "timings",
         "table1",
         "table2",
         "table3",
@@ -71,23 +84,24 @@ fn main() {
     eprintln!("# generating ground truth (scale={scale}, seed={seed}) ...");
     let t0 = std::time::Instant::now();
     let inet = build_internet(&scale, seed);
+    let generate_secs = t0.elapsed().as_secs_f64();
     eprintln!(
-        "#   {} ASes, {} interconnects, {} interfaces [{:.1}s]",
+        "#   {} ASes, {} interconnects, {} interfaces [{generate_secs:.1}s]",
         inet.ases.len(),
         inet.interconnects.len(),
         inet.ifaces.len(),
-        t0.elapsed().as_secs_f64()
     );
     eprintln!("# running the measurement study ...");
     let t1 = std::time::Instant::now();
     let atlas = run_study(&inet);
+    let pipeline_secs = t1.elapsed().as_secs_f64();
     eprintln!(
         "#   sweep {} traces ({:.2}% complete), {} CBIs, {} ABIs [{:.1}s]",
         atlas.sweep_stats.launched,
         100.0 * atlas.sweep_stats.completion_rate(),
         atlas.pool.cbis.len(),
         atlas.pool.abis.len(),
-        t1.elapsed().as_secs_f64()
+        pipeline_secs
     );
 
     let run = |name: &str| -> Option<String> {
@@ -108,6 +122,7 @@ fn main() {
             "hiding-map" => report::hiding_map(&atlas),
             "bdrmap" => report::bdrmap(&atlas),
             "scores" => score_summary(&atlas),
+            "timings" => report::timings(&atlas),
             _ => return None,
         })
     };
@@ -130,6 +145,8 @@ fn main() {
             "hiding-map",
             "bdrmap",
             "scores",
+            // "timings" stays out of `all`: wall clocks vary run to run,
+            // and `all`'s stdout is byte-stable for a fixed (scale, seed).
         ] {
             println!("{}", run(name).unwrap());
         }
@@ -144,4 +161,10 @@ fn main() {
         report::dump_tsv(&atlas, &dir).expect("TSV dump failed");
         eprintln!("# figure series written to {}", dir.display());
     }
+
+    let json = report::bench_pipeline_json(&atlas, &scale, seed, generate_secs, pipeline_secs);
+    if let Err(e) = std::fs::write(&bench_json, json) {
+        panic!("writing {} failed: {e}", bench_json.display());
+    }
+    eprintln!("# run record written to {}", bench_json.display());
 }

@@ -485,6 +485,128 @@ pub fn dump_tsv(atlas: &Atlas<'_>, dir: &std::path::Path) -> std::io::Result<()>
     Ok(())
 }
 
+/// Stage-by-stage wall clock of the pipeline run, with the route-memo
+/// hit/miss accounting for every stage that consults the RIB.
+pub fn timings(atlas: &Atlas<'_>) -> String {
+    let t = &atlas.timings;
+    let mut out = String::new();
+    let _ = writeln!(out, "Pipeline stage timings (route memo per stage)");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>9} {:>12} {:>12} {:>7}",
+        "stage", "wall", "memo hits", "misses", "hit%"
+    );
+    for &(name, wall) in &t.stages {
+        match t.memo(name) {
+            Some(m) => {
+                let _ = writeln!(
+                    out,
+                    "{:<12} {:>8.3}s {:>12} {:>12} {:>6.1}%",
+                    name,
+                    wall.as_secs_f64(),
+                    m.hits,
+                    m.misses,
+                    100.0 * m.hit_rate()
+                );
+            }
+            None => {
+                let _ = writeln!(out, "{:<12} {:>8.3}s", name, wall.as_secs_f64());
+            }
+        }
+    }
+    let total = t.memo_total();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>8.3}s {:>12} {:>12} {:>6.1}%",
+        "total",
+        t.total().as_secs_f64(),
+        total.hits,
+        total.misses,
+        100.0 * total.hit_rate()
+    );
+    out
+}
+
+/// The machine-readable run record the harness writes to
+/// `BENCH_pipeline.json`: scale, seed, wall clocks (world generation and
+/// the full pipeline plus each stage), route-memo accounting, and the
+/// campaign stats. Hand-rolled JSON — the workspace deliberately carries no
+/// serialization dependency — so every key below is a fixed identifier and
+/// every value a number, keeping the output trivially valid.
+pub fn bench_pipeline_json(
+    atlas: &Atlas<'_>,
+    scale: &str,
+    seed: u64,
+    generate_secs: f64,
+    pipeline_secs: f64,
+) -> String {
+    let t = &atlas.timings;
+    let num = |x: f64| {
+        if x.is_finite() {
+            format!("{x:.6}")
+        } else {
+            "0.0".to_string()
+        }
+    };
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"scale\": \"{scale}\",");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"probe_workers\": {},", atlas.config.probe_workers);
+    let _ = writeln!(out, "  \"generate_seconds\": {},", num(generate_secs));
+    let _ = writeln!(out, "  \"pipeline_seconds\": {},", num(pipeline_secs));
+    out.push_str("  \"stages\": [\n");
+    for (i, &(name, wall)) in t.stages.iter().enumerate() {
+        let comma = if i + 1 == t.stages.len() { "" } else { "," };
+        match t.memo(name) {
+            Some(m) => {
+                let _ = writeln!(
+                    out,
+                    "    {{\"name\": \"{name}\", \"seconds\": {}, \"route_memo\": \
+                     {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {}}}}}{comma}",
+                    num(wall.as_secs_f64()),
+                    m.hits,
+                    m.misses,
+                    num(m.hit_rate())
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "    {{\"name\": \"{name}\", \"seconds\": {}}}{comma}",
+                    num(wall.as_secs_f64())
+                );
+            }
+        }
+    }
+    out.push_str("  ],\n");
+    let total = t.memo_total();
+    let _ = writeln!(
+        out,
+        "  \"route_memo_total\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {}}},",
+        total.hits,
+        total.misses,
+        num(total.hit_rate())
+    );
+    let stats_json = |s: &cm_probe::CampaignStats| {
+        format!(
+            "{{\"launched\": {}, \"completed\": {}, \"gap_limited\": {}, \"max_ttl\": {}}}",
+            s.launched, s.completed, s.gap_limited, s.max_ttl
+        )
+    };
+    let _ = writeln!(out, "  \"sweep\": {},", stats_json(&atlas.sweep_stats));
+    match &atlas.expansion_stats {
+        Some(s) => {
+            let _ = writeln!(out, "  \"expansion\": {}", stats_json(s));
+        }
+        None => {
+            let _ = writeln!(out, "  \"expansion\": null");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
 /// Extension (not a paper table): *where* the traffic goes hiding — per
 /// metro, how many pinned CBIs belong to hidden peering groups vs. visible
 /// ones. This is the geographic reading of the title question that the

@@ -1,0 +1,133 @@
+//! Smoke test for the machine-readable run record: the hand-rolled
+//! `BENCH_pipeline.json` must stay syntactically valid JSON (CI also pipes
+//! it through `json.tool`) and must carry the timing and route-memo fields
+//! the acceptance pipeline reads.
+
+use cm_bench::{build_internet, report, run_study};
+
+/// A minimal recursive-descent JSON syntax checker — just enough to prove
+/// the hand-rolled writer emits well-formed output. Returns the rest of the
+/// input after one value, or `None` on a syntax error.
+fn skip_value(s: &str) -> Option<&str> {
+    let s = s.trim_start();
+    let mut chars = s.char_indices();
+    match chars.next()?.1 {
+        '{' => {
+            let mut rest = s[1..].trim_start();
+            if let Some(r) = rest.strip_prefix('}') {
+                return Some(r);
+            }
+            loop {
+                rest = rest.trim_start();
+                rest = rest.strip_prefix('"')?;
+                let close = rest.find('"')?;
+                rest = rest[close + 1..].trim_start();
+                rest = rest.strip_prefix(':')?;
+                rest = skip_value(rest)?.trim_start();
+                if let Some(r) = rest.strip_prefix(',') {
+                    rest = r;
+                } else {
+                    return rest.strip_prefix('}');
+                }
+            }
+        }
+        '[' => {
+            let mut rest = s[1..].trim_start();
+            if let Some(r) = rest.strip_prefix(']') {
+                return Some(r);
+            }
+            loop {
+                rest = skip_value(rest)?.trim_start();
+                if let Some(r) = rest.strip_prefix(',') {
+                    rest = r;
+                } else {
+                    return rest.strip_prefix(']');
+                }
+            }
+        }
+        '"' => {
+            let close = s[1..].find('"')?;
+            Some(&s[close + 2..])
+        }
+        _ => {
+            // Number, true/false/null: consume the atom.
+            let end = s
+                .find(|c: char| ",]}".contains(c) || c.is_whitespace())
+                .unwrap_or(s.len());
+            let atom = &s[..end];
+            let ok =
+                atom == "true" || atom == "false" || atom == "null" || atom.parse::<f64>().is_ok();
+            ok.then(|| &s[end..])
+        }
+    }
+}
+
+fn assert_valid_json(s: &str) {
+    let rest = skip_value(s).unwrap_or_else(|| panic!("JSON syntax error in:\n{s}"));
+    assert!(
+        rest.trim().is_empty(),
+        "trailing garbage after JSON value: {rest:?}"
+    );
+}
+
+#[test]
+fn bench_pipeline_json_is_valid_and_complete() {
+    let inet = build_internet("tiny", 2019);
+    let atlas = run_study(&inet);
+    let json = report::bench_pipeline_json(&atlas, "tiny", 2019, 0.5, 1.5);
+    assert_valid_json(&json);
+
+    // The fields the acceptance pipeline reads.
+    for key in [
+        "\"scale\"",
+        "\"seed\"",
+        "\"probe_workers\"",
+        "\"generate_seconds\"",
+        "\"pipeline_seconds\"",
+        "\"stages\"",
+        "\"route_memo_total\"",
+        "\"sweep\"",
+        "\"expansion\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+    for stage in [
+        "public-data",
+        "sweep",
+        "expansion",
+        "verify",
+        "rtt",
+        "pinning",
+        "vpi",
+        "grouping",
+    ] {
+        assert!(
+            json.contains(&format!("\"name\": \"{stage}\"")),
+            "missing stage {stage}"
+        );
+    }
+
+    // The memo's reason to exist: expansion re-probes whole /24s whose
+    // routes the memo already holds, so its hit rate must be high.
+    let expansion = atlas
+        .timings
+        .memo("expansion")
+        .expect("expansion stage records memo stats");
+    assert!(
+        expansion.hit_rate() >= 0.9,
+        "expansion memo hit rate {:.3} below 0.9",
+        expansion.hit_rate()
+    );
+
+    // The rendered timings table covers the same stages.
+    let table = report::timings(&atlas);
+    assert!(table.contains("expansion") && table.contains("total"));
+}
+
+#[test]
+fn json_checker_rejects_malformed_input() {
+    assert!(skip_value("{\"a\": [1, 2,]}").is_none());
+    assert!(skip_value("{\"a\": }").is_none());
+    assert!(skip_value("{1: 2}").is_none());
+    assert_valid_json("{\"a\": [1, 2.5, \"x\", null], \"b\": {\"c\": true}}");
+}

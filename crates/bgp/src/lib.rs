@@ -1,11 +1,14 @@
 //! # cm-bgp — routing over the synthetic Internet
 //!
-//! Three pieces:
+//! Four pieces:
 //!
 //! * [`RoutingTable`] — per-cloud egress selection: which interconnect a
 //!   probe to a destination leaves through, and the AS path it then follows
 //!   (built from the per-interconnect announcements in the ground truth:
 //!   own prefixes, full customer cone, or partner-specific prefixes).
+//! * [`RouteMemo`] — a thread-safe per-`(region, /24, epoch)` cache of
+//!   [`RoutingTable::route_at`] results with hit/miss counters; exact
+//!   because no announced prefix is finer than a /24 (checked at build).
 //! * [`BgpView`] — the public-BGP visibility model: a limited set of feeder
 //!   ASes export their best (Gao–Rexford) path towards the cloud to the
 //!   collectors; a peering link is "visible in BGP" only if some feeder's
@@ -19,9 +22,11 @@
 #![deny(missing_docs)]
 
 pub mod collectors;
+pub mod memo;
 pub mod rib;
 pub mod snapshot;
 
 pub use collectors::BgpView;
+pub use memo::{MemoStats, RouteMemo};
 pub use rib::{Candidate, Route, RoutingTable};
 pub use snapshot::{bgp_snapshot, cone_slash24s};

@@ -80,6 +80,10 @@ pub struct RoutingTable {
     descent: HashMap<AsIndex, Vec<u32>>,
     /// Region-to-region great-circle km, symmetric.
     region_km: HashMap<(RegionId, RegionId), f64>,
+    /// Longest prefix length stored in the trie (0 when empty). When this
+    /// is ≤ 24, every address of a destination /24 resolves to the same
+    /// trie leaf, and a /24-keyed route cache is exact.
+    max_prefix_len: u8,
 }
 
 impl RoutingTable {
@@ -176,9 +180,11 @@ impl RoutingTable {
             }
         }
 
+        let mut max_prefix_len = 0u8;
         for (prefix, mut cands) in acc {
             // Deterministic candidate order regardless of HashMap iteration.
             cands.sort_by_key(|c| (c.path_len, c.pref, c.ic.0));
+            max_prefix_len = max_prefix_len.max(prefix.len());
             trie.insert(prefix, cands);
         }
 
@@ -197,12 +203,21 @@ impl RoutingTable {
             trie,
             descent,
             region_km,
+            max_prefix_len,
         }
     }
 
     /// Number of distinct prefixes with at least one candidate.
     pub fn prefix_count(&self) -> usize {
         self.trie.len()
+    }
+
+    /// Whether a per-(region, /24, epoch) memo of [`RoutingTable::route_at`]
+    /// is exact for this table: true iff no stored prefix is finer than a
+    /// /24, so every address of one /24 hits the same trie leaf (and the
+    /// selection tie-break already keys on `dest >> 8` only).
+    pub fn memo_exact(&self) -> bool {
+        self.max_prefix_len <= 24
     }
 
     /// Selects the best route from `src_region` to `dest`.
@@ -257,7 +272,7 @@ impl RoutingTable {
                     x.path_len
                         .cmp(&y.path_len)
                         .then(x.pref.cmp(&y.pref))
-                        .then(dx.partial_cmp(&dy).unwrap())
+                        .then(dx.total_cmp(&dy))
                         .then(hx.cmp(&hy))
                 })
         };

@@ -1,0 +1,62 @@
+//! Property tests: the route memo is exact, not approximate.
+
+use cm_bgp::{RouteMemo, RoutingTable};
+use cm_net::Ipv4;
+use cm_topology::{CloudId, Internet, TopologyConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn world() -> &'static (Internet, RoutingTable) {
+    static W: OnceLock<(Internet, RoutingTable)> = OnceLock::new();
+    W.get_or_init(|| {
+        let inet = Internet::generate(TopologyConfig::tiny(), 61);
+        let table = RoutingTable::build(&inet, CloudId(0));
+        (inet, table)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// For any destination, region and epoch, the memoized lookup returns
+    /// exactly the route the un-memoized lookup computes — on the miss
+    /// path, on the hit path, and for neighbouring addresses of the same
+    /// /24 (which share the cache entry).
+    #[test]
+    fn memo_is_exact(addr in any::<u32>(), region_pick in 0usize..8, epoch in 0u32..5) {
+        let (inet, table) = world();
+        let regions = &inet.primary_cloud().regions;
+        let region = regions[region_pick % regions.len()];
+        let memo = RouteMemo::new();
+        let dst = Ipv4(addr);
+        let direct = table.route_at(inet, dst, region, epoch);
+        // Miss path, then hit path.
+        prop_assert_eq!(&direct, &memo.route_at(table, inet, dst, region, epoch));
+        prop_assert_eq!(&direct, &memo.route_at(table, inet, dst, region, epoch));
+        let stats = memo.stats();
+        prop_assert_eq!(stats.misses, 1);
+        prop_assert_eq!(stats.hits, 1);
+        // A sibling address in the same /24 is answered from the cache and
+        // still matches its own direct lookup.
+        let sibling = Ipv4((addr & !0xFF) | (addr.wrapping_add(1) & 0xFF));
+        let sib_direct = table.route_at(inet, sibling, region, epoch);
+        prop_assert_eq!(&sib_direct, &memo.route_at(table, inet, sibling, region, epoch));
+        prop_assert_eq!(memo.stats().hits, 2);
+    }
+
+    /// Distinct epochs get distinct cache entries: churn-era routes are
+    /// never served from another epoch's slot.
+    #[test]
+    fn epochs_do_not_alias(addr in any::<u32>(), region_pick in 0usize..8) {
+        let (inet, table) = world();
+        let regions = &inet.primary_cloud().regions;
+        let region = regions[region_pick % regions.len()];
+        let memo = RouteMemo::new();
+        for epoch in 0..4u32 {
+            let direct = table.route_at(inet, Ipv4(addr), region, epoch);
+            let via = memo.route_at(table, inet, Ipv4(addr), region, epoch);
+            prop_assert_eq!(direct, via);
+        }
+        prop_assert_eq!(memo.stats().misses, 4);
+    }
+}

@@ -51,4 +51,4 @@ pub mod vpi;
 
 pub use annotate::{Annotator, HopNote, NoteSource};
 pub use borders::{BorderCollector, Segment, SegmentPool};
-pub use pipeline::{Atlas, Pipeline, PipelineConfig, PipelineError};
+pub use pipeline::{Atlas, Pipeline, PipelineConfig, PipelineError, StageTimings};

@@ -26,7 +26,7 @@ use crate::icg::Icg;
 use crate::pinning::{CrossValReport, PinOutcome, Pinner, PinningConfig};
 use crate::verify::{apply_alias_corrections, run_heuristics, ChangeStats, HeuristicOutcome};
 use crate::vpi::{detect, VpiDetection};
-use cm_bgp::{bgp_snapshot, BgpView};
+use cm_bgp::{bgp_snapshot, BgpView, MemoStats};
 use cm_dataplane::{publicly_reachable, DataPlane, DataPlaneConfig};
 use cm_datasets::{DatasetConfig, PublicDatasets};
 use cm_dns::DnsDb;
@@ -36,6 +36,7 @@ use cm_probe::{Campaign, CampaignStats, RttCampaign};
 use cm_topology::{CloudId, Internet, RegionId};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// Why a pipeline run could not produce an [`Atlas`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -85,6 +86,10 @@ pub struct PipelineConfig {
     /// between epochs accumulates path diversity like the paper's 16-day
     /// campaign.
     pub sweep_epochs: u32,
+    /// Worker threads for the sharded probing executor (0 = one per
+    /// available core). Any value produces byte-identical results; this
+    /// only trades wall clock for cores.
+    pub probe_workers: usize,
     /// Cross-validation folds (0 disables).
     pub crossval_folds: usize,
     /// Extra seed folded into every derived randomness source.
@@ -107,10 +112,72 @@ impl Default for PipelineConfig {
             run_expansion: true,
             run_vpi: true,
             sweep_epochs: 2,
+            probe_workers: 0,
             crossval_folds: 10,
             seed: 0x0C10_0D0A,
             self_audit: false,
         }
+    }
+}
+
+/// Per-stage wall-clock and route-memo accounting for one pipeline run.
+///
+/// Filled in by [`Pipeline::run`] and carried on the [`Atlas`] so the
+/// benchmark harness can render a timing table and emit
+/// `BENCH_pipeline.json` without re-running anything. Stage names are the
+/// executor's own (`"public-data"`, `"sweep"`, `"expansion"`, `"verify"`,
+/// `"rtt"`, `"pinning"`, `"vpi"`, `"grouping"`), recorded in execution
+/// order.
+#[derive(Clone, Debug, Default)]
+pub struct StageTimings {
+    /// `(stage, wall clock)` in execution order.
+    pub stages: Vec<(&'static str, Duration)>,
+    /// Route-memo hit/miss deltas of the probing stages, in execution
+    /// order. Stages that never consult the RIB are absent.
+    pub route_memo: Vec<(&'static str, MemoStats)>,
+}
+
+impl StageTimings {
+    /// Records a stage's wall clock.
+    pub fn stage(&mut self, name: &'static str, wall: Duration) {
+        self.stages.push((name, wall));
+    }
+
+    /// Records a stage's wall clock plus its route-memo delta.
+    pub fn stage_with_memo(&mut self, name: &'static str, wall: Duration, memo: MemoStats) {
+        self.stages.push((name, wall));
+        self.route_memo.push((name, memo));
+    }
+
+    /// Total wall clock across all recorded stages.
+    pub fn total(&self) -> Duration {
+        self.stages.iter().map(|&(_, d)| d).sum()
+    }
+
+    /// Wall clock of one stage, if recorded.
+    pub fn wall(&self, name: &str) -> Option<Duration> {
+        self.stages
+            .iter()
+            .find(|&&(n, _)| n == name)
+            .map(|&(_, d)| d)
+    }
+
+    /// Route-memo delta of one stage, if recorded.
+    pub fn memo(&self, name: &str) -> Option<MemoStats> {
+        self.route_memo
+            .iter()
+            .find(|&&(n, _)| n == name)
+            .map(|&(_, m)| m)
+    }
+
+    /// Aggregate route-memo stats across all recorded stages.
+    pub fn memo_total(&self) -> MemoStats {
+        let mut total = MemoStats::default();
+        for &(_, m) in &self.route_memo {
+            total.hits += m.hits;
+            total.misses += m.misses;
+        }
+        total
     }
 }
 
@@ -189,6 +256,8 @@ pub struct Atlas<'i> {
     pub icg: Icg,
     /// §7.3 coverage vs public BGP.
     pub coverage: CoverageReport,
+    /// Per-stage wall-clock timings and route-memo stats of this run.
+    pub timings: StageTimings,
 }
 
 impl<'i> Atlas<'i> {
@@ -224,8 +293,10 @@ impl<'i> Pipeline<'i> {
         if inet.primary_cloud().regions.is_empty() {
             return Err(PipelineError::NoRegions);
         }
+        let mut timings = StageTimings::default();
 
         // ---- public data (§3 inputs) --------------------------------------
+        let stage_start = Instant::now();
         let snapshot = bgp_snapshot(inet);
         let view = BgpView::compute(inet, primary, cfg.n_feeders, seed);
         let visible_asns: HashSet<Asn> = view
@@ -256,17 +327,19 @@ impl<'i> Pipeline<'i> {
         let annotator = Annotator::new(&snapshot, &datasets);
         let plane = DataPlane::new(inet, cfg.dataplane);
         let campaign = Campaign::new(&plane, primary);
+        timings.stage("public-data", stage_start.elapsed());
 
         // ---- round one (§3, §4.1) -----------------------------------------
         let run_round = |targets: &[Ipv4]| -> (SegmentPool, CampaignStats) {
-            let (collectors, stats) = campaign.run_parallel(
+            let (collectors, stats) = campaign.run_sharded(
                 targets,
                 cfg.sweep_epochs.max(1),
+                cfg.probe_workers,
                 || BorderCollector::new(&annotator, cloud_org),
                 |c, t| c.observe(t),
             );
             let mut pools = collectors.into_iter().map(BorderCollector::finish);
-            // `run_parallel` yields one collector per region, and the region
+            // `run_sharded` yields one collector per region, and the region
             // list was checked non-empty above.
             let mut pool = pools
                 .next()
@@ -283,13 +356,22 @@ impl<'i> Pipeline<'i> {
             pool.check_invariants()
                 .map_err(|e| PipelineError::SelfAudit(format!("after {stage}: {e}")))
         };
+        let stage_start = Instant::now();
+        let memo_before = plane.route_memo_stats();
         let sweep_targets = campaign.sweep_targets();
         let (mut pool, sweep_stats) = run_round(&sweep_targets);
         self_check(&pool, "round one")?;
         let t1_abi = table1_row(pool.abis.values());
         let t1_cbi = table1_row(pool.cbis.values().map(|c| &c.note));
+        timings.stage_with_memo(
+            "sweep",
+            stage_start.elapsed(),
+            plane.route_memo_stats().since(memo_before),
+        );
 
         // ---- round two (§4.2) ----------------------------------------------
+        let stage_start = Instant::now();
+        let memo_before = plane.route_memo_stats();
         let expansion_stats = if cfg.run_expansion {
             let targets = campaign.expansion_targets(&pool.expansion_prefixes());
             let (round2, stats) = run_round(&targets);
@@ -299,11 +381,17 @@ impl<'i> Pipeline<'i> {
         } else {
             None
         };
+        timings.stage_with_memo(
+            "expansion",
+            stage_start.elapsed(),
+            plane.route_memo_stats().since(memo_before),
+        );
         let t1_eabi = table1_row(pool.abis.values());
         let t1_ecbi = table1_row(pool.cbis.values().map(|c| &c.note));
         let table1 = [t1_abi, t1_cbi, t1_eabi, t1_ecbi];
 
         // ---- verification (§5) ----------------------------------------------
+        let stage_start = Instant::now();
         let heuristics = run_heuristics(&pool, |a| publicly_reachable(inet, a));
         let mut addrs: Vec<Ipv4> = pool.abis.keys().copied().collect();
         addrs.extend(pool.cbis.keys().copied());
@@ -318,15 +406,24 @@ impl<'i> Pipeline<'i> {
             &alias_sets,
         );
         self_check(&pool, "alias corrections")?;
+        timings.stage("verify", stage_start.elapsed());
 
         // ---- RTT campaign + pinning (§6) ------------------------------------
+        let stage_start = Instant::now();
+        let memo_before = plane.route_memo_stats();
         let mut rtt_targets: Vec<Ipv4> = pool.abis.keys().copied().collect();
         rtt_targets.extend(pool.cbis.keys().copied());
         rtt_targets.extend(datasets.ixp.published_addrs().map(|(a, _)| a));
         rtt_targets.sort_unstable();
         rtt_targets.dedup();
         let rtt = RttCampaign::run(&plane, primary, &rtt_targets, cfg.rtt_attempts);
+        timings.stage_with_memo(
+            "rtt",
+            stage_start.elapsed(),
+            plane.route_memo_stats().since(memo_before),
+        );
 
+        let stage_start = Instant::now();
         let pinner = Pinner {
             pool: &pool,
             dns: &dns,
@@ -353,8 +450,11 @@ impl<'i> Pipeline<'i> {
                 }
             }
         }
+        timings.stage("pinning", stage_start.elapsed());
 
         // ---- VPI detection (§7.1) -------------------------------------------
+        let stage_start = Instant::now();
+        let memo_before = plane.route_memo_stats();
         let vpi = if cfg.run_vpi {
             let secondary: Vec<(CloudId, OrgId)> = inet
                 .clouds
@@ -365,12 +465,18 @@ impl<'i> Pipeline<'i> {
                     datasets.as2org.org_of(asn).map(|o| (c.id, o))
                 })
                 .collect();
-            detect(&plane, &annotator, &pool, &secondary)
+            detect(&plane, &annotator, &pool, &secondary, cfg.probe_workers)
         } else {
             VpiDetection::default()
         };
+        timings.stage_with_memo(
+            "vpi",
+            stage_start.elapsed(),
+            plane.route_memo_stats().since(memo_before),
+        );
 
         // ---- grouping + ICG (§7.2–7.4) --------------------------------------
+        let stage_start = Instant::now();
         let groups = Grouping::build(
             &pool,
             &vpi,
@@ -392,6 +498,7 @@ impl<'i> Pipeline<'i> {
                 .count(),
             inferred_peers: inferred_peers.len(),
         };
+        timings.stage("grouping", stage_start.elapsed());
 
         Ok(Atlas {
             inet,
@@ -418,6 +525,7 @@ impl<'i> Pipeline<'i> {
             groups,
             icg,
             coverage,
+            timings,
         })
     }
 }

@@ -84,11 +84,14 @@ pub fn build_target_pool(pool: &SegmentPool) -> Vec<Ipv4> {
 ///
 /// `clouds` lists the vantage clouds as `(cloud id, that cloud's org)`; the
 /// same [`Annotator`] serves all clouds (public datasets are global).
+/// `workers` sizes the sharded probing executor (0 = one per available
+/// core) and never affects the result.
 pub fn detect(
     plane: &DataPlane<'_>,
     annotator: &Annotator<'_>,
     primary_pool: &SegmentPool,
     clouds: &[(CloudId, OrgId)],
+    workers: usize,
 ) -> VpiDetection {
     let targets = build_target_pool(primary_pool);
     let candidates: HashSet<Ipv4> = primary_pool
@@ -105,9 +108,10 @@ pub fn detect(
     };
     for &(cloud, org) in clouds {
         let campaign = Campaign::new(plane, cloud);
-        let (collectors, _) = campaign.run_parallel(
+        let (collectors, _) = campaign.run_sharded(
             &targets,
             1,
+            workers,
             || BorderCollector::new(annotator, org),
             |c, t| c.observe(t),
         );

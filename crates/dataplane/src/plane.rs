@@ -1,6 +1,6 @@
 //! Traceroute and ping execution.
 
-use cm_bgp::RoutingTable;
+use cm_bgp::{MemoStats, RouteMemo, RoutingTable};
 use cm_net::stablehash;
 use cm_net::{Ipv4, Prefix};
 use cm_topology::{
@@ -125,6 +125,9 @@ pub struct DataPlane<'a> {
     facility_uplinks: HashMap<(CloudId, u16), Vec<IfaceId>>,
     /// Seed for per-probe deterministic noise.
     seed: u64,
+    /// Shared per-(region, /24, epoch) egress-route cache; region ids are
+    /// globally unique, so one memo serves every cloud's table.
+    route_memo: RouteMemo,
 }
 
 impl<'a> DataPlane<'a> {
@@ -202,7 +205,15 @@ impl<'a> DataPlane<'a> {
             ixp_port,
             facility_uplinks,
             seed: inet.seed ^ 0x0DA7_A91A_4E00_55AA,
+            route_memo: RouteMemo::new(),
         }
+    }
+
+    /// Cumulative hit/miss counters of the egress-route memo (expansion
+    /// probing revisits each /24 ~253 times, so the steady-state hit rate
+    /// should be well above 90%).
+    pub fn route_memo_stats(&self) -> MemoStats {
+        self.route_memo.stats()
     }
 
     /// Executes one traceroute from a region of a cloud (campaign epoch 0).
@@ -222,7 +233,7 @@ impl<'a> DataPlane<'a> {
         epoch: u32,
     ) -> Traceroute {
         let steps = self.forward_path(cloud, src_region, dst, epoch);
-        self.render(cloud, src_region, dst, steps)
+        self.render(cloud, src_region, dst, epoch, steps)
     }
 
     /// Minimum RTT to `target` over `attempts` probes from a region, or
@@ -245,8 +256,20 @@ impl<'a> DataPlane<'a> {
             return None;
         }
         let base = self.base_rtt(last.km, steps.len() as u32);
+        // The jitter key carries the vantage (cloud, region): per-region
+        // minimum RTTs to one target must be independent draws, or the
+        // Fig. 4/5 CDFs and the §6.1 co-presence threshold see the same
+        // noise floor from every region.
         let jitter = (0..attempts)
-            .map(|a| self.jitter(&[target.0 as u64, 0xFFFF, a as u64]))
+            .map(|a| {
+                self.jitter(&[
+                    u64::from(cloud.0),
+                    u64::from(src_region.0),
+                    u64::from(target.0),
+                    0xFFFF,
+                    u64::from(a),
+                ])
+            })
             .fold(f64::MAX, f64::min);
         Some(base + jitter)
     }
@@ -527,9 +550,8 @@ impl<'a> DataPlane<'a> {
                 _ => {}
             }
         }
-        self.tables
-            .get(&cloud)?
-            .route_at(inet, dst, src_region, epoch)
+        self.route_memo
+            .route_at(self.tables.get(&cloud)?, inet, dst, src_region, epoch)
     }
 
     /// A member of an IXP LAN answering over the fabric is not on the
@@ -597,13 +619,21 @@ impl<'a> DataPlane<'a> {
         cloud: CloudId,
         src_region: RegionId,
         dst: Ipv4,
+        epoch: u32,
         steps: Vec<PathStep>,
     ) -> Traceroute {
         let inet = self.inet;
         let mut hops: Vec<TraceHop> = Vec::with_capacity(steps.len() + 4);
         let mut ttl = 0u8;
         let mut gap = 0u8;
-        let probe_key = u64::from(dst.to_u32()) ^ ((src_region.0 as u64) << 40);
+        // Every loss/dup/loop/jitter draw keys on this. Folding the epoch in
+        // is what makes a multi-day campaign re-roll its artifacts each day
+        // instead of replaying them; epoch 0 keeps the historical key so the
+        // churn-free baseline is unchanged.
+        let mut probe_key = u64::from(dst.to_u32()) ^ ((src_region.0 as u64) << 40);
+        if epoch != 0 {
+            probe_key = stablehash::mix(probe_key, &[0xE70C, u64::from(epoch)]);
+        }
 
         let push_silent = |hops: &mut Vec<TraceHop>, ttl: &mut u8, gap: &mut u8| {
             *ttl += 1;

@@ -1,0 +1,177 @@
+//! The sharded campaign executor.
+//!
+//! A campaign is a triple loop — `for region { for epoch { for target } }`
+//! — whose iterations are completely independent: the dataplane is
+//! immutable and every traceroute is a pure function of
+//! `(cloud, region, target, epoch)`. The old executor parallelised only
+//! the outer loop (one thread per region, ≤ 15 on the default topology),
+//! so machines with more cores idled and a single slow region bounded the
+//! round.
+//!
+//! This executor shards the full iteration space into `(region, epoch,
+//! target-chunk)` work items, pulled off a single atomic counter by
+//! `available_parallelism()` workers. Workers only *execute* probes; the
+//! caller's fold runs on the coordinating thread, which consumes finished
+//! chunks strictly in work-item order (buffering any chunk that finishes
+//! early). Because work items enumerate the exact serial iteration order
+//! and the fold is applied in that order, the resulting per-region states
+//! and stats are byte-identical to a serial run for *any* worker count —
+//! the determinism the audit digest depends on.
+
+use crate::{Campaign, CampaignStats};
+use cm_dataplane::Traceroute;
+use cm_net::Ipv4;
+use cm_topology::RegionId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Targets per work item. Small enough to load-balance tail regions,
+/// large enough that queue traffic is negligible next to probe cost.
+const TARGET_CHUNK: usize = 256;
+
+/// One work item of the `(region, epoch, target-chunk)` space.
+struct WorkItem<'t> {
+    region: RegionId,
+    epoch: u32,
+    targets: &'t [Ipv4],
+}
+
+/// Decomposes a linear work index. Item order is region-major, then epoch,
+/// then chunk — exactly the serial campaign order.
+fn item<'t>(
+    w: usize,
+    regions: &[RegionId],
+    targets: &'t [Ipv4],
+    epochs: u32,
+    chunks_per_pass: usize,
+) -> WorkItem<'t> {
+    let per_region = epochs as usize * chunks_per_pass;
+    let region = regions[w / per_region];
+    let rem = w % per_region;
+    let epoch = (rem / chunks_per_pass) as u32;
+    let chunk = rem % chunks_per_pass;
+    let lo = chunk * TARGET_CHUNK;
+    let hi = targets.len().min(lo + TARGET_CHUNK);
+    WorkItem {
+        region,
+        epoch,
+        targets: &targets[lo..hi],
+    }
+}
+
+/// Runs the campaign over `workers` threads (0 = `available_parallelism`),
+/// folding per-region states in serial order. See the module docs for the
+/// determinism argument.
+pub(crate) fn run_sharded<T, I, F>(
+    campaign: &Campaign<'_, '_>,
+    targets: &[Ipv4],
+    epochs: u32,
+    workers: usize,
+    init: I,
+    fold: F,
+) -> (Vec<T>, CampaignStats)
+where
+    T: Send,
+    I: Fn() -> T + Sync,
+    F: Fn(&mut T, &Traceroute) + Sync,
+{
+    assert!(epochs >= 1, "at least one campaign epoch");
+    let (plane, cloud) = (campaign.plane, campaign.cloud);
+    let regions = campaign.regions();
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        workers
+    };
+    let chunks_per_pass = targets.len().div_ceil(TARGET_CHUNK).max(1);
+    let per_region = epochs as usize * chunks_per_pass;
+    let n_work = regions.len() * per_region;
+
+    let mut states = Vec::with_capacity(regions.len());
+    let mut stats = CampaignStats::default();
+
+    if workers <= 1 || n_work <= 1 {
+        // Serial reference path — also the shape every sharded run must
+        // reproduce byte for byte.
+        for &region in regions {
+            let mut state = init();
+            for epoch in 0..epochs {
+                for &t in targets {
+                    let tr = plane.traceroute_at(cloud, region, t, epoch);
+                    stats.absorb(&tr);
+                    fold(&mut state, &tr);
+                }
+            }
+            states.push(state);
+        }
+        return (states, stats);
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Vec<Traceroute>)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n_work) {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let w = next.fetch_add(1, Ordering::Relaxed);
+                if w >= n_work {
+                    break;
+                }
+                let it = item(w, regions, targets, epochs, chunks_per_pass);
+                let mut batch = Vec::with_capacity(it.targets.len());
+                for &t in it.targets {
+                    batch.push(plane.traceroute_at(cloud, it.region, t, it.epoch));
+                }
+                // A send error means the coordinator bailed; just stop.
+                if tx.send((w, batch)).is_err() {
+                    break;
+                }
+            });
+        }
+        // Workers hold the only remaining senders: recv() errors out (and
+        // the merge loop exits) once they are all done or one panicked —
+        // scope exit then re-raises any worker panic.
+        drop(tx);
+
+        // In-order merge: fold chunk `w` only after chunks `0..w`. Chunks
+        // arriving early wait in `pending`; with homogeneous chunk costs
+        // the buffer stays around the worker count.
+        let mut pending: HashMap<usize, Vec<Traceroute>> = HashMap::new();
+        let mut recv_chunk = |w: usize| -> Option<Vec<Traceroute>> {
+            loop {
+                if let Some(batch) = pending.remove(&w) {
+                    return Some(batch);
+                }
+                match rx.recv() {
+                    Ok((got, batch)) if got == w => return Some(batch),
+                    Ok((got, batch)) => {
+                        pending.insert(got, batch);
+                    }
+                    Err(_) => return None,
+                }
+            }
+        };
+        let mut w = 0usize;
+        'merge: for _ in regions {
+            let mut state = init();
+            for _ in 0..per_region {
+                let Some(batch) = recv_chunk(w) else {
+                    break 'merge;
+                };
+                for tr in &batch {
+                    stats.absorb(tr);
+                    fold(&mut state, tr);
+                }
+                w += 1;
+            }
+            states.push(state);
+        }
+    });
+    debug_assert!(
+        states.len() == regions.len(),
+        "merge loop ended early without a worker panic"
+    );
+    (states, stats)
+}

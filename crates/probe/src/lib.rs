@@ -17,9 +17,16 @@
 //! Campaign outputs are plain vectors of [`cm_dataplane::Traceroute`]s plus
 //! summary [`CampaignStats`]; the inference crate consumes them without ever
 //! touching the ground truth.
+//!
+//! Multi-epoch rounds run on a sharded `(region × epoch × target-chunk)`
+//! work-queue executor ([`Campaign::run_parallel`] /
+//! [`Campaign::run_sharded`]) whose merged output is byte-identical to a
+//! serial run for any worker count — see the `executor` module docs for the
+//! determinism argument.
 
 #![deny(missing_docs)]
 
+mod executor;
 pub mod tracefile;
 
 use cm_dataplane::{DataPlane, TraceStatus, Traceroute};
@@ -81,33 +88,29 @@ impl<'a, 'b> Campaign<'a, 'b> {
 
     /// Round one: `.1` of every /24 in the sweep list, from every region.
     pub fn sweep(&self) -> (Vec<Traceroute>, CampaignStats) {
-        let mut out = Vec::new();
-        let stats = self.sweep_each(|t| out.push(t.clone()));
-        (out, stats)
+        self.run(&self.sweep_targets())
     }
 
     /// Streaming round one: invokes `f` on every traceroute instead of
     /// collecting (the full-scale sweep is hundreds of thousands of traces).
-    pub fn sweep_each<F: FnMut(&Traceroute)>(&self, f: F) -> CampaignStats {
-        self.run_each(&self.sweep_targets(), f)
+    pub fn sweep_each<F: FnMut(&Traceroute)>(&self, mut f: F) -> CampaignStats {
+        self.run_fold(&self.sweep_targets(), |t| f(&t))
     }
 
     /// Round two: every other address in each of the given /24s (the `.1`
     /// was already probed in round one and is skipped; network and broadcast
     /// addresses are skipped as in the paper's target construction).
     pub fn expansion(&self, cbi_slash24s: &[Prefix]) -> (Vec<Traceroute>, CampaignStats) {
-        let mut out = Vec::new();
-        let stats = self.expansion_each(cbi_slash24s, |t| out.push(t.clone()));
-        (out, stats)
+        self.run(&self.expansion_targets(cbi_slash24s))
     }
 
     /// Streaming round two.
     pub fn expansion_each<F: FnMut(&Traceroute)>(
         &self,
         cbi_slash24s: &[Prefix],
-        f: F,
+        mut f: F,
     ) -> CampaignStats {
-        self.run_each(&self.expansion_targets(cbi_slash24s), f)
+        self.run_fold(&self.expansion_targets(cbi_slash24s), |t| f(&t))
     }
 
     /// Arbitrary target list from every region of the campaign's cloud.
@@ -116,36 +119,46 @@ impl<'a, 'b> Campaign<'a, 'b> {
     }
 
     /// Streaming variant of [`Campaign::targeted`].
-    pub fn targeted_each<F: FnMut(&Traceroute)>(&self, targets: &[Ipv4], f: F) -> CampaignStats {
-        self.run_each(targets, f)
+    pub fn targeted_each<F: FnMut(&Traceroute)>(
+        &self,
+        targets: &[Ipv4],
+        mut f: F,
+    ) -> CampaignStats {
+        self.run_fold(targets, |t| f(&t))
     }
 
     fn run(&self, targets: &[Ipv4]) -> (Vec<Traceroute>, CampaignStats) {
         let mut out = Vec::with_capacity(targets.len() * self.regions().len());
-        let stats = self.run_each(targets, |t| out.push(t.clone()));
+        let stats = self.run_fold(targets, |t| out.push(t));
         (out, stats)
     }
 
-    fn run_each<F: FnMut(&Traceroute)>(&self, targets: &[Ipv4], mut f: F) -> CampaignStats {
+    /// Serial epoch-0 execution handing each traceroute to `f` **by value**:
+    /// the collecting variants above take ownership instead of cloning every
+    /// trace out of a streaming callback.
+    fn run_fold<F: FnMut(Traceroute)>(&self, targets: &[Ipv4], mut f: F) -> CampaignStats {
         let mut stats = CampaignStats::default();
         for &region in self.regions() {
             for &t in targets {
                 let tr = self.plane.traceroute(self.cloud, region, t);
                 stats.absorb(&tr);
-                f(&tr);
+                f(tr);
             }
         }
         stats
     }
 
-    /// Runs `targets` over `epochs` campaign days from every region, one
-    /// worker thread per region, folding traceroutes into per-worker state
-    /// and merging the results **in region order** so the outcome is
-    /// identical regardless of scheduling.
+    /// Runs `targets` over `epochs` campaign days from every region on the
+    /// sharded executor with `available_parallelism()` workers, folding
+    /// traceroutes into one state per region. Chunk results are merged in
+    /// `(region, epoch, chunk)` order, so the outcome is byte-identical to
+    /// a serial run regardless of worker count or scheduling (see
+    /// [`Campaign::run_sharded`] to pin the worker count).
     ///
     /// `epochs > 1` models a multi-day campaign: routing churn between
     /// epochs makes repeated probes of the same destination traverse
-    /// different interconnects (see `cm_bgp::RoutingTable::route_at`).
+    /// different interconnects (see `cm_bgp::RoutingTable::route_at`), and
+    /// the per-epoch probe key re-rolls the loss/dup/loop/jitter artifacts.
     pub fn run_parallel<T, I, F>(
         &self,
         targets: &[Ipv4],
@@ -158,44 +171,26 @@ impl<'a, 'b> Campaign<'a, 'b> {
         I: Fn() -> T + Sync,
         F: Fn(&mut T, &Traceroute) + Sync,
     {
-        assert!(epochs >= 1, "at least one campaign epoch");
-        let regions = self.regions().to_vec();
-        let plane = self.plane;
-        let cloud = self.cloud;
-        let mut slots: Vec<Option<(T, CampaignStats)>> = (0..regions.len()).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for &region in &regions {
-                let init = &init;
-                let fold = &fold;
-                handles.push(scope.spawn(move || {
-                    let mut state = init();
-                    let mut stats = CampaignStats::default();
-                    for epoch in 0..epochs {
-                        for &t in targets {
-                            let tr = plane.traceroute_at(cloud, region, t, epoch);
-                            stats.absorb(&tr);
-                            fold(&mut state, &tr);
-                        }
-                    }
-                    (state, stats)
-                }));
-            }
-            for (slot, h) in slots.iter_mut().zip(handles) {
-                *slot = Some(h.join().expect("campaign worker panicked"));
-            }
-        });
-        let mut states = Vec::with_capacity(regions.len());
-        let mut stats = CampaignStats::default();
-        for slot in slots {
-            let (state, s) = slot.expect("worker slot filled");
-            states.push(state);
-            stats.launched += s.launched;
-            stats.completed += s.completed;
-            stats.gap_limited += s.gap_limited;
-            stats.max_ttl += s.max_ttl;
-        }
-        (states, stats)
+        self.run_sharded(targets, epochs, 0, init, fold)
+    }
+
+    /// [`Campaign::run_parallel`] with an explicit worker count
+    /// (`0` = `available_parallelism()`, `1` = the serial reference path).
+    /// Output is identical for every worker count.
+    pub fn run_sharded<T, I, F>(
+        &self,
+        targets: &[Ipv4],
+        epochs: u32,
+        workers: usize,
+        init: I,
+        fold: F,
+    ) -> (Vec<T>, CampaignStats)
+    where
+        T: Send,
+        I: Fn() -> T + Sync,
+        F: Fn(&mut T, &Traceroute) + Sync,
+    {
+        executor::run_sharded(self, targets, epochs, workers, init, fold)
     }
 
     /// The round-one target list (`.1` of every sweep /24).
@@ -272,7 +267,7 @@ impl RttCampaign {
     pub fn closest_region(&self, target: Ipv4) -> Option<(RegionId, f64)> {
         let per = self.min_rtt.get(&target)?;
         per.iter()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0 .0.cmp(&b.0 .0)))
+            .min_by(|a, b| a.1.total_cmp(b.1).then(a.0 .0.cmp(&b.0 .0)))
             .map(|(&r, &v)| (r, v))
     }
 
@@ -281,7 +276,7 @@ impl RttCampaign {
     pub fn two_lowest(&self, target: Ipv4) -> Option<(f64, Option<f64>)> {
         let per = self.min_rtt.get(&target)?;
         let mut v: Vec<f64> = per.values().copied().collect();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(f64::total_cmp);
         Some((v[0], v.get(1).copied()))
     }
 }
@@ -411,6 +406,46 @@ mod parallel_tests {
             four.len(),
             one.len()
         );
+    }
+
+    #[test]
+    fn sharded_run_matches_serial_at_every_worker_count() {
+        let inet = Internet::generate(TopologyConfig::tiny(), 19);
+        let plane = cm_dataplane::DataPlane::new(&inet, DataPlaneConfig::default());
+        let c = Campaign::new(&plane, CloudId(0));
+        // > TARGET_CHUNK targets so multiple chunks per (region, epoch).
+        let targets: Vec<Ipv4> = c.sweep_targets().into_iter().take(700).collect();
+        let collect = |workers: usize| {
+            c.run_sharded(
+                &targets,
+                2,
+                workers,
+                Vec::new,
+                |v: &mut Vec<(Ipv4, u8)>, t| {
+                    v.push((t.dst, t.hops.len() as u8));
+                },
+            )
+        };
+        let serial = collect(1);
+        for workers in [2, 3, 8] {
+            let sharded = collect(workers);
+            assert_eq!(serial.1, sharded.1, "stats differ at {workers} workers");
+            assert_eq!(
+                serial.0, sharded.0,
+                "per-region states differ at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_run_handles_empty_targets_and_yields_region_states() {
+        let inet = Internet::generate(TopologyConfig::tiny(), 19);
+        let plane = cm_dataplane::DataPlane::new(&inet, DataPlaneConfig::default());
+        let c = Campaign::new(&plane, CloudId(0));
+        let (states, stats) = c.run_sharded(&[], 3, 4, || 0usize, |n, _| *n += 1);
+        assert_eq!(states.len(), inet.primary_cloud().regions.len());
+        assert!(states.iter().all(|&n| n == 0));
+        assert_eq!(stats.launched, 0);
     }
 
     #[test]
