@@ -310,6 +310,15 @@ pub fn check_change_stats(atlas: &Atlas<'_>, out: &mut Vec<Finding>) {
 /// inflation).
 pub fn check_speed_of_light(atlas: &Atlas<'_>, out: &mut Vec<Finding>) {
     let fiber = atlas.config.pinning.fiber_km_per_ms;
+    // A configured clock-skew fault inflates every RTT from an affected
+    // region by up to `max_skew_ms`; the audit knows the measurement
+    // apparatus, so the upper feasibility bound widens by exactly that.
+    let skew_slack = atlas
+        .config
+        .dataplane
+        .faults
+        .clock_skew
+        .map_or(0.0, |s| s.max_skew_ms);
     for addr in sorted(atlas.pinning.pins.keys().copied()) {
         let pin = atlas.pinning.pins[&addr];
         if !matches!(pin.source, PinSource::DnsName | PinSource::Footprint) {
@@ -331,7 +340,7 @@ pub fn check_speed_of_light(atlas: &Atlas<'_>, out: &mut Vec<Finding>) {
                      floor of the pinned metro ({km:.0} km away)"
                 ),
             ));
-        } else if rtt > 2.5 * floor + 2.5 {
+        } else if rtt > 2.5 * floor + 2.5 + skew_slack {
             out.push(Finding::new(
                 Rule::SpeedOfLight,
                 Severity::Error,
@@ -339,7 +348,7 @@ pub fn check_speed_of_light(atlas: &Atlas<'_>, out: &mut Vec<Finding>) {
                 format!(
                     "min RTT {rtt:.3} ms far exceeds what the pinned metro can \
                      explain (bound {:.3} ms)",
-                    2.5 * floor + 2.5
+                    2.5 * floor + 2.5 + skew_slack
                 ),
             ));
         }
@@ -547,6 +556,101 @@ pub fn check_coverage(atlas: &Atlas<'_>, out: &mut Vec<Finding>) {
             format!(
                 "{} discovered-of-BGP exceeds min(bgp_peers={}, inferred={})",
                 cov.discovered_of_bgp, cov.bgp_peers, cov.inferred_peers
+            ),
+        ));
+    }
+}
+
+/// F1 — fault counters conserve: a disabled fault axis never counts
+/// impact, the atlas total equals the sum of the per-stage deltas, and no
+/// traceroute stage counts more probes than it launched.
+pub fn check_fault_conservation(atlas: &Atlas<'_>, out: &mut Vec<Finding>) {
+    let plan = atlas.config.dataplane.faults;
+    let enabled: HashSet<&str> = plan.enabled_axes().into_iter().collect();
+
+    // Disabled axes must be zero everywhere (total and every stage delta).
+    for (axis, count) in atlas.fault_impact.counters() {
+        if !enabled.contains(axis) && count != 0 {
+            out.push(Finding::new(
+                Rule::FaultConservation,
+                Severity::Error,
+                format!("fault_impact.{axis}"),
+                format!("axis is disabled in the fault plan but counted {count} probes"),
+            ));
+        }
+    }
+    for &(stage, delta) in &atlas.timings.fault_impact {
+        for (axis, count) in delta.counters() {
+            if !enabled.contains(axis) && count != 0 {
+                out.push(Finding::new(
+                    Rule::FaultConservation,
+                    Severity::Error,
+                    format!("timings.fault_impact[{stage}].{axis}"),
+                    format!("axis is disabled in the fault plan but counted {count} probes"),
+                ));
+            }
+        }
+    }
+
+    // The atlas total is the sum of the per-stage deltas.
+    let staged = atlas.timings.fault_total();
+    if staged != atlas.fault_impact {
+        out.push(Finding::new(
+            Rule::FaultConservation,
+            Severity::Error,
+            "fault_impact",
+            format!(
+                "atlas total {:?} differs from the per-stage sum {:?}",
+                atlas.fault_impact, staged
+            ),
+        ));
+    }
+
+    // A traceroute counts each axis at most once, so a stage's counter is
+    // bounded by the traceroutes it launched.
+    let stage_launched = [
+        ("sweep", Some(atlas.sweep_stats.launched)),
+        (
+            "expansion",
+            atlas.expansion_stats.as_ref().map(|s| s.launched),
+        ),
+    ];
+    for (stage, launched) in stage_launched {
+        let (Some(launched), Some(delta)) = (launched, atlas.timings.faults(stage)) else {
+            continue;
+        };
+        for (axis, count) in delta.counters() {
+            if count > launched as u64 {
+                out.push(Finding::new(
+                    Rule::FaultConservation,
+                    Severity::Error,
+                    format!("timings.fault_impact[{stage}].{axis}"),
+                    format!("counted {count} probes but the stage launched only {launched}"),
+                ));
+            }
+        }
+    }
+}
+
+/// F2 — the independent replay, running the same fault plan against the
+/// same probes, reproduces the recorded sweep + expansion fault impact
+/// exactly. A drifting counter means fault draws depend on something
+/// other than the campaign itself (execution order, shared state).
+pub fn check_fault_replay(atlas: &Atlas<'_>, reference: &RefDerivation, out: &mut Vec<Finding>) {
+    let mut recorded = cm_dataplane::FaultImpact::default();
+    for stage in ["sweep", "expansion"] {
+        if let Some(delta) = atlas.timings.faults(stage) {
+            recorded.absorb(delta);
+        }
+    }
+    if recorded != reference.fault_impact {
+        out.push(Finding::new(
+            Rule::FaultReplay,
+            Severity::Error,
+            "fault_impact",
+            format!(
+                "atlas recorded {recorded:?} over sweep+expansion, replay accumulated {:?}",
+                reference.fault_impact
             ),
         ));
     }

@@ -81,11 +81,17 @@ pub enum Rule {
     IcgMismatch,
     /// C1 — the coverage report is arithmetically consistent.
     Coverage,
+    /// F1 — fault counters conserve: disabled axes stay zero, per-stage
+    /// deltas are bounded by the stage's probes and sum to the total.
+    FaultConservation,
+    /// F2 — the replay reproduces the recorded sweep + expansion fault
+    /// impact exactly.
+    FaultReplay,
 }
 
 impl Rule {
     /// All rules, in report order.
-    pub const ALL: [Rule; 13] = [
+    pub const ALL: [Rule; 15] = [
         Rule::TraceConservation,
         Rule::SegmentUnexplained,
         Rule::DiscardMismatch,
@@ -99,6 +105,8 @@ impl Rule {
         Rule::Grouping,
         Rule::IcgMismatch,
         Rule::Coverage,
+        Rule::FaultConservation,
+        Rule::FaultReplay,
     ];
 
     /// The stable string id (what `DESIGN.md` documents).
@@ -117,6 +125,8 @@ impl Rule {
             Rule::Grouping => "G1_GROUPING",
             Rule::IcgMismatch => "I1_ICG",
             Rule::Coverage => "C1_COVERAGE",
+            Rule::FaultConservation => "F1_FAULT_CONSERVATION",
+            Rule::FaultReplay => "F2_FAULT_REPLAY",
         }
     }
 }
@@ -247,6 +257,8 @@ pub fn audit_with_reference(atlas: &Atlas<'_>, reference: &RefDerivation) -> Aud
     checks::check_grouping(atlas, &mut findings);
     checks::check_icg(atlas, &mut findings);
     checks::check_coverage(atlas, &mut findings);
+    checks::check_fault_conservation(atlas, &mut findings);
+    checks::check_fault_replay(atlas, reference, &mut findings);
     AuditReport::from_findings(findings)
 }
 

@@ -18,7 +18,7 @@
 use cloudmap::annotate::{Annotator, HopNote};
 use cloudmap::borders::{DiscardStats, Segment};
 use cloudmap::Atlas;
-use cm_dataplane::{DataPlane, Traceroute};
+use cm_dataplane::{DataPlane, FaultImpact, Traceroute};
 use cm_net::{Ipv4, OrgId, Prefix};
 use cm_probe::Campaign;
 use cm_topology::CloudId;
@@ -50,6 +50,10 @@ pub struct RefDerivation {
     pub round1_abis: usize,
     /// Unique CBIs after round one only (Table 1 row 2).
     pub round1_cbis: usize,
+    /// Fault impact the replay accumulated over both rounds. The replay
+    /// runs the same fault plan against the same probes, so this must
+    /// equal the atlas's recorded sweep + expansion deltas (rule F2).
+    pub fault_impact: FaultImpact,
 }
 
 /// How one traceroute fared under the §4.1 rules.
@@ -244,5 +248,6 @@ pub fn rederive(atlas: &Atlas<'_>) -> RefDerivation {
         let round2 = run_round(&targets);
         reference.absorb(round2);
     }
+    reference.fault_impact = plane.fault_impact();
     reference
 }

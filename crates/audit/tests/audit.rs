@@ -399,3 +399,101 @@ fn forged_coverage_fires_c1() {
         },
     );
 }
+
+#[test]
+fn forged_fault_total_fires_f1() {
+    assert_catches(
+        Rule::FaultConservation,
+        |atlas, _reference| {
+            // The fixture runs a clean plan: any nonzero counter is both a
+            // disabled-axis violation and a stage-sum mismatch.
+            atlas.fault_impact.blackhole += 7;
+        },
+        |atlas, ()| {
+            atlas.fault_impact.blackhole -= 7;
+        },
+    );
+}
+
+#[test]
+fn forged_stage_fault_delta_fires_f2() {
+    assert_catches(
+        Rule::FaultReplay,
+        |atlas, _reference| {
+            // Tamper with the recorded sweep delta *and* the total so F1's
+            // stage-sum check stays satisfied — only the replay comparison
+            // can catch it.
+            let entry = atlas
+                .timings
+                .fault_impact
+                .iter_mut()
+                .find(|(n, _)| *n == "sweep")
+                .expect("sweep fault delta recorded");
+            entry.1.route_flap += 3;
+            atlas.fault_impact.route_flap += 3;
+        },
+        |atlas, ()| {
+            let entry = atlas
+                .timings
+                .fault_impact
+                .iter_mut()
+                .find(|(n, _)| *n == "sweep")
+                .expect("sweep fault delta recorded");
+            entry.1.route_flap -= 3;
+            atlas.fault_impact.route_flap -= 3;
+        },
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Fault profiles
+// ---------------------------------------------------------------------------
+
+/// The composed "hostile" profile — every fault axis at once — still runs
+/// the full pipeline and audits clean, F-rules included. (The golden
+/// binary in cm-bench audits every individual profile; this covers the
+/// union in tier-1.)
+#[test]
+fn hostile_fault_profile_audits_clean() {
+    use cm_dataplane::{DataPlaneConfig, FaultPlan};
+    let inet = Internet::generate(TopologyConfig::tiny(), 7);
+    let cfg = PipelineConfig {
+        dataplane: DataPlaneConfig {
+            faults: FaultPlan::named("hostile").expect("hostile profile"),
+            ..DataPlaneConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+    let atlas = Pipeline::new(&inet, cfg).run().expect("pipeline run");
+    assert!(
+        !atlas.fault_impact.is_zero(),
+        "hostile profile left no trace in the impact counters"
+    );
+    let report = audit(&atlas);
+    assert!(
+        report.is_clean(),
+        "hostile-profile atlas produced findings:\n{report}"
+    );
+}
+
+/// An invalid dataplane rate is a typed pipeline error, not a panic or a
+/// silent degenerate campaign.
+#[test]
+fn invalid_dataplane_config_is_a_typed_pipeline_error() {
+    use cloudmap::pipeline::PipelineError;
+    use cm_dataplane::DataPlaneConfig;
+    let inet = Internet::generate(TopologyConfig::tiny(), 7);
+    let cfg = PipelineConfig {
+        dataplane: DataPlaneConfig {
+            loss_rate: f64::NAN,
+            ..DataPlaneConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+    match Pipeline::new(&inet, cfg).run().map(|_| ()) {
+        Err(PipelineError::InvalidConfig(msg)) => {
+            assert!(msg.contains("loss_rate"), "unexpected message: {msg}")
+        }
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+}

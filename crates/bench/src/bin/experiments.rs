@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [EXPERIMENT] [--scale tiny|small|full] [--seed N] [--dump DIR]
-//!             [--bench-json PATH]
+//!             [--bench-json PATH] [--faults PROFILE]
 //!
 //! EXPERIMENT: all (default) | table1..table6 | fig4a | fig4b | fig5 | fig6
 //!             | fig7 | pinning-eval | icg | hiding-map | bdrmap | scores
@@ -15,7 +15,8 @@
 //!
 //! Run with `cargo run --release -p cm-bench --bin experiments`.
 
-use cm_bench::{build_internet, report, run_study, score_summary};
+use cm_bench::{build_internet, report, run_study_with, score_summary, study_config};
+use cm_dataplane::FaultPlan;
 
 fn main() {
     let mut experiment = String::from("all");
@@ -23,6 +24,7 @@ fn main() {
     let mut seed: u64 = 2019;
     let mut dump: Option<std::path::PathBuf> = None;
     let mut bench_json = std::path::PathBuf::from("BENCH_pipeline.json");
+    let mut faults = String::from("clean");
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -40,10 +42,11 @@ fn main() {
                 Some(p) => bench_json = p.into(),
                 None => panic!("--bench-json needs a path"),
             },
+            "--faults" => faults = args.next().expect("--faults needs a profile name"),
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [EXPERIMENT] [--scale tiny|small|full] [--seed N] \
-                     [--dump DIR] [--bench-json PATH]"
+                     [--dump DIR] [--bench-json PATH] [--faults PROFILE]"
                 );
                 return;
             }
@@ -80,6 +83,13 @@ fn main() {
         eprintln!("error: unknown scale {scale:?} (tiny|small|full)");
         std::process::exit(2);
     }
+    let Some(fault_plan) = FaultPlan::named(&faults) else {
+        eprintln!(
+            "error: unknown fault profile {faults:?}; one of {:?}",
+            FaultPlan::PROFILES
+        );
+        std::process::exit(2);
+    };
 
     eprintln!("# generating ground truth (scale={scale}, seed={seed}) ...");
     let t0 = std::time::Instant::now();
@@ -91,9 +101,15 @@ fn main() {
         inet.interconnects.len(),
         inet.ifaces.len(),
     );
+    if !fault_plan.is_clean() {
+        eprintln!(
+            "# fault profile {faults}: axes {:?}",
+            fault_plan.enabled_axes()
+        );
+    }
     eprintln!("# running the measurement study ...");
     let t1 = std::time::Instant::now();
-    let atlas = run_study(&inet);
+    let atlas = run_study_with(&inet, study_config(fault_plan, 0));
     let pipeline_secs = t1.elapsed().as_secs_f64();
     eprintln!(
         "#   sweep {} traces ({:.2}% complete), {} CBIs, {} ABIs [{:.1}s]",

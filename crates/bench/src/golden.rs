@@ -1,0 +1,353 @@
+//! Golden-atlas differential testing.
+//!
+//! A fault profile must *perturb* the pipeline, not silently *rewrite* it:
+//! the same code on the same seed must infer the same atlas today and next
+//! month, clean or faulted. This module reduces an [`Atlas`] to an
+//! [`AtlasSummary`] — every inference product that matters, in canonical
+//! order, with a stable digest — and renders a clean-vs-faulted
+//! [`GoldenDiff`] into a small text *golden file*. The `golden` binary
+//! (`cargo run --release -p cm-bench --bin golden`) regenerates those
+//! files and `check`s them in CI; a code change that shifts any inference
+//! result under any registered [`FaultPlan`] profile turns up as a textual
+//! diff against `crates/bench/golden/`, not as a mystery three PRs later.
+
+use cloudmap::pipeline::{Atlas, Pipeline, PipelineConfig};
+use cm_dataplane::{DataPlaneConfig, FaultImpact, FaultPlan};
+use cm_net::{stablehash, Ipv4};
+use cm_topology::Internet;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// A pipeline configuration carrying a fault plan and a worker count,
+/// otherwise default. Every golden run goes through this one constructor
+/// so clean and faulted campaigns differ in nothing else.
+pub fn study_config(faults: FaultPlan, probe_workers: usize) -> PipelineConfig {
+    PipelineConfig {
+        dataplane: DataPlaneConfig {
+            faults,
+            ..DataPlaneConfig::default()
+        },
+        probe_workers,
+        ..PipelineConfig::default()
+    }
+}
+
+/// Runs the full pipeline under `cfg`.
+///
+/// # Panics
+/// On a degenerate Internet or an invalid configuration, like
+/// [`crate::run_study`].
+pub fn run_study_with(inet: &Internet, cfg: PipelineConfig) -> Atlas<'_> {
+    match Pipeline::new(inet, cfg).run() {
+        Ok(atlas) => atlas,
+        Err(e) => panic!("pipeline failed on generated Internet: {e}"),
+    }
+}
+
+/// The inference products of one pipeline run, in canonical order.
+///
+/// Two runs of the same (world seed, configuration) must produce equal
+/// summaries — at any `probe_workers` — so the summary, not the raw atlas,
+/// is what golden files digest and diff.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AtlasSummary {
+    /// Final CBI set.
+    pub cbis: BTreeSet<Ipv4>,
+    /// Final ABI set.
+    pub abis: BTreeSet<Ipv4>,
+    /// Final `(abi, cbi)` segment set.
+    pub segments: BTreeSet<(Ipv4, Ipv4)>,
+    /// Metro pins: address → (metro, evidence-source name).
+    pub pins: BTreeMap<Ipv4, (u16, &'static str)>,
+    /// Regional fallback pins: address → region.
+    pub region_pins: BTreeMap<Ipv4, u32>,
+    /// §7.1 VPI-classified CBIs.
+    pub vpi_cbis: BTreeSet<Ipv4>,
+    /// Table 1: interface count per row, resolution fractions as bits.
+    pub table1: [(usize, u64, u64, u64); 4],
+    /// §4.1 accepted traceroutes.
+    pub accepted: usize,
+    /// §4.1 filter counters, in a fixed order.
+    pub discards: [(&'static str, usize); 6],
+    /// Launched / completed / gap-limited / max-TTL across both rounds.
+    pub campaign: [usize; 4],
+    /// Total fault impact.
+    pub fault_impact: FaultImpact,
+}
+
+impl AtlasSummary {
+    /// Reduces an atlas to its canonical summary.
+    pub fn of(atlas: &Atlas<'_>) -> AtlasSummary {
+        let d = &atlas.pool.discards;
+        let mut campaign = [
+            atlas.sweep_stats.launched,
+            atlas.sweep_stats.completed,
+            atlas.sweep_stats.gap_limited,
+            atlas.sweep_stats.max_ttl,
+        ];
+        if let Some(e) = &atlas.expansion_stats {
+            campaign[0] += e.launched;
+            campaign[1] += e.completed;
+            campaign[2] += e.gap_limited;
+            campaign[3] += e.max_ttl;
+        }
+        AtlasSummary {
+            cbis: atlas.pool.cbis.keys().copied().collect(),
+            abis: atlas.pool.abis.keys().copied().collect(),
+            segments: atlas.pool.segments.keys().map(|s| (s.abi, s.cbi)).collect(),
+            pins: atlas
+                .pinning
+                .pins
+                .iter()
+                .map(|(&a, p)| (a, (p.metro.0, source_name(p.source))))
+                .collect(),
+            region_pins: atlas
+                .pinning
+                .region_pins
+                .iter()
+                .map(|(&a, r)| (a, r.0))
+                .collect(),
+            vpi_cbis: atlas.vpi.vpi_cbis.iter().copied().collect(),
+            table1: atlas
+                .table1
+                .map(|r| (r.count, r.bgp.to_bits(), r.whois.to_bits(), r.ixp.to_bits())),
+            accepted: atlas.pool.accepted,
+            discards: [
+                ("no_border", d.no_border),
+                ("gap_before_border", d.gap_before_border),
+                ("looped", d.looped),
+                ("duplicate", d.duplicate),
+                ("cbi_is_destination", d.cbi_is_destination),
+                ("cloud_reentry", d.cloud_reentry),
+            ],
+            campaign,
+            fault_impact: atlas.fault_impact,
+        }
+    }
+
+    /// A stable digest: equal summaries ⇔ equal digests, and the chain is
+    /// order-sensitive, so any inference shift moves it.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0x0006_01DA_71A5_u64;
+        let mut eat = |parts: &[u64]| h = stablehash::mix(h, parts);
+        for &a in &self.cbis {
+            eat(&[1, u64::from(a.0)]);
+        }
+        for &a in &self.abis {
+            eat(&[2, u64::from(a.0)]);
+        }
+        for &(a, c) in &self.segments {
+            eat(&[3, u64::from(a.0), u64::from(c.0)]);
+        }
+        for (&a, &(metro, src)) in &self.pins {
+            eat(&[4, u64::from(a.0), u64::from(metro)]);
+            for b in src.as_bytes() {
+                eat(&[u64::from(*b)]);
+            }
+        }
+        for (&a, &r) in &self.region_pins {
+            eat(&[5, u64::from(a.0), u64::from(r)]);
+        }
+        for &a in &self.vpi_cbis {
+            eat(&[6, u64::from(a.0)]);
+        }
+        for &(n, bgp, whois, ixp) in &self.table1 {
+            eat(&[7, n as u64, bgp, whois, ixp]);
+        }
+        eat(&[8, self.accepted as u64]);
+        for &(_, n) in &self.discards {
+            eat(&[9, n as u64]);
+        }
+        for &n in &self.campaign {
+            eat(&[10, n as u64]);
+        }
+        for (_, n) in self.fault_impact.counters() {
+            eat(&[11, n]);
+        }
+        h
+    }
+}
+
+/// The stable name of a pin's evidence source.
+fn source_name(source: cloudmap::pinning::PinSource) -> &'static str {
+    use cloudmap::pinning::PinSource;
+    match source {
+        PinSource::DnsName => "dns",
+        PinSource::IxpAssociation => "ixp",
+        PinSource::Footprint => "footprint",
+        PinSource::NativeColo => "native",
+        PinSource::AliasRule => "alias",
+        PinSource::RttRule => "rtt",
+    }
+}
+
+/// What a fault profile changed relative to the clean run on the same
+/// seed: set churn per product, not just counts, so a profile that swaps
+/// one CBI for another is visible even when totals agree.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GoldenDiff {
+    /// CBIs (lost, gained) vs. clean.
+    pub cbis: (usize, usize),
+    /// ABIs (lost, gained) vs. clean.
+    pub abis: (usize, usize),
+    /// Segments (lost, gained) vs. clean.
+    pub segments: (usize, usize),
+    /// Addresses whose metro pin appeared, vanished or moved.
+    pub pins_changed: usize,
+    /// VPI CBIs (lost, gained) vs. clean.
+    pub vpi: (usize, usize),
+    /// Accepted-traceroute delta (faulted − clean).
+    pub accepted_delta: i64,
+}
+
+fn churn<T: Ord + Copy>(clean: &BTreeSet<T>, faulted: &BTreeSet<T>) -> (usize, usize) {
+    (
+        clean.difference(faulted).count(),
+        faulted.difference(clean).count(),
+    )
+}
+
+impl GoldenDiff {
+    /// Diffs a faulted summary against the clean one.
+    pub fn between(clean: &AtlasSummary, faulted: &AtlasSummary) -> GoldenDiff {
+        let pins_changed = clean
+            .pins
+            .iter()
+            .filter(|(a, p)| faulted.pins.get(a) != Some(p))
+            .count()
+            + faulted
+                .pins
+                .keys()
+                .filter(|a| !clean.pins.contains_key(a))
+                .count();
+        GoldenDiff {
+            cbis: churn(&clean.cbis, &faulted.cbis),
+            abis: churn(&clean.abis, &faulted.abis),
+            segments: churn(&clean.segments, &faulted.segments),
+            pins_changed,
+            vpi: churn(&clean.vpi_cbis, &faulted.vpi_cbis),
+            accepted_delta: faulted.accepted as i64 - clean.accepted as i64,
+        }
+    }
+
+    /// True when the faulted run inferred exactly what the clean run did.
+    pub fn is_empty(&self) -> bool {
+        *self == GoldenDiff::default()
+    }
+}
+
+/// Renders one golden file: header, digests, per-product counts and churn,
+/// §4.1 accounting and the fault-impact counters. Everything in it is
+/// deterministic in (scale, seed, profile) — no wall clocks, no paths.
+pub fn render_golden(
+    profile: &str,
+    scale: &str,
+    seed: u64,
+    clean: &AtlasSummary,
+    faulted: &AtlasSummary,
+) -> String {
+    let diff = GoldenDiff::between(clean, faulted);
+    let mut out = String::new();
+    let churn_line = |name: &str, n: usize, (lost, gained): (usize, usize)| {
+        format!("{name}: {n} -{lost} +{gained}\n")
+    };
+    let _ = writeln!(out, "profile: {profile}");
+    let _ = writeln!(out, "scale: {scale}");
+    let _ = writeln!(out, "seed: {seed}");
+    let _ = writeln!(out, "clean_digest: {:#018x}", clean.digest());
+    let _ = writeln!(out, "fault_digest: {:#018x}", faulted.digest());
+    out.push_str(&churn_line("cbis", faulted.cbis.len(), diff.cbis));
+    out.push_str(&churn_line("abis", faulted.abis.len(), diff.abis));
+    out.push_str(&churn_line(
+        "segments",
+        faulted.segments.len(),
+        diff.segments,
+    ));
+    let _ = writeln!(
+        out,
+        "pins: {} changed {}",
+        faulted.pins.len(),
+        diff.pins_changed
+    );
+    out.push_str(&churn_line("vpi", faulted.vpi_cbis.len(), diff.vpi));
+    let _ = writeln!(
+        out,
+        "campaign: launched {} completed {} gap_limited {} max_ttl {}",
+        faulted.campaign[0], faulted.campaign[1], faulted.campaign[2], faulted.campaign[3]
+    );
+    let _ = writeln!(
+        out,
+        "accepted: {} ({:+})",
+        faulted.accepted, diff.accepted_delta
+    );
+    let discards: Vec<String> = faulted
+        .discards
+        .iter()
+        .map(|(n, c)| format!("{n}={c}"))
+        .collect();
+    let _ = writeln!(out, "discards: {}", discards.join(" "));
+    let impact: Vec<String> = faulted
+        .fault_impact
+        .counters()
+        .iter()
+        .map(|(n, c)| format!("{n}={c}"))
+        .collect();
+    let _ = writeln!(out, "impact: {}", impact.join(" "));
+    out.push_str("audit: clean\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> AtlasSummary {
+        AtlasSummary {
+            cbis: [Ipv4(10), Ipv4(20)].into_iter().collect(),
+            abis: [Ipv4(1)].into_iter().collect(),
+            segments: [(Ipv4(1), Ipv4(10))].into_iter().collect(),
+            pins: [(Ipv4(1), (3, "dns"))].into_iter().collect(),
+            accepted: 5,
+            ..AtlasSummary::default()
+        }
+    }
+
+    #[test]
+    fn equal_summaries_have_equal_digests_and_empty_diff() {
+        let (a, b) = (base(), base());
+        assert_eq!(a.digest(), b.digest());
+        assert!(GoldenDiff::between(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn churn_and_digest_track_set_swaps() {
+        let clean = base();
+        let mut faulted = base();
+        // Swap one CBI for another: totals agree, churn must not.
+        faulted.cbis.remove(&Ipv4(20));
+        faulted.cbis.insert(Ipv4(30));
+        // Move a pin without changing the pin count.
+        faulted.pins.insert(Ipv4(1), (4, "dns"));
+        let diff = GoldenDiff::between(&clean, &faulted);
+        assert_eq!(diff.cbis, (1, 1));
+        assert_eq!(diff.pins_changed, 1);
+        assert_ne!(clean.digest(), faulted.digest());
+    }
+
+    #[test]
+    fn rendering_is_stable_and_complete() {
+        let clean = base();
+        let golden = render_golden("clean", "tiny", 2019, &clean, &clean);
+        assert_eq!(golden, render_golden("clean", "tiny", 2019, &clean, &clean));
+        for key in [
+            "profile: clean",
+            "clean_digest: 0x",
+            "fault_digest: 0x",
+            "cbis: 2 -0 +0",
+            "impact: burst_loss=0",
+            "audit: clean",
+        ] {
+            assert!(golden.contains(key), "missing {key:?} in:\n{golden}");
+        }
+    }
+}

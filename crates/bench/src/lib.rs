@@ -11,7 +11,10 @@ use cloudmap::pipeline::{Atlas, Pipeline, PipelineConfig};
 use cloudmap::score;
 use cm_topology::{Internet, TopologyConfig};
 
+pub mod golden;
 pub mod report;
+
+pub use golden::{run_study_with, study_config, AtlasSummary, GoldenDiff};
 
 /// Builds a ground-truth Internet at a named scale.
 ///

@@ -529,7 +529,8 @@ pub fn timings(atlas: &Atlas<'_>) -> String {
 
 /// The machine-readable run record the harness writes to
 /// `BENCH_pipeline.json`: scale, seed, wall clocks (world generation and
-/// the full pipeline plus each stage), route-memo accounting, and the
+/// the full pipeline plus each stage), route-memo accounting, the fault
+/// plan and per-axis impact counters, the §4.1 filter counters, and the
 /// campaign stats. Hand-rolled JSON — the workspace deliberately carries no
 /// serialization dependency — so every key below is a fixed identifier and
 /// every value a number, keeping the output trivially valid.
@@ -587,6 +588,40 @@ pub fn bench_pipeline_json(
         total.hits,
         total.misses,
         num(total.hit_rate())
+    );
+    let axes: Vec<String> = atlas
+        .config
+        .dataplane
+        .faults
+        .enabled_axes()
+        .iter()
+        .map(|a| format!("\"{a}\""))
+        .collect();
+    let _ = writeln!(out, "  \"fault_plan\": [{}],", axes.join(", "));
+    let impact: Vec<String> = atlas
+        .fault_impact
+        .counters()
+        .iter()
+        .map(|(name, n)| format!("\"{name}\": {n}"))
+        .collect();
+    let _ = writeln!(
+        out,
+        "  \"fault_impact\": {{{}, \"total\": {}}},",
+        impact.join(", "),
+        atlas.fault_impact.total()
+    );
+    let d = &atlas.pool.discards;
+    let _ = writeln!(
+        out,
+        "  \"discards\": {{\"accepted\": {}, \"no_border\": {}, \"gap_before_border\": {}, \
+         \"looped\": {}, \"duplicate\": {}, \"cbi_is_destination\": {}, \"cloud_reentry\": {}}},",
+        atlas.pool.accepted,
+        d.no_border,
+        d.gap_before_border,
+        d.looped,
+        d.duplicate,
+        d.cbi_is_destination,
+        d.cloud_reentry
     );
     let stats_json = |s: &cm_probe::CampaignStats| {
         format!(

@@ -1,0 +1,42 @@
+//! Digest-pinning regression tests: the seed-2019 atlases are frozen.
+//!
+//! These constants are the `clean_digest` values of the committed golden
+//! files under `crates/bench/golden/`. A failure here means a code change
+//! shifted the *inference results* of the reference campaigns — which is
+//! either a bug or an intentional behaviour change. If intentional,
+//! regenerate the goldens (`cargo run --release -p cm-bench --bin golden --
+//! write` at both scales) and update these constants in the same commit,
+//! so the diff review sees exactly what moved.
+
+use cm_bench::{build_internet, run_study, AtlasSummary};
+
+/// `clean_digest` of `golden/tiny-2019-*.golden`.
+const TINY_2019_DIGEST: u64 = 0xd064e68494650160;
+
+/// `clean_digest` of `golden/small-2019-clean.golden` — the first golden.
+const SMALL_2019_DIGEST: u64 = 0xd497b47810d9c234;
+
+#[test]
+fn tiny_seed_2019_atlas_digest_is_pinned() {
+    let inet = build_internet("tiny", 2019);
+    let summary = AtlasSummary::of(&run_study(&inet));
+    assert_eq!(
+        summary.digest(),
+        TINY_2019_DIGEST,
+        "tiny/2019 inference results moved; see golden_regression.rs header"
+    );
+}
+
+/// Slow under `cargo test` in debug — CI runs it in the release
+/// fault-matrix job (`cargo test --release ... -- --ignored`).
+#[test]
+#[ignore = "release-only: ~1 min in debug builds"]
+fn small_seed_2019_atlas_digest_is_pinned() {
+    let inet = build_internet("small", 2019);
+    let summary = AtlasSummary::of(&run_study(&inet));
+    assert_eq!(
+        summary.digest(),
+        SMALL_2019_DIGEST,
+        "small/2019 inference results moved; see golden_regression.rs header"
+    );
+}

@@ -86,6 +86,9 @@ fn bench_pipeline_json_is_valid_and_complete() {
         "\"pipeline_seconds\"",
         "\"stages\"",
         "\"route_memo_total\"",
+        "\"fault_plan\"",
+        "\"fault_impact\"",
+        "\"discards\"",
         "\"sweep\"",
         "\"expansion\"",
     ] {

@@ -27,7 +27,7 @@ use crate::pinning::{CrossValReport, PinOutcome, Pinner, PinningConfig};
 use crate::verify::{apply_alias_corrections, run_heuristics, ChangeStats, HeuristicOutcome};
 use crate::vpi::{detect, VpiDetection};
 use cm_bgp::{bgp_snapshot, BgpView, MemoStats};
-use cm_dataplane::{publicly_reachable, DataPlane, DataPlaneConfig};
+use cm_dataplane::{publicly_reachable, DataPlane, DataPlaneConfig, FaultImpact};
 use cm_datasets::{DatasetConfig, PublicDatasets};
 use cm_dns::DnsDb;
 use cm_geo::MetroId;
@@ -49,6 +49,10 @@ pub enum PipelineError {
     /// An inline self-audit invariant failed (only with
     /// [`PipelineConfig::self_audit`] enabled).
     SelfAudit(String),
+    /// The dataplane configuration failed validation (a NaN or
+    /// out-of-range rate, or a malformed fault plan); the message is the
+    /// rendered [`cm_dataplane::DataPlaneConfigError`].
+    InvalidConfig(String),
 }
 
 impl fmt::Display for PipelineError {
@@ -59,6 +63,7 @@ impl fmt::Display for PipelineError {
             }
             PipelineError::NoRegions => write!(f, "primary cloud has no regions"),
             PipelineError::SelfAudit(msg) => write!(f, "self-audit failed: {msg}"),
+            PipelineError::InvalidConfig(msg) => write!(f, "invalid dataplane config: {msg}"),
         }
     }
 }
@@ -135,6 +140,9 @@ pub struct StageTimings {
     /// Route-memo hit/miss deltas of the probing stages, in execution
     /// order. Stages that never consult the RIB are absent.
     pub route_memo: Vec<(&'static str, MemoStats)>,
+    /// Fault-impact deltas of the probing stages, in execution order
+    /// (all-zero entries under a clean [`cm_dataplane::FaultPlan`]).
+    pub fault_impact: Vec<(&'static str, FaultImpact)>,
 }
 
 impl StageTimings {
@@ -147,6 +155,19 @@ impl StageTimings {
     pub fn stage_with_memo(&mut self, name: &'static str, wall: Duration, memo: MemoStats) {
         self.stages.push((name, wall));
         self.route_memo.push((name, memo));
+    }
+
+    /// Records a probing stage: wall clock, route-memo delta and
+    /// fault-impact delta.
+    pub fn stage_probing(
+        &mut self,
+        name: &'static str,
+        wall: Duration,
+        memo: MemoStats,
+        faults: FaultImpact,
+    ) {
+        self.stage_with_memo(name, wall, memo);
+        self.fault_impact.push((name, faults));
     }
 
     /// Total wall clock across all recorded stages.
@@ -176,6 +197,23 @@ impl StageTimings {
         for &(_, m) in &self.route_memo {
             total.hits += m.hits;
             total.misses += m.misses;
+        }
+        total
+    }
+
+    /// Fault-impact delta of one stage, if recorded.
+    pub fn faults(&self, name: &str) -> Option<FaultImpact> {
+        self.fault_impact
+            .iter()
+            .find(|&&(n, _)| n == name)
+            .map(|&(_, f)| f)
+    }
+
+    /// Aggregate fault impact across all recorded stages.
+    pub fn fault_total(&self) -> FaultImpact {
+        let mut total = FaultImpact::default();
+        for &(_, f) in &self.fault_impact {
+            total.absorb(f);
         }
         total
     }
@@ -258,6 +296,10 @@ pub struct Atlas<'i> {
     pub coverage: CoverageReport,
     /// Per-stage wall-clock timings and route-memo stats of this run.
     pub timings: StageTimings,
+    /// Total fault impact across all probing stages (all zero under a
+    /// clean fault plan); equals the sum of the per-stage deltas in
+    /// [`StageTimings::fault_impact`], an invariant `cm-audit` checks.
+    pub fault_impact: FaultImpact,
 }
 
 impl<'i> Atlas<'i> {
@@ -290,6 +332,9 @@ impl<'i> Pipeline<'i> {
         let cfg = self.cfg;
         let seed = inet.seed ^ cfg.seed;
         let primary = CloudId(0);
+        cfg.dataplane
+            .validate()
+            .map_err(|e| PipelineError::InvalidConfig(e.to_string()))?;
         if inet.primary_cloud().regions.is_empty() {
             return Err(PipelineError::NoRegions);
         }
@@ -358,20 +403,23 @@ impl<'i> Pipeline<'i> {
         };
         let stage_start = Instant::now();
         let memo_before = plane.route_memo_stats();
+        let faults_before = plane.fault_impact();
         let sweep_targets = campaign.sweep_targets();
         let (mut pool, sweep_stats) = run_round(&sweep_targets);
         self_check(&pool, "round one")?;
         let t1_abi = table1_row(pool.abis.values());
         let t1_cbi = table1_row(pool.cbis.values().map(|c| &c.note));
-        timings.stage_with_memo(
+        timings.stage_probing(
             "sweep",
             stage_start.elapsed(),
             plane.route_memo_stats().since(memo_before),
+            plane.fault_impact().since(faults_before),
         );
 
         // ---- round two (§4.2) ----------------------------------------------
         let stage_start = Instant::now();
         let memo_before = plane.route_memo_stats();
+        let faults_before = plane.fault_impact();
         let expansion_stats = if cfg.run_expansion {
             let targets = campaign.expansion_targets(&pool.expansion_prefixes());
             let (round2, stats) = run_round(&targets);
@@ -381,10 +429,11 @@ impl<'i> Pipeline<'i> {
         } else {
             None
         };
-        timings.stage_with_memo(
+        timings.stage_probing(
             "expansion",
             stage_start.elapsed(),
             plane.route_memo_stats().since(memo_before),
+            plane.fault_impact().since(faults_before),
         );
         let t1_eabi = table1_row(pool.abis.values());
         let t1_ecbi = table1_row(pool.cbis.values().map(|c| &c.note));
@@ -411,16 +460,18 @@ impl<'i> Pipeline<'i> {
         // ---- RTT campaign + pinning (§6) ------------------------------------
         let stage_start = Instant::now();
         let memo_before = plane.route_memo_stats();
+        let faults_before = plane.fault_impact();
         let mut rtt_targets: Vec<Ipv4> = pool.abis.keys().copied().collect();
         rtt_targets.extend(pool.cbis.keys().copied());
         rtt_targets.extend(datasets.ixp.published_addrs().map(|(a, _)| a));
         rtt_targets.sort_unstable();
         rtt_targets.dedup();
         let rtt = RttCampaign::run(&plane, primary, &rtt_targets, cfg.rtt_attempts);
-        timings.stage_with_memo(
+        timings.stage_probing(
             "rtt",
             stage_start.elapsed(),
             plane.route_memo_stats().since(memo_before),
+            plane.fault_impact().since(faults_before),
         );
 
         let stage_start = Instant::now();
@@ -455,6 +506,7 @@ impl<'i> Pipeline<'i> {
         // ---- VPI detection (§7.1) -------------------------------------------
         let stage_start = Instant::now();
         let memo_before = plane.route_memo_stats();
+        let faults_before = plane.fault_impact();
         let vpi = if cfg.run_vpi {
             let secondary: Vec<(CloudId, OrgId)> = inet
                 .clouds
@@ -469,10 +521,11 @@ impl<'i> Pipeline<'i> {
         } else {
             VpiDetection::default()
         };
-        timings.stage_with_memo(
+        timings.stage_probing(
             "vpi",
             stage_start.elapsed(),
             plane.route_memo_stats().since(memo_before),
+            plane.fault_impact().since(faults_before),
         );
 
         // ---- grouping + ICG (§7.2–7.4) --------------------------------------
@@ -499,6 +552,7 @@ impl<'i> Pipeline<'i> {
             inferred_peers: inferred_peers.len(),
         };
         timings.stage("grouping", stage_start.elapsed());
+        let fault_impact = plane.fault_impact();
 
         Ok(Atlas {
             inet,
@@ -526,6 +580,7 @@ impl<'i> Pipeline<'i> {
             icg,
             coverage,
             timings,
+            fault_impact,
         })
     }
 }

@@ -1,0 +1,86 @@
+//! §4.1 accounting under arbitrary fault plans.
+//!
+//! Faults discard traceroutes for new *physical* reasons — blackholes gap
+//! them, hidden segments shorten them, rewrites move their border — but
+//! the §4.1 bookkeeping must never invent a new bucket or drop a trace on
+//! the floor: every launched traceroute ends up accepted or in exactly one
+//! filter counter, whatever the fault plan throws at the campaign.
+
+use cloudmap::pipeline::{Pipeline, PipelineConfig};
+use cm_dataplane::faults::{AddrRewrite, Blackhole, BurstLoss, ClockSkew, MplsTunnels, RouteFlap};
+use cm_dataplane::{DataPlaneConfig, FaultPlan};
+use cm_topology::{Internet, TopologyConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn world() -> &'static Internet {
+    static W: OnceLock<Internet> = OnceLock::new();
+    W.get_or_init(|| Internet::generate(TopologyConfig::tiny(), 411))
+}
+
+/// Random fault plans over the full parameter space.
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        (any::<u8>(), 0.02f64..0.3, 0.2f64..0.95),
+        (0.005f64..0.1, 0.02f64..0.25, 0.1f64..1.0),
+        (0.5f64..6.0, 0.05f64..0.5, 0.05f64..0.6),
+        any::<u64>(),
+    )
+        .prop_map(
+            |((mask, window, burst), (bh, mpls, skew_sel), (skew_ms, rw, flap), salt)| FaultPlan {
+                burst_loss: (mask & 1 != 0).then_some(BurstLoss {
+                    window_rate: window,
+                    loss_rate: burst,
+                }),
+                blackhole: (mask & 2 != 0).then_some(Blackhole { router_rate: bh }),
+                mpls: (mask & 4 != 0).then_some(MplsTunnels { router_rate: mpls }),
+                clock_skew: (mask & 8 != 0).then_some(ClockSkew {
+                    region_rate: skew_sel,
+                    max_skew_ms: skew_ms,
+                }),
+                addr_rewrite: (mask & 16 != 0).then_some(AddrRewrite { router_rate: rw }),
+                route_flap: (mask & 32 != 0).then_some(RouteFlap { flap_rate: flap }),
+                salt,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// launched == accepted + no-border + Σ per-filter discards, and the
+    /// campaign-status split is itself conserved, for any fault plan.
+    #[test]
+    fn every_discard_lands_in_exactly_one_filter_counter(plan in arb_plan()) {
+        let cfg = PipelineConfig {
+            dataplane: DataPlaneConfig {
+                faults: plan,
+                ..DataPlaneConfig::default()
+            },
+            ..PipelineConfig::default()
+        };
+        let atlas = Pipeline::new(world(), cfg).run().expect("pipeline run");
+
+        let mut launched = atlas.sweep_stats.launched;
+        let mut completed = atlas.sweep_stats.completed;
+        let mut gap_limited = atlas.sweep_stats.gap_limited;
+        let mut max_ttl = atlas.sweep_stats.max_ttl;
+        if let Some(e) = &atlas.expansion_stats {
+            launched += e.launched;
+            completed += e.completed;
+            gap_limited += e.gap_limited;
+            max_ttl += e.max_ttl;
+        }
+
+        // Campaign statuses partition the launch count.
+        prop_assert_eq!(launched, completed + gap_limited + max_ttl);
+
+        // §4.1: every trace is accepted or counted by exactly one filter.
+        let d = &atlas.pool.discards;
+        prop_assert_eq!(
+            launched,
+            atlas.pool.accepted + d.no_border + d.total(),
+            "discards: {:?}", d
+        );
+    }
+}

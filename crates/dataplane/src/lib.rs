@@ -18,11 +18,18 @@
 //!
 //! Inference code must only read [`TraceHop::addr`] and [`TraceHop::rtt_ms`];
 //! the ground-truth [`TraceHop::iface`] is carried for scoring only.
+//!
+//! Hostile measurement conditions — bursty rate limiting, blackholed
+//! routers, MPLS-hidden segments, clock skew, source-address rewriting,
+//! route flaps — are composed on top via the seeded profiles in
+//! [`faults`]; every profile stays byte-deterministic at any worker count.
 
 #![deny(missing_docs)]
 
+pub mod faults;
 mod plane;
 pub mod reachability;
 
+pub use faults::{DataPlaneConfigError, FaultImpact, FaultPlan};
 pub use plane::{DataPlane, DataPlaneConfig, TraceHop, TraceStatus, Traceroute};
 pub use reachability::publicly_reachable;

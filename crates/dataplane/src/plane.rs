@@ -1,5 +1,8 @@
 //! Traceroute and ping execution.
 
+use crate::faults::{
+    self, DataPlaneConfigError, FaultCounters, FaultImpact, FaultPlan, FaultTally,
+};
 use cm_bgp::{MemoStats, RouteMemo, RoutingTable};
 use cm_net::stablehash;
 use cm_net::{Ipv4, Prefix};
@@ -26,6 +29,22 @@ pub struct DataPlaneConfig {
     pub max_ttl: u8,
     /// Jitter amplitude in milliseconds (exponential-ish tail).
     pub jitter_ms: f64,
+    /// Composed fault-injection profile (clean by default); see
+    /// [`crate::faults`].
+    pub faults: FaultPlan,
+}
+
+impl DataPlaneConfig {
+    /// Validates every rate and magnitude, including the fault plan's.
+    /// [`DataPlane::new`] and the pipeline both call this, so a NaN or
+    /// out-of-range rate is a typed error instead of degenerate draws.
+    pub fn validate(&self) -> Result<(), DataPlaneConfigError> {
+        faults::probability("loss_rate", self.loss_rate)?;
+        faults::probability("dup_rate", self.dup_rate)?;
+        faults::probability("loop_rate", self.loop_rate)?;
+        faults::magnitude("jitter_ms", self.jitter_ms)?;
+        self.faults.validate()
+    }
 }
 
 impl Default for DataPlaneConfig {
@@ -37,6 +56,7 @@ impl Default for DataPlaneConfig {
             gap_limit: 5,
             max_ttl: 30,
             jitter_ms: 2.0,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -125,6 +145,12 @@ pub struct DataPlane<'a> {
     facility_uplinks: HashMap<(CloudId, u16), Vec<IfaceId>>,
     /// Seed for per-probe deterministic noise.
     seed: u64,
+    /// Seed for fault-profile draws (a separate domain from artifact
+    /// noise, so enabling a fault axis never re-rolls the base artifacts).
+    fault_seed: u64,
+    /// Per-axis fault impact counters (atomic: sums are order-independent
+    /// at any worker count).
+    counters: FaultCounters,
     /// Shared per-(region, /24, epoch) egress-route cache; region ids are
     /// globally unique, so one memo serves every cloud's table.
     route_memo: RouteMemo,
@@ -133,7 +159,20 @@ pub struct DataPlane<'a> {
 impl<'a> DataPlane<'a> {
     /// Builds the dataplane (routing tables for every cloud are computed
     /// here; this is the expensive step).
+    ///
+    /// # Panics
+    /// On an invalid [`DataPlaneConfig`]; use [`DataPlane::try_new`] to
+    /// handle the error instead.
     pub fn new(inet: &'a Internet, cfg: DataPlaneConfig) -> Self {
+        match Self::try_new(inet, cfg) {
+            Ok(plane) => plane,
+            Err(e) => panic!("invalid DataPlaneConfig: {e}"),
+        }
+    }
+
+    /// Validates the configuration, then builds the dataplane.
+    pub fn try_new(inet: &'a Internet, cfg: DataPlaneConfig) -> Result<Self, DataPlaneConfigError> {
+        cfg.validate()?;
         let mut tables = HashMap::new();
         for c in &inet.clouds {
             tables.insert(c.id, RoutingTable::build(inet, c.id));
@@ -197,7 +236,7 @@ impl<'a> DataPlane<'a> {
                 v.sort_unstable();
             }
         }
-        DataPlane {
+        Ok(DataPlane {
             inet,
             tables,
             cfg,
@@ -205,8 +244,16 @@ impl<'a> DataPlane<'a> {
             ixp_port,
             facility_uplinks,
             seed: inet.seed ^ 0x0DA7_A91A_4E00_55AA,
+            fault_seed: inet.seed ^ cfg.faults.salt ^ 0xFA17_0A7E_5EED_0001,
+            counters: FaultCounters::default(),
             route_memo: RouteMemo::new(),
-        }
+        })
+    }
+
+    /// Snapshot of the per-axis fault impact counters accumulated so far
+    /// (all zero under a clean plan).
+    pub fn fault_impact(&self) -> FaultImpact {
+        self.counters.snapshot()
     }
 
     /// Cumulative hit/miss counters of the egress-route memo (expansion
@@ -255,6 +302,11 @@ impl<'a> DataPlane<'a> {
         if matches!(self.inet.router(last.router).response, ResponseMode::Silent) {
             return None;
         }
+        // Persistent blackholes eat echo requests (and replies) too.
+        if steps.iter().any(|s| self.blackholed(s.router)) {
+            self.counters.bump_blackhole();
+            return None;
+        }
         let base = self.base_rtt(last.km, steps.len() as u32);
         // The jitter key carries the vantage (cloud, region): per-region
         // minimum RTTs to one target must be independent draws, or the
@@ -271,7 +323,12 @@ impl<'a> DataPlane<'a> {
                 ])
             })
             .fold(f64::MAX, f64::min);
-        Some(base + jitter)
+        // A skewed VM clock shifts even the minimum: min(x + c) = min(x) + c.
+        let skew = self.region_skew_ms(src_region);
+        if skew > 0.0 {
+            self.counters.bump_clock_skew();
+        }
+        Some(base + jitter + skew)
     }
 
     // ----- path construction ----------------------------------------------
@@ -550,8 +607,31 @@ impl<'a> DataPlane<'a> {
                 _ => {}
             }
         }
-        self.route_memo
-            .route_at(self.tables.get(&cloud)?, inet, dst, src_region, epoch)
+        // Mid-campaign route flap: a per-(/24, epoch) draw diverts the
+        // lookup into an alternate routing universe (a disjoint epoch key),
+        // deterministically re-routing every probe to that /24 this epoch.
+        let mut lookup_epoch = epoch;
+        if let Some(fl) = self.cfg.faults.route_flap {
+            if stablehash::chance(
+                self.fault_seed,
+                &[
+                    0xF1A9,
+                    u64::from(dst.slash24_base().to_u32()),
+                    u64::from(epoch),
+                ],
+                fl.flap_rate,
+            ) {
+                lookup_epoch = epoch ^ 0x4000_0000;
+                self.counters.bump_route_flap();
+            }
+        }
+        self.route_memo.route_at(
+            self.tables.get(&cloud)?,
+            inet,
+            dst,
+            src_region,
+            lookup_epoch,
+        )
     }
 
     /// A member of an IXP LAN answering over the fabric is not on the
@@ -600,6 +680,96 @@ impl<'a> DataPlane<'a> {
         )
     }
 
+    // ----- fault-profile draws ---------------------------------------------
+    //
+    // Every predicate is a pure function of (fault seed, entity id), never
+    // of the probe or of execution order: a blackholed router is blackholed
+    // for every probe of the campaign, a skewed region stays skewed, and a
+    // worker reordering cannot change any draw.
+
+    /// Whether `router` persistently blackholes probes.
+    fn blackholed(&self, router: RouterId) -> bool {
+        self.cfg.faults.blackhole.is_some_and(|b| {
+            stablehash::chance(
+                self.fault_seed,
+                &[0xB1AC, u64::from(router.0)],
+                b.router_rate,
+            )
+        })
+    }
+
+    /// Whether `router` sits inside an MPLS tunnel (invisible, no TTL).
+    fn mpls_hidden(&self, router: RouterId) -> bool {
+        self.cfg.faults.mpls.is_some_and(|m| {
+            stablehash::chance(
+                self.fault_seed,
+                &[0x3915, u64::from(router.0)],
+                m.router_rate,
+            )
+        })
+    }
+
+    /// Whether `router` rewrites its ICMP response source address.
+    fn rewrites_source(&self, router: RouterId) -> bool {
+        self.cfg.faults.addr_rewrite.is_some_and(|r| {
+            stablehash::chance(
+                self.fault_seed,
+                &[0x5FC4, u64::from(router.0)],
+                r.router_rate,
+            )
+        })
+    }
+
+    /// The clock-skew offset of a probing region (0 when unaffected).
+    fn region_skew_ms(&self, region: RegionId) -> f64 {
+        let Some(s) = self.cfg.faults.clock_skew else {
+            return 0.0;
+        };
+        if !stablehash::chance(
+            self.fault_seed,
+            &[0xC10C, u64::from(region.0)],
+            s.region_rate,
+        ) {
+            return 0.0;
+        }
+        s.max_skew_ms
+            * stablehash::unit_f64(stablehash::mix(
+                self.fault_seed,
+                &[0xC10C, 0x0FF5, u64::from(region.0)],
+            ))
+    }
+
+    /// Whether a `(router, epoch, destination block)` rate-limit window is
+    /// active. Windows span /20 destination blocks, so the loss a window
+    /// causes is *correlated* across nearby probes — the shape the §4.1
+    /// gap filter must survive, as opposed to the i.i.d. base `loss_rate`.
+    fn burst_window_active(&self, router: RouterId, epoch: u32, dst: Ipv4) -> bool {
+        self.cfg.faults.burst_loss.is_some_and(|b| {
+            stablehash::chance(
+                self.fault_seed,
+                &[
+                    0xB57,
+                    u64::from(router.0),
+                    u64::from(epoch),
+                    u64::from(dst.to_u32() >> 12),
+                ],
+                b.window_rate,
+            )
+        })
+    }
+
+    /// The lowest addressed interface of `router` — the canonical source
+    /// used by address-rewriting routers.
+    fn canonical_iface(&self, router: RouterId) -> Option<IfaceId> {
+        self.inet
+            .router(router)
+            .ifaces
+            .iter()
+            .copied()
+            .filter(|&f| self.inet.iface(f).addr.is_some())
+            .min_by_key(|&f| self.inet.iface(f).addr)
+    }
+
     // ----- rendering (responses, artifacts) --------------------------------
 
     fn base_rtt(&self, km: f64, hops: u32) -> f64 {
@@ -646,14 +816,31 @@ impl<'a> DataPlane<'a> {
             *gap += 1;
         };
 
+        // A skewed VM clock offsets every RTT this probe records.
+        let skew_ms = self.region_skew_ms(src_region);
+        let mut tally = FaultTally::default();
+
         let mut completed = false;
         for (i, step) in steps.iter().enumerate() {
             if ttl >= self.cfg.max_ttl || gap >= self.cfg.gap_limit {
                 break;
             }
+            // Persistent blackhole: the router drops the probe outright —
+            // no TTL-exceeded from it, nothing downstream, only the
+            // trailing-silence fill below.
+            if self.blackholed(step.router) {
+                tally.blackhole = true;
+                break;
+            }
+            // MPLS tunnel: a hidden transit router emits no hop and
+            // consumes no TTL — downstream hops appear adjacent.
+            if !step.is_destination && self.mpls_hidden(step.router) {
+                tally.mpls = true;
+                continue;
+            }
             let router = inet.router(step.router);
             // Decide the responding address.
-            let (addr, iface) = if step.is_destination {
+            let (mut addr, mut iface) = if step.is_destination {
                 // Destinations answer with the probed address.
                 (step.dest_addr, step.in_iface)
             } else {
@@ -666,6 +853,18 @@ impl<'a> DataPlane<'a> {
                     },
                 }
             };
+            // ICMP source rewriting: the router answers from its canonical
+            // interface instead of the incoming one (hybrid-IP stress for
+            // the §5 verifier).
+            if addr.is_some() && !step.is_destination && self.rewrites_source(step.router) {
+                if let Some(canon) = self.canonical_iface(step.router) {
+                    if Some(canon) != iface {
+                        tally.addr_rewrite = true;
+                        addr = inet.iface(canon).addr;
+                        iface = Some(canon);
+                    }
+                }
+            }
             // Rate-limit loss applies to transit hops, not the destination.
             let lost = !step.is_destination
                 && stablehash::chance(
@@ -673,13 +872,33 @@ impl<'a> DataPlane<'a> {
                     &[0x1055, probe_key, i as u64],
                     self.cfg.loss_rate,
                 );
-            let addr = if lost { None } else { addr };
+            // Bursty loss on top: only inside an active per-router window.
+            let burst = self.cfg.faults.burst_loss;
+            let burst_lost = !step.is_destination
+                && !lost
+                && addr.is_some()
+                && self.burst_window_active(step.router, epoch, dst)
+                && burst.is_some_and(|b| {
+                    stablehash::chance(
+                        self.fault_seed,
+                        &[0xB57, 0x1055, probe_key, i as u64],
+                        b.loss_rate,
+                    )
+                });
+            if burst_lost {
+                tally.burst_loss = true;
+            }
+            let addr = if lost || burst_lost { None } else { addr };
             match addr {
                 Some(a) => {
                     ttl += 1;
                     gap = 0;
-                    let rtt =
-                        self.base_rtt(step.km, ttl as u32) + self.jitter(&[probe_key, ttl as u64]);
+                    let rtt = self.base_rtt(step.km, ttl as u32)
+                        + self.jitter(&[probe_key, ttl as u64])
+                        + skew_ms;
+                    if skew_ms > 0.0 {
+                        tally.clock_skew = true;
+                    }
                     hops.push(TraceHop {
                         ttl,
                         addr: Some(a),
@@ -703,7 +922,8 @@ impl<'a> DataPlane<'a> {
                             addr: Some(a),
                             rtt_ms: Some(
                                 self.base_rtt(step.km, ttl as u32)
-                                    + self.jitter(&[probe_key, ttl as u64, 7]),
+                                    + self.jitter(&[probe_key, ttl as u64, 7])
+                                    + skew_ms,
                             ),
                             iface,
                         });
@@ -743,6 +963,7 @@ impl<'a> DataPlane<'a> {
                 });
                 flip += 1;
             }
+            self.counters.record(tally);
             return Traceroute {
                 cloud,
                 src_region,
@@ -766,6 +987,7 @@ impl<'a> DataPlane<'a> {
         } else {
             TraceStatus::GapLimit
         };
+        self.counters.record(tally);
         Traceroute {
             cloud,
             src_region,

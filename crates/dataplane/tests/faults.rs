@@ -1,0 +1,313 @@
+//! Fault-injection behaviour: every profile is deterministic, measurably
+//! perturbs the clean baseline, accounts its impact, and invalid
+//! configurations are rejected with typed errors.
+
+use cm_dataplane::faults::{Blackhole, BurstLoss, ClockSkew, MplsTunnels, RouteFlap};
+use cm_dataplane::{
+    DataPlane, DataPlaneConfig, DataPlaneConfigError, FaultPlan, TraceStatus, Traceroute,
+};
+use cm_net::Ipv4;
+use cm_topology::{CloudId, Internet, TopologyConfig};
+use std::sync::OnceLock;
+
+fn world() -> &'static Internet {
+    static W: OnceLock<Internet> = OnceLock::new();
+    W.get_or_init(|| Internet::generate(TopologyConfig::tiny(), 77))
+}
+
+fn cfg_with(faults: FaultPlan) -> DataPlaneConfig {
+    DataPlaneConfig {
+        faults,
+        ..DataPlaneConfig::default()
+    }
+}
+
+/// A few hundred deterministic targets spread over the allocated space.
+fn targets(plane: &DataPlane<'_>) -> Vec<Ipv4> {
+    plane
+        .sweep_slash24s()
+        .iter()
+        .step_by(3)
+        .take(300)
+        .map(|p| Ipv4(p.base().0 | 1))
+        .collect()
+}
+
+/// Runs every target from region 0 across two epochs.
+fn batch(plane: &DataPlane<'_>, targets: &[Ipv4]) -> Vec<Traceroute> {
+    let region = world().primary_cloud().regions[0];
+    let mut out = Vec::new();
+    for epoch in 0..2 {
+        for &t in targets {
+            out.push(plane.traceroute_at(CloudId(0), region, t, epoch));
+        }
+    }
+    out
+}
+
+fn hop_signature(traces: &[Traceroute]) -> Vec<(Ipv4, u8, Vec<Option<Ipv4>>)> {
+    traces
+        .iter()
+        .map(|t| {
+            let code = match t.status {
+                TraceStatus::Completed => 0,
+                TraceStatus::GapLimit => 1,
+                TraceStatus::MaxTtl => 2,
+            };
+            (t.dst, code, t.hops.iter().map(|h| h.addr).collect())
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Config validation (typed errors)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn invalid_configs_are_rejected_with_typed_errors() {
+    let inet = world();
+    for (cfg, field) in [
+        (
+            DataPlaneConfig {
+                loss_rate: f64::NAN,
+                ..DataPlaneConfig::default()
+            },
+            "loss_rate",
+        ),
+        (
+            DataPlaneConfig {
+                loss_rate: 1.5,
+                ..DataPlaneConfig::default()
+            },
+            "loss_rate",
+        ),
+        (
+            DataPlaneConfig {
+                loss_rate: -0.1,
+                ..DataPlaneConfig::default()
+            },
+            "loss_rate",
+        ),
+        (
+            DataPlaneConfig {
+                dup_rate: 2.0,
+                ..DataPlaneConfig::default()
+            },
+            "dup_rate",
+        ),
+    ] {
+        match DataPlane::try_new(inet, cfg).map(|_| ()) {
+            Err(DataPlaneConfigError::Probability { field: f, .. }) => assert_eq!(f, field),
+            other => panic!("expected a Probability error for {field}, got {other:?}"),
+        }
+    }
+    let cfg = DataPlaneConfig {
+        jitter_ms: -1.0,
+        ..DataPlaneConfig::default()
+    };
+    assert!(matches!(
+        DataPlane::try_new(inet, cfg),
+        Err(DataPlaneConfigError::Magnitude {
+            field: "jitter_ms",
+            ..
+        })
+    ));
+    // Fault-plan parameters are validated through the same gate.
+    let faults = FaultPlan {
+        route_flap: Some(RouteFlap { flap_rate: 7.0 }),
+        ..FaultPlan::default()
+    };
+    assert!(DataPlane::try_new(inet, cfg_with(faults)).is_err());
+}
+
+#[test]
+#[should_panic(expected = "invalid DataPlaneConfig")]
+fn new_panics_on_invalid_config() {
+    let cfg = DataPlaneConfig {
+        loss_rate: f64::INFINITY,
+        ..DataPlaneConfig::default()
+    };
+    let _ = DataPlane::new(world(), cfg);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism and impact accounting
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_profile_is_deterministic_across_runs() {
+    for name in FaultPlan::PROFILES {
+        let plan = FaultPlan::named(name).expect("registered profile");
+        let p1 = DataPlane::new(world(), cfg_with(plan));
+        let p2 = DataPlane::new(world(), cfg_with(plan));
+        let ts = targets(&p1);
+        assert_eq!(
+            hop_signature(&batch(&p1, &ts)),
+            hop_signature(&batch(&p2, &ts)),
+            "profile {name} not reproducible"
+        );
+        assert_eq!(
+            p1.fault_impact(),
+            p2.fault_impact(),
+            "profile {name} impact counters not reproducible"
+        );
+    }
+}
+
+#[test]
+fn clean_plan_accumulates_zero_impact() {
+    let plane = DataPlane::new(world(), DataPlaneConfig::default());
+    let ts = targets(&plane);
+    let traces = batch(&plane, &ts);
+    assert!(!traces.is_empty());
+    let region = world().primary_cloud().regions[0];
+    for &t in ts.iter().take(50) {
+        let _ = plane.ping_min_rtt(CloudId(0), region, t, 4);
+    }
+    assert!(
+        plane.fault_impact().is_zero(),
+        "clean plan counted fault impact: {:?}",
+        plane.fault_impact()
+    );
+}
+
+#[test]
+fn salt_changes_fault_placement_but_not_clean_behaviour() {
+    let mut plan = FaultPlan::named("blackhole").expect("profile");
+    let base = DataPlane::new(world(), cfg_with(plan));
+    plan.salt = 0xDEAD_BEEF;
+    let salted = DataPlane::new(world(), cfg_with(plan));
+    let ts = targets(&base);
+    assert_ne!(
+        hop_signature(&batch(&base, &ts)),
+        hop_signature(&batch(&salted, &ts)),
+        "salt did not move the blackhole placement"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Per-axis behaviour vs. the clean baseline
+// ---------------------------------------------------------------------------
+
+#[test]
+fn blackholes_kill_completions() {
+    let clean = DataPlane::new(world(), DataPlaneConfig::default());
+    let plan = FaultPlan {
+        blackhole: Some(Blackhole { router_rate: 0.25 }),
+        ..FaultPlan::default()
+    };
+    let faulted = DataPlane::new(world(), cfg_with(plan));
+    let ts = targets(&clean);
+    let done = |traces: &[Traceroute]| {
+        traces
+            .iter()
+            .filter(|t| t.status == TraceStatus::Completed)
+            .count()
+    };
+    let (c, f) = (done(&batch(&clean, &ts)), done(&batch(&faulted, &ts)));
+    assert!(
+        f < c,
+        "blackholes did not reduce completions (clean {c}, faulted {f})"
+    );
+    assert!(faulted.fault_impact().blackhole > 0);
+}
+
+#[test]
+fn burst_windows_silence_responding_hops() {
+    let clean = DataPlane::new(world(), DataPlaneConfig::default());
+    let plan = FaultPlan {
+        burst_loss: Some(BurstLoss {
+            window_rate: 0.5,
+            loss_rate: 0.9,
+        }),
+        ..FaultPlan::default()
+    };
+    let faulted = DataPlane::new(world(), cfg_with(plan));
+    let ts = targets(&clean);
+    let responding = |traces: &[Traceroute]| -> usize {
+        traces.iter().map(|t| t.responding_addrs().count()).sum()
+    };
+    let (c, f) = (
+        responding(&batch(&clean, &ts)),
+        responding(&batch(&faulted, &ts)),
+    );
+    assert!(f < c, "burst loss did not silence hops ({c} -> {f})");
+    assert!(faulted.fault_impact().burst_loss > 0);
+}
+
+#[test]
+fn mpls_tunnels_hide_hops_without_consuming_ttl() {
+    let clean = DataPlane::new(world(), DataPlaneConfig::default());
+    let plan = FaultPlan {
+        mpls: Some(MplsTunnels { router_rate: 0.3 }),
+        ..FaultPlan::default()
+    };
+    let faulted = DataPlane::new(world(), cfg_with(plan));
+    let ts = targets(&clean);
+    let hops = |traces: &[Traceroute]| -> usize { traces.iter().map(|t| t.hops.len()).sum() };
+    let (c, f) = (hops(&batch(&clean, &ts)), hops(&batch(&faulted, &ts)));
+    assert!(f < c, "hidden segments did not shorten traces ({c} -> {f})");
+    assert!(faulted.fault_impact().mpls > 0);
+}
+
+#[test]
+fn clock_skew_inflates_ping_rtts_uniformly() {
+    let clean = DataPlane::new(world(), DataPlaneConfig::default());
+    let plan = FaultPlan {
+        clock_skew: Some(ClockSkew {
+            region_rate: 1.0,
+            max_skew_ms: 5.0,
+        }),
+        ..FaultPlan::default()
+    };
+    let skewed = DataPlane::new(world(), cfg_with(plan));
+    let region = world().primary_cloud().regions[0];
+    let mut compared = 0;
+    for &t in &targets(&clean) {
+        let (Some(a), Some(b)) = (
+            clean.ping_min_rtt(CloudId(0), region, t, 4),
+            skewed.ping_min_rtt(CloudId(0), region, t, 4),
+        ) else {
+            continue;
+        };
+        // One fixed per-region offset: every answered ping shifts by it.
+        assert!(b > a, "skewed RTT {b} not above clean {a}");
+        compared += 1;
+    }
+    assert!(compared > 0, "no target answered pings");
+    assert!(skewed.fault_impact().clock_skew > 0);
+}
+
+#[test]
+fn addr_rewriting_changes_response_sources() {
+    let clean = DataPlane::new(world(), DataPlaneConfig::default());
+    let plan = FaultPlan {
+        addr_rewrite: Some(cm_dataplane::faults::AddrRewrite { router_rate: 1.0 }),
+        ..FaultPlan::default()
+    };
+    let faulted = DataPlane::new(world(), cfg_with(plan));
+    let ts = targets(&clean);
+    assert_ne!(
+        hop_signature(&batch(&clean, &ts)),
+        hop_signature(&batch(&faulted, &ts)),
+        "rewriting every router changed no response address"
+    );
+    assert!(faulted.fault_impact().addr_rewrite > 0);
+}
+
+#[test]
+fn route_flaps_divert_egress_routes() {
+    let clean = DataPlane::new(world(), DataPlaneConfig::default());
+    let plan = FaultPlan {
+        route_flap: Some(RouteFlap { flap_rate: 1.0 }),
+        ..FaultPlan::default()
+    };
+    let faulted = DataPlane::new(world(), cfg_with(plan));
+    let ts = targets(&clean);
+    assert_ne!(
+        hop_signature(&batch(&clean, &ts)),
+        hop_signature(&batch(&faulted, &ts)),
+        "flapping every /24 changed no path"
+    );
+    assert!(faulted.fault_impact().route_flap > 0);
+}

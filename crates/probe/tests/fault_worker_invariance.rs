@@ -1,0 +1,117 @@
+//! Worker-count invariance under arbitrary fault plans.
+//!
+//! The sharded executor's central promise is that `probe_workers` is a
+//! throughput knob, never an inference knob. Fault injection is the
+//! adversarial case: every fault draw must key on *what* is probed, not on
+//! *which worker* probes it, or the promise quietly breaks. This proptest
+//! samples random fault plans and demands byte-identical campaign output —
+//! per-region folds, stats and the atomic impact counters — across the
+//! serial path (1), a sharded run (2) and `available_parallelism` (0).
+
+use cm_dataplane::faults::{AddrRewrite, Blackhole, BurstLoss, ClockSkew, MplsTunnels, RouteFlap};
+use cm_dataplane::{DataPlane, DataPlaneConfig, FaultImpact, FaultPlan, TraceStatus};
+use cm_net::Ipv4;
+use cm_probe::{Campaign, CampaignStats};
+use cm_topology::{CloudId, Internet, TopologyConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn world() -> &'static Internet {
+    static W: OnceLock<Internet> = OnceLock::new();
+    W.get_or_init(|| Internet::generate(TopologyConfig::tiny(), 90125))
+}
+
+/// Random fault plans over the full parameter space (each axis present
+/// half the time, rates inside their validity ranges).
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        (any::<u8>(), 0.02f64..0.3, 0.2f64..0.95),
+        (0.005f64..0.1, 0.02f64..0.25, 0.1f64..1.0),
+        (0.5f64..6.0, 0.05f64..0.5, 0.05f64..0.6),
+        any::<u64>(),
+    )
+        .prop_map(
+            |((mask, window, burst), (bh, mpls, skew_sel), (skew_ms, rw, flap), salt)| FaultPlan {
+                burst_loss: (mask & 1 != 0).then_some(BurstLoss {
+                    window_rate: window,
+                    loss_rate: burst,
+                }),
+                blackhole: (mask & 2 != 0).then_some(Blackhole { router_rate: bh }),
+                mpls: (mask & 4 != 0).then_some(MplsTunnels { router_rate: mpls }),
+                clock_skew: (mask & 8 != 0).then_some(ClockSkew {
+                    region_rate: skew_sel,
+                    max_skew_ms: skew_ms,
+                }),
+                addr_rewrite: (mask & 16 != 0).then_some(AddrRewrite { router_rate: rw }),
+                route_flap: (mask & 32 != 0).then_some(RouteFlap { flap_rate: flap }),
+                salt,
+            },
+        )
+}
+
+/// One traceroute, reduced to everything inference can see.
+type Sig = (Ipv4, u8, Vec<(u8, Option<Ipv4>, u64)>);
+
+fn signature(t: &cm_dataplane::Traceroute) -> Sig {
+    let code = match t.status {
+        TraceStatus::Completed => 0,
+        TraceStatus::GapLimit => 1,
+        TraceStatus::MaxTtl => 2,
+    };
+    let hops = t
+        .hops
+        .iter()
+        .map(|h| (h.ttl, h.addr, h.rtt_ms.map_or(u64::MAX, f64::to_bits)))
+        .collect();
+    (t.dst, code, hops)
+}
+
+/// Runs the same campaign (plus a few pings, which also bump fault
+/// counters) on a fresh dataplane at the given worker count.
+fn run(plan: FaultPlan, workers: usize) -> (Vec<Vec<Sig>>, CampaignStats, FaultImpact) {
+    let cfg = DataPlaneConfig {
+        faults: plan,
+        ..DataPlaneConfig::default()
+    };
+    let plane = DataPlane::new(world(), cfg);
+    let campaign = Campaign::new(&plane, CloudId(0));
+    let targets: Vec<Ipv4> = plane
+        .sweep_slash24s()
+        .iter()
+        .step_by(5)
+        .take(120)
+        .map(|p| Ipv4(p.base().0 | 1))
+        .collect();
+    let (states, stats) =
+        campaign.run_sharded(&targets, 2, workers, Vec::new, |v: &mut Vec<Sig>, t| {
+            v.push(signature(t))
+        });
+    let region = world().primary_cloud().regions[0];
+    for &t in targets.iter().take(25) {
+        let _ = plane.ping_min_rtt(CloudId(0), region, t, 4);
+    }
+    (states, stats, plane.fault_impact())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Serial, two-worker and auto-parallel runs of the same faulted
+    /// campaign are indistinguishable, counters included.
+    #[test]
+    fn campaign_output_is_invariant_across_worker_counts(plan in arb_plan()) {
+        let serial = run(plan, 1);
+        for workers in [2usize, 0] {
+            let sharded = run(plan, workers);
+            prop_assert_eq!(
+                &serial.0, &sharded.0,
+                "trace stream differs at workers={}", workers
+            );
+            prop_assert_eq!(serial.1, sharded.1, "stats differ at workers={}", workers);
+            prop_assert_eq!(
+                serial.2, sharded.2,
+                "fault counters differ at workers={}", workers
+            );
+        }
+    }
+}
