@@ -655,3 +655,62 @@ pub fn check_fault_replay(atlas: &Atlas<'_>, reference: &RefDerivation, out: &mu
         ));
     }
 }
+
+/// O1 — the metrics registry conserves against the pipeline's own
+/// bookkeeping: the probe-outcome counters equal the campaign stats
+/// summed over sweep + expansion + VPI, the outcomes partition the
+/// launches, and every `fault_impact_<axis>` counter equals the axis
+/// total the F1 rule checks. A mismatch means a probing path bypassed
+/// the observation hook (or a metric was forged after the fact).
+pub fn check_metrics_conservation(atlas: &Atlas<'_>, out: &mut Vec<Finding>) {
+    let counter = |name: &str| atlas.metrics.counter(name).unwrap_or(0);
+
+    let mut expect = atlas.sweep_stats;
+    if let Some(e) = &atlas.expansion_stats {
+        expect.merge(e);
+    }
+    expect.merge(&atlas.vpi.campaign);
+    let outcomes = [
+        ("probe_launched_total", expect.launched),
+        ("probe_completed_total", expect.completed),
+        ("probe_gap_limit_total", expect.gap_limited),
+        ("probe_max_ttl_total", expect.max_ttl),
+    ];
+    for (name, want) in outcomes {
+        let got = counter(name);
+        if got != want as u64 {
+            out.push(Finding::new(
+                Rule::MetricsConservation,
+                Severity::Error,
+                format!("metrics.{name}"),
+                format!("registry counted {got} but the campaign stats sum to {want}"),
+            ));
+        }
+    }
+
+    let outcome_sum = counter("probe_completed_total")
+        + counter("probe_gap_limit_total")
+        + counter("probe_max_ttl_total");
+    let launched = counter("probe_launched_total");
+    if outcome_sum != launched {
+        out.push(Finding::new(
+            Rule::MetricsConservation,
+            Severity::Error,
+            "metrics.probe_launched_total",
+            format!("outcome counters sum to {outcome_sum} but {launched} probes launched"),
+        ));
+    }
+
+    for (axis, want) in atlas.fault_impact.counters() {
+        let name = format!("fault_impact_{axis}");
+        let got = counter(&name);
+        if got != want {
+            out.push(Finding::new(
+                Rule::MetricsConservation,
+                Severity::Error,
+                format!("metrics.{name}"),
+                format!("registry counted {got} but the dataplane counted {want}"),
+            ));
+        }
+    }
+}

@@ -87,11 +87,14 @@ pub enum Rule {
     /// F2 — the replay reproduces the recorded sweep + expansion fault
     /// impact exactly.
     FaultReplay,
+    /// O1 — the metrics registry's probe-outcome and fault counters
+    /// conserve against the campaign stats and fault totals.
+    MetricsConservation,
 }
 
 impl Rule {
     /// All rules, in report order.
-    pub const ALL: [Rule; 15] = [
+    pub const ALL: [Rule; 16] = [
         Rule::TraceConservation,
         Rule::SegmentUnexplained,
         Rule::DiscardMismatch,
@@ -107,6 +110,7 @@ impl Rule {
         Rule::Coverage,
         Rule::FaultConservation,
         Rule::FaultReplay,
+        Rule::MetricsConservation,
     ];
 
     /// The stable string id (what `DESIGN.md` documents).
@@ -127,6 +131,7 @@ impl Rule {
             Rule::Coverage => "C1_COVERAGE",
             Rule::FaultConservation => "F1_FAULT_CONSERVATION",
             Rule::FaultReplay => "F2_FAULT_REPLAY",
+            Rule::MetricsConservation => "O1_METRICS_CONSERVATION",
         }
     }
 }
@@ -210,6 +215,28 @@ impl AuditReport {
         self.of_rule(rule).next().is_some()
     }
 
+    /// Exports per-rule pass/fail tallies into a metrics registry:
+    /// one `audit_findings_<rule id>` counter per rule plus
+    /// `audit_rules_passed` / `audit_rules_failed` gauges. Callers
+    /// typically pass the atlas's live `obs.registry`, which the frozen
+    /// `Atlas::metrics` snapshot (and hence the golden digests) never
+    /// sees.
+    pub fn export_obs(&self, registry: &cm_obs::Registry) {
+        let mut passed = 0i64;
+        let mut failed = 0i64;
+        for rule in Rule::ALL {
+            let n = self.of_rule(rule).count() as u64;
+            registry.inc(&format!("audit_findings_{}", rule.id()), n);
+            if n == 0 {
+                passed += 1;
+            } else {
+                failed += 1;
+            }
+        }
+        registry.set_gauge("audit_rules_passed", passed);
+        registry.set_gauge("audit_rules_failed", failed);
+    }
+
     /// A stable digest of the report: two audits of the same atlas must
     /// produce byte-identical findings, hence equal digests.
     pub fn digest(&self) -> u64 {
@@ -259,6 +286,7 @@ pub fn audit_with_reference(atlas: &Atlas<'_>, reference: &RefDerivation) -> Aud
     checks::check_coverage(atlas, &mut findings);
     checks::check_fault_conservation(atlas, &mut findings);
     checks::check_fault_replay(atlas, reference, &mut findings);
+    checks::check_metrics_conservation(atlas, &mut findings);
     AuditReport::from_findings(findings)
 }
 

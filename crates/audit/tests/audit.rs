@@ -445,6 +445,43 @@ fn forged_stage_fault_delta_fires_f2() {
     );
 }
 
+#[test]
+fn metrics_conservation_catches_forged_counter() {
+    assert_catches(
+        Rule::MetricsConservation,
+        |atlas, _| {
+            let launched = atlas
+                .metrics
+                .counter("probe_launched_total")
+                .expect("probe counter registered");
+            // Forge the launch counter; the campaign stats no longer
+            // conserve and the outcome partition breaks too.
+            atlas
+                .metrics
+                .set_counter("probe_launched_total", launched + 5);
+            launched
+        },
+        |atlas, launched| {
+            atlas.metrics.set_counter("probe_launched_total", launched);
+        },
+    );
+}
+
+#[test]
+fn metrics_conservation_catches_forged_fault_axis() {
+    assert_catches(
+        Rule::MetricsConservation,
+        |atlas, _| {
+            let old = atlas.metrics.counter("fault_impact_mpls").unwrap_or(0);
+            atlas.metrics.set_counter("fault_impact_mpls", old + 2);
+            old
+        },
+        |atlas, old| {
+            atlas.metrics.set_counter("fault_impact_mpls", old);
+        },
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Fault profiles
 // ---------------------------------------------------------------------------

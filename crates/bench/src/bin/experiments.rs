@@ -2,11 +2,12 @@
 //!
 //! ```text
 //! experiments [EXPERIMENT] [--scale tiny|small|full] [--seed N] [--dump DIR]
-//!             [--bench-json PATH] [--faults PROFILE]
+//!             [--bench-json PATH] [--faults PROFILE] [--workers N]
+//!             [--trace-jsonl PATH]
 //!
 //! EXPERIMENT: all (default) | table1..table6 | fig4a | fig4b | fig5 | fig6
 //!             | fig7 | pinning-eval | icg | hiding-map | bdrmap | scores
-//!             | timings
+//!             | timings | trace
 //! ```
 //!
 //! Every run also writes a machine-readable record of the run's wall
@@ -25,6 +26,8 @@ fn main() {
     let mut dump: Option<std::path::PathBuf> = None;
     let mut bench_json = std::path::PathBuf::from("BENCH_pipeline.json");
     let mut faults = String::from("clean");
+    let mut workers: usize = 0;
+    let mut trace_jsonl: Option<std::path::PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -43,10 +46,19 @@ fn main() {
                 None => panic!("--bench-json needs a path"),
             },
             "--faults" => faults = args.next().expect("--faults needs a profile name"),
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => workers = v,
+                None => panic!("--workers needs an integer"),
+            },
+            "--trace-jsonl" => match args.next() {
+                Some(p) => trace_jsonl = Some(p.into()),
+                None => panic!("--trace-jsonl needs a path"),
+            },
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [EXPERIMENT] [--scale tiny|small|full] [--seed N] \
-                     [--dump DIR] [--bench-json PATH] [--faults PROFILE]"
+                     [--dump DIR] [--bench-json PATH] [--faults PROFILE] [--workers N] \
+                     [--trace-jsonl PATH]"
                 );
                 return;
             }
@@ -55,9 +67,10 @@ fn main() {
         }
     }
 
-    const EXPERIMENTS: [&str; 18] = [
+    const EXPERIMENTS: [&str; 19] = [
         "all",
         "timings",
+        "trace",
         "table1",
         "table2",
         "table3",
@@ -109,7 +122,7 @@ fn main() {
     }
     eprintln!("# running the measurement study ...");
     let t1 = std::time::Instant::now();
-    let atlas = run_study_with(&inet, study_config(fault_plan, 0));
+    let atlas = run_study_with(&inet, study_config(fault_plan, workers));
     let pipeline_secs = t1.elapsed().as_secs_f64();
     eprintln!(
         "#   sweep {} traces ({:.2}% complete), {} CBIs, {} ABIs [{:.1}s]",
@@ -139,6 +152,16 @@ fn main() {
             "bdrmap" => report::bdrmap(&atlas),
             "scores" => score_summary(&atlas),
             "timings" => report::timings(&atlas),
+            "trace" => {
+                // Fold the audit's rule tallies into the live registry
+                // before rendering, so the exposition carries them.
+                let audit_report = cm_audit::audit(&atlas);
+                audit_report.export_obs(&atlas.obs.registry);
+                atlas
+                    .obs
+                    .note(format!("audit: {} finding(s)", audit_report.findings.len()));
+                report::trace(&atlas)
+            }
             _ => return None,
         })
     };
@@ -161,8 +184,9 @@ fn main() {
             "hiding-map",
             "bdrmap",
             "scores",
-            // "timings" stays out of `all`: wall clocks vary run to run,
-            // and `all`'s stdout is byte-stable for a fixed (scale, seed).
+            // "timings" and "trace" stay out of `all`: wall clocks vary
+            // run to run, and `all`'s stdout is byte-stable for a fixed
+            // (scale, seed).
         ] {
             println!("{}", run(name).unwrap());
         }
@@ -183,4 +207,12 @@ fn main() {
         panic!("writing {} failed: {e}", bench_json.display());
     }
     eprintln!("# run record written to {}", bench_json.display());
+
+    if let Some(path) = trace_jsonl {
+        let jsonl = cm_obs::render_jsonl(&atlas.obs.recorder.events(), true);
+        if let Err(e) = std::fs::write(&path, jsonl) {
+            panic!("writing {} failed: {e}", path.display());
+        }
+        eprintln!("# flight-recorder JSONL written to {}", path.display());
+    }
 }

@@ -44,6 +44,12 @@ pub fn run_study_with(inet: &Internet, cfg: PipelineConfig) -> Atlas<'_> {
     }
 }
 
+/// Version of the [`AtlasSummary`] schema. Bump this when the summary
+/// gains or loses a field (it feeds the digest), so committed goldens are
+/// invalidated *visibly* — the rendered `version:` line changes — and get
+/// regenerated once instead of silently drifting.
+pub const SUMMARY_VERSION: u32 = 2;
+
 /// The inference products of one pipeline run, in canonical order.
 ///
 /// Two runs of the same (world seed, configuration) must produce equal
@@ -51,6 +57,14 @@ pub fn run_study_with(inet: &Internet, cfg: PipelineConfig) -> Atlas<'_> {
 /// is what golden files digest and diff.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct AtlasSummary {
+    /// Schema version ([`SUMMARY_VERSION`] for summaries built by
+    /// [`AtlasSummary::of`]; 0 for `default()`).
+    pub version: u32,
+    /// Digest of the frozen metrics registry's text exposition
+    /// (`Atlas::metrics`), folded into [`AtlasSummary::digest`] so a
+    /// metric that silently drifts or goes worker-dependent moves the
+    /// golden too.
+    pub metrics_digest: u64,
     /// Final CBI set.
     pub cbis: BTreeSet<Ipv4>,
     /// Final ABI set.
@@ -92,6 +106,8 @@ impl AtlasSummary {
             campaign[3] += e.max_ttl;
         }
         AtlasSummary {
+            version: SUMMARY_VERSION,
+            metrics_digest: metrics_digest(&atlas.metrics),
             cbis: atlas.pool.cbis.keys().copied().collect(),
             abis: atlas.pool.abis.keys().copied().collect(),
             segments: atlas.pool.segments.keys().map(|s| (s.abi, s.cbi)).collect(),
@@ -164,8 +180,21 @@ impl AtlasSummary {
         for (_, n) in self.fault_impact.counters() {
             eat(&[11, n]);
         }
+        eat(&[12, u64::from(self.version)]);
+        eat(&[13, self.metrics_digest]);
         h
     }
+}
+
+/// Digests a metrics snapshot via its text exposition — the same bytes the
+/// `trace` experiment prints, so "what the digest covers" is exactly "what
+/// you can read".
+pub fn metrics_digest(snapshot: &cm_obs::Snapshot) -> u64 {
+    let mut h = 0x0B5_D16E_u64;
+    for b in snapshot.expose().as_bytes() {
+        h = stablehash::splitmix64(h ^ u64::from(*b));
+    }
+    h
 }
 
 /// The stable name of a pin's evidence source.
@@ -254,8 +283,11 @@ pub fn render_golden(
     let _ = writeln!(out, "profile: {profile}");
     let _ = writeln!(out, "scale: {scale}");
     let _ = writeln!(out, "seed: {seed}");
+    let _ = writeln!(out, "version: {}", faulted.version);
     let _ = writeln!(out, "clean_digest: {:#018x}", clean.digest());
     let _ = writeln!(out, "fault_digest: {:#018x}", faulted.digest());
+    let _ = writeln!(out, "clean_metrics: {:#018x}", clean.metrics_digest);
+    let _ = writeln!(out, "fault_metrics: {:#018x}", faulted.metrics_digest);
     out.push_str(&churn_line("cbis", faulted.cbis.len(), diff.cbis));
     out.push_str(&churn_line("abis", faulted.abis.len(), diff.abis));
     out.push_str(&churn_line(

@@ -14,7 +14,9 @@ use cm_topology::{Internet, TopologyConfig};
 pub mod golden;
 pub mod report;
 
-pub use golden::{run_study_with, study_config, AtlasSummary, GoldenDiff};
+pub use golden::{
+    metrics_digest, run_study_with, study_config, AtlasSummary, GoldenDiff, SUMMARY_VERSION,
+};
 
 /// Builds a ground-truth Internet at a named scale.
 ///

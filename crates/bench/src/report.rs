@@ -527,13 +527,29 @@ pub fn timings(atlas: &Atlas<'_>) -> String {
     out
 }
 
+/// The `trace` experiment: a human-readable stage tree from the flight
+/// recorder, followed by the Prometheus-style text exposition of the
+/// *live* registry (so post-run exports like the audit tallies show up
+/// when the caller made them before rendering).
+pub fn trace(atlas: &Atlas<'_>) -> String {
+    let events = atlas.obs.recorder.events();
+    let mut out = String::new();
+    let _ = writeln!(out, "Flight recorder — stage tree");
+    out.push_str(&cm_obs::stage_tree(&events));
+    let _ = writeln!(out);
+    let _ = writeln!(out, "Metrics exposition");
+    out.push_str(&atlas.obs.registry.snapshot().expose());
+    out
+}
+
 /// The machine-readable run record the harness writes to
 /// `BENCH_pipeline.json`: scale, seed, wall clocks (world generation and
 /// the full pipeline plus each stage), route-memo accounting, the fault
-/// plan and per-axis impact counters, the §4.1 filter counters, and the
-/// campaign stats. Hand-rolled JSON — the workspace deliberately carries no
-/// serialization dependency — so every key below is a fixed identifier and
-/// every value a number, keeping the output trivially valid.
+/// plan and per-axis impact counters, the §4.1 filter counters, the
+/// frozen metrics registry and the campaign stats. Hand-rolled JSON — the
+/// workspace deliberately carries no serialization dependency — so every
+/// key below is a fixed identifier and every value a number, keeping the
+/// output trivially valid.
 pub fn bench_pipeline_json(
     atlas: &Atlas<'_>,
     scale: &str,
@@ -623,6 +639,34 @@ pub fn bench_pipeline_json(
         d.cbi_is_destination,
         d.cloud_reentry
     );
+    // The frozen registry, grouped by metric kind. Deterministic for a
+    // fixed (scale, seed, faults) at any worker count, unlike the wall
+    // clocks above.
+    let mut counters: Vec<String> = Vec::new();
+    let mut gauges: Vec<String> = Vec::new();
+    let mut hists: Vec<String> = Vec::new();
+    for (name, value) in &atlas.metrics.metrics {
+        match value {
+            cm_obs::MetricValue::Counter(c) => counters.push(format!("\"{name}\": {c}")),
+            cm_obs::MetricValue::Gauge(g) => gauges.push(format!("\"{name}\": {g}")),
+            cm_obs::MetricValue::Histogram(h) => {
+                let buckets: Vec<String> = h.counts.iter().map(u64::to_string).collect();
+                hists.push(format!(
+                    "\"{name}\": {{\"count\": {}, \"overflow\": {}, \"rejected\": {}, \
+                     \"buckets\": [{}]}}",
+                    h.count(),
+                    h.overflow,
+                    h.rejected,
+                    buckets.join(", ")
+                ));
+            }
+        }
+    }
+    out.push_str("  \"metrics\": {\n");
+    let _ = writeln!(out, "    \"counters\": {{{}}},", counters.join(", "));
+    let _ = writeln!(out, "    \"gauges\": {{{}}},", gauges.join(", "));
+    let _ = writeln!(out, "    \"histograms\": {{{}}}", hists.join(", "));
+    out.push_str("  },\n");
     let stats_json = |s: &cm_probe::CampaignStats| {
         format!(
             "{{\"launched\": {}, \"completed\": {}, \"gap_limited\": {}, \"max_ttl\": {}}}",

@@ -89,10 +89,25 @@ fn bench_pipeline_json_is_valid_and_complete() {
         "\"fault_plan\"",
         "\"fault_impact\"",
         "\"discards\"",
+        "\"metrics\"",
+        "\"counters\"",
+        "\"gauges\"",
+        "\"histograms\"",
         "\"sweep\"",
         "\"expansion\"",
     ] {
         assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+
+    // The metrics section carries the probe-outcome counters the obs CI
+    // job smoke-parses.
+    for metric in [
+        "\"probe_launched_total\"",
+        "\"probe_hops\"",
+        "\"rtt_ms\"",
+        "\"traceroute_accepted_total\"",
+    ] {
+        assert!(json.contains(metric), "missing metric {metric} in:\n{json}");
     }
     for stage in [
         "public-data",

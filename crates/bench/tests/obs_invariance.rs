@@ -1,0 +1,103 @@
+//! Observability determinism: the metrics registry and the deterministic
+//! portion of the flight-recorder stream are byte-identical at any
+//! `probe_workers` count, under arbitrary fault plans.
+//!
+//! This is the obs layer's acceptance contract (`DESIGN.md` §10): every
+//! metric derives from pipeline data, every recorder event is appended on
+//! a deterministic path, and wall clocks live only in the quarantined
+//! `nondeterministic` JSONL section — so rendering with that section
+//! suppressed must yield the same bytes for workers 1, 2 and 4.
+
+use cloudmap::pipeline::{Pipeline, PipelineConfig};
+use cm_bench::metrics_digest;
+use cm_dataplane::faults::{AddrRewrite, Blackhole, BurstLoss, ClockSkew, MplsTunnels, RouteFlap};
+use cm_dataplane::{DataPlaneConfig, FaultPlan};
+use cm_topology::{Internet, TopologyConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn world() -> &'static Internet {
+    static W: OnceLock<Internet> = OnceLock::new();
+    W.get_or_init(|| Internet::generate(TopologyConfig::tiny(), 1905))
+}
+
+/// Random fault plans over the full parameter space (each axis present
+/// half the time, rates inside their validity ranges).
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        (any::<u8>(), 0.02f64..0.3, 0.2f64..0.95),
+        (0.005f64..0.1, 0.02f64..0.25, 0.1f64..1.0),
+        (0.5f64..6.0, 0.05f64..0.5, 0.05f64..0.6),
+        any::<u64>(),
+    )
+        .prop_map(
+            |((mask, window, burst), (bh, mpls, skew_sel), (skew_ms, rw, flap), salt)| FaultPlan {
+                burst_loss: (mask & 1 != 0).then_some(BurstLoss {
+                    window_rate: window,
+                    loss_rate: burst,
+                }),
+                blackhole: (mask & 2 != 0).then_some(Blackhole { router_rate: bh }),
+                mpls: (mask & 4 != 0).then_some(MplsTunnels { router_rate: mpls }),
+                clock_skew: (mask & 8 != 0).then_some(ClockSkew {
+                    region_rate: skew_sel,
+                    max_skew_ms: skew_ms,
+                }),
+                addr_rewrite: (mask & 16 != 0).then_some(AddrRewrite { router_rate: rw }),
+                route_flap: (mask & 32 != 0).then_some(RouteFlap { flap_rate: flap }),
+                salt,
+            },
+        )
+}
+
+/// Runs the full pipeline and reduces the run to its deterministic
+/// observability artifacts: the exposed registry text and the JSONL
+/// stream with the nondeterministic section suppressed.
+fn obs_artifacts(plan: FaultPlan, workers: usize) -> (String, String, u64) {
+    let cfg = PipelineConfig {
+        dataplane: DataPlaneConfig {
+            faults: plan,
+            ..DataPlaneConfig::default()
+        },
+        probe_workers: workers,
+        ..PipelineConfig::default()
+    };
+    let atlas = Pipeline::new(world(), cfg)
+        .run()
+        .unwrap_or_else(|e| panic!("pipeline failed: {e}"));
+    let exposition = atlas.metrics.expose();
+    let jsonl = cm_obs::render_jsonl(&atlas.obs.recorder.events(), false);
+    let digest = metrics_digest(&atlas.metrics);
+    (exposition, jsonl, digest)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Metric snapshots and the deterministic JSONL portion are
+    /// byte-identical across `probe_workers` ∈ {1, 2, 4} under random
+    /// fault plans.
+    #[test]
+    fn obs_output_is_invariant_across_worker_counts(plan in arb_plan()) {
+        let (expo1, jsonl1, digest1) = obs_artifacts(plan, 1);
+        prop_assert!(
+            expo1.contains("probe_launched_total"),
+            "registry missing probe counters:\n{}", expo1
+        );
+        prop_assert!(
+            jsonl1.contains("\"stage_end\"") && !jsonl1.contains("nondeterministic"),
+            "deterministic JSONL malformed:\n{}", jsonl1
+        );
+        for workers in [2usize, 4] {
+            let (expo, jsonl, digest) = obs_artifacts(plan, workers);
+            prop_assert_eq!(
+                &expo1, &expo,
+                "metric exposition differs at workers={}", workers
+            );
+            prop_assert_eq!(
+                &jsonl1, &jsonl,
+                "deterministic JSONL differs at workers={}", workers
+            );
+            prop_assert_eq!(digest1, digest, "metrics digest differs at workers={}", workers);
+        }
+    }
+}

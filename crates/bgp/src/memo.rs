@@ -147,6 +147,19 @@ impl RouteMemo {
         }
     }
 
+    /// Exports the memo's *order-invariant* quantities into an
+    /// observability registry: total lookups (`route_memo_lookups_total`)
+    /// and the entry count (`route_memo_entries` gauge). The hit/miss
+    /// *split* is deliberately absent — two workers can both miss the
+    /// same key before either populates it, so the split varies with the
+    /// worker count and belongs in the flight recorder's nondeterministic
+    /// section, never in the deterministic registry.
+    pub fn export_obs(&self, registry: &cm_obs::Registry) {
+        let stats = self.stats();
+        registry.inc("route_memo_lookups_total", stats.hits + stats.misses);
+        registry.set_gauge("route_memo_entries", self.len() as i64);
+    }
+
     /// Number of cached `(region, /24, epoch)` entries.
     pub fn len(&self) -> usize {
         self.shards

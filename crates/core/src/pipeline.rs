@@ -32,6 +32,7 @@ use cm_datasets::{DatasetConfig, PublicDatasets};
 use cm_dns::DnsDb;
 use cm_geo::MetroId;
 use cm_net::{Asn, Ipv4, OrgId, PrefixTrie};
+use cm_obs::{Event, EventKind, ObsSink, Snapshot};
 use cm_probe::{Campaign, CampaignStats, RttCampaign};
 use cm_topology::{CloudId, Internet, RegionId};
 use std::collections::{HashMap, HashSet};
@@ -127,12 +128,14 @@ impl Default for PipelineConfig {
 
 /// Per-stage wall-clock and route-memo accounting for one pipeline run.
 ///
-/// Filled in by [`Pipeline::run`] and carried on the [`Atlas`] so the
-/// benchmark harness can render a timing table and emit
-/// `BENCH_pipeline.json` without re-running anything. Stage names are the
-/// executor's own (`"public-data"`, `"sweep"`, `"expansion"`, `"verify"`,
-/// `"rtt"`, `"pinning"`, `"vpi"`, `"grouping"`), recorded in execution
-/// order.
+/// Since the flight recorder became the primary record, this is a thin
+/// *view*: [`Pipeline::run`] records every stage into the
+/// [`cm_obs::Recorder`] and materializes the view once, via
+/// [`StageTimings::from_recorder`], so the benchmark harness and the
+/// audit's F-rules keep their typed, positional access without a second
+/// bookkeeping path. Stage names are the executor's own
+/// (`"public-data"`, `"sweep"`, `"expansion"`, `"verify"`, `"rtt"`,
+/// `"pinning"`, `"vpi"`, `"grouping"`), in execution order.
 #[derive(Clone, Debug, Default)]
 pub struct StageTimings {
     /// `(stage, wall clock)` in execution order.
@@ -145,29 +148,76 @@ pub struct StageTimings {
     pub fault_impact: Vec<(&'static str, FaultImpact)>,
 }
 
+/// Name of the recorder counter group holding a stage's route-memo delta.
+pub const GROUP_ROUTE_MEMO: &str = "route_memo";
+
+/// Name of the recorder counter group holding a stage's fault-impact
+/// delta.
+pub const GROUP_FAULT_IMPACT: &str = "fault_impact";
+
 impl StageTimings {
-    /// Records a stage's wall clock.
-    pub fn stage(&mut self, name: &'static str, wall: Duration) {
-        self.stages.push((name, wall));
+    /// Rebuilds the timing view from a flight-recorder stream: one entry
+    /// per `stage_end` event, with the wall clock taken from the event's
+    /// nondeterministic field, the `fault_impact` group decoded from the
+    /// deterministic groups and the `route_memo` group from the
+    /// quarantined nondeterministic ones (the hit/miss split varies with
+    /// the worker count, like the wall clock).
+    pub fn from_recorder(events: &[Event]) -> StageTimings {
+        let mut t = StageTimings::default();
+        for event in events {
+            let EventKind::StageEnd { stage, groups } = &event.kind else {
+                continue;
+            };
+            debug_assert!(
+                t.stages.iter().all(|&(n, _)| n != *stage),
+                "stage {stage} recorded twice in one run"
+            );
+            let wall_ms = event.wall_ms.unwrap_or(0.0);
+            let wall = if wall_ms.is_finite() && wall_ms >= 0.0 {
+                Duration::from_secs_f64(wall_ms / 1000.0)
+            } else {
+                Duration::ZERO
+            };
+            t.stages.push((stage, wall));
+            for (group, counters) in groups.iter().chain(&event.nondet_groups) {
+                match *group {
+                    GROUP_ROUTE_MEMO => {
+                        let mut memo = MemoStats::default();
+                        for &(name, v) in counters {
+                            match name {
+                                "hits" => memo.hits = v,
+                                "misses" => memo.misses = v,
+                                _ => {}
+                            }
+                        }
+                        t.route_memo.push((stage, memo));
+                    }
+                    GROUP_FAULT_IMPACT => {
+                        let mut fi = FaultImpact::default();
+                        for &(name, v) in counters {
+                            match name {
+                                "burst_loss" => fi.burst_loss = v,
+                                "blackhole" => fi.blackhole = v,
+                                "mpls" => fi.mpls = v,
+                                "clock_skew" => fi.clock_skew = v,
+                                "addr_rewrite" => fi.addr_rewrite = v,
+                                "route_flap" => fi.route_flap = v,
+                                _ => {}
+                            }
+                        }
+                        t.fault_impact.push((stage, fi));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        t
     }
 
-    /// Records a stage's wall clock plus its route-memo delta.
-    pub fn stage_with_memo(&mut self, name: &'static str, wall: Duration, memo: MemoStats) {
-        self.stages.push((name, wall));
-        self.route_memo.push((name, memo));
-    }
-
-    /// Records a probing stage: wall clock, route-memo delta and
-    /// fault-impact delta.
-    pub fn stage_probing(
-        &mut self,
-        name: &'static str,
-        wall: Duration,
-        memo: MemoStats,
-        faults: FaultImpact,
-    ) {
-        self.stage_with_memo(name, wall, memo);
-        self.fault_impact.push((name, faults));
+    /// The one lookup all three per-stage accessors share (stage lists
+    /// are ≤ 8 entries, so a scan beats an index).
+    fn lookup<T: Copy>(entries: &[(&'static str, T)], name: &str) -> Option<T> {
+        entries.iter().find(|&&(n, _)| n == name).map(|&(_, v)| v)
     }
 
     /// Total wall clock across all recorded stages.
@@ -177,18 +227,12 @@ impl StageTimings {
 
     /// Wall clock of one stage, if recorded.
     pub fn wall(&self, name: &str) -> Option<Duration> {
-        self.stages
-            .iter()
-            .find(|&&(n, _)| n == name)
-            .map(|&(_, d)| d)
+        Self::lookup(&self.stages, name)
     }
 
     /// Route-memo delta of one stage, if recorded.
     pub fn memo(&self, name: &str) -> Option<MemoStats> {
-        self.route_memo
-            .iter()
-            .find(|&&(n, _)| n == name)
-            .map(|&(_, m)| m)
+        Self::lookup(&self.route_memo, name)
     }
 
     /// Aggregate route-memo stats across all recorded stages.
@@ -203,10 +247,7 @@ impl StageTimings {
 
     /// Fault-impact delta of one stage, if recorded.
     pub fn faults(&self, name: &str) -> Option<FaultImpact> {
-        self.fault_impact
-            .iter()
-            .find(|&&(n, _)| n == name)
-            .map(|&(_, f)| f)
+        Self::lookup(&self.fault_impact, name)
     }
 
     /// Aggregate fault impact across all recorded stages.
@@ -294,12 +335,21 @@ pub struct Atlas<'i> {
     pub icg: Icg,
     /// §7.3 coverage vs public BGP.
     pub coverage: CoverageReport,
-    /// Per-stage wall-clock timings and route-memo stats of this run.
+    /// Per-stage wall-clock timings and route-memo stats of this run,
+    /// materialized from the flight recorder at pipeline end.
     pub timings: StageTimings,
     /// Total fault impact across all probing stages (all zero under a
     /// clean fault plan); equals the sum of the per-stage deltas in
     /// [`StageTimings::fault_impact`], an invariant `cm-audit` checks.
     pub fault_impact: FaultImpact,
+    /// The metrics registry frozen at pipeline end. Deterministic for a
+    /// given `(inet, config)` at any `probe_workers` count; `cm-audit`'s
+    /// O1 rule cross-checks it against the campaign and fault totals.
+    pub metrics: Snapshot,
+    /// The live observability sink: the flight recorder behind
+    /// [`Atlas::timings`] plus the registry behind [`Atlas::metrics`].
+    /// Consumers may append post-run notes or tallies (the audit does).
+    pub obs: ObsSink,
 }
 
 impl<'i> Atlas<'i> {
@@ -338,9 +388,31 @@ impl<'i> Pipeline<'i> {
         if inet.primary_cloud().regions.is_empty() {
             return Err(PipelineError::NoRegions);
         }
-        let mut timings = StageTimings::default();
+        let obs = ObsSink::new();
+        cm_probe::register_probe_metrics(&obs.registry);
+        // The worker count is deliberately absent from this note: the
+        // deterministic event stream must be byte-identical at any
+        // `probe_workers`, and the count would be the one field varying.
+        obs.note(format!(
+            "pipeline start: seed {seed:#x}, fault axes {:?}",
+            cfg.dataplane.faults.enabled_axes()
+        ));
+        // The two recorder counter groups every probing stage carries.
+        // Fault deltas are deterministic (every probe is computed exactly
+        // once); the route-memo hit/miss split is not — racing workers can
+        // both miss one key — so it rides in the nondeterministic section.
+        let faults_group =
+            |faults: FaultImpact| vec![(GROUP_FAULT_IMPACT, faults.counters().to_vec())];
+        let memo_group = |memo: MemoStats| {
+            vec![(
+                GROUP_ROUTE_MEMO,
+                vec![("hits", memo.hits), ("misses", memo.misses)],
+            )]
+        };
+        let wall_ms = |start: Instant| start.elapsed().as_secs_f64() * 1000.0;
 
         // ---- public data (§3 inputs) --------------------------------------
+        obs.stage_start("public-data");
         let stage_start = Instant::now();
         let snapshot = bgp_snapshot(inet);
         let view = BgpView::compute(inet, primary, cfg.n_feeders, seed);
@@ -372,14 +444,16 @@ impl<'i> Pipeline<'i> {
         let annotator = Annotator::new(&snapshot, &datasets);
         let plane = DataPlane::new(inet, cfg.dataplane);
         let campaign = Campaign::new(&plane, primary);
-        timings.stage("public-data", stage_start.elapsed());
+        obs.stage_end("public-data", wall_ms(stage_start), Vec::new(), Vec::new());
 
         // ---- round one (§3, §4.1) -----------------------------------------
+        let obs_ref = &obs;
         let run_round = |targets: &[Ipv4]| -> (SegmentPool, CampaignStats) {
-            let (collectors, stats) = campaign.run_sharded(
+            let (collectors, stats) = campaign.run_sharded_obs(
                 targets,
                 cfg.sweep_epochs.max(1),
                 cfg.probe_workers,
+                Some(obs_ref),
                 || BorderCollector::new(&annotator, cloud_org),
                 |c, t| c.observe(t),
             );
@@ -401,6 +475,7 @@ impl<'i> Pipeline<'i> {
             pool.check_invariants()
                 .map_err(|e| PipelineError::SelfAudit(format!("after {stage}: {e}")))
         };
+        obs.stage_start("sweep");
         let stage_start = Instant::now();
         let memo_before = plane.route_memo_stats();
         let faults_before = plane.fault_impact();
@@ -409,14 +484,15 @@ impl<'i> Pipeline<'i> {
         self_check(&pool, "round one")?;
         let t1_abi = table1_row(pool.abis.values());
         let t1_cbi = table1_row(pool.cbis.values().map(|c| &c.note));
-        timings.stage_probing(
+        obs.stage_end(
             "sweep",
-            stage_start.elapsed(),
-            plane.route_memo_stats().since(memo_before),
-            plane.fault_impact().since(faults_before),
+            wall_ms(stage_start),
+            faults_group(plane.fault_impact().since(faults_before)),
+            memo_group(plane.route_memo_stats().since(memo_before)),
         );
 
         // ---- round two (§4.2) ----------------------------------------------
+        obs.stage_start("expansion");
         let stage_start = Instant::now();
         let memo_before = plane.route_memo_stats();
         let faults_before = plane.fault_impact();
@@ -427,19 +503,21 @@ impl<'i> Pipeline<'i> {
             self_check(&pool, "expansion merge")?;
             Some(stats)
         } else {
+            obs.note("expansion disabled by config");
             None
         };
-        timings.stage_probing(
+        obs.stage_end(
             "expansion",
-            stage_start.elapsed(),
-            plane.route_memo_stats().since(memo_before),
-            plane.fault_impact().since(faults_before),
+            wall_ms(stage_start),
+            faults_group(plane.fault_impact().since(faults_before)),
+            memo_group(plane.route_memo_stats().since(memo_before)),
         );
         let t1_eabi = table1_row(pool.abis.values());
         let t1_ecbi = table1_row(pool.cbis.values().map(|c| &c.note));
         let table1 = [t1_abi, t1_cbi, t1_eabi, t1_ecbi];
 
         // ---- verification (§5) ----------------------------------------------
+        obs.stage_start("verify");
         let stage_start = Instant::now();
         let heuristics = run_heuristics(&pool, |a| publicly_reachable(inet, a));
         let mut addrs: Vec<Ipv4> = pool.abis.keys().copied().collect();
@@ -455,9 +533,10 @@ impl<'i> Pipeline<'i> {
             &alias_sets,
         );
         self_check(&pool, "alias corrections")?;
-        timings.stage("verify", stage_start.elapsed());
+        obs.stage_end("verify", wall_ms(stage_start), Vec::new(), Vec::new());
 
         // ---- RTT campaign + pinning (§6) ------------------------------------
+        obs.stage_start("rtt");
         let stage_start = Instant::now();
         let memo_before = plane.route_memo_stats();
         let faults_before = plane.fault_impact();
@@ -466,14 +545,15 @@ impl<'i> Pipeline<'i> {
         rtt_targets.extend(datasets.ixp.published_addrs().map(|(a, _)| a));
         rtt_targets.sort_unstable();
         rtt_targets.dedup();
-        let rtt = RttCampaign::run(&plane, primary, &rtt_targets, cfg.rtt_attempts);
-        timings.stage_probing(
+        let rtt = RttCampaign::run_obs(&plane, primary, &rtt_targets, cfg.rtt_attempts, Some(&obs));
+        obs.stage_end(
             "rtt",
-            stage_start.elapsed(),
-            plane.route_memo_stats().since(memo_before),
-            plane.fault_impact().since(faults_before),
+            wall_ms(stage_start),
+            faults_group(plane.fault_impact().since(faults_before)),
+            memo_group(plane.route_memo_stats().since(memo_before)),
         );
 
+        obs.stage_start("pinning");
         let stage_start = Instant::now();
         let pinner = Pinner {
             pool: &pool,
@@ -501,9 +581,10 @@ impl<'i> Pipeline<'i> {
                 }
             }
         }
-        timings.stage("pinning", stage_start.elapsed());
+        obs.stage_end("pinning", wall_ms(stage_start), Vec::new(), Vec::new());
 
         // ---- VPI detection (§7.1) -------------------------------------------
+        obs.stage_start("vpi");
         let stage_start = Instant::now();
         let memo_before = plane.route_memo_stats();
         let faults_before = plane.fault_impact();
@@ -517,18 +598,27 @@ impl<'i> Pipeline<'i> {
                     datasets.as2org.org_of(asn).map(|o| (c.id, o))
                 })
                 .collect();
-            detect(&plane, &annotator, &pool, &secondary, cfg.probe_workers)
+            detect(
+                &plane,
+                &annotator,
+                &pool,
+                &secondary,
+                cfg.probe_workers,
+                Some(&obs),
+            )
         } else {
+            obs.note("vpi detection disabled by config");
             VpiDetection::default()
         };
-        timings.stage_probing(
+        obs.stage_end(
             "vpi",
-            stage_start.elapsed(),
-            plane.route_memo_stats().since(memo_before),
-            plane.fault_impact().since(faults_before),
+            wall_ms(stage_start),
+            faults_group(plane.fault_impact().since(faults_before)),
+            memo_group(plane.route_memo_stats().since(memo_before)),
         );
 
         // ---- grouping + ICG (§7.2–7.4) --------------------------------------
+        obs.stage_start("grouping");
         let stage_start = Instant::now();
         let groups = Grouping::build(
             &pool,
@@ -551,8 +641,48 @@ impl<'i> Pipeline<'i> {
                 .count(),
             inferred_peers: inferred_peers.len(),
         };
-        timings.stage("grouping", stage_start.elapsed());
+        // ---- observability finalize ----------------------------------------
+        // Absolute exports (fault axes, route-memo totals) plus the §4.1 /
+        // §5.1 tallies land in the registry exactly once, so the final
+        // `counter_snapshot` appended by the grouping `stage_end` equals
+        // `Atlas::metrics`.
+        plane.export_obs(&obs);
+        let reg = &obs.registry;
+        let d = &pool.discards;
+        for (name, v) in [
+            ("no_border", d.no_border),
+            ("gap_before_border", d.gap_before_border),
+            ("looped", d.looped),
+            ("duplicate", d.duplicate),
+            ("cbi_is_destination", d.cbi_is_destination),
+            ("cloud_reentry", d.cloud_reentry),
+        ] {
+            reg.inc(&format!("discard_{name}_total"), v as u64);
+        }
+        reg.inc("traceroute_accepted_total", pool.accepted as u64);
+        let table2 = heuristics.table2(&pool);
+        for (i, name) in ["ixp", "hybrid", "reachable"].iter().enumerate() {
+            reg.set_gauge(&format!("heuristic_{name}_abis"), table2[i].0 as i64);
+            reg.set_gauge(&format!("heuristic_{name}_cbis"), table2[i].1 as i64);
+        }
+        reg.set_gauge(
+            "heuristic_unconfirmed_abis",
+            heuristics.unconfirmed.len() as i64,
+        );
+        reg.set_gauge("pool_abis", pool.abis.len() as i64);
+        reg.set_gauge("pool_cbis", pool.cbis.len() as i64);
+        reg.set_gauge("pool_segments", pool.segments.len() as i64);
+        reg.set_gauge("alias_sets", alias_sets.len() as i64);
+        reg.set_gauge("pins_metro", pinning.pins.len() as i64);
+        reg.set_gauge("pins_region", pinning.region_pins.len() as i64);
+        reg.set_gauge("vpi_cbis", vpi.vpi_cbis.len() as i64);
+        reg.set_gauge("peer_groups", groups.per_as.len() as i64);
+        reg.set_gauge("icg_edges", icg.edges as i64);
+        obs.stage_end("grouping", wall_ms(stage_start), Vec::new(), Vec::new());
+
         let fault_impact = plane.fault_impact();
+        let timings = StageTimings::from_recorder(&obs.recorder.events());
+        let metrics = obs.registry.snapshot();
 
         Ok(Atlas {
             inet,
@@ -581,6 +711,8 @@ impl<'i> Pipeline<'i> {
             coverage,
             timings,
             fault_impact,
+            metrics,
+            obs,
         })
     }
 }

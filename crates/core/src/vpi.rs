@@ -14,7 +14,7 @@ use crate::annotate::{Annotator, NoteSource};
 use crate::borders::{BorderCollector, SegmentPool};
 use cm_dataplane::DataPlane;
 use cm_net::{Ipv4, OrgId};
-use cm_probe::Campaign;
+use cm_probe::{Campaign, CampaignStats};
 use cm_topology::CloudId;
 use std::collections::HashSet;
 
@@ -29,6 +29,9 @@ pub struct VpiDetection {
     pub per_cloud: Vec<(String, HashSet<Ipv4>)>,
     /// All CBIs identified as VPI ports.
     pub vpi_cbis: HashSet<Ipv4>,
+    /// Campaign stats summed across all secondary clouds; part of the
+    /// launch-conservation invariant `cm-audit`'s O1 rule checks.
+    pub campaign: CampaignStats,
 }
 
 impl VpiDetection {
@@ -85,13 +88,15 @@ pub fn build_target_pool(pool: &SegmentPool) -> Vec<Ipv4> {
 /// `clouds` lists the vantage clouds as `(cloud id, that cloud's org)`; the
 /// same [`Annotator`] serves all clouds (public datasets are global).
 /// `workers` sizes the sharded probing executor (0 = one per available
-/// core) and never affects the result.
+/// core) and never affects the result. `obs`, when present, receives
+/// per-probe outcome counters and hop histograms.
 pub fn detect(
     plane: &DataPlane<'_>,
     annotator: &Annotator<'_>,
     primary_pool: &SegmentPool,
     clouds: &[(CloudId, OrgId)],
     workers: usize,
+    obs: Option<&cm_obs::ObsSink>,
 ) -> VpiDetection {
     let targets = build_target_pool(primary_pool);
     let candidates: HashSet<Ipv4> = primary_pool
@@ -108,13 +113,15 @@ pub fn detect(
     };
     for &(cloud, org) in clouds {
         let campaign = Campaign::new(plane, cloud);
-        let (collectors, _) = campaign.run_sharded(
+        let (collectors, stats) = campaign.run_sharded_obs(
             &targets,
             1,
             workers,
+            obs,
             || BorderCollector::new(annotator, org),
             |c, t| c.observe(t),
         );
+        out.campaign.merge(&stats);
         let mut pools = collectors.into_iter().map(BorderCollector::finish);
         let mut their_pool = pools.next().expect("vantage cloud has regions");
         for p in pools {

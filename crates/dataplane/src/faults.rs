@@ -348,6 +348,15 @@ impl FaultImpact {
         self.addr_rewrite += other.addr_rewrite;
         self.route_flap += other.route_flap;
     }
+
+    /// Exports the per-axis counters into an observability registry as
+    /// `fault_impact_<axis>` counters (the same sums the F1 audit rule
+    /// conserves).
+    pub fn export_obs(&self, registry: &cm_obs::Registry) {
+        for (axis, count) in self.counters() {
+            registry.inc(&format!("fault_impact_{axis}"), count);
+        }
+    }
 }
 
 /// Per-probe fault flags, folded into [`FaultCounters`] once per probe.

@@ -263,6 +263,15 @@ impl<'a> DataPlane<'a> {
         self.route_memo.stats()
     }
 
+    /// Exports the fault engine's per-axis impact counters and the
+    /// route memo's counters into an observability sink. Both are sums of
+    /// per-probe atomics, so the exported values are identical at any
+    /// worker count.
+    pub fn export_obs(&self, sink: &cm_obs::ObsSink) {
+        self.fault_impact().export_obs(&sink.registry);
+        self.route_memo.export_obs(&sink.registry);
+    }
+
     /// Executes one traceroute from a region of a cloud (campaign epoch 0).
     pub fn traceroute(&self, cloud: CloudId, src_region: RegionId, dst: Ipv4) -> Traceroute {
         self.traceroute_at(cloud, src_region, dst, 0)

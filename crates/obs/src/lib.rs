@@ -1,0 +1,92 @@
+//! # cm-obs — deterministic observability for the cloudmap pipeline
+//!
+//! Two cooperating pieces, combined in an [`ObsSink`]:
+//!
+//! * a [`Registry`] of named counters, gauges and fixed-bucket histograms
+//!   whose snapshots are **byte-identical at any `probe_workers` count**,
+//!   because every recorded value derives from pipeline data (probe
+//!   outcomes, cache counters, pool sizes) and never from wall clock,
+//!   thread identity or unordered-map iteration;
+//! * a [`Recorder`] — a span-scoped flight recorder emitting an ordered
+//!   event stream (`stage_start` / `stage_end` / `counter_snapshot` /
+//!   `note`) renderable as JSONL, with wall-clock fields quarantined in a
+//!   clearly-labelled `nondeterministic` section so the rest of every
+//!   line is reproducible.
+//!
+//! The crate is dependency-free by design (the workspace is offline);
+//! exposition is Prometheus-style text ([`Snapshot::expose`]) and the
+//! JSONL / stage-tree renderers are hand-rolled like the rest of the
+//! workspace's reports. The determinism contract — what may and may not
+//! feed a metric — is documented in `DESIGN.md` §10.
+
+#![deny(missing_docs)]
+
+mod recorder;
+mod registry;
+
+pub use recorder::{event_jsonl, render_jsonl, stage_tree, Event, EventKind, Recorder};
+pub use registry::{HistogramValue, MetricValue, Registry, Snapshot};
+
+/// The sink threaded through the pipeline: one registry plus one recorder,
+/// shared by reference across stages and probing layers.
+#[derive(Default)]
+pub struct ObsSink {
+    /// The deterministic metrics registry.
+    pub registry: Registry,
+    /// The flight recorder.
+    pub recorder: Recorder,
+}
+
+impl ObsSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        ObsSink::default()
+    }
+
+    /// Records a stage start in the flight recorder.
+    pub fn stage_start(&self, stage: &'static str) {
+        self.recorder.stage_start(stage);
+    }
+
+    /// Records a stage end, then appends a `counter_snapshot` of the
+    /// registry as it stood when the stage finished. `groups` must be
+    /// deterministic; interleaving-dependent tallies go in
+    /// `nondet_groups`, quarantined with the wall clock.
+    pub fn stage_end(
+        &self,
+        stage: &'static str,
+        wall_ms: f64,
+        groups: Vec<(&'static str, Vec<(&'static str, u64)>)>,
+        nondet_groups: Vec<(&'static str, Vec<(&'static str, u64)>)>,
+    ) {
+        self.recorder
+            .stage_end(stage, wall_ms, groups, nondet_groups);
+        self.recorder.counter_snapshot(self.registry.snapshot());
+    }
+
+    /// Records a free-form note.
+    pub fn note(&self, text: impl Into<String>) {
+        self.recorder.note(text);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_end_snapshots_the_registry() {
+        let sink = ObsSink::new();
+        sink.stage_start("sweep");
+        sink.registry.inc("probes", 4);
+        sink.stage_end("sweep", 1.0, Vec::new(), Vec::new());
+        let events = sink.recorder.events();
+        assert_eq!(events.len(), 3);
+        match &events[2].kind {
+            EventKind::CounterSnapshot { snapshot } => {
+                assert_eq!(snapshot.counter("probes"), Some(4));
+            }
+            other => panic!("expected counter_snapshot, got {other:?}"),
+        }
+    }
+}

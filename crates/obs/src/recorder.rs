@@ -1,0 +1,352 @@
+//! The span-scoped flight recorder.
+//!
+//! A [`Recorder`] accumulates an ordered stream of [`Event`]s —
+//! `stage_start`, `stage_end`, `counter_snapshot` and `note` — that
+//! reconstructs what the pipeline did, in the order it did it. Every
+//! deterministic field derives from pipeline data only; wall clocks are
+//! quarantined in the event's `nondeterministic` JSONL section so the
+//! rest of the line is byte-identical at any worker count.
+
+use crate::registry::{MetricValue, Snapshot};
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// What one [`Event`] records.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// A pipeline stage began.
+    StageStart {
+        /// The stage name (the pipeline's own, e.g. `"sweep"`).
+        stage: &'static str,
+    },
+    /// A pipeline stage finished.
+    StageEnd {
+        /// The stage name matching the preceding `StageStart`.
+        stage: &'static str,
+        /// Named groups of `(counter, value)` pairs attributed to this
+        /// stage (route-memo deltas, fault-impact deltas), in recording
+        /// order.
+        groups: Vec<(&'static str, Vec<(&'static str, u64)>)>,
+    },
+    /// A full registry snapshot taken at this point of the stream.
+    CounterSnapshot {
+        /// The frozen registry state.
+        snapshot: Snapshot,
+    },
+    /// A free-form annotation.
+    Note {
+        /// The annotation text.
+        text: String,
+    },
+}
+
+/// One entry of the flight-recorder stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Position in the stream, dense from zero.
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Wall-clock duration in milliseconds (stage-end events only).
+    /// Nondeterministic: excluded from the deterministic JSONL rendering.
+    pub wall_ms: Option<f64>,
+    /// Counter groups whose values depend on execution interleaving —
+    /// e.g. a shared cache's hit/miss split, where two workers can both
+    /// miss the same key before either populates it. Rendered only inside
+    /// the `nondeterministic` JSONL section, next to the wall clock.
+    pub nondet_groups: Vec<(&'static str, Vec<(&'static str, u64)>)>,
+}
+
+/// An append-only, thread-safe event stream.
+#[derive(Default)]
+pub struct Recorder {
+    events: Mutex<Vec<Event>>,
+}
+
+impl Recorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    fn push(
+        &self,
+        kind: EventKind,
+        wall_ms: Option<f64>,
+        nondet_groups: Vec<(&'static str, Vec<(&'static str, u64)>)>,
+    ) {
+        let mut guard = match self.events.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let seq = guard.len() as u64;
+        guard.push(Event {
+            seq,
+            kind,
+            wall_ms,
+            nondet_groups,
+        });
+    }
+
+    /// Records the start of a stage.
+    pub fn stage_start(&self, stage: &'static str) {
+        self.push(EventKind::StageStart { stage }, None, Vec::new());
+    }
+
+    /// Records the end of a stage: its wall clock, the deterministic
+    /// per-stage counter groups, and any interleaving-dependent groups
+    /// (quarantined with the wall clock).
+    pub fn stage_end(
+        &self,
+        stage: &'static str,
+        wall_ms: f64,
+        groups: Vec<(&'static str, Vec<(&'static str, u64)>)>,
+        nondet_groups: Vec<(&'static str, Vec<(&'static str, u64)>)>,
+    ) {
+        self.push(
+            EventKind::StageEnd { stage, groups },
+            Some(wall_ms),
+            nondet_groups,
+        );
+    }
+
+    /// Records a full registry snapshot.
+    pub fn counter_snapshot(&self, snapshot: Snapshot) {
+        self.push(EventKind::CounterSnapshot { snapshot }, None, Vec::new());
+    }
+
+    /// Records a free-form note.
+    pub fn note(&self, text: impl Into<String>) {
+        self.push(EventKind::Note { text: text.into() }, None, Vec::new());
+    }
+
+    /// A copy of the stream so far, in order.
+    pub fn events(&self) -> Vec<Event> {
+        match self.events.lock() {
+            Ok(g) => g.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+}
+
+/// Minimal JSON string escaping (the recorder only ever holds ASCII
+/// identifiers and short notes, but quotes and backslashes must not break
+/// the line format).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn snapshot_json(snapshot: &Snapshot) -> String {
+    let mut parts = Vec::with_capacity(snapshot.metrics.len());
+    for (name, value) in &snapshot.metrics {
+        let rendered = match value {
+            MetricValue::Counter(c) => format!("\"{}\": {c}", json_escape(name)),
+            MetricValue::Gauge(g) => format!("\"{}\": {g}", json_escape(name)),
+            MetricValue::Histogram(h) => {
+                let bounds: Vec<String> = h.bounds.iter().map(|b| format!("{b:?}")).collect();
+                let counts: Vec<String> = h.counts.iter().map(u64::to_string).collect();
+                format!(
+                    "\"{}\": {{\"bounds\": [{}], \"counts\": [{}], \"overflow\": {}, \
+                     \"rejected\": {}}}",
+                    json_escape(name),
+                    bounds.join(", "),
+                    counts.join(", "),
+                    h.overflow,
+                    h.rejected
+                )
+            }
+        };
+        parts.push(rendered);
+    }
+    format!("{{{}}}", parts.join(", "))
+}
+
+/// Renders one event as a single JSONL line (no trailing newline).
+///
+/// Deterministic fields come first; when `include_nondeterministic` is set
+/// and the event carries a wall clock, a final `"nondeterministic"` object
+/// holds it. Rendering with the flag off is the *deterministic portion* of
+/// the trace: byte-identical at any worker count.
+pub fn event_jsonl(event: &Event, include_nondeterministic: bool) -> String {
+    let mut line = format!("{{\"seq\": {}", event.seq);
+    match &event.kind {
+        EventKind::StageStart { stage } => {
+            let _ = write!(line, ", \"event\": \"stage_start\", \"stage\": \"{stage}\"");
+        }
+        EventKind::StageEnd { stage, groups } => {
+            let _ = write!(line, ", \"event\": \"stage_end\", \"stage\": \"{stage}\"");
+            for (group, counters) in groups {
+                let fields: Vec<String> = counters
+                    .iter()
+                    .map(|(name, v)| format!("\"{name}\": {v}"))
+                    .collect();
+                let _ = write!(line, ", \"{group}\": {{{}}}", fields.join(", "));
+            }
+        }
+        EventKind::CounterSnapshot { snapshot } => {
+            let _ = write!(
+                line,
+                ", \"event\": \"counter_snapshot\", \"metrics\": {}",
+                snapshot_json(snapshot)
+            );
+        }
+        EventKind::Note { text } => {
+            let _ = write!(
+                line,
+                ", \"event\": \"note\", \"text\": \"{}\"",
+                json_escape(text)
+            );
+        }
+    }
+    if include_nondeterministic && (event.wall_ms.is_some() || !event.nondet_groups.is_empty()) {
+        let mut parts = Vec::with_capacity(1 + event.nondet_groups.len());
+        if let Some(wall_ms) = event.wall_ms {
+            parts.push(format!("\"wall_ms\": {wall_ms:?}"));
+        }
+        for (group, counters) in &event.nondet_groups {
+            let fields: Vec<String> = counters
+                .iter()
+                .map(|(name, v)| format!("\"{name}\": {v}"))
+                .collect();
+            parts.push(format!("\"{group}\": {{{}}}", fields.join(", ")));
+        }
+        let _ = write!(line, ", \"nondeterministic\": {{{}}}", parts.join(", "));
+    }
+    line.push('}');
+    line
+}
+
+/// Renders a whole stream as JSONL, one event per line.
+pub fn render_jsonl(events: &[Event], include_nondeterministic: bool) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&event_jsonl(event, include_nondeterministic));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the stream as a human-readable stage tree: one row per stage
+/// with its wall clock and counter groups, notes and snapshots indented
+/// beneath the stage they follow.
+pub fn stage_tree(events: &[Event]) -> String {
+    let mut out = String::from("flight recorder\n");
+    for event in events {
+        match &event.kind {
+            EventKind::StageStart { .. } => {}
+            EventKind::StageEnd { stage, groups } => {
+                let wall = event
+                    .wall_ms
+                    .map_or_else(|| "      -  ".to_string(), |ms| format!("{ms:>9.3}ms"));
+                let _ = write!(out, "├─ {stage:<12} {wall}");
+                for (group, counters) in groups.iter().chain(&event.nondet_groups) {
+                    let fields: Vec<String> = counters
+                        .iter()
+                        .map(|(name, v)| format!("{name}={v}"))
+                        .collect();
+                    let _ = write!(out, "  {group}[{}]", fields.join(" "));
+                }
+                out.push('\n');
+            }
+            EventKind::CounterSnapshot { snapshot } => {
+                let _ = writeln!(out, "│    · snapshot: {} metrics", snapshot.metrics.len());
+            }
+            EventKind::Note { text } => {
+                let _ = writeln!(out, "│    · note: {text}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample() -> Recorder {
+        let rec = Recorder::new();
+        let reg = Registry::new();
+        reg.inc("probes", 2);
+        rec.stage_start("sweep");
+        rec.stage_end(
+            "sweep",
+            12.5,
+            vec![("fault_impact", vec![("blackhole", 4)])],
+            vec![("route_memo", vec![("hits", 3), ("misses", 1)])],
+        );
+        rec.counter_snapshot(reg.snapshot());
+        rec.note("done");
+        rec
+    }
+
+    #[test]
+    fn events_are_ordered_and_dense() {
+        let events = sample().events();
+        assert_eq!(events.len(), 4);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn jsonl_segregates_wall_clock_and_nondet_groups() {
+        let events = sample().events();
+        let det = render_jsonl(&events, false);
+        let full = render_jsonl(&events, true);
+        assert!(!det.contains("nondeterministic"));
+        assert!(!det.contains("wall_ms"));
+        assert!(!det.contains("route_memo"), "cache split leaked:\n{det}");
+        assert!(det.contains("\"fault_impact\": {\"blackhole\": 4}"));
+        assert!(full.contains(
+            "\"nondeterministic\": {\"wall_ms\": 12.5, \
+             \"route_memo\": {\"hits\": 3, \"misses\": 1}}"
+        ));
+        // Stripping the nondeterministic section recovers the
+        // deterministic rendering line for line.
+        for (d, f) in det.lines().zip(full.lines()) {
+            assert!(f.starts_with(d.trim_end_matches('}')));
+        }
+    }
+
+    #[test]
+    fn jsonl_renders_every_event_kind() {
+        let events = sample().events();
+        let full = render_jsonl(&events, true);
+        assert!(full.contains("\"event\": \"stage_start\", \"stage\": \"sweep\""));
+        assert!(full.contains("\"route_memo\": {\"hits\": 3, \"misses\": 1}"));
+        assert!(full.contains("\"event\": \"counter_snapshot\", \"metrics\": {\"probes\": 2}"));
+        assert!(full.contains("\"event\": \"note\", \"text\": \"done\""));
+    }
+
+    #[test]
+    fn note_text_is_escaped() {
+        let rec = Recorder::new();
+        rec.note("say \"hi\"\\\n");
+        let line = render_jsonl(&rec.events(), false);
+        assert!(line.contains("\"text\": \"say \\\"hi\\\"\\\\\\n\""));
+    }
+
+    #[test]
+    fn stage_tree_shows_stages_and_notes() {
+        let tree = stage_tree(&sample().events());
+        assert!(tree.contains("├─ sweep"));
+        assert!(tree.contains("route_memo[hits=3 misses=1]"));
+        assert!(tree.contains("· note: done"));
+        assert!(tree.contains("· snapshot: 1 metrics"));
+    }
+}

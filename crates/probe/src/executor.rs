@@ -68,6 +68,7 @@ pub(crate) fn run_sharded<T, I, F>(
     targets: &[Ipv4],
     epochs: u32,
     workers: usize,
+    obs: Option<&cm_obs::ObsSink>,
     init: I,
     fold: F,
 ) -> (Vec<T>, CampaignStats)
@@ -90,6 +91,13 @@ where
 
     let mut states = Vec::with_capacity(regions.len());
     let mut stats = CampaignStats::default();
+    // Observation rides the coordinator's in-order fold, alongside
+    // `stats.absorb`, so the registry sees exactly the serial stream.
+    let observe = |tr: &Traceroute| {
+        if let Some(sink) = obs {
+            crate::observe_traceroute(&sink.registry, tr);
+        }
+    };
 
     if workers <= 1 || n_work <= 1 {
         // Serial reference path — also the shape every sharded run must
@@ -100,6 +108,7 @@ where
                 for &t in targets {
                     let tr = plane.traceroute_at(cloud, region, t, epoch);
                     stats.absorb(&tr);
+                    observe(&tr);
                     fold(&mut state, &tr);
                 }
             }
@@ -162,6 +171,7 @@ where
                 };
                 for tr in &batch {
                     stats.absorb(tr);
+                    observe(tr);
                     fold(&mut state, tr);
                 }
                 w += 1;

@@ -66,6 +66,50 @@ impl CampaignStats {
             self.completed as f64 / self.launched as f64
         }
     }
+
+    /// Adds another round's counters (used to total multi-round and
+    /// multi-cloud campaigns).
+    pub fn merge(&mut self, other: &CampaignStats) {
+        self.launched += other.launched;
+        self.completed += other.completed;
+        self.gap_limited += other.gap_limited;
+        self.max_ttl += other.max_ttl;
+    }
+}
+
+/// Upper bounds of the `probe_hops` histogram (hop counts of finished
+/// traceroutes; the dataplane's TTL budget caps paths at 32).
+pub const HOP_BUCKETS: [f64; 6] = [4.0, 8.0, 12.0, 16.0, 24.0, 32.0];
+
+/// Upper bounds of the `rtt_ms` histogram (min-RTT echoes in
+/// milliseconds).
+pub const RTT_BUCKETS: [f64; 8] = [1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0];
+
+/// Registers the probing metrics and bumps the per-traceroute outcome
+/// counters plus the hop-count histogram. Called from the executor's
+/// in-order fold, but sums and bucket counts are order-independent, so
+/// the registry is worker-count invariant either way.
+pub(crate) fn observe_traceroute(registry: &cm_obs::Registry, t: &Traceroute) {
+    registry.inc("probe_launched_total", 1);
+    let outcome = match t.status {
+        TraceStatus::Completed => "probe_completed_total",
+        TraceStatus::GapLimit => "probe_gap_limit_total",
+        TraceStatus::MaxTtl => "probe_max_ttl_total",
+    };
+    registry.inc(outcome, 1);
+    registry.observe("probe_hops", t.hops.len() as f64);
+}
+
+/// Pre-registers every metric the probing layer records, so empty
+/// campaigns still expose the full metric set deterministically.
+pub fn register_probe_metrics(registry: &cm_obs::Registry) {
+    registry.inc("probe_launched_total", 0);
+    registry.inc("probe_completed_total", 0);
+    registry.inc("probe_gap_limit_total", 0);
+    registry.inc("probe_max_ttl_total", 0);
+    registry.inc("ping_answered_total", 0);
+    registry.histogram("probe_hops", &HOP_BUCKETS);
+    registry.histogram("rtt_ms", &RTT_BUCKETS);
 }
 
 /// A traceroute campaign from every region of one cloud.
@@ -190,7 +234,31 @@ impl<'a, 'b> Campaign<'a, 'b> {
         I: Fn() -> T + Sync,
         F: Fn(&mut T, &Traceroute) + Sync,
     {
-        executor::run_sharded(self, targets, epochs, workers, init, fold)
+        executor::run_sharded(self, targets, epochs, workers, None, init, fold)
+    }
+
+    /// [`Campaign::run_sharded`] that also streams per-traceroute outcome
+    /// counters and the hop-count histogram into an observability sink.
+    /// The sink never influences execution, and its contents stay
+    /// byte-identical at any worker count.
+    pub fn run_sharded_obs<T, I, F>(
+        &self,
+        targets: &[Ipv4],
+        epochs: u32,
+        workers: usize,
+        obs: Option<&cm_obs::ObsSink>,
+        init: I,
+        fold: F,
+    ) -> (Vec<T>, CampaignStats)
+    where
+        T: Send,
+        I: Fn() -> T + Sync,
+        F: Fn(&mut T, &Traceroute) + Sync,
+    {
+        if let Some(sink) = obs {
+            register_probe_metrics(&sink.registry);
+        }
+        executor::run_sharded(self, targets, epochs, workers, obs, init, fold)
     }
 
     /// The round-one target list (`.1` of every sweep /24).
@@ -233,6 +301,23 @@ impl RttCampaign {
     /// Probes every target from every region of `cloud`, `attempts` echoes
     /// each, keeping the per-region minimum.
     pub fn run(plane: &DataPlane<'_>, cloud: CloudId, targets: &[Ipv4], attempts: u32) -> Self {
+        Self::run_obs(plane, cloud, targets, attempts, None)
+    }
+
+    /// [`RttCampaign::run`] that also streams the `rtt_ms` histogram and
+    /// the answered-ping counter into an observability sink. Observations
+    /// happen after the per-region merge, in `(region, target)` order, so
+    /// the registry contents never depend on worker scheduling.
+    pub fn run_obs(
+        plane: &DataPlane<'_>,
+        cloud: CloudId,
+        targets: &[Ipv4],
+        attempts: u32,
+        obs: Option<&cm_obs::ObsSink>,
+    ) -> Self {
+        if let Some(sink) = obs {
+            register_probe_metrics(&sink.registry);
+        }
         // One worker per region; per-region maps are disjoint in their
         // region key, so merging in any order is deterministic.
         let regions = plane.inet.clouds[cloud.index()].regions.clone();
@@ -257,6 +342,10 @@ impl RttCampaign {
         let mut min_rtt: HashMap<Ipv4, HashMap<RegionId, f64>> = HashMap::new();
         for (&region, rows) in regions.iter().zip(per_region) {
             for (t, rtt) in rows {
+                if let Some(sink) = obs {
+                    sink.registry.inc("ping_answered_total", 1);
+                    sink.registry.observe("rtt_ms", rtt);
+                }
                 min_rtt.entry(t).or_default().insert(region, rtt);
             }
         }
