@@ -208,6 +208,7 @@ pub fn resolve_region(
         }
         r
     }
+    // cm-lint: nondet-quarantined(union-find merge order cannot change the final partition; members are sorted before output)
     for idxs in buckets.values() {
         for (pos, &i) in idxs.iter().enumerate() {
             for &j in &idxs[pos + 1..] {
@@ -284,6 +285,7 @@ pub fn merge_sets(all: Vec<Vec<Ipv4>>) -> Vec<Vec<Ipv4>> {
         }
     }
     let mut groups: HashMap<usize, Vec<Ipv4>> = HashMap::new();
+    // cm-lint: nondet-quarantined(each address is folded into its root exactly once and every group is sorted before output)
     for (&addr, &id) in &id_of {
         let r = find(&mut parent, id);
         groups.entry(r).or_default().push(addr);

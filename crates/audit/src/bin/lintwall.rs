@@ -1,4 +1,4 @@
-//! Workspace lint wall.
+//! Workspace lint wall — thin CLI over [`cm_lint::lintwall`].
 //!
 //! A source-level hygiene gate that complements `clippy` with rules the
 //! stock lints cannot express:
@@ -15,222 +15,39 @@
 //!   order-insensitive.
 //! * **L3** — every workspace crate's `lib.rs` carries
 //!   `#![deny(missing_docs)]`.
+//! * **L4** — stale allowlist entries, reported with the exact line number
+//!   of the entry in the allow file.
+//!
+//! The rules themselves are token-based and live in `cm-lint`
+//! ([`cm_lint::lintwall::run`]), sharing the lexer and `cfg(test)` masks
+//! with the determinism taint pass — string literals and comments can no
+//! longer trigger L1, and test scoping follows the real item mask instead
+//! of the old "everything after the first `#[cfg(test)]`" heuristic.
 //!
 //! Run with `cargo run -p cm-audit --bin lintwall`; exits non-zero on any
-//! violation. Used by CI next to `cargo clippy -- -D warnings`.
+//! violation. Used by CI next to `cargo clippy -- -D warnings` and
+//! `cargo run -p cm-lint`.
 
-use std::collections::HashSet;
-use std::fmt::Write as _;
-use std::path::{Path, PathBuf};
+use cm_lint::{lintwall, ws};
 
-/// A single lint-wall violation.
-struct Violation {
-    rule: &'static str,
-    path: String,
-    line: usize,
-    text: String,
-}
-
-fn workspace_root() -> PathBuf {
-    // crates/audit/ -> workspace root.
-    Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .unwrap_or_else(|| Path::new("."))
-        .to_path_buf()
-}
-
-/// All `.rs` files under `crates/*/src` and `vendor/*/src` (library and
-/// binary code; integration tests, benches and examples live elsewhere).
-fn library_sources(root: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    for tree in ["crates", "vendor"] {
-        let Ok(entries) = std::fs::read_dir(root.join(tree)) else {
-            continue;
-        };
-        for entry in entries.flatten() {
-            let src = entry.path().join("src");
-            if src.is_dir() {
-                collect_rs(&src, &mut out);
-            }
-        }
-    }
-    out.sort();
-    out
-}
-
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let p = entry.path();
-        if p.is_dir() {
-            collect_rs(&p, out);
-        } else if p.extension().is_some_and(|e| e == "rs") {
-            out.push(p);
-        }
-    }
-}
-
-/// Lines to audit: everything before the trailing `#[cfg(test)]` block (the
-/// workspace convention puts unit tests last in the file).
-fn non_test_line_count(src: &str) -> usize {
-    src.lines()
-        .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
-        .unwrap_or(src.lines().count())
-}
-
-fn rel(root: &Path, p: &Path) -> String {
-    p.strip_prefix(root)
-        .unwrap_or(p)
-        .to_string_lossy()
-        .replace('\\', "/")
-}
-
-fn load_allowlist(root: &Path) -> HashSet<(String, String)> {
-    let p = root.join("crates/audit/lintwall.allow");
-    let Ok(text) = std::fs::read_to_string(&p) else {
-        return HashSet::new();
-    };
-    text.lines()
-        .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
-        .filter_map(|l| {
-            let (path, line) = l.split_once('\t')?;
-            Some((path.to_string(), line.to_string()))
-        })
-        .collect()
-}
-
-/// L1: unwrap/expect in library code.
-fn check_unwraps(
-    rel_path: &str,
-    src: &str,
-    allow: &HashSet<(String, String)>,
-    out: &mut Vec<Violation>,
-) {
-    // Assembled at runtime so the scanner does not flag its own needles.
-    let needles = [format!(".{}()", "unwrap"), format!(".{}(", "expect")];
-    for (idx, line) in src.lines().take(non_test_line_count(src)).enumerate() {
-        let trimmed = line.trim();
-        if trimmed.starts_with("//") {
-            continue; // comments and doc examples
-        }
-        if !needles.iter().any(|n| trimmed.contains(n.as_str())) {
-            continue;
-        }
-        if trimmed.contains("lintwall:allow(unwrap)") {
-            continue;
-        }
-        if allow.contains(&(rel_path.to_string(), trimmed.to_string())) {
-            continue;
-        }
-        out.push(Violation {
-            rule: "L1_UNWRAP",
-            path: rel_path.to_string(),
-            line: idx + 1,
-            text: trimmed.to_string(),
-        });
-    }
-}
-
-/// L2: direct HashMap-order iteration in report/output paths.
-fn check_map_iteration(rel_path: &str, src: &str, out: &mut Vec<Violation>) {
-    let in_scope = rel_path.ends_with("report.rs") || rel_path.contains("/src/bin/");
-    if !in_scope {
-        return;
-    }
-    for (idx, line) in src.lines().take(non_test_line_count(src)).enumerate() {
-        let trimmed = line.trim();
-        if trimmed.starts_with("//") || trimmed.contains("lintwall:allow(map-iter)") {
-            continue;
-        }
-        if trimmed.starts_with("for ")
-            && trimmed.contains(" in ")
-            && (trimmed.contains(".values()") || trimmed.contains(".keys()"))
-        {
-            out.push(Violation {
-                rule: "L2_MAP_ITER",
-                path: rel_path.to_string(),
-                line: idx + 1,
-                text: trimmed.to_string(),
-            });
-        }
-    }
-}
-
-/// L3: `#![deny(missing_docs)]` in every crate root.
-fn check_missing_docs(root: &Path, out: &mut Vec<Violation>) {
-    for tree in ["crates", "vendor"] {
-        let Ok(entries) = std::fs::read_dir(root.join(tree)) else {
-            continue;
-        };
-        let mut roots: Vec<PathBuf> = entries
-            .flatten()
-            .map(|e| e.path().join("src/lib.rs"))
-            .filter(|p| p.is_file())
-            .collect();
-        roots.sort();
-        for lib in roots {
-            let src = std::fs::read_to_string(&lib).unwrap_or_default();
-            if !src.contains("#![deny(missing_docs)]") {
-                out.push(Violation {
-                    rule: "L3_MISSING_DOCS",
-                    path: rel(root, &lib),
-                    line: 1,
-                    text: "crate root lacks #![deny(missing_docs)]".to_string(),
-                });
-            }
-        }
-    }
-}
+/// Repo-relative path of the allowlist, also used in L4 findings.
+const ALLOW_PATH: &str = "crates/audit/lintwall.allow";
 
 fn main() {
-    let root = workspace_root();
-    let allow = load_allowlist(&root);
-    let mut violations = Vec::new();
+    let root = ws::workspace_root(env!("CARGO_MANIFEST_DIR"));
+    let workspace = ws::load(&root);
+    let allow_text = std::fs::read_to_string(root.join(ALLOW_PATH)).unwrap_or_default();
+    let allow = lintwall::parse_allow(&allow_text);
 
-    let mut scanned = 0usize;
-    let mut live: HashSet<(String, String)> = HashSet::new();
-    for path in library_sources(&root) {
-        let Ok(src) = std::fs::read_to_string(&path) else {
-            continue;
-        };
-        scanned += 1;
-        let rp = rel(&root, &path);
-        check_unwraps(&rp, &src, &allow, &mut violations);
-        check_map_iteration(&rp, &src, &mut violations);
-        for line in src.lines().take(non_test_line_count(&src)) {
-            live.insert((rp.clone(), line.trim().to_string()));
-        }
+    let scanned = workspace.files.len();
+    let findings = lintwall::run(&workspace.files, &allow, ALLOW_PATH);
+    for f in &findings {
+        println!("{}: {}:{}: {}", f.rule, f.path, f.line, f.message);
     }
-    check_missing_docs(&root, &mut violations);
-
-    // Stale allowlist entries are themselves violations: the wall must not
-    // silently grow holes.
-    let mut stale: Vec<&(String, String)> = allow.iter().filter(|e| !live.contains(*e)).collect();
-    stale.sort();
-    for (path, text) in stale {
-        violations.push(Violation {
-            rule: "L4_STALE_ALLOW",
-            path: path.clone(),
-            line: 0,
-            text: format!("allowlist entry no longer matches any line: {text}"),
-        });
-    }
-
-    violations.sort_by(|a, b| {
-        (a.rule, &a.path, a.line, &a.text).cmp(&(b.rule, &b.path, b.line, &b.text))
-    });
-    let mut report = String::new();
-    for v in &violations {
-        let _ = writeln!(report, "{}: {}:{}: {}", v.rule, v.path, v.line, v.text);
-    }
-    print!("{report}");
-    if violations.is_empty() {
+    if findings.is_empty() {
         println!("lintwall clean: {scanned} files scanned, 0 violations");
     } else {
-        eprintln!("lintwall: {} violation(s)", violations.len());
+        eprintln!("lintwall: {} violation(s)", findings.len());
         std::process::exit(1);
     }
 }

@@ -234,6 +234,7 @@ impl<'d> Bdrmap<'d> {
         let mut was_cbi: HashSet<Ipv4> = HashSet::new();
         let mut as0: HashSet<Ipv4> = HashSet::new();
         for (_, run) in &result.runs {
+            // cm-lint: nondet-quarantined(keyed set accumulation; inserts commute, so label iteration order is immaterial)
             for (&addr, &label) in &run.labels {
                 match label {
                     Label::Abi => {

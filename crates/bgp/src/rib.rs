@@ -181,6 +181,7 @@ impl RoutingTable {
         }
 
         let mut max_prefix_len = 0u8;
+        // cm-lint: nondet-quarantined(candidates are sorted and inserted into a keyed trie, erasing accumulation order)
         for (prefix, mut cands) in acc {
             // Deterministic candidate order regardless of HashMap iteration.
             cands.sort_by_key(|c| (c.path_len, c.pref, c.ic.0));

@@ -183,6 +183,7 @@ impl SegmentPool {
     ///   drop unexplainable segments);
     /// * `owner_override` only covers known interfaces.
     pub fn check_invariants(&self) -> Result<(), String> {
+        // cm-lint: nondet-quarantined(validation scan; the success path is order-independent and any violation aborts the run)
         for seg in self.segments.keys() {
             if !self.abis.contains_key(&seg.abi) {
                 return Err(format!("segment {:?} has unknown ABI", seg));
@@ -201,6 +202,7 @@ impl SegmentPool {
                 self.accepted
             ));
         }
+        // cm-lint: nondet-quarantined(validation scan; the success path is order-independent and any violation aborts the run)
         for addr in self.owner_override.keys() {
             if !self.abis.contains_key(addr) && !self.cbis.contains_key(addr) {
                 return Err(format!("owner override on unknown interface {addr}"));
@@ -212,6 +214,7 @@ impl SegmentPool {
     /// Merges another pool into this one (round one + round two).
     pub fn merge(&mut self, other: SegmentPool) {
         assert_eq!(self.cloud_org, other.cloud_org);
+        // cm-lint: nondet-quarantined(keyed entry-merge; each key is visited once and the folds commute)
         for (seg, meta) in other.segments {
             let e = self.segments.entry(seg).or_default();
             e.count += meta.count;
@@ -223,6 +226,7 @@ impl SegmentPool {
             }
             e.regions.extend(meta.regions);
         }
+        // cm-lint: nondet-quarantined(keyed entry-merge; each key is visited once and the folds commute)
         for (a, info) in other.cbis {
             match self.cbis.entry(a) {
                 std::collections::hash_map::Entry::Occupied(mut e) => {
@@ -233,9 +237,11 @@ impl SegmentPool {
                 }
             }
         }
+        // cm-lint: nondet-quarantined(keyed entry-merge; each key is visited once and the folds commute)
         for (a, n) in other.abis {
             self.abis.entry(a).or_insert(n);
         }
+        // cm-lint: nondet-quarantined(keyed entry-merge; each key is visited once and the folds commute)
         for (a, ev) in other.successors {
             let e = self.successors.entry(a).or_default();
             e.cloud_successor |= ev.cloud_successor;

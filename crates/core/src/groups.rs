@@ -144,6 +144,7 @@ impl Grouping {
         snapshot: &PrefixTrie<Asn>,
     ) -> Grouping {
         let mut per_as: HashMap<Asn, AsProfile> = HashMap::new();
+        // cm-lint: nondet-quarantined(keyed per-AS profile accumulation; counter adds and set inserts commute)
         for seg in pool.segments.keys() {
             let Some(info) = pool.cbis.get(&seg.cbi) else {
                 continue;
@@ -210,11 +211,14 @@ impl Grouping {
         let mut features: HashMap<PeeringGroup, FeatureDists> = HashMap::new();
         // Segment diffs indexed per CBI for the RTT feature.
         let mut diffs_of_cbi: HashMap<Ipv4, Vec<f64>> = HashMap::new();
+        // cm-lint: nondet-quarantined(per-CBI diff lists are distributions; every consumer sorts before summarizing)
         for (&(_, cbi), &d) in rtt_diff {
             diffs_of_cbi.entry(cbi).or_default().push(d);
         }
+        // cm-lint: nondet-quarantined(feature vectors are distributions; every consumer sorts before summarizing or dumping)
         for (&asn, profile) in &per_as {
             let cone = cone_24(asn) as f64;
+            // cm-lint: nondet-quarantined(feature vectors are distributions; every consumer sorts before summarizing or dumping)
             for (&group, cbis) in &profile.cbis_by_group {
                 let f = features.entry(group).or_default();
                 f.cone_slash24.push(cone);

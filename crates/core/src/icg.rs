@@ -40,6 +40,7 @@ impl Icg {
     pub fn build(pool: &SegmentPool, pins: &PinOutcome) -> Icg {
         let mut abi_nbrs: HashMap<Ipv4, HashSet<Ipv4>> = HashMap::new();
         let mut cbi_nbrs: HashMap<Ipv4, HashSet<Ipv4>> = HashMap::new();
+        // cm-lint: nondet-quarantined(keyed adjacency-set accumulation; inserts commute)
         for seg in pool.segments.keys() {
             abi_nbrs.entry(seg.abi).or_default().insert(seg.cbi);
             cbi_nbrs.entry(seg.cbi).or_default().insert(seg.abi);

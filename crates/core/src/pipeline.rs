@@ -180,31 +180,24 @@ impl StageTimings {
             };
             t.stages.push((stage, wall));
             for (group, counters) in groups.iter().chain(&event.nondet_groups) {
+                let get = |name| cm_obs::lookup_named(counters, name).unwrap_or(0);
                 match *group {
                     GROUP_ROUTE_MEMO => {
-                        let mut memo = MemoStats::default();
-                        for &(name, v) in counters {
-                            match name {
-                                "hits" => memo.hits = v,
-                                "misses" => memo.misses = v,
-                                _ => {}
-                            }
-                        }
+                        let memo = MemoStats {
+                            hits: get("hits"),
+                            misses: get("misses"),
+                        };
                         t.route_memo.push((stage, memo));
                     }
                     GROUP_FAULT_IMPACT => {
-                        let mut fi = FaultImpact::default();
-                        for &(name, v) in counters {
-                            match name {
-                                "burst_loss" => fi.burst_loss = v,
-                                "blackhole" => fi.blackhole = v,
-                                "mpls" => fi.mpls = v,
-                                "clock_skew" => fi.clock_skew = v,
-                                "addr_rewrite" => fi.addr_rewrite = v,
-                                "route_flap" => fi.route_flap = v,
-                                _ => {}
-                            }
-                        }
+                        let fi = FaultImpact {
+                            burst_loss: get("burst_loss"),
+                            blackhole: get("blackhole"),
+                            mpls: get("mpls"),
+                            clock_skew: get("clock_skew"),
+                            addr_rewrite: get("addr_rewrite"),
+                            route_flap: get("route_flap"),
+                        };
                         t.fault_impact.push((stage, fi));
                     }
                     _ => {}
@@ -214,12 +207,6 @@ impl StageTimings {
         t
     }
 
-    /// The one lookup all three per-stage accessors share (stage lists
-    /// are ≤ 8 entries, so a scan beats an index).
-    fn lookup<T: Copy>(entries: &[(&'static str, T)], name: &str) -> Option<T> {
-        entries.iter().find(|&&(n, _)| n == name).map(|&(_, v)| v)
-    }
-
     /// Total wall clock across all recorded stages.
     pub fn total(&self) -> Duration {
         self.stages.iter().map(|&(_, d)| d).sum()
@@ -227,12 +214,12 @@ impl StageTimings {
 
     /// Wall clock of one stage, if recorded.
     pub fn wall(&self, name: &str) -> Option<Duration> {
-        Self::lookup(&self.stages, name)
+        cm_obs::lookup_named(&self.stages, name)
     }
 
     /// Route-memo delta of one stage, if recorded.
     pub fn memo(&self, name: &str) -> Option<MemoStats> {
-        Self::lookup(&self.route_memo, name)
+        cm_obs::lookup_named(&self.route_memo, name)
     }
 
     /// Aggregate route-memo stats across all recorded stages.
@@ -247,7 +234,7 @@ impl StageTimings {
 
     /// Fault-impact delta of one stage, if recorded.
     pub fn faults(&self, name: &str) -> Option<FaultImpact> {
-        Self::lookup(&self.fault_impact, name)
+        cm_obs::lookup_named(&self.fault_impact, name)
     }
 
     /// Aggregate fault impact across all recorded stages.
@@ -258,6 +245,23 @@ impl StageTimings {
         }
         total
     }
+}
+
+/// Starts the wall clock for one pipeline stage. Together with
+/// [`stage_wall_ms`] this is the *only* place [`Pipeline::run`] reads the
+/// wall clock: the reading lands in the flight recorder's quarantined
+/// `nondeterministic` JSONL section and never feeds the digest, which is
+/// why the pair carries the lint quarantine instead of the eight call
+/// sites.
+fn stage_clock() -> Instant {
+    // cm-lint: nondet-quarantined(stage wall clock lands in the recorder's nondeterministic JSONL section, never the digest)
+    Instant::now()
+}
+
+/// Milliseconds elapsed since a [`stage_clock`] reading.
+fn stage_wall_ms(start: Instant) -> f64 {
+    // cm-lint: nondet-quarantined(stage wall clock lands in the recorder's nondeterministic JSONL section, never the digest)
+    start.elapsed().as_secs_f64() * 1000.0
 }
 
 /// One Table 1 row: interface count and annotation-source fractions.
@@ -409,11 +413,10 @@ impl<'i> Pipeline<'i> {
                 vec![("hits", memo.hits), ("misses", memo.misses)],
             )]
         };
-        let wall_ms = |start: Instant| start.elapsed().as_secs_f64() * 1000.0;
 
         // ---- public data (§3 inputs) --------------------------------------
         obs.stage_start("public-data");
-        let stage_start = Instant::now();
+        let stage_start = stage_clock();
         let snapshot = bgp_snapshot(inet);
         let view = BgpView::compute(inet, primary, cfg.n_feeders, seed);
         let visible_asns: HashSet<Asn> = view
@@ -444,7 +447,12 @@ impl<'i> Pipeline<'i> {
         let annotator = Annotator::new(&snapshot, &datasets);
         let plane = DataPlane::new(inet, cfg.dataplane);
         let campaign = Campaign::new(&plane, primary);
-        obs.stage_end("public-data", wall_ms(stage_start), Vec::new(), Vec::new());
+        obs.stage_end(
+            "public-data",
+            stage_wall_ms(stage_start),
+            Vec::new(),
+            Vec::new(),
+        );
 
         // ---- round one (§3, §4.1) -----------------------------------------
         let obs_ref = &obs;
@@ -476,24 +484,26 @@ impl<'i> Pipeline<'i> {
                 .map_err(|e| PipelineError::SelfAudit(format!("after {stage}: {e}")))
         };
         obs.stage_start("sweep");
-        let stage_start = Instant::now();
+        let stage_start = stage_clock();
         let memo_before = plane.route_memo_stats();
         let faults_before = plane.fault_impact();
         let sweep_targets = campaign.sweep_targets();
         let (mut pool, sweep_stats) = run_round(&sweep_targets);
         self_check(&pool, "round one")?;
+        // cm-lint: nondet-quarantined(table1_row takes commutative count/fraction tallies; value order is immaterial)
         let t1_abi = table1_row(pool.abis.values());
+        // cm-lint: nondet-quarantined(table1_row takes commutative count/fraction tallies; value order is immaterial)
         let t1_cbi = table1_row(pool.cbis.values().map(|c| &c.note));
         obs.stage_end(
             "sweep",
-            wall_ms(stage_start),
+            stage_wall_ms(stage_start),
             faults_group(plane.fault_impact().since(faults_before)),
             memo_group(plane.route_memo_stats().since(memo_before)),
         );
 
         // ---- round two (§4.2) ----------------------------------------------
         obs.stage_start("expansion");
-        let stage_start = Instant::now();
+        let stage_start = stage_clock();
         let memo_before = plane.route_memo_stats();
         let faults_before = plane.fault_impact();
         let expansion_stats = if cfg.run_expansion {
@@ -508,17 +518,19 @@ impl<'i> Pipeline<'i> {
         };
         obs.stage_end(
             "expansion",
-            wall_ms(stage_start),
+            stage_wall_ms(stage_start),
             faults_group(plane.fault_impact().since(faults_before)),
             memo_group(plane.route_memo_stats().since(memo_before)),
         );
+        // cm-lint: nondet-quarantined(table1_row takes commutative count/fraction tallies; value order is immaterial)
         let t1_eabi = table1_row(pool.abis.values());
+        // cm-lint: nondet-quarantined(table1_row takes commutative count/fraction tallies; value order is immaterial)
         let t1_ecbi = table1_row(pool.cbis.values().map(|c| &c.note));
         let table1 = [t1_abi, t1_cbi, t1_eabi, t1_ecbi];
 
         // ---- verification (§5) ----------------------------------------------
         obs.stage_start("verify");
-        let stage_start = Instant::now();
+        let stage_start = stage_clock();
         let heuristics = run_heuristics(&pool, |a| publicly_reachable(inet, a));
         let mut addrs: Vec<Ipv4> = pool.abis.keys().copied().collect();
         addrs.extend(pool.cbis.keys().copied());
@@ -533,11 +545,11 @@ impl<'i> Pipeline<'i> {
             &alias_sets,
         );
         self_check(&pool, "alias corrections")?;
-        obs.stage_end("verify", wall_ms(stage_start), Vec::new(), Vec::new());
+        obs.stage_end("verify", stage_wall_ms(stage_start), Vec::new(), Vec::new());
 
         // ---- RTT campaign + pinning (§6) ------------------------------------
         obs.stage_start("rtt");
-        let stage_start = Instant::now();
+        let stage_start = stage_clock();
         let memo_before = plane.route_memo_stats();
         let faults_before = plane.fault_impact();
         let mut rtt_targets: Vec<Ipv4> = pool.abis.keys().copied().collect();
@@ -548,13 +560,13 @@ impl<'i> Pipeline<'i> {
         let rtt = RttCampaign::run_obs(&plane, primary, &rtt_targets, cfg.rtt_attempts, Some(&obs));
         obs.stage_end(
             "rtt",
-            wall_ms(stage_start),
+            stage_wall_ms(stage_start),
             faults_group(plane.fault_impact().since(faults_before)),
             memo_group(plane.route_memo_stats().since(memo_before)),
         );
 
         obs.stage_start("pinning");
-        let stage_start = Instant::now();
+        let stage_start = stage_clock();
         let pinner = Pinner {
             pool: &pool,
             dns: &dns,
@@ -574,6 +586,7 @@ impl<'i> Pipeline<'i> {
 
         // Per-segment diffs, reused by grouping.
         let mut segment_diffs: HashMap<(Ipv4, Ipv4), f64> = HashMap::new();
+        // cm-lint: nondet-quarantined(keyed insert per segment; each key is computed independently and visited once)
         for seg in pool.segments.keys() {
             if let Some((region, abi_rtt)) = rtt.closest_region(seg.abi) {
                 if let Some(&cbi_rtt) = rtt.min_rtt.get(&seg.cbi).and_then(|m| m.get(&region)) {
@@ -581,11 +594,16 @@ impl<'i> Pipeline<'i> {
                 }
             }
         }
-        obs.stage_end("pinning", wall_ms(stage_start), Vec::new(), Vec::new());
+        obs.stage_end(
+            "pinning",
+            stage_wall_ms(stage_start),
+            Vec::new(),
+            Vec::new(),
+        );
 
         // ---- VPI detection (§7.1) -------------------------------------------
         obs.stage_start("vpi");
-        let stage_start = Instant::now();
+        let stage_start = stage_clock();
         let memo_before = plane.route_memo_stats();
         let faults_before = plane.fault_impact();
         let vpi = if cfg.run_vpi {
@@ -612,14 +630,14 @@ impl<'i> Pipeline<'i> {
         };
         obs.stage_end(
             "vpi",
-            wall_ms(stage_start),
+            stage_wall_ms(stage_start),
             faults_group(plane.fault_impact().since(faults_before)),
             memo_group(plane.route_memo_stats().since(memo_before)),
         );
 
         // ---- grouping + ICG (§7.2–7.4) --------------------------------------
         obs.stage_start("grouping");
-        let stage_start = Instant::now();
+        let stage_start = stage_clock();
         let groups = Grouping::build(
             &pool,
             &vpi,
@@ -678,7 +696,12 @@ impl<'i> Pipeline<'i> {
         reg.set_gauge("vpi_cbis", vpi.vpi_cbis.len() as i64);
         reg.set_gauge("peer_groups", groups.per_as.len() as i64);
         reg.set_gauge("icg_edges", icg.edges as i64);
-        obs.stage_end("grouping", wall_ms(stage_start), Vec::new(), Vec::new());
+        obs.stage_end(
+            "grouping",
+            stage_wall_ms(stage_start),
+            Vec::new(),
+            Vec::new(),
+        );
 
         let fault_impact = plane.fault_impact();
         let timings = StageTimings::from_recorder(&obs.recorder.events());

@@ -35,7 +35,9 @@ impl HeuristicOutcome {
     /// ABIs confirmed by at least one heuristic.
     pub fn confirmed(&self) -> HashSet<Ipv4> {
         let mut s = self.ixp.clone();
+        // cm-lint: nondet-quarantined(set union; extending a set commutes, so source order is immaterial)
         s.extend(self.hybrid.iter().copied());
+        // cm-lint: nondet-quarantined(set union; extending a set commutes, so source order is immaterial)
         s.extend(self.reachable.iter().copied());
         s
     }
@@ -43,11 +45,11 @@ impl HeuristicOutcome {
     /// The Table 2 rows: per heuristic, `(ABIs, CBIs)` counts — individual
     /// and cumulative in the paper's order (IXP, hybrid, reachable).
     pub fn table2(&self, pool: &SegmentPool) -> [(usize, usize); 6] {
-        let cbis_of = |abis: &HashSet<Ipv4>| -> usize {
+        let cbis_of = |confirmed: &HashSet<Ipv4>| -> usize {
             let set: HashSet<Ipv4> = pool
                 .segments
                 .keys()
-                .filter(|s| abis.contains(&s.abi))
+                .filter(|s| confirmed.contains(&s.abi))
                 .map(|s| s.cbi)
                 .collect();
             set.len()
@@ -83,9 +85,11 @@ where
     let mut out = HeuristicOutcome::default();
     // Index CBIs per ABI once.
     let mut cbis_of: HashMap<Ipv4, Vec<Ipv4>> = HashMap::new();
+    // cm-lint: nondet-quarantined(per-ABI CBI lists are only probed with any()/contains-style checks, which ignore order)
     for seg in pool.segments.keys() {
         cbis_of.entry(seg.abi).or_default().push(seg.cbi);
     }
+    // cm-lint: nondet-quarantined(ABIs are classified independently into sets; visit order is immaterial)
     for (&abi, cbis) in &cbis_of {
         // IXP-client: any CBI inside an IXP prefix.
         if cbis.iter().any(|c| {
@@ -136,10 +140,10 @@ pub struct ChangeStats {
 
 /// Majority AS owner of an alias set, by annotating each member address.
 /// Returns `None` when no AS holds a strict majority.
-pub fn majority_owner(annotator: &Annotator<'_>, set: &[Ipv4]) -> Option<Asn> {
+pub fn majority_owner(annotator: &Annotator<'_>, members: &[Ipv4]) -> Option<Asn> {
     let mut votes: HashMap<Asn, usize> = HashMap::new();
     let mut n = 0;
-    for &a in set {
+    for &a in members {
         let note = annotator.annotate(a);
         if !note.asn.is_reserved() {
             *votes.entry(note.asn).or_default() += 1;
@@ -168,11 +172,11 @@ pub fn apply_alias_corrections(
 ) -> ChangeStats {
     let mut stats = ChangeStats::default();
     let mut owner_of_addr: HashMap<Ipv4, Asn> = HashMap::new();
-    for set in sets {
-        match majority_owner(annotator, set) {
+    for members in sets {
+        match majority_owner(annotator, members) {
             Some(owner) => {
                 stats.sets_with_majority += 1;
-                for &a in set {
+                for &a in members {
                     owner_of_addr.insert(a, owner);
                 }
             }
@@ -184,7 +188,8 @@ pub fn apply_alias_corrections(
         |asn: Asn| -> bool { cloud_org_of(asn).map(|o| o == cloud_org).unwrap_or(false) };
 
     // Pass 1: ABIs on client routers → shift segments up.
-    let abis: Vec<Ipv4> = pool.abis.keys().copied().collect();
+    let mut abis: Vec<Ipv4> = pool.abis.keys().copied().collect();
+    abis.sort_unstable();
     for abi in abis {
         let Some(&owner) = owner_of_addr.get(&abi) else {
             continue;
@@ -194,12 +199,13 @@ pub fn apply_alias_corrections(
         }
         stats.abi_to_cbi += 1;
         // Rewrite every segment that used this ABI.
-        let affected: Vec<(Segment, crate::borders::SegmentMeta)> = pool
+        let mut affected: Vec<(Segment, crate::borders::SegmentMeta)> = pool
             .segments
             .iter()
             .filter(|(s, _)| s.abi == abi)
             .map(|(s, m)| (*s, m.clone()))
             .collect();
+        affected.sort_by_key(|&(s, _)| s);
         for (seg, meta) in affected {
             pool.segments.remove(&seg);
             if let Some(pre) = meta.pre_abi {
@@ -207,6 +213,7 @@ pub fn apply_alias_corrections(
                 let e = pool.segments.entry(new_seg).or_default();
                 e.count += meta.count;
                 e.post_cbi = Some(seg.cbi);
+                // cm-lint: nondet-quarantined(set union; extending a set commutes, so source order is immaterial)
                 e.regions.extend(meta.regions.iter().copied());
                 pool.abis
                     .entry(pre)
@@ -229,19 +236,21 @@ pub fn apply_alias_corrections(
     }
 
     // Pass 2: CBIs on cloud routers → shift segments down.
-    let cbis: Vec<Ipv4> = pool.cbis.keys().copied().collect();
+    let mut cbis: Vec<Ipv4> = pool.cbis.keys().copied().collect();
+    cbis.sort_unstable();
     for cbi in cbis {
         let Some(&owner) = owner_of_addr.get(&cbi) else {
             continue;
         };
         if is_cloud_owner(owner) {
             stats.cbi_to_abi += 1;
-            let affected: Vec<(Segment, crate::borders::SegmentMeta)> = pool
+            let mut affected: Vec<(Segment, crate::borders::SegmentMeta)> = pool
                 .segments
                 .iter()
                 .filter(|(s, _)| s.cbi == cbi)
                 .map(|(s, m)| (*s, m.clone()))
                 .collect();
+            affected.sort_by_key(|&(s, _)| s);
             for (seg, meta) in affected {
                 pool.segments.remove(&seg);
                 if let Some(post) = meta.post_cbi {
@@ -252,6 +261,7 @@ pub fn apply_alias_corrections(
                     let e = pool.segments.entry(new_seg).or_default();
                     e.count += meta.count;
                     e.pre_abi = Some(seg.abi);
+                    // cm-lint: nondet-quarantined(set union; extending a set commutes, so source order is immaterial)
                     e.regions.extend(meta.regions.iter().copied());
                     pool.cbis
                         .entry(post)

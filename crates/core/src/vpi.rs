@@ -69,6 +69,7 @@ impl VpiDetection {
 /// destination of the traceroute that first revealed it.
 pub fn build_target_pool(pool: &SegmentPool) -> Vec<Ipv4> {
     let mut targets: HashSet<Ipv4> = HashSet::new();
+    // cm-lint: nondet-quarantined(set inserts commute and the target pool is sorted before probing)
     for (&cbi, info) in &pool.cbis {
         if info.note.source == NoteSource::Ixp {
             continue;
@@ -133,6 +134,7 @@ pub fn detect(
             .filter(|a| candidates.contains(a))
             .copied()
             .collect();
+        // cm-lint: nondet-quarantined(set union; extending a set commutes, so source order is immaterial)
         out.vpi_cbis.extend(overlap.iter().copied());
         let name = plane.inet.clouds[cloud.index()].name.clone();
         out.per_cloud.push((name, overlap));

@@ -232,6 +232,7 @@ impl<'a> DataPlane<'a> {
                     }
                 }
             }
+            // cm-lint: nondet-quarantined(each value list is sorted independently; visit order is immaterial)
             for v in facility_uplinks.values_mut() {
                 v.sort_unstable();
             }

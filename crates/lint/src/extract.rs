@@ -1,0 +1,496 @@
+//! Item and call-graph extraction over the token stream.
+//!
+//! This layer turns each file's tokens into:
+//!
+//! * a **test mask** — which tokens sit inside a `#[cfg(test)]` item
+//!   (including `cfg(all(test, …))`, but not `cfg(not(test))`), so lint
+//!   rules skip test code exactly instead of assuming tests trail the
+//!   file;
+//! * **fn items** — every `fn` with its name, enclosing `impl` type (when
+//!   any), body token range and declaration line;
+//! * **call references** — every identifier in a body that can denote a
+//!   function: `name(…)` calls, `recv.name(…)` method calls, and
+//!   `Path::name` references passed as values (callbacks).
+//!
+//! Resolution is deliberately an over-approximation: a reference `name`
+//! points at *every* workspace `fn name` visible from the caller's crate
+//! (its own crate plus its transitive path dependencies). The taint pass
+//! inherits that over-approximation, which is the safe direction for a
+//! determinism lint — a false edge can only make the lint stricter.
+
+use crate::lexer::{lex, Tok, TokKind};
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+/// One source file, lexed.
+pub struct FileModel {
+    /// Repo-relative path (forward slashes).
+    pub path: String,
+    /// Package the file belongs to (e.g. `cm-probe`).
+    pub crate_name: String,
+    /// The token stream.
+    pub toks: Vec<Tok>,
+    /// Raw source lines, for excerpting and line-keyed allowlists.
+    pub lines: Vec<String>,
+    /// `test_mask[i]` — token `i` is inside a `#[cfg(test)]` item.
+    pub test_mask: Vec<bool>,
+}
+
+/// One `fn` item.
+pub struct FnItem {
+    /// File index into [`Model::files`].
+    pub file: usize,
+    /// The function's bare name.
+    pub name: String,
+    /// The `impl` type name enclosing the fn, when any.
+    pub owner: Option<String>,
+    /// 1-based declaration line.
+    pub line: u32,
+    /// Token range of the body, braces included.
+    pub body: Range<usize>,
+    /// True when the item sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+impl FnItem {
+    /// `Owner::name` when owned, else the bare name.
+    pub fn qualified(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// The lexed workspace: files, functions and the name index the taint
+/// pass resolves call references through.
+pub struct Model {
+    /// Every scanned file.
+    pub files: Vec<FileModel>,
+    /// Every extracted fn item.
+    pub fns: Vec<FnItem>,
+    /// fn name → indices into [`Model::fns`].
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// crate → the crates it may call into (itself + transitive path
+    /// dependencies).
+    pub visible: BTreeMap<String, BTreeSet<String>>,
+}
+
+/// Builds a [`FileModel`] from source text.
+pub fn lex_file(path: &str, crate_name: &str, src: &str) -> FileModel {
+    let toks = lex(src);
+    let test_mask = test_mask(&toks);
+    FileModel {
+        path: path.to_string(),
+        crate_name: crate_name.to_string(),
+        lines: src.lines().map(str::to_string).collect(),
+        test_mask,
+        toks,
+    }
+}
+
+/// Assembles the workspace model: extracts fn items from every file and
+/// indexes them. `deps` maps each crate to its *direct* path dependencies;
+/// visibility is its transitive closure plus the crate itself.
+pub fn build_model(files: Vec<FileModel>, deps: &BTreeMap<String, Vec<String>>) -> Model {
+    let mut fns = Vec::new();
+    for (fi, file) in files.iter().enumerate() {
+        extract_fns(fi, file, &mut fns);
+    }
+    let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, f) in fns.iter().enumerate() {
+        by_name.entry(f.name.clone()).or_default().push(i);
+    }
+    let mut visible: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let crates: BTreeSet<&String> = files.iter().map(|f| &f.crate_name).collect();
+    for &krate in &crates {
+        let mut seen = BTreeSet::from([krate.clone()]);
+        let mut stack = vec![krate.clone()];
+        while let Some(c) = stack.pop() {
+            for d in deps.get(&c).into_iter().flatten() {
+                if seen.insert(d.clone()) {
+                    stack.push(d.clone());
+                }
+            }
+        }
+        visible.insert(krate.clone(), seen);
+    }
+    Model {
+        files,
+        fns,
+        by_name,
+        visible,
+    }
+}
+
+impl Model {
+    /// All fn indices a reference to `name` from `caller_crate` may
+    /// resolve to: workspace fns with that name, visible from the caller,
+    /// excluding test items.
+    pub fn resolve(&self, caller_crate: &str, name: &str) -> Vec<usize> {
+        let Some(candidates) = self.by_name.get(name) else {
+            return Vec::new();
+        };
+        let visible = self.visible.get(caller_crate);
+        candidates
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let f = &self.fns[i];
+                !f.in_test && visible.is_none_or(|v| v.contains(&self.files[f.file].crate_name))
+            })
+            .collect()
+    }
+
+    /// Resolves a root spec — `name` or `Owner::name` — to fn indices.
+    pub fn resolve_root(&self, spec: &str) -> Vec<usize> {
+        let (owner, name) = match spec.split_once("::") {
+            Some((o, n)) => (Some(o), n),
+            None => (None, spec),
+        };
+        self.by_name
+            .get(name)
+            .into_iter()
+            .flatten()
+            .copied()
+            .filter(|&i| {
+                let f = &self.fns[i];
+                !f.in_test && (owner.is_none() || f.owner.as_deref() == owner)
+            })
+            .collect()
+    }
+}
+
+/// Marks the tokens of every `#[cfg(test)]`-gated item.
+fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let code = |t: &Tok| t.kind != TokKind::Comment;
+    let mut i = 0;
+    while i < toks.len() {
+        // An outer attribute `#[ … ]`.
+        if toks[i].is_punct('#') {
+            let Some(open) = next_code(toks, i + 1) else {
+                break;
+            };
+            if !toks[open].is_punct('[') {
+                i += 1;
+                continue;
+            }
+            let close = match_bracket(toks, open, '[', ']');
+            if attr_is_cfg_test(&toks[open + 1..close]) {
+                // The attribute covers the next item: attributes may stack,
+                // so scan past further `#[…]` groups, then to the item's
+                // end — the matching `}` of its first `{`, or a `;` first.
+                let mut j = close + 1;
+                while let Some(h) = next_code(toks, j) {
+                    if toks[h].is_punct('#') {
+                        let Some(o) = next_code(toks, h + 1) else {
+                            break;
+                        };
+                        if toks[o].is_punct('[') {
+                            j = match_bracket(toks, o, '[', ']') + 1;
+                            continue;
+                        }
+                    }
+                    break;
+                }
+                let mut end = toks.len() - 1;
+                let mut k = j;
+                while k < toks.len() {
+                    if code(&toks[k]) && toks[k].is_punct(';') {
+                        end = k;
+                        break;
+                    }
+                    if code(&toks[k]) && toks[k].is_punct('{') {
+                        end = match_bracket(toks, k, '{', '}');
+                        break;
+                    }
+                    k += 1;
+                }
+                for m in mask.iter_mut().take(end + 1).skip(i) {
+                    *m = true;
+                }
+                i = end + 1;
+                continue;
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+fn next_code(toks: &[Tok], from: usize) -> Option<usize> {
+    (from..toks.len()).find(|&i| toks[i].kind != TokKind::Comment)
+}
+
+/// Index of the bracket matching `toks[open]` (which must be `open_c`);
+/// saturates at the last token on unbalanced input.
+fn match_bracket(toks: &[Tok], open: usize, open_c: char, close_c: char) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(open_c) {
+            depth += 1;
+        } else if t.is_punct(close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    toks.len() - 1
+}
+
+/// Does an attribute body (the tokens between `[` and `]`) gate on `test`?
+/// Handles `cfg(test)`, `cfg(all(test, …))`, `cfg(any(…, test))`; anything
+/// under `not(…)` is ignored (so `cfg(not(test))` is production code).
+fn attr_is_cfg_test(body: &[Tok]) -> bool {
+    let Some(first) = next_code(body, 0) else {
+        return false;
+    };
+    if !body[first].is_ident("cfg") {
+        return false;
+    }
+    let Some(open) = next_code(body, first + 1) else {
+        return false;
+    };
+    if !body[open].is_punct('(') {
+        return false;
+    }
+    let close = match_bracket(body, open, '(', ')');
+    cfg_pred_is_test(&body[open + 1..close])
+}
+
+fn cfg_pred_is_test(toks: &[Tok]) -> bool {
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_ident("test") {
+            return true;
+        }
+        if (t.is_ident("all") || t.is_ident("any") || t.is_ident("not"))
+            && next_code(toks, i + 1).is_some_and(|o| toks[o].is_punct('('))
+        {
+            let open = next_code(toks, i + 1).unwrap_or(i + 1);
+            let close = match_bracket(toks, open, '(', ')');
+            if !t.is_ident("not") && cfg_pred_is_test(&toks[open + 1..close]) {
+                return true;
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    false
+}
+
+/// The type name an `impl` block is for: the last path segment before the
+/// generics/brace (after `for` when present, so trait impls attribute to
+/// the implementing type).
+fn impl_type_name(toks: &[Tok], impl_idx: usize) -> Option<String> {
+    let mut angle = 0i32;
+    let mut after_for = false;
+    let mut name: Option<String> = None;
+    let mut for_name: Option<String> = None;
+    for t in toks.iter().skip(impl_idx + 1) {
+        match t.kind {
+            TokKind::Comment => {}
+            TokKind::Punct if t.is_punct('<') => angle += 1,
+            TokKind::Punct if t.is_punct('>') => angle -= 1,
+            TokKind::Punct if t.is_punct('{') && angle <= 0 => break,
+            TokKind::Ident if angle == 0 => {
+                if t.text == "for" {
+                    after_for = true;
+                } else if t.text != "where" && t.text != "dyn" && t.text != "mut" {
+                    if after_for {
+                        for_name = Some(t.text.clone());
+                    } else {
+                        name = Some(t.text.clone());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    for_name.or(name)
+}
+
+/// Walks a file's tokens, pairing braces, and records every `fn` item with
+/// its innermost `impl` owner.
+fn extract_fns(file_idx: usize, file: &FileModel, out: &mut Vec<FnItem>) {
+    enum Scope {
+        Impl(Option<String>),
+        Other,
+    }
+    let toks = &file.toks;
+    let mut scopes: Vec<Scope> = Vec::new();
+    // A declaration seen but whose body `{` has not opened yet.
+    let mut pending_fn: Option<(String, u32, usize)> = None; // name, line, decl idx
+    let mut pending_impl: Option<Option<String>> = None;
+    let mut fn_starts: Vec<(usize, usize)> = Vec::new(); // (out idx, open idx)
+
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Ident if t.text == "impl" => {
+                pending_impl = Some(impl_type_name(toks, i));
+            }
+            TokKind::Ident if t.text == "fn" => {
+                if let Some(n) = next_code(toks, i + 1) {
+                    if toks[n].kind == TokKind::Ident {
+                        pending_fn = Some((toks[n].text.clone(), toks[n].line, n));
+                        i = n;
+                    }
+                }
+            }
+            TokKind::Punct if t.is_punct(';') => {
+                // A bodyless fn (trait method declaration, extern).
+                pending_fn = None;
+            }
+            TokKind::Punct if t.is_punct('{') => {
+                if let Some((name, line, _)) = pending_fn.take() {
+                    let owner = scopes.iter().rev().find_map(|s| match s {
+                        Scope::Impl(n) => Some(n.clone()),
+                        Scope::Other => None,
+                    });
+                    out.push(FnItem {
+                        file: file_idx,
+                        name,
+                        owner: owner.flatten(),
+                        line,
+                        body: i..i, // end patched when the brace closes
+                        in_test: file.test_mask.get(i).copied().unwrap_or(false),
+                    });
+                    fn_starts.push((out.len() - 1, i));
+                    scopes.push(Scope::Other);
+                } else if let Some(owner) = pending_impl.take() {
+                    scopes.push(Scope::Impl(owner));
+                } else {
+                    scopes.push(Scope::Other);
+                }
+            }
+            TokKind::Punct if t.is_punct('}') => {
+                scopes.pop();
+                // Close any fn whose body opened at the scope we just left.
+                if let Some(&(fi, open)) = fn_starts.last() {
+                    if brace_balance(toks, open, i) {
+                        out[fi].body = open..i + 1;
+                        fn_starts.pop();
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // Unbalanced input: close remaining fns at EOF.
+    for (fi, open) in fn_starts {
+        out[fi].body = open..toks.len();
+    }
+}
+
+/// True when `toks[open..=close]` is brace-balanced (close matches open).
+fn brace_balance(toks: &[Tok], open: usize, close: usize) -> bool {
+    let mut depth = 0i64;
+    for t in &toks[open..=close] {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+        }
+    }
+    depth == 0
+}
+
+/// Call references inside `body`: identifiers immediately followed by `(`
+/// (calls), and identifiers immediately preceded by `::` (path values like
+/// `Type::method` passed as callbacks). Declaration names (`fn x`), macro
+/// invocations (`name!`) and field accesses are not references.
+pub fn call_refs(toks: &[Tok], body: Range<usize>) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let slice = &toks[body.clone()];
+    let code: Vec<usize> = (0..slice.len())
+        .filter(|&i| slice[i].kind != TokKind::Comment)
+        .collect();
+    for (ci, &i) in code.iter().enumerate() {
+        let t = &slice[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev = ci.checked_sub(1).map(|p| &slice[code[p]]);
+        if prev.is_some_and(|p| p.is_ident("fn")) {
+            continue; // a declaration, not a reference
+        }
+        let next = code.get(ci + 1).map(|&n| &slice[n]);
+        let is_call = next.is_some_and(|n| n.is_punct('('));
+        let is_path_value = prev.is_some_and(|p| p.kind == TokKind::PathSep)
+            && !next.is_some_and(|n| n.is_punct('!'));
+        if is_call || is_path_value {
+            out.insert(t.text.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_of(src: &str) -> Model {
+        let file = lex_file("src/lib.rs", "demo", src);
+        build_model(vec![file], &BTreeMap::new())
+    }
+
+    #[test]
+    fn extracts_free_and_impl_fns() {
+        let m = model_of(
+            "fn alpha() { beta(); }\n\
+             struct S;\n\
+             impl S { fn beta(&self) -> u32 { 1 } }\n\
+             impl std::fmt::Display for S { fn fmt(&self) {} }",
+        );
+        let names: Vec<String> = m.fns.iter().map(FnItem::qualified).collect();
+        assert_eq!(names, vec!["alpha", "S::beta", "S::fmt"]);
+    }
+
+    #[test]
+    fn call_refs_capture_calls_and_path_values() {
+        let m = model_of("fn a() { b(); items.map(Type::c); let x = d; vec![e]; m!(); }\n");
+        let refs = call_refs(&m.files[0].toks, m.fns[0].body.clone());
+        assert!(refs.contains("b"));
+        assert!(refs.contains("c"), "path value Type::c is a reference");
+        assert!(refs.contains("map"), "method names over-approximate");
+        assert!(!refs.contains("d"), "bare ident is not a reference");
+        assert!(!refs.contains("m"), "macro invocation is not a fn call");
+    }
+
+    #[test]
+    fn cfg_test_items_are_masked() {
+        let m = model_of(
+            "fn prod() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n    fn helper() {}\n}\n\
+             fn also_prod() {}\n",
+        );
+        let flags: Vec<(String, bool)> =
+            m.fns.iter().map(|f| (f.name.clone(), f.in_test)).collect();
+        assert_eq!(
+            flags,
+            vec![
+                ("prod".into(), false),
+                ("helper".into(), true),
+                ("also_prod".into(), false)
+            ]
+        );
+    }
+
+    #[test]
+    fn cfg_not_test_is_production() {
+        let m = model_of("#[cfg(not(test))]\nfn guard() {}\n");
+        assert!(!m.fns[0].in_test);
+        let m = model_of("#[cfg(all(test, feature = \"x\"))]\nfn gated() {}\n");
+        assert!(m.fns[0].in_test);
+    }
+}

@@ -1,0 +1,67 @@
+#![deny(missing_docs)]
+
+//! `cm-lint` — a dependency-free determinism taint analyzer for the
+//! golden-digest path, plus the token-based lintwall rules.
+//!
+//! The workspace's determinism contract (DESIGN.md §10–§11) says the §4.1
+//! border walk, VPI detection, fault replay and the versioned
+//! `AtlasSummary` digest are byte-identical at any `probe_workers` count.
+//! Before this crate that contract was enforced only *dynamically*
+//! (obs_invariance proptests, golden regression, audit rules F1/F2/O1):
+//! a freshly introduced `Instant::now()` or `HashMap` iteration on the
+//! digest path would only surface when a golden flaked in CI. `cm-lint`
+//! rejects such code statically, before it runs.
+//!
+//! Three layers, all dependency-free (no `syn`, nothing vendored):
+//!
+//! * [`lexer`] — a small Rust lexer that gets raw strings, nested block
+//!   comments, lifetimes-vs-chars and raw identifiers right;
+//! * [`extract`] — fn items, `cfg(test)` masks and an over-approximated
+//!   name-based call graph, filtered by crate-dependency visibility;
+//! * [`taint`] — rules D1–D6 seed nondeterminism sources and propagate
+//!   along the call graph from the golden-digest surface
+//!   ([`taint::DEFAULT_ROOTS`]), with `// cm-lint: nondet-quarantined(…)`
+//!   annotations as audited escapes; [`lintwall`] re-implements the L1–L4
+//!   hygiene rules on the same token stream.
+//!
+//! The `cm-lint` binary runs the taint pass over the workspace and emits
+//! deterministic text or JSON ([`report`]); the `cm-audit` `lintwall`
+//! binary wraps [`lintwall::run`].
+
+pub mod extract;
+pub mod lexer;
+pub mod lintwall;
+pub mod report;
+pub mod taint;
+pub mod ws;
+
+use std::collections::BTreeMap;
+
+/// One in-memory source file for [`analyze`] — lets fixture tests inject
+/// forbidden constructs without touching the filesystem.
+pub struct SourceFile {
+    /// Repo-relative path.
+    pub path: String,
+    /// Package the file belongs to.
+    pub crate_name: String,
+    /// Source text.
+    pub src: String,
+}
+
+/// Runs the full taint pass over in-memory sources: lexes, builds the
+/// model (with `deps` as the crate dependency graph) and applies `roots`.
+/// Vendor files (`vendor/…` paths) contribute call-graph nodes but are
+/// never seeded — their nondeterminism is charged to the workspace call
+/// site instead.
+pub fn analyze(
+    sources: &[SourceFile],
+    deps: &BTreeMap<String, Vec<String>>,
+    roots: &[&str],
+) -> taint::TaintOutcome {
+    let files = sources
+        .iter()
+        .map(|s| extract::lex_file(&s.path, &s.crate_name, &s.src))
+        .collect();
+    let model = extract::build_model(files, deps);
+    taint::run(&model, roots)
+}

@@ -1,0 +1,67 @@
+//! The `cm-lint` binary: runs the determinism taint pass (rules D1–D6
+//! plus annotation hygiene A1/A2 and root hygiene R1) over the workspace.
+//!
+//! ```text
+//! cargo run -p cm-lint                  # text report, exit 1 on findings
+//! cargo run -p cm-lint -- --format json # deterministic JSON (CI artifact)
+//! ```
+
+use cm_lint::taint::DEFAULT_ROOTS;
+use cm_lint::{report, taint, ws};
+
+fn main() {
+    let mut format = String::from("text");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => {
+                format = args.next().unwrap_or_else(|| {
+                    eprintln!("--format needs a value: text | json");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("cm-lint [--format text|json]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if format != "text" && format != "json" {
+        eprintln!("unknown format: {format} (expected text or json)");
+        std::process::exit(2);
+    }
+
+    let root = ws::workspace_root(env!("CARGO_MANIFEST_DIR"));
+    let workspace = ws::load(&root);
+    let n_files = workspace.files.len();
+    let model = cm_lint::extract::build_model(workspace.files, &workspace.deps);
+    let n_fns = model.fns.len();
+    let outcome = taint::run(&model, DEFAULT_ROOTS);
+
+    if format == "json" {
+        print!(
+            "{}",
+            report::render_json(&outcome.findings, &outcome.quarantined, outcome.dormant)
+        );
+    } else {
+        for f in &outcome.findings {
+            println!("{}", f.render_text());
+        }
+        if outcome.findings.is_empty() {
+            println!(
+                "cm-lint clean: {n_fns} fns across {n_files} files, {} quarantined site(s), \
+                 {} dormant seed(s)",
+                outcome.quarantined.len(),
+                outcome.dormant
+            );
+        }
+    }
+    if !outcome.findings.is_empty() {
+        eprintln!("cm-lint: {} finding(s)", outcome.findings.len());
+        std::process::exit(1);
+    }
+}

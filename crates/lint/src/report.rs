@@ -1,0 +1,165 @@
+//! Deterministic finding reports, in text and JSON.
+//!
+//! The JSON is hand-rolled (the crate is dependency-free) and fully
+//! deterministic: findings are emitted in their sorted order, keys in a
+//! fixed order, strings escaped per RFC 8259. CI uploads the JSON as an
+//! artifact, so byte-stable output makes diffs between runs meaningful.
+
+use crate::taint::Quarantined;
+
+/// One lint finding.
+#[derive(Debug)]
+pub struct Finding {
+    /// Rule id, e.g. `D1_WALL_CLOCK` or `L1_UNWRAP`.
+    pub rule: String,
+    /// Repo-relative path (empty for workspace-level findings like
+    /// `R1_MISSING_ROOT`).
+    pub path: String,
+    /// 1-based line (0 when not line-anchored).
+    pub line: u32,
+    /// The offending symbol (`Owner::name`), when known.
+    pub symbol: String,
+    /// Human-readable description.
+    pub message: String,
+    /// Witness call chain from a digest-surface root to the seed, when
+    /// the finding came from taint propagation.
+    pub trace: Vec<String>,
+}
+
+impl Finding {
+    /// One-line text rendering: `RULE: path:line: message [via a -> b]`.
+    pub fn render_text(&self) -> String {
+        let mut s = format!("{}: ", self.rule);
+        if !self.path.is_empty() {
+            s.push_str(&self.path);
+            if self.line > 0 {
+                s.push_str(&format!(":{}", self.line));
+            }
+            s.push_str(": ");
+        }
+        s.push_str(&self.message);
+        if !self.trace.is_empty() {
+            s.push_str(&format!(" [via {}]", self.trace.join(" -> ")));
+        }
+        s
+    }
+}
+
+/// Escapes `s` for a JSON string body.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn finding_json(f: &Finding, indent: &str) -> String {
+    let trace = f
+        .trace
+        .iter()
+        .map(|t| format!("\"{}\"", json_escape(t)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{indent}{{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"symbol\": \"{}\", \
+         \"message\": \"{}\", \"trace\": [{}]}}",
+        json_escape(&f.rule),
+        json_escape(&f.path),
+        f.line,
+        json_escape(&f.symbol),
+        json_escape(&f.message),
+        trace,
+    )
+}
+
+/// Renders the full report as deterministic JSON: findings, the quarantine
+/// ledger (every annotated exemption with its reason), and summary counts.
+pub fn render_json(findings: &[Finding], quarantined: &[Quarantined], dormant: usize) -> String {
+    let mut out = String::from("{\n  \"findings\": [\n");
+    let body = findings
+        .iter()
+        .map(|f| finding_json(f, "    "))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    out.push_str(&body);
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("  ],\n  \"quarantined\": [\n");
+    let body = quarantined
+        .iter()
+        .map(|q| {
+            format!(
+                "    {{\"path\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"reason\": \"{}\"}}",
+                json_escape(&q.path),
+                q.line,
+                json_escape(q.rule),
+                json_escape(&q.reason),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    out.push_str(&body);
+    if !quarantined.is_empty() {
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "  ],\n  \"counts\": {{\"findings\": {}, \"quarantined\": {}, \"dormant_seeds\": {}}}\n}}\n",
+        findings.len(),
+        quarantined.len(),
+        dormant,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_rendering_includes_trace() {
+        let f = Finding {
+            rule: "D1_WALL_CLOCK".into(),
+            path: "crates/core/src/pipeline.rs".into(),
+            line: 42,
+            symbol: "Pipeline::run".into(),
+            message: "wall-clock read `Instant`".into(),
+            trace: vec!["Pipeline::run".into(), "helper".into()],
+        };
+        let s = f.render_text();
+        assert!(s.starts_with("D1_WALL_CLOCK: crates/core/src/pipeline.rs:42:"));
+        assert!(s.ends_with("[via Pipeline::run -> helper]"));
+    }
+
+    #[test]
+    fn json_is_escaped_and_parseable_shape() {
+        let f = Finding {
+            rule: "D5_ENV_READ".into(),
+            path: "a\"b.rs".into(),
+            line: 1,
+            symbol: String::new(),
+            message: "tab\there".into(),
+            trace: Vec::new(),
+        };
+        let s = render_json(&[f], &[], 3);
+        assert!(s.contains("a\\\"b.rs"));
+        assert!(s.contains("tab\\there"));
+        assert!(s.contains("\"dormant_seeds\": 3"));
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let s = render_json(&[], &[], 0);
+        assert!(s.contains("\"findings\": [\n  ]"));
+        assert!(s.contains("\"findings\": 0"));
+    }
+}

@@ -1,0 +1,924 @@
+//! The determinism taint pass (rules D1–D6).
+//!
+//! The golden-digest contract (DESIGN.md §10–§11): everything folded into
+//! the versioned `AtlasSummary` digest — inference products, the frozen
+//! metrics exposition, the deterministic JSONL trace — must be
+//! byte-identical at any `probe_workers` count. This pass enforces the
+//! contract *statically*:
+//!
+//! 1. **seed** every site whose value the runtime does not make
+//!    reproducible — wall clocks (D1), parallelism probes (D2), unseeded
+//!    randomness (D3), unordered-map iteration whose order can escape
+//!    (D4), environment reads (D5) and address/identity hashing (D6);
+//! 2. **propagate** function-level taint along the over-approximated call
+//!    graph (a function is tainted when its body seeds, or when it may
+//!    call a tainted function);
+//! 3. **error** when any digest-surface root — `AtlasSummary::of/digest`,
+//!    `metrics_digest`, `Snapshot::expose`, the deterministic JSONL
+//!    renderers, the `stablehash` primitives, `Pipeline::run` — can reach
+//!    a seed.
+//!
+//! A site is exempt only under a
+//! `// cm-lint: nondet-quarantined(<reason>)` annotation on its own or the
+//! preceding line — the static counterpart of the flight recorder's
+//! `"nondeterministic"` JSONL section, and the only approved way wall
+//! clocks and cache-race counters ride along with a deterministic trace.
+//! Annotations must carry a reason, and an annotation suppressing nothing
+//! is itself a finding (`A1`), so quarantine comments cannot rot.
+
+use crate::extract::{call_refs, FileModel, Model};
+use crate::lexer::{Tok, TokKind};
+use crate::report::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+/// The digest-surface roots: functions whose transitive callees must be
+/// free of unquarantined nondeterminism. `Owner::name` pins the impl type;
+/// a bare name matches any owner.
+pub const DEFAULT_ROOTS: &[&str] = &[
+    "AtlasSummary::of",
+    "AtlasSummary::digest",
+    "metrics_digest",
+    "render_golden",
+    "Snapshot::expose",
+    "event_jsonl",
+    "render_jsonl",
+    "splitmix64",
+    "mix",
+    "unit_f64",
+    "chance",
+    "pick",
+    "Pipeline::run",
+];
+
+/// The annotation marker the pass looks for in comments.
+pub const ANNOTATION: &str = "cm-lint: nondet-quarantined";
+
+/// One nondeterminism source found in a function body.
+pub struct Seed {
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// Index of the containing fn in [`Model::fns`].
+    pub fn_idx: usize,
+    /// 1-based source line of the site.
+    pub line: u32,
+    /// What matched, for the message.
+    pub what: String,
+}
+
+/// A site suppressed by a `nondet-quarantined` annotation.
+pub struct Quarantined {
+    /// Repo-relative path.
+    pub path: String,
+    /// 1-based line of the suppressed site.
+    pub line: u32,
+    /// The rule that would have fired.
+    pub rule: &'static str,
+    /// The annotation's reason text.
+    pub reason: String,
+}
+
+/// Everything the pass produced: hard findings plus the quarantine ledger
+/// (rendered into the JSON report so reviewers see every exemption).
+pub struct TaintOutcome {
+    /// Rule violations, deterministically ordered.
+    pub findings: Vec<Finding>,
+    /// Annotated (suppressed) sites, deterministically ordered.
+    pub quarantined: Vec<Quarantined>,
+    /// Seeds that no digest-surface root can reach (informational).
+    pub dormant: usize,
+}
+
+const ITER_METHODS: &[&str] = &[
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "drain",
+];
+
+/// Order-insensitive iterator consumers: a hash-map iteration whose value
+/// is immediately reduced by one of these cannot leak ordering.
+const SINK_METHODS: &[&str] = &[
+    "count",
+    "sum",
+    "product",
+    "min",
+    "max",
+    "min_by",
+    "min_by_key",
+    "max_by",
+    "max_by_key",
+    "all",
+    "any",
+    "len",
+    "is_empty",
+    "contains",
+    "contains_key",
+];
+
+const SORT_METHODS: &[&str] = &[
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_unstable_by",
+    "sort_by_key",
+    "sort_unstable_by_key",
+];
+
+/// Runs the taint pass over the model.
+pub fn run(model: &Model, roots: &[&str]) -> TaintOutcome {
+    let hash_idents = collect_hash_idents(model);
+    let mut seeds: Vec<Seed> = Vec::new();
+    let mut quarantined: Vec<Quarantined> = Vec::new();
+    let mut findings: Vec<Finding> = Vec::new();
+
+    // Per file: the lines carrying a quarantine annotation, with reason —
+    // and whether any seed actually used it.
+    for (fn_idx, f) in model.fns.iter().enumerate() {
+        if f.in_test {
+            continue;
+        }
+        let file = &model.files[f.file];
+        // Vendored stand-ins participate in the call graph but are not
+        // seeded: their internals (e.g. rand's own entropy plumbing) are
+        // charged to the workspace call site that reaches for them.
+        if file.path.starts_with("vendor/") {
+            continue;
+        }
+        seed_fn(fn_idx, f.body.clone(), model, &hash_idents, &mut seeds);
+    }
+
+    // Resolve annotations: a seed on line L is suppressed by an annotation
+    // on line L or L-1 (comment-above style). Track per-file annotation use.
+    let mut annotations: BTreeMap<(usize, u32), (String, bool)> = BTreeMap::new();
+    for (fi, file) in model.files.iter().enumerate() {
+        for t in &file.toks {
+            if t.kind == TokKind::Comment && is_annotation(&t.text) {
+                let reason = annotation_reason(&t.text);
+                annotations.insert((fi, t.line), (reason, false));
+            }
+        }
+    }
+    let mut live_seeds: Vec<Seed> = Vec::new();
+    for seed in seeds {
+        let fi = model.fns[seed.fn_idx].file;
+        let mut hit = None;
+        for l in [seed.line, seed.line.saturating_sub(1)] {
+            if annotations.contains_key(&(fi, l)) {
+                hit = Some(l);
+                break;
+            }
+        }
+        match hit.and_then(|l| annotations.get_mut(&(fi, l))) {
+            Some((reason, used)) => {
+                *used = true;
+                quarantined.push(Quarantined {
+                    path: model.files[fi].path.clone(),
+                    line: seed.line,
+                    rule: seed.rule,
+                    reason: reason.clone(),
+                });
+            }
+            None => live_seeds.push(seed),
+        }
+    }
+
+    // Annotation hygiene: a reason is mandatory, and an annotation that
+    // suppressed nothing is stale.
+    for ((fi, line), (reason, used)) in &annotations {
+        let path = model.files[*fi].path.clone();
+        if reason.is_empty() {
+            findings.push(Finding {
+                rule: "A2_MISSING_REASON".into(),
+                path: path.clone(),
+                line: *line,
+                symbol: String::new(),
+                message: format!("{ANNOTATION} annotation must carry a (reason)"),
+                trace: Vec::new(),
+            });
+        }
+        if !*used {
+            findings.push(Finding {
+                rule: "A1_STALE_ANNOTATION".into(),
+                path,
+                line: *line,
+                symbol: String::new(),
+                message: format!(
+                    "{ANNOTATION} annotation suppresses nothing on this or the next line"
+                ),
+                trace: Vec::new(),
+            });
+        }
+    }
+
+    // Build the call graph and propagate reachability from the roots.
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); model.fns.len()];
+    for (i, f) in model.fns.iter().enumerate() {
+        if f.in_test {
+            continue;
+        }
+        let file = &model.files[f.file];
+        for name in call_refs(&file.toks, f.body.clone()) {
+            for callee in model.resolve(&file.crate_name, &name) {
+                if callee != i {
+                    edges[i].push(callee);
+                }
+            }
+        }
+        edges[i].sort_unstable();
+        edges[i].dedup();
+    }
+    let mut root_ids: Vec<usize> = Vec::new();
+    for spec in roots {
+        let resolved = model.resolve_root(spec);
+        if resolved.is_empty() {
+            findings.push(Finding {
+                rule: "R1_MISSING_ROOT".into(),
+                path: String::new(),
+                line: 0,
+                symbol: (*spec).to_string(),
+                message: format!(
+                    "digest-surface root `{spec}` matches no workspace fn — update the root list"
+                ),
+                trace: Vec::new(),
+            });
+        }
+        root_ids.extend(resolved);
+    }
+    root_ids.sort_unstable();
+    root_ids.dedup();
+
+    // BFS from all roots at once, remembering one (shortest) parent per fn
+    // so findings can print a witness call chain.
+    let mut parent: Vec<Option<usize>> = vec![None; model.fns.len()];
+    let mut reached: Vec<bool> = vec![false; model.fns.len()];
+    let mut queue: std::collections::VecDeque<usize> = root_ids.iter().copied().collect();
+    for &r in &root_ids {
+        reached[r] = true;
+    }
+    while let Some(i) = queue.pop_front() {
+        for &j in &edges[i] {
+            if !reached[j] {
+                reached[j] = true;
+                parent[j] = Some(i);
+                queue.push_back(j);
+            }
+        }
+    }
+
+    let mut dormant = 0usize;
+    for seed in &live_seeds {
+        if !reached[seed.fn_idx] {
+            dormant += 1;
+            continue;
+        }
+        let f = &model.fns[seed.fn_idx];
+        let file = &model.files[f.file];
+        let mut chain = vec![f.qualified()];
+        let mut cur = seed.fn_idx;
+        while let Some(p) = parent[cur] {
+            chain.push(model.fns[p].qualified());
+            cur = p;
+        }
+        chain.reverse();
+        findings.push(Finding {
+            rule: seed.rule.into(),
+            path: file.path.clone(),
+            line: seed.line,
+            symbol: f.qualified(),
+            message: format!(
+                "{} reaches the golden-digest surface; quarantine it behind the recorder's \
+                 nondeterministic section and annotate with `// {ANNOTATION}(<reason>)`, \
+                 or restructure",
+                seed.what
+            ),
+            trace: chain,
+        });
+    }
+
+    findings.sort_by(|a, b| {
+        (&a.rule, &a.path, a.line, &a.message).cmp(&(&b.rule, &b.path, b.line, &b.message))
+    });
+    quarantined.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    TaintOutcome {
+        findings,
+        quarantined,
+        dormant,
+    }
+}
+
+/// True when a comment *is* an annotation — the marker must open the
+/// comment body (after `//`, `/*` and whitespace), so documentation that
+/// merely quotes the grammar mid-prose does not register.
+fn is_annotation(comment: &str) -> bool {
+    comment
+        .trim_start_matches(['/', '*', ' ', '\t'])
+        .starts_with(ANNOTATION)
+}
+
+/// Extracts the reason from `… cm-lint: nondet-quarantined(reason) …`.
+fn annotation_reason(comment: &str) -> String {
+    let Some(at) = comment.find(ANNOTATION) else {
+        return String::new();
+    };
+    let rest = &comment[at + ANNOTATION.len()..];
+    let Some(open) = rest.find('(') else {
+        return String::new();
+    };
+    // The reason may itself contain parens; take to the last close.
+    let Some(close) = rest.rfind(')') else {
+        return String::new();
+    };
+    if close <= open {
+        return String::new();
+    }
+    rest[open + 1..close].trim().to_string()
+}
+
+/// Identifiers declared with a `HashMap`/`HashSet` type (fields, params,
+/// annotated lets) or initialized from one (`= HashMap::new()`), used to
+/// resolve iteration receivers. Resolution is *scoped*: a bare receiver
+/// (`m.keys()`) must be declared in the same file; a field receiver
+/// (`pool.abis.values()`) may also be declared in any crate visible from
+/// the caller — fields cross file boundaries, locals do not. Workspace-
+/// global matching was tried first and drowned real findings in
+/// collisions (a `regions: &[RegionId]` slice in cm-probe aliasing a
+/// `regions: HashSet<RegionId>` field in cloudmap).
+struct HashDecls {
+    /// File index → names declared hash in that file.
+    per_file: Vec<BTreeSet<String>>,
+    /// File index → names declared in that file with some *other* concrete
+    /// type (`Vec`, `BTreeMap`, a slice, …). A same-file non-hash
+    /// declaration vetoes cross-crate inference: `AtlasSummary`'s
+    /// `cbis: Vec<Ipv4>` must not inherit hash-ness from `SegmentPool`'s
+    /// `cbis: HashMap<…>` in a dependency crate.
+    per_file_nonhash: Vec<BTreeSet<String>>,
+    /// Crate name → names declared hash anywhere in that crate.
+    per_crate: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl HashDecls {
+    fn is_hash(&self, model: &Model, file_idx: usize, name: &str, dotted: bool) -> bool {
+        if self.per_file[file_idx].contains(name) {
+            return true;
+        }
+        if !dotted || self.per_file_nonhash[file_idx].contains(name) {
+            return false;
+        }
+        let krate = &model.files[file_idx].crate_name;
+        let Some(visible) = model.visible.get(krate) else {
+            return false;
+        };
+        visible
+            .iter()
+            .any(|c| self.per_crate.get(c).is_some_and(|s| s.contains(name)))
+    }
+}
+
+fn collect_hash_idents(model: &Model) -> HashDecls {
+    let mut per_file: Vec<BTreeSet<String>> = Vec::with_capacity(model.files.len());
+    let mut per_file_nonhash: Vec<BTreeSet<String>> = Vec::with_capacity(model.files.len());
+    let mut per_crate: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for file in &model.files {
+        let mut names = BTreeSet::new();
+        let mut nonhash = BTreeSet::new();
+        if !file.path.starts_with("vendor/") {
+            let toks: Vec<&Tok> = file
+                .toks
+                .iter()
+                .filter(|t| t.kind != TokKind::Comment)
+                .collect();
+            for i in 0..toks.len() {
+                // `name : Type` or `name = Ctor::…` — classify by the head
+                // of the type/constructor path.
+                if toks[i].kind != TokKind::Ident
+                    || i + 1 >= toks.len()
+                    || !(toks[i + 1].is_punct(':') || toks[i + 1].is_punct('='))
+                {
+                    continue;
+                }
+                let is_init = toks[i + 1].is_punct('=');
+                let mut j = i + 2;
+                while j < toks.len()
+                    && (toks[j].is_punct('&')
+                        || toks[j].is_ident("mut")
+                        || toks[j].kind == TokKind::Lifetime)
+                {
+                    j += 1;
+                }
+                if j >= toks.len() {
+                    continue;
+                }
+                // Collect the path segments: `std::collections::HashMap`
+                // or `HashMap::with_capacity`.
+                let mut segs = vec![j];
+                while let Some(&last) = segs.last() {
+                    if last + 2 < toks.len()
+                        && toks[last].kind == TokKind::Ident
+                        && toks[last + 1].kind == TokKind::PathSep
+                        && toks[last + 2].kind == TokKind::Ident
+                    {
+                        segs.push(last + 2);
+                    } else {
+                        break;
+                    }
+                }
+                let is_map = segs
+                    .iter()
+                    .any(|&s| toks[s].is_ident("HashMap") || toks[s].is_ident("HashSet"));
+                if is_map {
+                    names.insert(toks[i].text.clone());
+                } else if !is_init && (toks[j].kind == TokKind::Ident || toks[j].is_punct('[')) {
+                    // Any other type annotation pins the name as non-hash.
+                    nonhash.insert(toks[i].text.clone());
+                } else if is_init
+                    && segs.len() >= 2
+                    && toks[j].kind == TokKind::Ident
+                    && toks[j].text.chars().next().is_some_and(char::is_uppercase)
+                {
+                    // `= Vec::new()`-style constructor paths; a bare
+                    // `= compute()` initializer says nothing about the type.
+                    nonhash.insert(toks[i].text.clone());
+                }
+            }
+        }
+        nonhash = &nonhash - &names;
+        per_crate
+            .entry(file.crate_name.clone())
+            .or_default()
+            .extend(names.iter().cloned());
+        per_file.push(names);
+        per_file_nonhash.push(nonhash);
+    }
+    HashDecls {
+        per_file,
+        per_file_nonhash,
+        per_crate,
+    }
+}
+
+/// `toks[code[ci]]` when `ci` is in range.
+fn tok_at<'a>(toks: &'a [Tok], code: &[usize], ci: usize) -> Option<&'a Tok> {
+    code.get(ci).map(|&i| &toks[i])
+}
+
+fn next_is(toks: &[Tok], code: &[usize], ci: usize, pred: impl Fn(&Tok) -> bool) -> bool {
+    tok_at(toks, code, ci).is_some_and(pred)
+}
+
+fn prev_is(toks: &[Tok], code: &[usize], ci: usize, pred: impl Fn(&Tok) -> bool) -> bool {
+    ci >= 1 && tok_at(toks, code, ci - 1).is_some_and(pred)
+}
+
+fn prev2_is(toks: &[Tok], code: &[usize], ci: usize, pred: impl Fn(&Tok) -> bool) -> bool {
+    ci >= 2 && tok_at(toks, code, ci - 2).is_some_and(pred)
+}
+
+/// Was the nearest preceding statement-opening token a `for` introducing
+/// this `in`? (`in` appears only in for-loop heads.)
+fn prev_for(toks: &[Tok], code: &[usize], ci: usize) -> bool {
+    let mut k = ci;
+    while k > 0 && ci - k < 32 {
+        k -= 1;
+        let Some(t) = tok_at(toks, code, k) else {
+            return false;
+        };
+        if t.is_ident("for") {
+            return true;
+        }
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            return false;
+        }
+    }
+    false
+}
+
+/// Scans one fn body for rule seeds.
+fn seed_fn(
+    fn_idx: usize,
+    body: Range<usize>,
+    model: &Model,
+    hash_decls: &HashDecls,
+    out: &mut Vec<Seed>,
+) {
+    let file_idx = model.fns[fn_idx].file;
+    let file: &FileModel = &model.files[file_idx];
+    let toks = &file.toks;
+    // Code-token indices within the body (comments skipped for matching,
+    // but kept in `toks` for the annotation layer).
+    let code: Vec<usize> = body
+        .clone()
+        .filter(|&i| toks[i].kind != TokKind::Comment)
+        .collect();
+    let push = |out: &mut Vec<Seed>, rule: &'static str, ci: usize, what: String| {
+        out.push(Seed {
+            rule,
+            fn_idx,
+            line: toks[code[ci]].line,
+            what,
+        });
+    };
+
+    for ci in 0..code.len() {
+        let t = &toks[code[ci]];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            // D1 — wall clocks.
+            "Instant" | "SystemTime" | "UNIX_EPOCH"
+                if t.text == "UNIX_EPOCH"
+                    || (next_is(toks, &code, ci + 1, |n| n.kind == TokKind::PathSep)
+                        && next_is(toks, &code, ci + 2, |n| n.is_ident("now"))) =>
+            {
+                push(
+                    out,
+                    "D1_WALL_CLOCK",
+                    ci,
+                    format!("wall-clock read `{}`", t.text),
+                );
+            }
+            "elapsed"
+                if prev_is(toks, &code, ci, |p| p.is_punct('.'))
+                    && next_is(toks, &code, ci + 1, |n| n.is_punct('(')) =>
+            {
+                push(
+                    out,
+                    "D1_WALL_CLOCK",
+                    ci,
+                    "wall-clock read `.elapsed()`".into(),
+                );
+            }
+            // D2 — parallelism probes.
+            "available_parallelism" | "num_cpus" => {
+                push(
+                    out,
+                    "D2_PARALLELISM",
+                    ci,
+                    format!("parallelism probe `{}`", t.text),
+                );
+            }
+            // D3 — unseeded randomness.
+            "thread_rng" | "from_entropy" | "from_os_rng" | "OsRng" | "getrandom" => {
+                push(
+                    out,
+                    "D3_UNSEEDED_RNG",
+                    ci,
+                    format!("entropy source `{}`", t.text),
+                );
+            }
+            "random"
+                if prev_is(toks, &code, ci, |p| p.kind == TokKind::PathSep)
+                    && prev2_is(toks, &code, ci, |p| p.is_ident("rand")) =>
+            {
+                push(
+                    out,
+                    "D3_UNSEEDED_RNG",
+                    ci,
+                    "entropy source `rand::random`".into(),
+                );
+            }
+            // D5 — environment reads.
+            "var" | "vars" | "var_os" | "vars_os" | "args" | "args_os" | "current_dir"
+            | "temp_dir"
+                if prev_is(toks, &code, ci, |p| p.kind == TokKind::PathSep)
+                    && prev2_is(toks, &code, ci, |p| p.is_ident("env")) =>
+            {
+                push(
+                    out,
+                    "D5_ENV_READ",
+                    ci,
+                    format!("environment read `env::{}`", t.text),
+                );
+            }
+            // D6 — address/identity hashing.
+            "RandomState" | "DefaultHasher" => {
+                push(
+                    out,
+                    "D6_ADDR_HASH",
+                    ci,
+                    format!("randomized hasher `{}`", t.text),
+                );
+            }
+            "addr_of" | "addr_of_mut" => {
+                push(
+                    out,
+                    "D6_ADDR_HASH",
+                    ci,
+                    format!("address capture `{}`", t.text),
+                );
+            }
+            "as" if next_is(toks, &code, ci + 1, |n| n.is_punct('*'))
+                && next_is(toks, &code, ci + 2, |n| {
+                    n.is_ident("const") || n.is_ident("mut")
+                }) =>
+            {
+                push(out, "D6_ADDR_HASH", ci, "pointer cast `as *`".into());
+            }
+            // D4 — unordered-map iteration via method call.
+            m if ITER_METHODS.contains(&m)
+                && prev_is(toks, &code, ci, |p| p.is_punct('.'))
+                && next_is(toks, &code, ci + 1, |n| n.is_punct('(')) =>
+            {
+                let recv_ok = ci >= 2
+                    && tok_at(toks, &code, ci - 2).is_some_and(|recv| {
+                        let dotted = ci >= 3 && toks[code[ci - 3]].is_punct('.');
+                        recv.kind == TokKind::Ident
+                            && hash_decls.is_hash(model, file_idx, &recv.text, dotted)
+                    });
+                if recv_ok && !d4_allowed(toks, &code, ci) {
+                    let recv = &toks[code[ci - 2]].text;
+                    push(
+                        out,
+                        "D4_MAP_ORDER",
+                        ci,
+                        format!("`{recv}.{}()` iteration", t.text),
+                    );
+                }
+            }
+            // D4 — `for x in [&[mut]] recv[.field]* {` direct iteration.
+            "in" => {
+                let mut k = ci + 1;
+                while next_is(toks, &code, k, |n| n.is_punct('&') || n.is_ident("mut")) {
+                    k += 1;
+                }
+                // Walk a dotted chain; the iterated value is its last
+                // segment (`for x in self.pool.segments {`).
+                let mut dotted = false;
+                let mut recv = k;
+                while next_is(toks, &code, recv, |n| n.kind == TokKind::Ident)
+                    && next_is(toks, &code, recv + 1, |n| n.is_punct('.'))
+                    && next_is(toks, &code, recv + 2, |n| n.kind == TokKind::Ident)
+                {
+                    dotted = true;
+                    recv += 2;
+                }
+                let recv_ok = tok_at(toks, &code, recv).is_some_and(|n| {
+                    n.kind == TokKind::Ident && hash_decls.is_hash(model, file_idx, &n.text, dotted)
+                });
+                if recv_ok
+                    && next_is(toks, &code, recv + 1, |n| n.is_punct('{'))
+                    && prev_for(toks, &code, ci)
+                {
+                    let name = toks[code[recv]].text.clone();
+                    push(
+                        out,
+                        "D4_MAP_ORDER",
+                        recv,
+                        format!("`for … in {name}` iteration"),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Decides whether a hash-iteration site is provably order-insensitive:
+///
+/// * wrapped in a `sorted(…)` helper earlier in the statement;
+/// * reduced by an order-insensitive consumer (`count`, `sum`, `min`,
+///   `any`, …) later in the statement;
+/// * collected into a keyed or unordered container (`collect::<BTreeMap…>`
+///   or a `let x: BTreeSet<…>/HashMap<…> = … .collect()` binding);
+/// * collected or `extend`ed into a binding that is subsequently sorted
+///   in the same function (`let mut v … = ….collect(); … v.sort…()`).
+fn d4_allowed(toks: &[Tok], code: &[usize], site_ci: usize) -> bool {
+    // Backward to the statement start: a `;`, `{` or `}` at depth 0.
+    let mut start = site_ci;
+    let mut depth = 0i32;
+    while start > 0 {
+        let t = &toks[code[start - 1]];
+        if t.is_punct(')') || t.is_punct(']') {
+            depth += 1;
+        } else if t.is_punct('(') || t.is_punct('[') {
+            if depth == 0 {
+                break;
+            }
+            depth -= 1;
+        } else if depth == 0 && (t.is_punct(';') || t.is_punct('{') || t.is_punct('}')) {
+            break;
+        }
+        start -= 1;
+    }
+    // Forward to the statement end: `;` or `{` at depth 0, or an
+    // unbalanced close.
+    let mut end = site_ci;
+    let mut depth = 0i32;
+    while end + 1 < code.len() {
+        let t = &toks[code[end + 1]];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            if depth == 0 {
+                break;
+            }
+            depth -= 1;
+        } else if depth == 0 && (t.is_punct(';') || t.is_punct('{')) {
+            break;
+        }
+        end += 1;
+    }
+
+    let tok_at = |ci: usize| &toks[code[ci]];
+    // sorted(...) wrapper before the site.
+    for ci in start..site_ci {
+        if tok_at(ci).is_ident("sorted") && ci < site_ci && tok_at(ci + 1).is_punct('(') {
+            return true;
+        }
+    }
+    // Order-insensitive consumer after the site: `.name(` with name in
+    // SINK_METHODS, or a collect into an ordered/keyed container.
+    let mut collect_seen = false;
+    for ci in site_ci + 1..=end {
+        let t = tok_at(ci);
+        if t.kind != TokKind::Ident || ci == 0 || !tok_at(ci - 1).is_punct('.') {
+            continue;
+        }
+        if SINK_METHODS.contains(&t.text.as_str()) {
+            return true;
+        }
+        if t.text == "collect" {
+            collect_seen = true;
+            // Turbofish: collect::<BTreeMap<…>> / ::<HashSet<…>>.
+            let mut k = ci + 1;
+            if k <= end && tok_at(k).kind == TokKind::PathSep {
+                k += 1;
+                if k <= end && tok_at(k).is_punct('<') {
+                    for m in k..=end {
+                        let x = tok_at(m);
+                        if x.is_ident("BTreeMap")
+                            || x.is_ident("BTreeSet")
+                            || x.is_ident("HashMap")
+                            || x.is_ident("HashSet")
+                        {
+                            return true;
+                        }
+                        if x.is_punct('(') {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Binding analysis: `let [mut] NAME [: TYPE] = …` — an unordered/keyed
+    // collect target type, or a later `NAME.sort…()` in the fn body.
+    let mut bind: Option<String> = None;
+    if tok_at(start).is_ident("let") {
+        let mut k = start + 1;
+        if k <= end && tok_at(k).is_ident("mut") {
+            k += 1;
+        }
+        if k <= end && tok_at(k).kind == TokKind::Ident {
+            bind = Some(tok_at(k).text.clone());
+            // Type annotation between `:` and `=`.
+            let mut m = k + 1;
+            if m <= end && tok_at(m).is_punct(':') {
+                while m <= end && !tok_at(m).is_punct('=') {
+                    let x = tok_at(m);
+                    if x.is_ident("BTreeMap")
+                        || x.is_ident("BTreeSet")
+                        || x.is_ident("HashMap")
+                        || x.is_ident("HashSet")
+                    {
+                        return true;
+                    }
+                    m += 1;
+                }
+            }
+        }
+    } else if start >= 4
+        && tok_at(start - 1).is_punct('(')
+        && tok_at(start - 2).is_ident("extend")
+        && tok_at(start - 3).is_punct('.')
+        && tok_at(start - 4).kind == TokKind::Ident
+    {
+        // `NAME.extend(map.keys()…)` — the backward scan stopped at the
+        // call's opening paren, so the receiver sits just before it.
+        // Order vanishes if NAME is later sorted.
+        bind = Some(tok_at(start - 4).text.clone());
+    }
+    if let Some(name) = bind {
+        if collect_seen || tok_at(start).kind == TokKind::Ident {
+            for ci in end..code.len().saturating_sub(2) {
+                if tok_at(ci).is_ident(&name)
+                    && tok_at(ci + 1).is_punct('.')
+                    && SORT_METHODS.contains(&tok_at(ci + 2).text.as_str())
+                {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::{build_model, lex_file};
+
+    fn outcome(src: &str, roots: &[&str]) -> TaintOutcome {
+        let file = lex_file("src/lib.rs", "demo", src);
+        let model = build_model(vec![file], &BTreeMap::new());
+        run(&model, roots)
+    }
+
+    #[test]
+    fn wall_clock_reaching_root_is_flagged_with_chain() {
+        let o = outcome(
+            "fn root() -> u64 { helper() }\n\
+             fn helper() -> u64 { let t = Instant::now(); 0 }\n",
+            &["root"],
+        );
+        assert_eq!(o.findings.len(), 1);
+        assert_eq!(o.findings[0].rule, "D1_WALL_CLOCK");
+        assert_eq!(o.findings[0].trace, vec!["root", "helper"]);
+    }
+
+    #[test]
+    fn annotation_quarantines_and_ledger_records_reason() {
+        let o = outcome(
+            "fn root() -> u64 { helper() }\n\
+             fn helper() -> u64 {\n\
+                 // cm-lint: nondet-quarantined(wall clock rides the nondet JSONL section)\n\
+                 let t = Instant::now();\n\
+                 0\n}\n",
+            &["root"],
+        );
+        assert!(o.findings.is_empty(), "{:?}", o.findings[0].message);
+        assert_eq!(o.quarantined.len(), 1);
+        assert!(o.quarantined[0].reason.contains("JSONL"));
+    }
+
+    #[test]
+    fn unreachable_seed_is_dormant() {
+        let o = outcome(
+            "fn root() -> u64 { 0 }\n\
+             fn lonely() { let t = Instant::now(); }\n",
+            &["root"],
+        );
+        assert!(o.findings.is_empty());
+        assert_eq!(o.dormant, 1);
+    }
+
+    #[test]
+    fn stale_annotation_and_missing_reason_are_findings() {
+        let o = outcome(
+            "fn root() {\n\
+                 // cm-lint: nondet-quarantined(unused excuse)\n\
+                 let x = 1;\n\
+             }\n\
+             fn other() {\n\
+                 // cm-lint: nondet-quarantined()\n\
+                 let t = Instant::now();\n\
+             }\n",
+            &["root"],
+        );
+        let rules: Vec<&str> = o.findings.iter().map(|f| f.rule.as_str()).collect();
+        assert!(rules.contains(&"A1_STALE_ANNOTATION"));
+        assert!(rules.contains(&"A2_MISSING_REASON"));
+    }
+
+    #[test]
+    fn hash_iteration_sinks_are_allowed() {
+        let src = "\
+            struct S { m: HashMap<u32, u32> }\n\
+            fn root(s: &S) -> usize {\n\
+                let total: usize = s.m.values().map(|v| *v as usize).sum();\n\
+                let keyed: BTreeMap<u32, u32> = s.m.iter().map(|(k, v)| (*k, *v)).collect();\n\
+                let mut v: Vec<u32> = s.m.keys().copied().collect();\n\
+                v.sort_unstable();\n\
+                let mut w: Vec<u32> = Vec::new();\n\
+                w.extend(s.m.keys().copied());\n\
+                w.sort_unstable();\n\
+                s.m.keys().count()\n\
+            }\n";
+        let o = outcome(src, &["root"]);
+        assert!(o.findings.is_empty(), "{:?}", o.findings[0]);
+    }
+
+    #[test]
+    fn hash_iteration_escaping_is_flagged() {
+        let src = "\
+            struct S { m: HashMap<u32, u32> }\n\
+            fn root(s: &S) -> Vec<u32> {\n\
+                s.m.keys().copied().collect()\n\
+            }\n";
+        let o = outcome(src, &["root"]);
+        assert_eq!(o.findings.len(), 1);
+        assert_eq!(o.findings[0].rule, "D4_MAP_ORDER");
+    }
+
+    #[test]
+    fn missing_root_is_reported() {
+        let o = outcome("fn a() {}\n", &["Nope::nope"]);
+        assert_eq!(o.findings[0].rule, "R1_MISSING_ROOT");
+    }
+}

@@ -1,0 +1,159 @@
+//! Workspace discovery: finds the source files and the crate dependency
+//! graph without help from cargo metadata (the crate is dependency-free).
+//!
+//! Crate names come from each member's `Cargo.toml` `[package] name`;
+//! dependencies from its `[dependencies]` section keys (the workspace
+//! convention is `cm-foo.workspace = true`, so the key *is* the package
+//! name). `[dev-dependencies]` are ignored — they only reach test code,
+//! which the taint pass skips anyway.
+
+use crate::extract::{lex_file, FileModel};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// The discovered workspace: lexed sources plus the crate dep graph.
+pub struct Workspace {
+    /// Every `.rs` file under `crates/*/src` and `vendor/*/src`, lexed,
+    /// sorted by path.
+    pub files: Vec<FileModel>,
+    /// package name → direct workspace dependencies (package names).
+    pub deps: BTreeMap<String, Vec<String>>,
+}
+
+/// The workspace root, assuming the binary was built in-tree: two levels
+/// above the given crate manifest dir.
+pub fn workspace_root(manifest_dir: &str) -> PathBuf {
+    Path::new(manifest_dir)
+        .ancestors()
+        .nth(2)
+        .unwrap_or_else(|| Path::new("."))
+        .to_path_buf()
+}
+
+/// Loads and lexes every member crate's sources.
+pub fn load(root: &Path) -> Workspace {
+    let mut files = Vec::new();
+    let mut deps = BTreeMap::new();
+    let mut members: Vec<PathBuf> = Vec::new();
+    for tree in ["crates", "vendor"] {
+        let Ok(entries) = std::fs::read_dir(root.join(tree)) else {
+            continue;
+        };
+        members.extend(entries.flatten().map(|e| e.path()).filter(|p| p.is_dir()));
+    }
+    members.sort();
+    for dir in members {
+        let manifest = std::fs::read_to_string(dir.join("Cargo.toml")).unwrap_or_default();
+        let (name, dep_names) = parse_manifest(&manifest);
+        let name = name.unwrap_or_else(|| {
+            dir.file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default()
+        });
+        deps.insert(name.clone(), dep_names);
+        let src_dir = dir.join("src");
+        let mut sources = Vec::new();
+        collect_rs(&src_dir, &mut sources);
+        sources.sort();
+        for path in sources {
+            let Ok(src) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            files.push(lex_file(&rel, &name, &src));
+        }
+    }
+    Workspace { files, deps }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Extracts `[package] name` and the `[dependencies]` keys from a
+/// Cargo.toml. A line-oriented scan is enough for the workspace's uniform
+/// manifests; this is not a general TOML parser.
+fn parse_manifest(text: &str) -> (Option<String>, Vec<String>) {
+    #[derive(PartialEq)]
+    enum Section {
+        Package,
+        Deps,
+        Other,
+    }
+    let mut section = Section::Other;
+    let mut name = None;
+    let mut deps = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            section = match line {
+                "[package]" => Section::Package,
+                "[dependencies]" => Section::Deps,
+                _ => Section::Other,
+            };
+            continue;
+        }
+        match section {
+            Section::Package => {
+                if let Some(rest) = line.strip_prefix("name") {
+                    let rest = rest.trim_start();
+                    if let Some(v) = rest.strip_prefix('=') {
+                        name = Some(v.trim().trim_matches('"').to_string());
+                    }
+                }
+            }
+            Section::Deps => {
+                // `cm-foo.workspace = true` or `cm-foo = { path = "…" }`.
+                let key: String = line
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_')
+                    .collect();
+                if !key.is_empty() && (line.contains('=') || line.contains('.')) {
+                    deps.push(key);
+                }
+            }
+            Section::Other => {}
+        }
+    }
+    (name, deps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_parse_extracts_name_and_deps() {
+        let toml = "\
+            [package]\n\
+            name = \"cm-probe\"\n\
+            version.workspace = true\n\
+            \n\
+            [dependencies]\n\
+            cm-net.workspace = true\n\
+            cloudmap = { path = \"../core\" }\n\
+            \n\
+            [dev-dependencies]\n\
+            proptest.workspace = true\n\
+            \n\
+            [lints]\n\
+            workspace = true\n";
+        let (name, deps) = parse_manifest(toml);
+        assert_eq!(name.as_deref(), Some("cm-probe"));
+        assert_eq!(deps, vec!["cm-net".to_string(), "cloudmap".to_string()]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Mutation-style self-tests for the determinism taint pass: one fixture
+//! per rule D1–D6 injects the forbidden construct on a path reaching the
+//! root and asserts the lint fails with exactly that rule; the annotated
+//! twin asserts the quarantine escape works and lands in the ledger.
+
+use cm_lint::{analyze, SourceFile};
+use std::collections::BTreeMap;
+
+fn run_fixture(body: &str) -> cm_lint::taint::TaintOutcome {
+    let src = format!("fn root() -> u64 {{ helper() }}\n{body}\n");
+    let sources = [SourceFile {
+        path: "crates/demo/src/lib.rs".into(),
+        crate_name: "demo".into(),
+        src,
+    }];
+    analyze(&sources, &BTreeMap::new(), &["root"])
+}
+
+/// Asserts the mutated fixture trips `rule` and that quarantining the seed
+/// line with an annotation makes the lint pass again.
+fn assert_mutation_caught(rule: &str, helper: &str) {
+    let out = run_fixture(helper);
+    assert!(
+        out.findings.iter().any(|f| f.rule == rule),
+        "{rule}: expected a finding, got {:?}",
+        out.findings
+    );
+    // Every finding must carry the witness chain back to the root.
+    for f in out.findings.iter().filter(|f| f.rule == rule) {
+        assert_eq!(f.trace.first().map(String::as_str), Some("root"), "{rule}");
+    }
+
+    // The annotated twin: same construct, quarantined with a reason.
+    let annotation = "// cm-lint: nondet-quarantined(fixture twin; audited)";
+    let annotated: String = helper
+        .lines()
+        .map(|l| {
+            if l.contains("MUTATION") {
+                format!("{annotation}\n{l}\n")
+            } else {
+                format!("{l}\n")
+            }
+        })
+        .collect();
+    let out = run_fixture(&annotated);
+    assert!(
+        out.findings.is_empty(),
+        "{rule} (annotated): expected clean, got {:?}",
+        out.findings
+    );
+    assert!(
+        out.quarantined.iter().any(|q| q.rule == rule),
+        "{rule} (annotated): quarantine ledger is missing the site"
+    );
+    assert!(
+        out.quarantined
+            .iter()
+            .all(|q| q.reason == "fixture twin; audited"),
+        "{rule} (annotated): ledger must carry the reason"
+    );
+}
+
+#[test]
+fn d1_wall_clock_mutation_fails_the_lint() {
+    assert_mutation_caught(
+        "D1_WALL_CLOCK",
+        "fn helper() -> u64 {\n    let t = Instant::now(); // MUTATION\n    0\n}",
+    );
+}
+
+#[test]
+fn d2_parallelism_mutation_fails_the_lint() {
+    assert_mutation_caught(
+        "D2_PARALLELISM",
+        "fn helper() -> u64 {\n    std::thread::available_parallelism().map_or(1, |n| n.get()) as u64 // MUTATION\n}",
+    );
+}
+
+#[test]
+fn d3_unseeded_rng_mutation_fails_the_lint() {
+    assert_mutation_caught(
+        "D3_UNSEEDED_RNG",
+        "fn helper() -> u64 {\n    let mut rng = thread_rng(); // MUTATION\n    0\n}",
+    );
+}
+
+#[test]
+fn d4_map_order_mutation_fails_the_lint() {
+    assert_mutation_caught(
+        "D4_MAP_ORDER",
+        "fn helper() -> u64 {\n    let m: HashMap<u64, u64> = HashMap::new();\n    let mut acc = Vec::new();\n    for k in m.keys() { acc.push(*k); } // MUTATION\n    acc.len() as u64\n}",
+    );
+}
+
+#[test]
+fn d5_env_read_mutation_fails_the_lint() {
+    assert_mutation_caught(
+        "D5_ENV_READ",
+        "fn helper() -> u64 {\n    std::env::var(\"WORKERS\").map(|v| v.len()).unwrap_or(0) as u64 // MUTATION\n}",
+    );
+}
+
+#[test]
+fn d6_addr_hash_mutation_fails_the_lint() {
+    assert_mutation_caught(
+        "D6_ADDR_HASH",
+        "fn helper() -> u64 {\n    let s = RandomState::new(); // MUTATION\n    0\n}",
+    );
+}
+
+#[test]
+fn seed_without_root_path_stays_dormant() {
+    // The same construct in a fn unreachable from the root is counted as
+    // dormant, not reported — keeps the gate focused on the digest path.
+    let sources = [SourceFile {
+        path: "crates/demo/src/lib.rs".into(),
+        crate_name: "demo".into(),
+        src: "fn root() -> u64 { 0 }\nfn stray() -> u64 { let t = Instant::now(); 1 }\n".into(),
+    }];
+    let out = analyze(&sources, &BTreeMap::new(), &["root"]);
+    assert!(out.findings.is_empty(), "{:?}", out.findings);
+    assert_eq!(out.dormant, 1);
+}

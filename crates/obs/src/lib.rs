@@ -27,6 +27,15 @@ mod registry;
 pub use recorder::{event_jsonl, render_jsonl, stage_tree, Event, EventKind, Recorder};
 pub use registry::{HistogramValue, MetricValue, Registry, Snapshot};
 
+/// Finds `name` in a small `(name, value)` slice — the shape every
+/// recorder counter group and stage list uses. Lists stay under a dozen
+/// entries, so a linear scan beats building an index, and keeping the
+/// one definition here means the stage views in `cloudmap` and the
+/// benchmark reports share it instead of each growing a private copy.
+pub fn lookup_named<T: Copy>(entries: &[(&'static str, T)], name: &str) -> Option<T> {
+    entries.iter().find(|&&(n, _)| n == name).map(|&(_, v)| v)
+}
+
 /// The sink threaded through the pipeline: one registry plus one recorder,
 /// shared by reference across stages and probing layers.
 #[derive(Default)]
@@ -73,6 +82,13 @@ impl ObsSink {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lookup_named_scans_pairs() {
+        let entries = [("sweep", 3u64), ("rtt", 7)];
+        assert_eq!(lookup_named(&entries, "rtt"), Some(7));
+        assert_eq!(lookup_named(&entries, "vpi"), None);
+    }
 
     #[test]
     fn stage_end_snapshots_the_registry() {

@@ -81,6 +81,7 @@ where
     let (plane, cloud) = (campaign.plane, campaign.cloud);
     let regions = campaign.regions();
     let workers = if workers == 0 {
+        // cm-lint: nondet-quarantined(worker count only sizes the thread pool; the coordinator folds results in submission order, so output is byte-identical at any count)
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     } else {
         workers
