@@ -98,7 +98,7 @@ impl<'d> Bdrmap<'d> {
             .map(|p| p.base().slash24_probe_target())
             .collect();
         for region in regions {
-            let mut traces: Vec<Traceroute> = Vec::new();
+            let mut traces: Vec<Traceroute> = Vec::new(); // cm-lint: hot-cost-accepted(one trace buffer per region; bounded by region count, and run_region borrows it immediately)
             for &t in &targets {
                 traces.push(plane.traceroute(cloud, region, t));
             }
@@ -131,7 +131,7 @@ impl<'d> Bdrmap<'d> {
                 .hops
                 .iter()
                 .filter_map(|h| h.addr.map(|a| (h.ttl, a)))
-                .collect();
+                .collect(); // cm-lint: hot-cost-accepted(per-trace hop list feeds windows(2); mirrors the reference bdrmap walk)
             for w in hops.windows(2) {
                 if let Some(&asn) = self.snapshot.lookup(w[1].1) {
                     if !self.cloud_asns.contains(&asn) {
@@ -211,10 +211,10 @@ impl<'d> Bdrmap<'d> {
         let dests = dest_ases.get(&cbi)?;
         let mut common: Option<HashSet<Asn>> = None;
         for &d in dests {
-            let provs: HashSet<Asn> = self.datasets.asrel.providers(d).into_iter().collect();
+            let provs: HashSet<Asn> = self.datasets.asrel.providers(d).into_iter().collect(); // cm-lint: hot-cost-accepted(provider sets are small and intersected immediately; the loop exits once the intersection empties)
             common = Some(match common {
                 None => provs,
-                Some(c) => c.intersection(&provs).copied().collect(),
+                Some(c) => c.intersection(&provs).copied().collect(), // cm-lint: hot-cost-accepted(intersection shrinks monotonically; rebuilt at most once per destination AS)
             });
             if common.as_ref().map(|c| c.is_empty()).unwrap_or(false) {
                 return None;

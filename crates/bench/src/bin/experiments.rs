@@ -2,17 +2,20 @@
 //!
 //! ```text
 //! experiments [EXPERIMENT] [--scale tiny|small|full] [--seed N] [--dump DIR]
-//!             [--bench-json PATH] [--faults PROFILE] [--workers N]
-//!             [--trace-jsonl PATH]
+//!             [--bench-json PATH] [--bench-label LABEL] [--faults PROFILE]
+//!             [--workers N] [--trace-jsonl PATH]
 //!
 //! EXPERIMENT: all (default) | table1..table6 | fig4a | fig4b | fig5 | fig6
 //!             | fig7 | pinning-eval | icg | hiding-map | bdrmap | scores
 //!             | timings | trace
 //! ```
 //!
-//! Every run also writes a machine-readable record of the run's wall
-//! clocks and route-memo stats to `BENCH_pipeline.json` (path overridable
-//! with `--bench-json`).
+//! Every run also appends a machine-readable record of the run's wall
+//! clocks and route-memo stats to the `BENCH_pipeline.json` history (path
+//! overridable with `--bench-json`, record label with `--bench-label`;
+//! the default label is `{scale}-{seed}-{faults}`). The history is a JSON
+//! array of run records, newest last — the CI perf gate diffs the two
+//! newest entries at the same scale.
 //!
 //! Run with `cargo run --release -p cm-bench --bin experiments`.
 
@@ -25,6 +28,7 @@ fn main() {
     let mut seed: u64 = 2019;
     let mut dump: Option<std::path::PathBuf> = None;
     let mut bench_json = std::path::PathBuf::from("BENCH_pipeline.json");
+    let mut bench_label: Option<String> = None;
     let mut faults = String::from("clean");
     let mut workers: usize = 0;
     let mut trace_jsonl: Option<std::path::PathBuf> = None;
@@ -45,6 +49,10 @@ fn main() {
                 Some(p) => bench_json = p.into(),
                 None => panic!("--bench-json needs a path"),
             },
+            "--bench-label" => match args.next() {
+                Some(l) => bench_label = Some(l),
+                None => panic!("--bench-label needs a value"),
+            },
             "--faults" => faults = args.next().expect("--faults needs a profile name"),
             "--workers" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(v) => workers = v,
@@ -57,8 +65,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [EXPERIMENT] [--scale tiny|small|full] [--seed N] \
-                     [--dump DIR] [--bench-json PATH] [--faults PROFILE] [--workers N] \
-                     [--trace-jsonl PATH]"
+                     [--dump DIR] [--bench-json PATH] [--bench-label LABEL] \
+                     [--faults PROFILE] [--workers N] [--trace-jsonl PATH]"
                 );
                 return;
             }
@@ -202,11 +210,18 @@ fn main() {
         eprintln!("# figure series written to {}", dir.display());
     }
 
-    let json = report::bench_pipeline_json(&atlas, &scale, seed, generate_secs, pipeline_secs);
-    if let Err(e) = std::fs::write(&bench_json, json) {
+    let label = bench_label.unwrap_or_else(|| format!("{scale}-{seed}-{faults}"));
+    let record =
+        report::bench_pipeline_json(&atlas, &label, &scale, seed, generate_secs, pipeline_secs);
+    let existing = std::fs::read_to_string(&bench_json).ok();
+    let history = report::append_bench_history(existing.as_deref(), &record);
+    if let Err(e) = std::fs::write(&bench_json, history) {
         panic!("writing {} failed: {e}", bench_json.display());
     }
-    eprintln!("# run record written to {}", bench_json.display());
+    eprintln!(
+        "# run record \"{label}\" appended to {}",
+        bench_json.display()
+    );
 
     if let Some(path) = trace_jsonl {
         let jsonl = cm_obs::render_jsonl(&atlas.obs.recorder.events(), true);

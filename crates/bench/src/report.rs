@@ -542,16 +542,19 @@ pub fn trace(atlas: &Atlas<'_>) -> String {
     out
 }
 
-/// The machine-readable run record the harness writes to
-/// `BENCH_pipeline.json`: scale, seed, wall clocks (world generation and
+/// One machine-readable run record for the `BENCH_pipeline.json` history:
+/// a free-form `label`, scale, seed, wall clocks (world generation and
 /// the full pipeline plus each stage), route-memo accounting, the fault
 /// plan and per-axis impact counters, the §4.1 filter counters, the
 /// frozen metrics registry and the campaign stats. Hand-rolled JSON — the
 /// workspace deliberately carries no serialization dependency — so every
 /// key below is a fixed identifier and every value a number, keeping the
-/// output trivially valid.
+/// output trivially valid. Records are appended to the history file with
+/// [`append_bench_history`]; the CI perf gate compares the two newest
+/// entries at the same scale.
 pub fn bench_pipeline_json(
     atlas: &Atlas<'_>,
+    label: &str,
     scale: &str,
     seed: u64,
     generate_secs: f64,
@@ -567,6 +570,7 @@ pub fn bench_pipeline_json(
     };
     let mut out = String::new();
     out.push_str("{\n");
+    let _ = writeln!(out, "  \"label\": \"{label}\",");
     let _ = writeln!(out, "  \"scale\": \"{scale}\",");
     let _ = writeln!(out, "  \"seed\": {seed},");
     let _ = writeln!(out, "  \"probe_workers\": {},", atlas.config.probe_workers);
@@ -684,6 +688,32 @@ pub fn bench_pipeline_json(
     }
     out.push_str("}\n");
     out
+}
+
+/// Appends one run record to the `BENCH_pipeline.json` history and
+/// returns the new file contents. The history is a top-level JSON array
+/// of run records, newest last; `existing` is the current file contents
+/// (or `None` when the file does not exist yet). Legacy files holding a
+/// single bare record object are wrapped into a one-entry array before
+/// the new record is appended, and unparseable contents are discarded in
+/// favor of a fresh history rather than corrupting the file further.
+pub fn append_bench_history(existing: Option<&str>, record: &str) -> String {
+    let rec = record.trim();
+    let fresh = || format!("[\n{rec}\n]\n");
+    let Some(prev) = existing.map(str::trim).filter(|s| !s.is_empty()) else {
+        return fresh();
+    };
+    if let Some(body) = prev.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+        let body = body.trim();
+        if body.is_empty() {
+            return fresh();
+        }
+        return format!("[\n{body},\n{rec}\n]\n");
+    }
+    if prev.starts_with('{') && prev.ends_with('}') {
+        return format!("[\n{prev},\n{rec}\n]\n");
+    }
+    fresh()
 }
 
 /// Extension (not a paper table): *where* the traffic goes hiding — per

@@ -74,11 +74,12 @@ fn assert_valid_json(s: &str) {
 fn bench_pipeline_json_is_valid_and_complete() {
     let inet = build_internet("tiny", 2019);
     let atlas = run_study(&inet);
-    let json = report::bench_pipeline_json(&atlas, "tiny", 2019, 0.5, 1.5);
+    let json = report::bench_pipeline_json(&atlas, "tiny-2019-clean", "tiny", 2019, 0.5, 1.5);
     assert_valid_json(&json);
 
     // The fields the acceptance pipeline reads.
     for key in [
+        "\"label\"",
         "\"scale\"",
         "\"seed\"",
         "\"probe_workers\"",
@@ -140,6 +141,22 @@ fn bench_pipeline_json_is_valid_and_complete() {
     // The rendered timings table covers the same stages.
     let table = report::timings(&atlas);
     assert!(table.contains("expansion") && table.contains("total"));
+
+    // The history wrapper keeps the file valid JSON at every step: fresh
+    // file, append, and wrapping a legacy single-object file.
+    let fresh = report::append_bench_history(None, &json);
+    assert_valid_json(&fresh);
+    assert!(fresh.trim_start().starts_with('['));
+    let appended = report::append_bench_history(Some(&fresh), &json);
+    assert_valid_json(&appended);
+    assert_eq!(appended.matches("\"pipeline_seconds\"").count(), 2);
+    let wrapped = report::append_bench_history(Some(&json), &json);
+    assert_valid_json(&wrapped);
+    assert_eq!(wrapped.matches("\"pipeline_seconds\"").count(), 2);
+    // Newest entry last: the records in `appended` keep insertion order.
+    let garbage = report::append_bench_history(Some("not json"), &json);
+    assert_valid_json(&garbage);
+    assert_eq!(garbage.matches("\"pipeline_seconds\"").count(), 1);
 }
 
 #[test]

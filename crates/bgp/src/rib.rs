@@ -248,6 +248,27 @@ impl RoutingTable {
         epoch: u32,
     ) -> Option<Route> {
         let candidates = self.trie.lookup(dest)?;
+        // Pre-compute each candidate's full sort key once. The comparator
+        // used to recompute the hot-potato distance and the flow-hash draw
+        // for *both* sides of every comparison; batching the draws makes a
+        // lookup cost n hashes instead of ~2·n·log n. The key components
+        // replicate the old comparator exactly: shortest AS path, then
+        // egress preference, then hot-potato distance, then — as the final
+        // tie for parallel links at one facility — per-destination flow
+        // hashing, so every member of a LAG bundle carries some prefixes
+        // and becomes observable.
+        let keys: Vec<(f64, u64)> = candidates
+            .iter()
+            .map(|c| {
+                (
+                    self.hot_potato_km(inet, c.ic, src_region),
+                    stablehash::mix(
+                        0xECB0,
+                        &[u64::from(dest.to_u32()) >> 8, c.ic.0 as u64, epoch as u64],
+                    ),
+                )
+            })
+            .collect();
         let up = |c: &Candidate| -> bool {
             epoch == 0
                 || !stablehash::chance(inet.seed, &[0xF1A9, epoch as u64, c.ic.0 as u64], 0.18)
@@ -255,27 +276,16 @@ impl RoutingTable {
         let pick = |filter_up: bool| -> Option<&Candidate> {
             candidates
                 .iter()
-                .filter(|c| !filter_up || up(c))
-                .min_by(|x, y| {
-                    let dx = self.hot_potato_km(inet, x.ic, src_region);
-                    let dy = self.hot_potato_km(inet, y.ic, src_region);
-                    // Final tie (parallel links at one facility): per-destination
-                    // flow hashing, so every member of a LAG bundle carries some
-                    // prefixes and becomes observable.
-                    let hx = stablehash::mix(
-                        0xECB0,
-                        &[u64::from(dest.to_u32()) >> 8, x.ic.0 as u64, epoch as u64],
-                    );
-                    let hy = stablehash::mix(
-                        0xECB0,
-                        &[u64::from(dest.to_u32()) >> 8, y.ic.0 as u64, epoch as u64],
-                    );
+                .zip(&keys)
+                .filter(|(c, _)| !filter_up || up(c))
+                .min_by(|(x, (dx, hx)), (y, (dy, hy))| {
                     x.path_len
                         .cmp(&y.path_len)
                         .then(x.pref.cmp(&y.pref))
-                        .then(dx.total_cmp(&dy))
-                        .then(hx.cmp(&hy))
+                        .then(dx.total_cmp(dy))
+                        .then(hx.cmp(hy))
                 })
+                .map(|(c, _)| c)
         };
         let best = pick(true).or_else(|| pick(false))?;
         let peer = inet.interconnect(best.ic).peer;
@@ -305,6 +315,7 @@ impl RoutingTable {
                     if p == u32::MAX {
                         // Origin not actually in the tree (Specific route):
                         // fall back to the two-hop path.
+                        // cm-lint: hot-cost-accepted(fallback executes at most once per lookup and returns immediately)
                         return vec![peer, origin];
                     }
                     cur = AsIndex(p);

@@ -111,6 +111,63 @@ impl<'d> Annotator<'d> {
     }
 }
 
+/// A shared annotation table: one flat `addr → HopNote` map reused across
+/// every probing round and per-region collector.
+///
+/// The sweep and each §4.2 expansion round revisit the same border
+/// interfaces from all regions; without sharing, every `(region, round)`
+/// collector re-resolves each address against the dataset tries once.
+/// [`Annotator::annotate`] is a pure function of the address, so serving a
+/// note from this table can never change an annotation (or any digest) —
+/// it only removes redundant lookups. The interior `RwLock` makes the
+/// cache shareable from the campaign executor's `Sync` collector factory;
+/// in practice all lookups happen on the coordinator's fold thread, so the
+/// lock is uncontended.
+#[derive(Default)]
+pub struct NoteCache {
+    inner: std::sync::RwLock<std::collections::HashMap<Ipv4, HopNote>>,
+}
+
+impl NoteCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        NoteCache::default()
+    }
+
+    /// The cached note for `addr`, resolving and recording it on first use.
+    pub fn note_of(&self, annotator: &Annotator<'_>, addr: Ipv4) -> HopNote {
+        {
+            let guard = match self.inner.read() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            if let Some(&n) = guard.get(&addr) {
+                return n;
+            }
+        }
+        let n = annotator.annotate(addr);
+        let mut guard = match self.inner.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.insert(addr, n);
+        n
+    }
+
+    /// Number of resolved addresses.
+    pub fn len(&self) -> usize {
+        match self.inner.read() {
+            Ok(g) => g.len(),
+            Err(poisoned) => poisoned.into_inner().len(),
+        }
+    }
+
+    /// True when nothing has been resolved yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -186,10 +186,10 @@ impl SegmentPool {
         // cm-lint: nondet-quarantined(validation scan; the success path is order-independent and any violation aborts the run)
         for seg in self.segments.keys() {
             if !self.abis.contains_key(&seg.abi) {
-                return Err(format!("segment {:?} has unknown ABI", seg));
+                return Err(format!("segment {:?} has unknown ABI", seg)); // cm-lint: hot-cost-accepted(failure-path message; the format! runs at most once, right before the scan aborts)
             }
             if !self.cbis.contains_key(&seg.cbi) {
-                return Err(format!("segment {:?} has unknown CBI", seg));
+                return Err(format!("segment {:?} has unknown CBI", seg)); // cm-lint: hot-cost-accepted(failure-path message; the format! runs at most once, right before the scan aborts)
             }
         }
         if let Some(both) = self.abis.keys().find(|a| self.cbis.contains_key(a)) {
@@ -205,6 +205,7 @@ impl SegmentPool {
         // cm-lint: nondet-quarantined(validation scan; the success path is order-independent and any violation aborts the run)
         for addr in self.owner_override.keys() {
             if !self.abis.contains_key(addr) && !self.cbis.contains_key(addr) {
+                // cm-lint: hot-cost-accepted(failure-path message; the format! runs at most once, right before the scan aborts)
                 return Err(format!("owner override on unknown interface {addr}"));
             }
         }
@@ -265,6 +266,15 @@ pub struct BorderCollector<'a, 'd> {
     /// Annotation memo: campaigns revisit the same router interfaces
     /// millions of times, so each address is resolved once per collector.
     memo: HashMap<Ipv4, HopNote>,
+    /// Optional shared annotation table (pre-resolved across rounds and
+    /// regions); consulted on local-memo misses before the annotator.
+    shared: Option<&'a crate::annotate::NoteCache>,
+    /// Reusable per-trace scratch: the annotated responding hops. Hoisted
+    /// out of [`BorderCollector::observe`] so a million-trace campaign
+    /// reuses one allocation instead of growing a fresh `Vec` per trace.
+    scratch_hops: Vec<(u8, Ipv4, HopNote)>,
+    /// Reusable per-trace scratch for the §4.1 loop/duplicate filter.
+    scratch_seen: HashMap<Ipv4, u8>,
 }
 
 impl<'a, 'd> BorderCollector<'a, 'd> {
@@ -275,33 +285,59 @@ impl<'a, 'd> BorderCollector<'a, 'd> {
             annotator,
             pool: SegmentPool::new(cloud_org),
             memo: HashMap::new(),
+            shared: None,
+            scratch_hops: Vec::new(),
+            scratch_seen: HashMap::new(),
         }
     }
 
-    /// Memoized annotation.
+    /// [`BorderCollector::new`] backed by a shared annotation table, so
+    /// addresses resolved by earlier rounds (or other regions' collectors)
+    /// are never re-annotated.
+    pub fn with_cache(
+        annotator: &'a Annotator<'d>,
+        cloud_org: OrgId,
+        cache: &'a crate::annotate::NoteCache,
+    ) -> Self {
+        let mut c = Self::new(annotator, cloud_org);
+        c.shared = Some(cache);
+        c
+    }
+
+    /// Memoized annotation (local memo first, then the shared table).
     fn note_of(&mut self, addr: Ipv4) -> HopNote {
         if let Some(&n) = self.memo.get(&addr) {
             return n;
         }
-        let n = self.annotator.annotate(addr);
+        let n = match self.shared {
+            Some(cache) => cache.note_of(self.annotator, addr),
+            None => self.annotator.annotate(addr),
+        };
         self.memo.insert(addr, n);
         n
     }
 
     /// Folds one traceroute into the pool.
     pub fn observe(&mut self, t: &Traceroute) {
-        let ann = self.annotator;
-        let org = self.pool.cloud_org;
-
-        // Annotate the responding hops once, keeping TTLs.
-        let mut hops: Vec<(u8, Ipv4, HopNote)> = Vec::with_capacity(t.hops.len());
+        // Annotate the responding hops once, keeping TTLs. The buffer is
+        // collector-owned scratch, moved out for the duration of the walk
+        // (so `note_of` can borrow `self`) and restored afterwards.
+        let mut hops = std::mem::take(&mut self.scratch_hops);
+        hops.clear();
         for h in &t.hops {
             if let Some(a) = h.addr {
                 let note = self.note_of(a);
                 hops.push((h.ttl, a, note));
             }
         }
-        let hops = hops;
+        self.observe_annotated(t, &hops);
+        self.scratch_hops = hops;
+    }
+
+    /// The §4.1 walk over the pre-annotated responding hops.
+    fn observe_annotated(&mut self, t: &Traceroute, hops: &[(u8, Ipv4, HopNote)]) {
+        let ann = self.annotator;
+        let org = self.pool.cloud_org;
 
         // Successor evidence is gathered on every trace, accepted or not:
         // the hybrid heuristic draws on all observations (§5.1).
@@ -350,12 +386,13 @@ impl<'a, 'd> BorderCollector<'a, 'd> {
             self.pool.discards.gap_before_border += 1;
             return;
         }
-        // Filter: IP-level loop anywhere in the trace.
-        let mut seen: HashMap<Ipv4, u8> = HashMap::new();
+        // Filter: IP-level loop anywhere in the trace. The visited map is
+        // reusable scratch (cleared here, not reallocated per trace).
+        self.scratch_seen.clear();
         let mut looped = false;
         let mut dup_before_border = false;
         for (i, &(ttl, a, _)) in hops.iter().enumerate() {
-            if let Some(&prev_ttl) = seen.get(&a) {
+            if let Some(&prev_ttl) = self.scratch_seen.get(&a) {
                 if ttl == prev_ttl + 1 {
                     if i <= cbi_pos {
                         dup_before_border = true;
@@ -364,7 +401,7 @@ impl<'a, 'd> BorderCollector<'a, 'd> {
                     looped = true;
                 }
             }
-            seen.insert(a, ttl);
+            self.scratch_seen.insert(a, ttl);
         }
         if looped {
             self.pool.discards.looped += 1;

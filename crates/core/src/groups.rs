@@ -226,7 +226,7 @@ impl Grouping {
                     .iter()
                     .filter_map(|c| pool.cbis.get(c))
                     .flat_map(|i| i.reachable_slash24.iter().copied())
-                    .collect();
+                    .collect(); // cm-lint: hot-cost-accepted(the per-group reachability union is the feature being computed; each group is visited once)
                 f.reachable_slash24.push(reach.len() as f64);
                 f.cbis.push(cbis.len() as f64);
                 f.abis.push(
@@ -240,7 +240,7 @@ impl Grouping {
                     .iter()
                     .filter_map(|c| diffs_of_cbi.get(c))
                     .flat_map(|v| v.iter().copied())
-                    .collect();
+                    .collect(); // cm-lint: hot-cost-accepted(RTT diffs must be materialized to take a median)
                 ds.sort_by(|a, b| a.partial_cmp(b).unwrap());
                 if !ds.is_empty() {
                     f.rtt_diff_ms.push(ds[ds.len() / 2]);
@@ -248,7 +248,7 @@ impl Grouping {
                 let metros: HashSet<_> = cbis
                     .iter()
                     .filter_map(|c| pins.pins.get(c).map(|p| p.metro))
-                    .collect();
+                    .collect(); // cm-lint: hot-cost-accepted(the per-group metro set is the feature being computed; dedup needs a set)
                 f.metros.push(metros.len() as f64);
             }
         }

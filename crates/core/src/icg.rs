@@ -58,7 +58,7 @@ impl Icg {
                 continue;
             }
             let mut size = 0usize;
-            let mut queue = vec![(true, start)];
+            let mut queue = vec![(true, start)]; // cm-lint: hot-cost-accepted(one BFS queue per connected component; components partition the graph, so total pushes stay linear)
             visited.insert((true, start));
             while let Some((is_abi, node)) = queue.pop() {
                 size += 1;

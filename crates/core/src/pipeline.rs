@@ -445,6 +445,12 @@ impl<'i> Pipeline<'i> {
             .collect();
 
         let annotator = Annotator::new(&snapshot, &datasets);
+        // Shared annotation table: the sweep and every expansion round
+        // revisit the same border interfaces from all regions, so without
+        // it each (region, round) collector re-resolves every address
+        // against the dataset tries. `Annotator::annotate` is pure, so
+        // serving notes from the shared table cannot change any result.
+        let note_cache = crate::annotate::NoteCache::new();
         let plane = DataPlane::new(inet, cfg.dataplane);
         let campaign = Campaign::new(&plane, primary);
         obs.stage_end(
@@ -462,7 +468,7 @@ impl<'i> Pipeline<'i> {
                 cfg.sweep_epochs.max(1),
                 cfg.probe_workers,
                 Some(obs_ref),
-                || BorderCollector::new(&annotator, cloud_org),
+                || BorderCollector::with_cache(&annotator, cloud_org, &note_cache),
                 |c, t| c.observe(t),
             );
             let mut pools = collectors.into_iter().map(BorderCollector::finish);
@@ -675,12 +681,12 @@ impl<'i> Pipeline<'i> {
             ("cbi_is_destination", d.cbi_is_destination),
             ("cloud_reentry", d.cloud_reentry),
         ] {
-            reg.inc(&format!("discard_{name}_total"), v as u64);
+            reg.inc(&format!("discard_{name}_total"), v as u64); // cm-lint: hot-cost-accepted(metrics export over a fixed list of discard counters, once per run)
         }
         reg.inc("traceroute_accepted_total", pool.accepted as u64);
         let table2 = heuristics.table2(&pool);
         for (i, name) in ["ixp", "hybrid", "reachable"].iter().enumerate() {
-            reg.set_gauge(&format!("heuristic_{name}_abis"), table2[i].0 as i64);
+            reg.set_gauge(&format!("heuristic_{name}_abis"), table2[i].0 as i64); // cm-lint: hot-cost-accepted(gauge export over the three Table 2 heuristics, once per run)
             reg.set_gauge(&format!("heuristic_{name}_cbis"), table2[i].1 as i64);
         }
         reg.set_gauge(

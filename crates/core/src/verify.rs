@@ -203,8 +203,8 @@ pub fn apply_alias_corrections(
             .segments
             .iter()
             .filter(|(s, _)| s.abi == abi)
-            .map(|(s, m)| (*s, m.clone()))
-            .collect();
+            .map(|(s, m)| (*s, m.clone())) // cm-lint: hot-cost-accepted(meta is detached before pool.segments is mutated below)
+            .collect(); // cm-lint: hot-cost-accepted(the affected list must be snapshotted before pool.segments is mutated)
         affected.sort_by_key(|&(s, _)| s);
         for (seg, meta) in affected {
             pool.segments.remove(&seg);
@@ -230,7 +230,7 @@ pub fn apply_alias_corrections(
             .or_insert_with(|| crate::borders::CbiInfo {
                 note,
                 first_dst: abi,
-                reachable_slash24: HashSet::new(),
+                reachable_slash24: HashSet::new(), // cm-lint: hot-cost-accepted(empty-set initializer, evaluated only when a new CBI is first inserted)
             });
         pool.owner_override.insert(abi, owner);
     }
@@ -248,8 +248,8 @@ pub fn apply_alias_corrections(
                 .segments
                 .iter()
                 .filter(|(s, _)| s.cbi == cbi)
-                .map(|(s, m)| (*s, m.clone()))
-                .collect();
+                .map(|(s, m)| (*s, m.clone())) // cm-lint: hot-cost-accepted(meta is detached before pool.segments is mutated below)
+                .collect(); // cm-lint: hot-cost-accepted(the affected list must be snapshotted before pool.segments is mutated)
             affected.sort_by_key(|&(s, _)| s);
             for (seg, meta) in affected {
                 pool.segments.remove(&seg);
@@ -268,7 +268,7 @@ pub fn apply_alias_corrections(
                         .or_insert_with(|| crate::borders::CbiInfo {
                             note: annotator.annotate(post),
                             first_dst: post,
-                            reachable_slash24: HashSet::new(),
+                            reachable_slash24: HashSet::new(), // cm-lint: hot-cost-accepted(empty-set initializer, evaluated only when a new CBI is first inserted)
                         });
                 }
             }

@@ -133,10 +133,10 @@ pub fn detect(
             .keys()
             .filter(|a| candidates.contains(a))
             .copied()
-            .collect();
-        // cm-lint: nondet-quarantined(set union; extending a set commutes, so source order is immaterial)
+            .collect(); // cm-lint: hot-cost-accepted(the per-cloud overlap set is the detection output itself)
+                        // cm-lint: nondet-quarantined(set union; extending a set commutes, so source order is immaterial)
         out.vpi_cbis.extend(overlap.iter().copied());
-        let name = plane.inet.clouds[cloud.index()].name.clone();
+        let name = plane.inet.clouds[cloud.index()].name.clone(); // cm-lint: hot-cost-accepted(one cloud-name copy per compared cloud for the report)
         out.per_cloud.push((name, overlap));
     }
     out

@@ -136,18 +136,34 @@ pub struct DataPlane<'a> {
     downstream: HashMap<RouterId, (IfaceId, f64)>,
     /// IXP LAN interface of each cloud's border routers: (cloud, ixp) → ic.
     ixp_port: HashMap<(CloudId, u32), IcId>,
-    /// Addressed uplink interfaces of all border routers per (cloud,
-    /// facility): the ECMP ingress pool. Real cloud edge PoPs front their
-    /// border routers with a Clos fabric, so a probe crossing any
-    /// interconnect at the facility may arrive on any pool member — this is
-    /// what lets one CBI pair with several ABIs (Figure 7b's degrees) and
-    /// knits the ICG into one large component (§7.4).
-    facility_uplinks: HashMap<(CloudId, u16), Vec<IfaceId>>,
+    /// Pre-resolved ECMP ingress pool per interconnect (indexed by
+    /// `IcId::index`): the addressed uplink interfaces of all border
+    /// routers in the interconnect's pool metros. Real cloud edge PoPs
+    /// front their border routers with a Clos fabric, so a probe crossing
+    /// any interconnect at the facility may arrive on any pool member —
+    /// this is what lets one CBI pair with several ABIs (Figure 7b's
+    /// degrees) and knits the ICG into one large component (§7.4). The
+    /// pool depends only on the interconnect, so it is flattened here once
+    /// instead of being rebuilt by every probe's path walk.
+    ingress_pool: Vec<Vec<IfaceId>>,
     /// Seed for per-probe deterministic noise.
     seed: u64,
     /// Seed for fault-profile draws (a separate domain from artifact
     /// noise, so enabling a fault axis never re-rolls the base artifacts).
     fault_seed: u64,
+    /// Per-router persistent-blackhole draws (indexed by
+    /// `RouterId::index`). Every per-router fault predicate is a pure
+    /// function of `(fault seed, router id)`, so the draws are batched at
+    /// construction — with exactly the keys the per-probe predicates used
+    /// — instead of re-hashed on every hop of every probe.
+    blackholed_tbl: Vec<bool>,
+    /// Per-router MPLS-tunnel draws (same batching as `blackholed_tbl`).
+    mpls_tbl: Vec<bool>,
+    /// Per-router ICMP source-rewrite draws (same batching).
+    rewrite_tbl: Vec<bool>,
+    /// Per-region clock-skew offsets in ms (indexed by `RegionId::index`;
+    /// 0 for unaffected regions).
+    skew_tbl: Vec<f64>,
     /// Per-axis fault impact counters (atomic: sums are order-independent
     /// at any worker count).
     counters: FaultCounters,
@@ -237,17 +253,95 @@ impl<'a> DataPlane<'a> {
                 v.sort_unstable();
             }
         }
+        // Flatten the per-interconnect ingress pools. Member order must
+        // match the old per-probe build exactly (facility metro first,
+        // then IXP presence metros in listed order) — the ECMP draw
+        // indexes into this slice, so any reordering would change which
+        // uplink a flow lands on and break the golden digests.
+        let mut ingress_pool: Vec<Vec<IfaceId>> = Vec::with_capacity(inet.interconnects.len());
+        for ic in &inet.interconnects {
+            let fac_metro = inet.facility(ic.facility).metro;
+            let mut pool_metros = vec![fac_metro]; // cm-lint: hot-cost-accepted(once-per-run constructor; this loop is precomputing the ingress pools)
+            if let cm_topology::IcKind::PublicIxp(ix) = ic.kind {
+                if let Some(hosts) = inet.ixp_presence.get(&(ic.cloud, ix)) {
+                    for &h in hosts {
+                        let m = inet.facility(h).metro;
+                        if !pool_metros.contains(&m) {
+                            pool_metros.push(m);
+                        }
+                    }
+                }
+            }
+            let mut pool = Vec::new(); // cm-lint: hot-cost-accepted(once-per-run constructor; the pool built here is the flat table the hot path reuses)
+            for m in &pool_metros {
+                if let Some(p) = facility_uplinks.get(&(ic.cloud, m.0)) {
+                    pool.extend_from_slice(p);
+                }
+            }
+            ingress_pool.push(pool);
+        }
+        // Batch the per-entity fault draws (identical keys to the old
+        // per-probe predicates; see the fault-profile section below).
+        let fault_seed = inet.seed ^ cfg.faults.salt ^ 0xFA17_0A7E_5EED_0001;
+        let blackholed_tbl = inet
+            .routers
+            .iter()
+            .map(|r| {
+                cfg.faults.blackhole.is_some_and(|b| {
+                    stablehash::chance(fault_seed, &[0xB1AC, u64::from(r.id.0)], b.router_rate)
+                })
+            })
+            .collect();
+        let mpls_tbl = inet
+            .routers
+            .iter()
+            .map(|r| {
+                cfg.faults.mpls.is_some_and(|m| {
+                    stablehash::chance(fault_seed, &[0x3915, u64::from(r.id.0)], m.router_rate)
+                })
+            })
+            .collect();
+        let rewrite_tbl = inet
+            .routers
+            .iter()
+            .map(|r| {
+                cfg.faults.addr_rewrite.is_some_and(|a| {
+                    stablehash::chance(fault_seed, &[0x5FC4, u64::from(r.id.0)], a.router_rate)
+                })
+            })
+            .collect();
+        let skew_tbl = inet
+            .regions
+            .iter()
+            .map(|rg| {
+                let Some(s) = cfg.faults.clock_skew else {
+                    return 0.0;
+                };
+                if !stablehash::chance(fault_seed, &[0xC10C, u64::from(rg.id.0)], s.region_rate) {
+                    return 0.0;
+                }
+                s.max_skew_ms
+                    * stablehash::unit_f64(stablehash::mix(
+                        fault_seed,
+                        &[0xC10C, 0x0FF5, u64::from(rg.id.0)],
+                    ))
+            })
+            .collect();
         Ok(DataPlane {
             inet,
             tables,
             cfg,
             downstream,
             ixp_port,
-            facility_uplinks,
+            ingress_pool,
             seed: inet.seed ^ 0x0DA7_A91A_4E00_55AA,
-            fault_seed: inet.seed ^ cfg.faults.salt ^ 0xFA17_0A7E_5EED_0001,
+            fault_seed,
             counters: FaultCounters::default(),
             route_memo: RouteMemo::new(),
+            blackholed_tbl,
+            mpls_tbl,
+            rewrite_tbl,
+            skew_tbl,
         })
     }
 
@@ -430,24 +524,8 @@ impl<'a> DataPlane<'a> {
         // every metro where the cloud attaches to that fabric (multi-metro
         // fabrics bridge regions — the §7.4 remote-peering effect). Falls
         // back to the interconnect's own router when the pool is empty.
-        let fac_metro = inet.facility(ic.facility).metro;
-        let mut pool_metros = vec![fac_metro];
-        if let cm_topology::IcKind::PublicIxp(ix) = ic.kind {
-            if let Some(hosts) = inet.ixp_presence.get(&(cloud, ix)) {
-                for &h in hosts {
-                    let m = inet.facility(h).metro;
-                    if !pool_metros.contains(&m) {
-                        pool_metros.push(m);
-                    }
-                }
-            }
-        }
-        let mut pool: Vec<IfaceId> = Vec::new();
-        for m in &pool_metros {
-            if let Some(p) = self.facility_uplinks.get(&(cloud, m.0)) {
-                pool.extend_from_slice(p);
-            }
-        }
+        // The pool itself is pre-resolved per interconnect at construction.
+        let pool = &self.ingress_pool[route.ic.index()];
         let uplink = if pool.is_empty() {
             self.incoming_iface_from(last_core, ic.cloud_router)
                 .or_else(|| self.any_uplink(ic.cloud_router))
@@ -592,26 +670,26 @@ impl<'a> DataPlane<'a> {
         dst: Ipv4,
         dst_iface: Option<IfaceId>,
         epoch: u32,
-    ) -> Option<cm_bgp::Route> {
+    ) -> Option<std::sync::Arc<cm_bgp::Route>> {
         let inet = self.inet;
         if let Some(fid) = dst_iface {
             match inet.iface(fid).kind {
                 IfaceKind::Interconnect(ic) if inet.interconnect(ic).cloud == cloud => {
                     let peer = inet.interconnect(ic).peer;
-                    return Some(cm_bgp::Route {
+                    return Some(std::sync::Arc::new(cm_bgp::Route {
                         ic,
                         as_path: vec![peer],
-                    });
+                    }));
                 }
                 IfaceKind::IxpLan(ix) => {
                     if let Some(&ic) = self.ixp_port.get(&(cloud, ix.0)) {
                         // Route to the member over the shared fabric: egress
                         // through the cloud's port, then the member answers.
                         let owner = inet.router(inet.iface(fid).router).owner;
-                        return Some(cm_bgp::Route {
+                        return Some(std::sync::Arc::new(cm_bgp::Route {
                             ic,
                             as_path: vec![owner],
-                        });
+                        }));
                     }
                 }
                 _ => {}
@@ -695,58 +773,28 @@ impl<'a> DataPlane<'a> {
     // Every predicate is a pure function of (fault seed, entity id), never
     // of the probe or of execution order: a blackholed router is blackholed
     // for every probe of the campaign, a skewed region stays skewed, and a
-    // worker reordering cannot change any draw.
+    // worker reordering cannot change any draw. That purity is what lets
+    // the per-entity draws be batched into lookup tables at construction
+    // (`try_new`); only the per-probe burst-loss window still draws here.
 
     /// Whether `router` persistently blackholes probes.
     fn blackholed(&self, router: RouterId) -> bool {
-        self.cfg.faults.blackhole.is_some_and(|b| {
-            stablehash::chance(
-                self.fault_seed,
-                &[0xB1AC, u64::from(router.0)],
-                b.router_rate,
-            )
-        })
+        self.blackholed_tbl[router.index()]
     }
 
     /// Whether `router` sits inside an MPLS tunnel (invisible, no TTL).
     fn mpls_hidden(&self, router: RouterId) -> bool {
-        self.cfg.faults.mpls.is_some_and(|m| {
-            stablehash::chance(
-                self.fault_seed,
-                &[0x3915, u64::from(router.0)],
-                m.router_rate,
-            )
-        })
+        self.mpls_tbl[router.index()]
     }
 
     /// Whether `router` rewrites its ICMP response source address.
     fn rewrites_source(&self, router: RouterId) -> bool {
-        self.cfg.faults.addr_rewrite.is_some_and(|r| {
-            stablehash::chance(
-                self.fault_seed,
-                &[0x5FC4, u64::from(router.0)],
-                r.router_rate,
-            )
-        })
+        self.rewrite_tbl[router.index()]
     }
 
     /// The clock-skew offset of a probing region (0 when unaffected).
     fn region_skew_ms(&self, region: RegionId) -> f64 {
-        let Some(s) = self.cfg.faults.clock_skew else {
-            return 0.0;
-        };
-        if !stablehash::chance(
-            self.fault_seed,
-            &[0xC10C, u64::from(region.0)],
-            s.region_rate,
-        ) {
-            return 0.0;
-        }
-        s.max_skew_ms
-            * stablehash::unit_f64(stablehash::mix(
-                self.fault_seed,
-                &[0xC10C, 0x0FF5, u64::from(region.0)],
-            ))
+        self.skew_tbl[region.index()]
     }
 
     /// Whether a `(router, epoch, destination block)` rate-limit window is

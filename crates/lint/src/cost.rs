@@ -1,0 +1,608 @@
+//! The hot-path cost pass (rules P1–P6).
+//!
+//! The campaign spends ~78% of its wall clock in the §4.2 expansion round
+//! (`BENCH_pipeline.json`), and with the route memo absorbing 99.7% of
+//! RIB lookups the residual cost is per-probe allocation, hashing and
+//! string building. This pass keeps the hot loops allocation-lean
+//! *statically*, the way [`crate::taint`] keeps the digest path
+//! deterministic:
+//!
+//! 1. **seed** every per-iteration cost site — heap allocation (P1),
+//!    `clone`/`to_owned`/`to_string` (P2), `format!`/string building
+//!    (P3), hash-map construction (P4), loop-invariant `stablehash`
+//!    draws (P5) and boxed/dyn iterator chains (P6) — but *only inside a
+//!    loop body*, using the extractor's loop-depth tracking so every
+//!    finding names its enclosing loop;
+//! 2. **propagate** reachability along the over-approximated call graph
+//!    from the declared hot roots ([`HOT_ROOTS`]): the campaign loops in
+//!    `Pipeline::run`, the §4.1 border walk, the `DataPlane` per-probe
+//!    emission path and the RIB/route-memo lookup;
+//! 3. **error** when a hot root can reach a seeded loop, unless the site
+//!    carries a `// cm-lint: hot-cost-accepted(<reason>)` annotation on
+//!    its own or the preceding line.
+//!
+//! The quarantine ledger mirrors the D-rule design: acceptances must
+//! carry a reason (`C2`), and an acceptance suppressing nothing is itself
+//! a finding (`C1`), so cost waivers cannot rot. Seeds in functions no
+//! hot root reaches are counted as *dormant* — cold-path allocation is
+//! not this pass's business.
+
+use crate::extract::{call_refs, FileModel, Model};
+use crate::lexer::{Tok, TokKind};
+use crate::report::Finding;
+use crate::taint::Quarantined;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::ops::Range;
+
+/// The declared hot roots: functions whose transitive callees run once
+/// per probe, per hop or per RIB lookup. `Owner::name` pins the impl
+/// type; a bare name matches any owner.
+pub const HOT_ROOTS: &[&str] = &[
+    "Pipeline::run",
+    "Campaign::run_sharded_obs",
+    "BorderCollector::observe",
+    "DataPlane::traceroute_at",
+    "DataPlane::ping_min_rtt",
+    "RoutingTable::route_at",
+    "RouteMemo::route_at",
+    "FaultCounters::record",
+];
+
+/// The annotation marker the cost pass looks for in comments.
+pub const ANNOTATION: &str = "cm-lint: hot-cost-accepted";
+
+/// The `stablehash` primitives whose redundant in-loop draws P5 flags.
+const STABLEHASH_FNS: &[&str] = &["splitmix64", "mix", "unit_f64", "chance", "pick"];
+
+/// Everything the cost pass produced: hard findings plus the acceptance
+/// ledger (rendered into the JSON report so reviewers see every waiver).
+pub struct CostOutcome {
+    /// Rule violations, deterministically ordered.
+    pub findings: Vec<Finding>,
+    /// Annotated (accepted) sites, deterministically ordered.
+    pub quarantined: Vec<Quarantined>,
+    /// Seeds no hot root can reach (informational: cold-path cost).
+    pub dormant: usize,
+}
+
+/// One per-iteration cost site found in a loop body.
+struct Seed {
+    rule: &'static str,
+    fn_idx: usize,
+    line: u32,
+    /// Line of the innermost enclosing loop header.
+    loop_line: u32,
+    /// Loop nesting depth of the site within its fn.
+    depth: u32,
+    what: String,
+}
+
+/// Runs the cost pass over the model.
+pub fn run(model: &Model, roots: &[&str]) -> CostOutcome {
+    let mut seeds: Vec<Seed> = Vec::new();
+    let mut quarantined: Vec<Quarantined> = Vec::new();
+    let mut findings: Vec<Finding> = Vec::new();
+
+    for (fn_idx, f) in model.fns.iter().enumerate() {
+        if f.in_test {
+            continue;
+        }
+        let file = &model.files[f.file];
+        // Vendored stand-ins participate in the call graph but are not
+        // seeded: their cost is charged to the workspace call site.
+        if file.path.starts_with("vendor/") {
+            continue;
+        }
+        seed_fn(fn_idx, f.body.clone(), model, &mut seeds);
+    }
+
+    // Resolve acceptances: a seed on line L is suppressed by an
+    // annotation on line L or L-1. Track per-file annotation use.
+    let mut annotations: BTreeMap<(usize, u32), (String, bool)> = BTreeMap::new();
+    for (fi, file) in model.files.iter().enumerate() {
+        for t in &file.toks {
+            if t.kind == TokKind::Comment && is_annotation(&t.text) {
+                annotations.insert((fi, t.line), (annotation_reason(&t.text), false));
+            }
+        }
+    }
+    let mut live_seeds: Vec<Seed> = Vec::new();
+    for seed in seeds {
+        let fi = model.fns[seed.fn_idx].file;
+        let hit = [seed.line, seed.line.saturating_sub(1)]
+            .into_iter()
+            .find(|l| annotations.contains_key(&(fi, *l)));
+        match hit.and_then(|l| annotations.get_mut(&(fi, l))) {
+            Some((reason, used)) => {
+                *used = true;
+                quarantined.push(Quarantined {
+                    path: model.files[fi].path.clone(),
+                    line: seed.line,
+                    rule: seed.rule,
+                    reason: reason.clone(),
+                });
+            }
+            None => live_seeds.push(seed),
+        }
+    }
+
+    // Acceptance hygiene, mirroring the taint pass's A-rules.
+    for ((fi, line), (reason, used)) in &annotations {
+        let path = model.files[*fi].path.clone();
+        if reason.is_empty() {
+            findings.push(Finding {
+                rule: "C2_MISSING_REASON".into(),
+                path: path.clone(),
+                line: *line,
+                symbol: String::new(),
+                message: format!("{ANNOTATION} annotation must carry a (reason)"),
+                trace: Vec::new(),
+            });
+        }
+        if !*used {
+            findings.push(Finding {
+                rule: "C1_STALE_ACCEPTANCE".into(),
+                path,
+                line: *line,
+                symbol: String::new(),
+                message: format!(
+                    "{ANNOTATION} annotation suppresses nothing on this or the next line"
+                ),
+                trace: Vec::new(),
+            });
+        }
+    }
+
+    // Call graph + BFS from the hot roots, with parent chains for the
+    // witness traces — identical plumbing to the taint pass.
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); model.fns.len()];
+    for (i, f) in model.fns.iter().enumerate() {
+        if f.in_test {
+            continue;
+        }
+        let file = &model.files[f.file];
+        for name in call_refs(&file.toks, f.body.clone()) {
+            for callee in model.resolve(&file.crate_name, &name) {
+                if callee != i {
+                    edges[i].push(callee);
+                }
+            }
+        }
+        edges[i].sort_unstable();
+        edges[i].dedup();
+    }
+    let mut root_ids: Vec<usize> = Vec::new();
+    for spec in roots {
+        let resolved = model.resolve_root(spec);
+        if resolved.is_empty() {
+            findings.push(Finding {
+                rule: "R2_MISSING_HOT_ROOT".into(),
+                path: String::new(),
+                line: 0,
+                symbol: (*spec).to_string(),
+                message: format!(
+                    "hot root `{spec}` matches no workspace fn — update the hot-roots list"
+                ),
+                trace: Vec::new(),
+            });
+        }
+        root_ids.extend(resolved);
+    }
+    root_ids.sort_unstable();
+    root_ids.dedup();
+
+    let mut parent: Vec<Option<usize>> = vec![None; model.fns.len()];
+    let mut reached: Vec<bool> = vec![false; model.fns.len()];
+    let mut queue: VecDeque<usize> = root_ids.iter().copied().collect();
+    for &r in &root_ids {
+        reached[r] = true;
+    }
+    while let Some(i) = queue.pop_front() {
+        for &j in &edges[i] {
+            if !reached[j] {
+                reached[j] = true;
+                parent[j] = Some(i);
+                queue.push_back(j);
+            }
+        }
+    }
+
+    let mut dormant = 0usize;
+    for seed in &live_seeds {
+        if !reached[seed.fn_idx] {
+            dormant += 1;
+            continue;
+        }
+        let f = &model.fns[seed.fn_idx];
+        let file = &model.files[f.file];
+        let mut chain = vec![f.qualified()];
+        let mut cur = seed.fn_idx;
+        while let Some(p) = parent[cur] {
+            chain.push(model.fns[p].qualified());
+            cur = p;
+        }
+        chain.reverse();
+        findings.push(Finding {
+            rule: seed.rule.into(),
+            path: file.path.clone(),
+            line: seed.line,
+            symbol: f.qualified(),
+            message: format!(
+                "{} inside the loop at line {} (depth {}) on a hot path; hoist it out of \
+                 the loop, precompute it, or annotate with `// {ANNOTATION}(<reason>)`",
+                seed.what, seed.loop_line, seed.depth
+            ),
+            trace: chain,
+        });
+    }
+
+    findings.sort_by(|a, b| {
+        (&a.rule, &a.path, a.line, &a.message).cmp(&(&b.rule, &b.path, b.line, &b.message))
+    });
+    quarantined.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    CostOutcome {
+        findings,
+        quarantined,
+        dormant,
+    }
+}
+
+/// True when a comment *is* a cost acceptance — the marker must open the
+/// comment body, so prose quoting the grammar does not register.
+fn is_annotation(comment: &str) -> bool {
+    comment
+        .trim_start_matches(['/', '*', ' ', '\t'])
+        .starts_with(ANNOTATION)
+}
+
+/// Extracts the reason from `… cm-lint: hot-cost-accepted(reason) …`.
+fn annotation_reason(comment: &str) -> String {
+    let Some(at) = comment.find(ANNOTATION) else {
+        return String::new();
+    };
+    let rest = &comment[at + ANNOTATION.len()..];
+    let (Some(open), Some(close)) = (rest.find('('), rest.rfind(')')) else {
+        return String::new();
+    };
+    if close <= open {
+        return String::new();
+    }
+    rest[open + 1..close].trim().to_string()
+}
+
+/// One live loop scope during the body scan: the header line plus every
+/// identifier the loop binds or names in its header (`for (i, x) in xs`)
+/// and every `let` binding made so far in its body — the set P5 checks
+/// stablehash arguments against for loop-variance.
+struct LoopScope {
+    line: u32,
+    idents: BTreeSet<String>,
+}
+
+/// Scans one fn body for P-rule seeds. A single forward pass maintains
+/// the loop-scope stack (same brace discipline as
+/// [`crate::extract::loop_depths`]) so each seed records its enclosing
+/// loop and depth.
+fn seed_fn(fn_idx: usize, body: Range<usize>, model: &Model, out: &mut Vec<Seed>) {
+    let file: &FileModel = &model.files[model.fns[fn_idx].file];
+    let toks = &file.toks;
+    let code: Vec<usize> = body
+        .clone()
+        .filter(|&i| toks[i].kind != TokKind::Comment)
+        .collect();
+    let next_is =
+        |ci: usize, pred: &dyn Fn(&Tok) -> bool| code.get(ci).map(|&i| &toks[i]).is_some_and(pred);
+    let prev_is = |ci: usize, pred: &dyn Fn(&Tok) -> bool| {
+        ci >= 1 && code.get(ci - 1).map(|&i| &toks[i]).is_some_and(pred)
+    };
+
+    let mut scopes: Vec<Option<LoopScope>> = Vec::new();
+    let mut pending: Option<LoopScope> = None;
+    let mut depth = 0u32;
+
+    for ci in 0..code.len() {
+        let t = &toks[code[ci]];
+
+        // ---- loop-scope machinery -----------------------------------
+        match t.kind {
+            TokKind::Ident if t.text == "for" || t.text == "while" || t.text == "loop" => {
+                // `for<'a>` higher-ranked bounds are not loops.
+                let hrtb = t.text == "for" && next_is(ci + 1, &|n| n.is_punct('<'));
+                if !hrtb {
+                    pending = Some(LoopScope {
+                        line: t.line,
+                        idents: BTreeSet::new(),
+                    });
+                    continue;
+                }
+            }
+            TokKind::Ident if pending.is_some() => {
+                // Header identifiers: loop bindings and iterated names.
+                if let Some(p) = pending.as_mut() {
+                    if t.text != "in" && t.text != "let" && t.text != "mut" {
+                        p.idents.insert(t.text.clone());
+                    }
+                }
+            }
+            TokKind::Punct if t.is_punct(';') => pending = None,
+            TokKind::Punct if t.is_punct('{') => {
+                if let Some(p) = pending.take() {
+                    depth += 1;
+                    scopes.push(Some(p));
+                } else {
+                    scopes.push(None);
+                }
+                continue;
+            }
+            TokKind::Punct if t.is_punct('}') => {
+                if let Some(Some(_)) = scopes.pop() {
+                    depth = depth.saturating_sub(1);
+                }
+                continue;
+            }
+            _ => {}
+        }
+
+        if depth == 0 || t.kind != TokKind::Ident {
+            continue;
+        }
+        // `let` bindings inside the loop body join the innermost scope's
+        // ident set, so P5 sees per-iteration locals as variant. The whole
+        // pattern is scanned up to the `=` (or `;`/`{`), so destructuring
+        // binds (`let Some(addr) = …`, `let (a, b) = …`) register too.
+        if t.text == "let" {
+            let mut k = ci + 1;
+            while let Some(&bi) = code.get(k) {
+                let x = &toks[bi];
+                if x.is_punct('=') || x.is_punct(';') || x.is_punct('{') {
+                    break;
+                }
+                if x.kind == TokKind::Ident && x.text != "mut" {
+                    if let Some(scope) = scopes.iter_mut().rev().find_map(|s| s.as_mut()) {
+                        scope.idents.insert(x.text.clone());
+                    }
+                }
+                k += 1;
+            }
+            continue;
+        }
+
+        let loop_line = scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.as_ref().map(|l| l.line))
+            .unwrap_or(0);
+        let mut push = |rule: &'static str, what: String| {
+            out.push(Seed {
+                rule,
+                fn_idx,
+                line: t.line,
+                loop_line,
+                depth,
+                what,
+            });
+        };
+
+        // ---- rule matching ------------------------------------------
+        match t.text.as_str() {
+            // P1 — heap allocation.
+            "Vec"
+                if next_is(ci + 1, &|n| n.kind == TokKind::PathSep)
+                    && next_is(ci + 2, &|n| {
+                        n.is_ident("new") || n.is_ident("with_capacity") || n.is_ident("from")
+                    }) =>
+            {
+                let m = &toks[code[ci + 2]].text;
+                push(
+                    "P1_HEAP_ALLOC",
+                    format!("per-iteration allocation `Vec::{m}`"),
+                );
+            }
+            "Box"
+                if next_is(ci + 1, &|n| n.kind == TokKind::PathSep)
+                    && next_is(ci + 2, &|n| n.is_ident("new")) =>
+            {
+                push(
+                    "P1_HEAP_ALLOC",
+                    "per-iteration allocation `Box::new`".into(),
+                );
+            }
+            "vec" if next_is(ci + 1, &|n| n.is_punct('!')) => {
+                push("P1_HEAP_ALLOC", "per-iteration allocation `vec!`".into());
+            }
+            "to_vec"
+                if prev_is(ci, &|p| p.is_punct('.')) && next_is(ci + 1, &|n| n.is_punct('(')) =>
+            {
+                push(
+                    "P1_HEAP_ALLOC",
+                    "per-iteration allocation `.to_vec()`".into(),
+                );
+            }
+            "collect" if prev_is(ci, &|p| p.is_punct('.')) => {
+                // Classify by turbofish: a hash container is P4, anything
+                // else (Vec, String, unspecified) a growable P1 target.
+                let mut hash = false;
+                if next_is(ci + 1, &|n| n.kind == TokKind::PathSep) {
+                    let mut k = ci + 2;
+                    while k < code.len() && !toks[code[k]].is_punct('(') {
+                        let x = &toks[code[k]];
+                        if x.is_ident("HashMap") || x.is_ident("HashSet") {
+                            hash = true;
+                        }
+                        k += 1;
+                    }
+                }
+                if hash {
+                    push(
+                        "P4_HASH_BUILD",
+                        "per-iteration `.collect()` into a hash container".into(),
+                    );
+                } else {
+                    push(
+                        "P1_HEAP_ALLOC",
+                        "per-iteration `.collect()` into a growable container".into(),
+                    );
+                }
+            }
+            // P2 — defensive copies.
+            "clone" | "to_owned" | "to_string"
+                if prev_is(ci, &|p| p.is_punct('.')) && next_is(ci + 1, &|n| n.is_punct('(')) =>
+            {
+                push("P2_CLONE", format!("per-iteration copy `.{}()`", t.text));
+            }
+            // P3 — string building.
+            "format" if next_is(ci + 1, &|n| n.is_punct('!')) => {
+                push("P3_FORMAT", "per-iteration `format!`".into());
+            }
+            "String"
+                if next_is(ci + 1, &|n| n.kind == TokKind::PathSep)
+                    && next_is(ci + 2, &|n| {
+                        n.is_ident("new") || n.is_ident("from") || n.is_ident("with_capacity")
+                    }) =>
+            {
+                let m = &toks[code[ci + 2]].text;
+                push(
+                    "P3_FORMAT",
+                    format!("per-iteration string build `String::{m}`"),
+                );
+            }
+            // P4 — hash-map construction.
+            "HashMap" | "HashSet"
+                if next_is(ci + 1, &|n| n.kind == TokKind::PathSep)
+                    && next_is(ci + 2, &|n| {
+                        n.is_ident("new") || n.is_ident("with_capacity") || n.is_ident("from")
+                    }) =>
+            {
+                push(
+                    "P4_HASH_BUILD",
+                    format!(
+                        "per-iteration hash construction `{}::{}`",
+                        t.text,
+                        toks[code[ci + 2]].text
+                    ),
+                );
+            }
+            // P5 — loop-invariant stablehash draws.
+            name if STABLEHASH_FNS.contains(&name) && next_is(ci + 1, &|n| n.is_punct('(')) => {
+                let loop_idents = || {
+                    scopes
+                        .iter()
+                        .filter_map(|s| s.as_ref())
+                        .flat_map(|s| s.idents.iter())
+                };
+                // Collect the call's argument identifiers.
+                let mut args: BTreeSet<&str> = BTreeSet::new();
+                let mut d = 0i32;
+                let mut k = ci + 1;
+                while k < code.len() {
+                    let x = &toks[code[k]];
+                    if x.is_punct('(') || x.is_punct('[') {
+                        d += 1;
+                    } else if x.is_punct(')') || x.is_punct(']') {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    } else if x.kind == TokKind::Ident {
+                        args.insert(x.text.as_str());
+                    }
+                    k += 1;
+                }
+                let variant = loop_idents().any(|li| args.contains(li.as_str()));
+                if !variant {
+                    push(
+                        "P5_HASH_REDRAW",
+                        format!("loop-invariant stablehash draw `{name}(…)`"),
+                    );
+                }
+            }
+            // P6 — boxed/dyn iterator chains.
+            "Iterator" if prev_is(ci, &|p| p.is_ident("dyn")) => {
+                push("P6_DYN_ITER", "`dyn Iterator` chain in a loop".into());
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::{build_model, lex_file};
+
+    fn outcome(src: &str, roots: &[&str]) -> CostOutcome {
+        let file = lex_file("src/lib.rs", "demo", src);
+        let model = build_model(vec![file], &BTreeMap::new());
+        run(&model, roots)
+    }
+
+    #[test]
+    fn alloc_outside_a_loop_is_not_a_finding() {
+        let o = outcome(
+            "fn root() { let v: Vec<u32> = Vec::new(); drop(v); }\n",
+            &["root"],
+        );
+        assert!(o.findings.is_empty(), "{:?}", o.findings);
+    }
+
+    #[test]
+    fn alloc_in_a_loop_reports_the_enclosing_loop() {
+        let o = outcome(
+            "fn root() {\n    for i in 0..4 {\n        let v: Vec<u32> = Vec::new();\n        drop((i, v));\n    }\n}\n",
+            &["root"],
+        );
+        assert_eq!(o.findings.len(), 1);
+        assert_eq!(o.findings[0].rule, "P1_HEAP_ALLOC");
+        assert!(
+            o.findings[0].message.contains("loop at line 2"),
+            "{}",
+            o.findings[0].message
+        );
+    }
+
+    #[test]
+    fn acceptance_lands_in_the_ledger() {
+        let o = outcome(
+            "fn root() {\n    for i in 0..4 {\n        // cm-lint: hot-cost-accepted(bounded by region count)\n        let v: Vec<u32> = Vec::new();\n        drop((i, v));\n    }\n}\n",
+            &["root"],
+        );
+        assert!(o.findings.is_empty(), "{:?}", o.findings);
+        assert_eq!(o.quarantined.len(), 1);
+        assert_eq!(o.quarantined[0].rule, "P1_HEAP_ALLOC");
+        assert_eq!(o.quarantined[0].reason, "bounded by region count");
+    }
+
+    #[test]
+    fn cold_path_seed_is_dormant() {
+        let o = outcome(
+            "fn root() { }\nfn cold() { for i in 0..4 { let v = vec![i]; drop(v); } }\n",
+            &["root"],
+        );
+        assert!(o.findings.is_empty());
+        assert_eq!(o.dormant, 1);
+    }
+
+    #[test]
+    fn invariant_draw_flagged_variant_draw_allowed() {
+        let o = outcome(
+            "fn root(seed: u64) -> u64 {\n    let mut acc = 0;\n    for i in 0..4 {\n        acc += mix(seed, 7);\n        acc += mix(seed, i);\n    }\n    acc\n}\nfn mix(a: u64, b: u64) -> u64 { a ^ b }\n",
+            &["root"],
+        );
+        let p5: Vec<_> = o
+            .findings
+            .iter()
+            .filter(|f| f.rule == "P5_HASH_REDRAW")
+            .collect();
+        assert_eq!(p5.len(), 1, "{:?}", o.findings);
+        assert_eq!(p5[0].line, 4, "only the i-free draw is invariant");
+    }
+
+    #[test]
+    fn stale_acceptance_is_a_finding() {
+        let o = outcome(
+            "fn root() {\n    // cm-lint: hot-cost-accepted(nothing here)\n    let x = 1;\n    drop(x);\n}\n",
+            &["root"],
+        );
+        assert!(o.findings.iter().any(|f| f.rule == "C1_STALE_ACCEPTANCE"));
+    }
+}

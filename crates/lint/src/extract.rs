@@ -92,7 +92,8 @@ pub fn lex_file(path: &str, crate_name: &str, src: &str) -> FileModel {
 /// Assembles the workspace model: extracts fn items from every file and
 /// indexes them. `deps` maps each crate to its *direct* path dependencies;
 /// visibility is its transitive closure plus the crate itself.
-pub fn build_model(files: Vec<FileModel>, deps: &BTreeMap<String, Vec<String>>) -> Model {
+pub fn build_model(mut files: Vec<FileModel>, deps: &BTreeMap<String, Vec<String>>) -> Model {
+    propagate_test_mods(&mut files);
     let mut fns = Vec::new();
     for (fi, file) in files.iter().enumerate() {
         extract_fns(fi, file, &mut fns);
@@ -219,6 +220,77 @@ fn test_mask(toks: &[Tok]) -> Vec<bool> {
         i += 1;
     }
     mask
+}
+
+/// Extends the `#[cfg(test)]` mask across file-form module declarations.
+/// `#[cfg(test)] mod tests;` gates a *sibling file* that the lexer read
+/// with no cfg context, so [`test_mask`] (which only sees one file's
+/// tokens) stops at the `;` and the child's items would scan as
+/// production code. This pass jumps files: whenever a masked `mod name;`
+/// declaration is found, the child file (`dir/name.rs` or
+/// `dir/name/mod.rs`) is masked whole. Iterates to a fixpoint so a masked
+/// child's own `mod sub;` declarations propagate too.
+fn propagate_test_mods(files: &mut [FileModel]) {
+    let index: BTreeMap<String, usize> = files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.path.clone(), i))
+        .collect();
+    let mut queue: Vec<usize> = (0..files.len()).collect();
+    while let Some(fi) = queue.pop() {
+        for name in masked_mod_decls(&files[fi]) {
+            for child in child_module_paths(&files[fi].path, &name) {
+                let Some(&ci) = index.get(&child) else {
+                    continue;
+                };
+                if files[ci].test_mask.iter().any(|m| !*m) {
+                    files[ci].test_mask.iter_mut().for_each(|m| *m = true);
+                    queue.push(ci);
+                }
+            }
+        }
+    }
+}
+
+/// Names declared by `mod name;` items whose tokens are test-masked.
+fn masked_mod_decls(file: &FileModel) -> Vec<String> {
+    let toks = &file.toks;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("mod") || !file.test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let Some(n) = next_code(toks, i + 1) else {
+            continue;
+        };
+        if toks[n].kind != TokKind::Ident {
+            continue;
+        }
+        let Some(s) = next_code(toks, n + 1) else {
+            continue;
+        };
+        if toks[s].is_punct(';') {
+            out.push(toks[n].text.clone());
+        }
+    }
+    out
+}
+
+/// The two places a file-form child module can live, relative to the
+/// declaring file: crate roots and `mod.rs` files own their directory,
+/// any other file owns the directory named after it (2018 layout).
+fn child_module_paths(parent: &str, name: &str) -> [String; 2] {
+    let dir = match parent.rsplit_once('/') {
+        Some((d, leaf)) => {
+            if leaf == "lib.rs" || leaf == "main.rs" || leaf == "mod.rs" {
+                d.to_string()
+            } else {
+                format!("{d}/{}", leaf.trim_end_matches(".rs"))
+            }
+        }
+        None => parent.trim_end_matches(".rs").to_string(),
+    };
+    [format!("{dir}/{name}.rs"), format!("{dir}/{name}/mod.rs")]
 }
 
 fn next_code(toks: &[Tok], from: usize) -> Option<usize> {
@@ -434,6 +506,59 @@ pub fn call_refs(toks: &[Tok], body: Range<usize>) -> BTreeSet<String> {
     out
 }
 
+/// Per-token loop context inside a fn body, for the cost pass.
+///
+/// For each token index in `body` (parallel to `body.clone()`), records
+/// `(depth, loop_line)`: how many `for`/`while`/`loop` bodies enclose the
+/// token, and the 1-based source line of the innermost enclosing loop
+/// header (0 when the token is outside every loop). Like the call graph,
+/// this is an over-approximation — a brace-bearing expression between a
+/// loop keyword and its body (a closure in the iterator chain, say) can
+/// start the loop scope one brace early — which can only make the cost
+/// rules stricter, never blind.
+pub fn loop_depths(toks: &[Tok], body: Range<usize>) -> Vec<(u32, u32)> {
+    let slice = &toks[body];
+    let mut out = Vec::with_capacity(slice.len());
+    // One entry per open brace: Some(header line) for loop bodies.
+    let mut scopes: Vec<Option<u32>> = Vec::new();
+    let mut depth = 0u32;
+    let mut innermost = 0u32;
+    let mut pending_loop: Option<u32> = None;
+    let mut i = 0;
+    while i < slice.len() {
+        let t = &slice[i];
+        match t.kind {
+            TokKind::Ident if t.text == "for" || t.text == "while" || t.text == "loop" => {
+                // `for<'a>` higher-ranked bounds are not loops.
+                let hrtb = t.text == "for"
+                    && next_code(slice, i + 1).is_some_and(|n| slice[n].is_punct('<'));
+                if !hrtb {
+                    pending_loop = Some(t.line);
+                }
+            }
+            TokKind::Punct if t.is_punct(';') => pending_loop = None,
+            TokKind::Punct if t.is_punct('{') => {
+                let header = pending_loop.take();
+                if let Some(line) = header {
+                    depth += 1;
+                    innermost = line;
+                }
+                scopes.push(header);
+            }
+            TokKind::Punct if t.is_punct('}') => {
+                if let Some(Some(_)) = scopes.pop() {
+                    depth = depth.saturating_sub(1);
+                    innermost = scopes.iter().rev().find_map(|s| *s).unwrap_or(0);
+                }
+            }
+            _ => {}
+        }
+        out.push((depth, if depth == 0 { 0 } else { innermost }));
+        i += 1;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -484,6 +609,74 @@ mod tests {
                 ("also_prod".into(), false)
             ]
         );
+    }
+
+    #[test]
+    fn file_form_test_mod_masks_the_child_file() {
+        // `#[cfg(test)] mod tests;` gates a sibling file; items in that
+        // file must scan as test code even though the file itself carries
+        // no cfg attribute.
+        let parent = lex_file(
+            "crates/demo/src/lib.rs",
+            "demo",
+            "fn prod() {}\n#[cfg(test)]\nmod tests;\n",
+        );
+        let child = lex_file(
+            "crates/demo/src/tests.rs",
+            "demo",
+            "fn helper() { let t = Instant::now(); }\nmod sub;\n",
+        );
+        // The fixpoint must carry the mask through the child's own
+        // file-form submodule too.
+        let grandchild = lex_file("crates/demo/src/tests/sub.rs", "demo", "fn deeper() {}\n");
+        let m = build_model(vec![parent, child, grandchild], &BTreeMap::new());
+        let flags: Vec<(String, bool)> =
+            m.fns.iter().map(|f| (f.name.clone(), f.in_test)).collect();
+        assert_eq!(
+            flags,
+            vec![
+                ("prod".into(), false),
+                ("helper".into(), true),
+                ("deeper".into(), true)
+            ]
+        );
+    }
+
+    #[test]
+    fn plain_file_mods_stay_production() {
+        let parent = lex_file("crates/demo/src/lib.rs", "demo", "mod util;\n");
+        let child = lex_file("crates/demo/src/util.rs", "demo", "fn real_work() {}\n");
+        let m = build_model(vec![parent, child], &BTreeMap::new());
+        assert!(!m.fns[0].in_test);
+    }
+
+    #[test]
+    fn loop_depths_track_nesting_and_header_lines() {
+        let m = model_of(
+            "fn f() {\n    let a = 1;\n    for x in 0..2 {\n        g();\n        while x > 0 {\n            h();\n        }\n    }\n    tail();\n}\n",
+        );
+        let body = m.fns[0].body.clone();
+        let toks = &m.files[0].toks;
+        let depths = loop_depths(toks, body.clone());
+        let at = |name: &str| {
+            let i = (body.clone())
+                .position(|i| toks[i].is_ident(name))
+                .expect(name);
+            depths[i]
+        };
+        assert_eq!(at("a"), (0, 0));
+        assert_eq!(at("g"), (1, 3), "g is one loop deep, loop on line 3");
+        assert_eq!(at("h"), (2, 5), "h is two deep, innermost while on line 5");
+        assert_eq!(at("tail"), (0, 0), "depth unwinds after the loop closes");
+    }
+
+    #[test]
+    fn loop_depths_ignore_hrtb_for() {
+        let m =
+            model_of("fn f() {\n    let g: &dyn for<'a> Fn(&'a u8) = &|_| ();\n    g(&0);\n}\n");
+        let body = m.fns[0].body.clone();
+        let depths = loop_depths(&m.files[0].toks, body);
+        assert!(depths.iter().all(|&(d, _)| d == 0));
     }
 
     #[test]

@@ -22,12 +22,19 @@
 //!   along the call graph from the golden-digest surface
 //!   ([`taint::DEFAULT_ROOTS`]), with `// cm-lint: nondet-quarantined(…)`
 //!   annotations as audited escapes; [`lintwall`] re-implements the L1–L4
-//!   hygiene rules on the same token stream.
+//!   hygiene rules on the same token stream;
+//! * [`cost`] — rules P1–P6 seed per-iteration cost sites (allocation,
+//!   clones, string building, hash churn, redundant stablehash draws)
+//!   inside loop bodies and propagate reachability from the declared
+//!   hot roots ([`cost::HOT_ROOTS`]), with
+//!   `// cm-lint: hot-cost-accepted(…)` annotations as audited waivers.
 //!
-//! The `cm-lint` binary runs the taint pass over the workspace and emits
-//! deterministic text or JSON ([`report`]); the `cm-audit` `lintwall`
-//! binary wraps [`lintwall::run`].
+//! The `cm-lint` binary runs the taint and/or cost passes over the
+//! workspace (`--pass taint|cost|all`) and emits deterministic text or
+//! JSON ([`report`]); the `cm-audit` `lintwall` binary wraps
+//! [`lintwall::run`].
 
+pub mod cost;
 pub mod extract;
 pub mod lexer;
 pub mod lintwall;
@@ -64,4 +71,19 @@ pub fn analyze(
         .collect();
     let model = extract::build_model(files, deps);
     taint::run(&model, roots)
+}
+
+/// Runs the hot-path cost pass over in-memory sources, mirroring
+/// [`analyze`]: lexes, builds the model and applies the hot `roots`.
+pub fn analyze_cost(
+    sources: &[SourceFile],
+    deps: &BTreeMap<String, Vec<String>>,
+    roots: &[&str],
+) -> cost::CostOutcome {
+    let files = sources
+        .iter()
+        .map(|s| extract::lex_file(&s.path, &s.crate_name, &s.src))
+        .collect();
+    let model = extract::build_model(files, deps);
+    cost::run(&model, roots)
 }

@@ -1,27 +1,35 @@
 //! The `cm-lint` binary: runs the determinism taint pass (rules D1–D6
-//! plus annotation hygiene A1/A2 and root hygiene R1) over the workspace.
+//! plus annotation hygiene A1/A2 and root hygiene R1) and/or the
+//! hot-path cost pass (rules P1–P6 plus acceptance hygiene C1/C2 and
+//! root hygiene R2) over the workspace.
 //!
 //! ```text
-//! cargo run -p cm-lint                  # text report, exit 1 on findings
-//! cargo run -p cm-lint -- --format json # deterministic JSON (CI artifact)
+//! cargo run -p cm-lint                     # taint pass, text report
+//! cargo run -p cm-lint -- --pass cost      # cost pass only
+//! cargo run -p cm-lint -- --pass all --format json  # CI artifact
 //! ```
+//!
+//! Exit status: 0 clean, 1 on findings, 2 on usage errors.
 
 use cm_lint::taint::DEFAULT_ROOTS;
-use cm_lint::{report, taint, ws};
+use cm_lint::{cost, report, taint, ws};
 
 fn main() {
     let mut format = String::from("text");
+    let mut pass = String::from("taint");
     let mut args = std::env::args().skip(1);
+    let need = |flag: &str, args: &mut dyn Iterator<Item = String>| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        })
+    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--format" => {
-                format = args.next().unwrap_or_else(|| {
-                    eprintln!("--format needs a value: text | json");
-                    std::process::exit(2);
-                });
-            }
+            "--format" => format = need("--format", &mut args),
+            "--pass" => pass = need("--pass", &mut args),
             "--help" | "-h" => {
-                println!("cm-lint [--format text|json]");
+                println!("cm-lint [--pass taint|cost|all] [--format text|json]");
                 return;
             }
             other => {
@@ -34,34 +42,53 @@ fn main() {
         eprintln!("unknown format: {format} (expected text or json)");
         std::process::exit(2);
     }
+    if pass != "taint" && pass != "cost" && pass != "all" {
+        eprintln!("unknown pass: {pass} (expected taint, cost or all)");
+        std::process::exit(2);
+    }
 
     let root = ws::workspace_root(env!("CARGO_MANIFEST_DIR"));
     let workspace = ws::load(&root);
     let n_files = workspace.files.len();
     let model = cm_lint::extract::build_model(workspace.files, &workspace.deps);
     let n_fns = model.fns.len();
-    let outcome = taint::run(&model, DEFAULT_ROOTS);
+
+    let mut findings = Vec::new();
+    let mut quarantined = Vec::new();
+    let mut dormant = 0usize;
+    if pass == "taint" || pass == "all" {
+        let o = taint::run(&model, DEFAULT_ROOTS);
+        findings.extend(o.findings);
+        quarantined.extend(o.quarantined);
+        dormant += o.dormant;
+    }
+    if pass == "cost" || pass == "all" {
+        let o = cost::run(&model, cost::HOT_ROOTS);
+        findings.extend(o.findings);
+        quarantined.extend(o.quarantined);
+        dormant += o.dormant;
+    }
 
     if format == "json" {
         print!(
             "{}",
-            report::render_json(&outcome.findings, &outcome.quarantined, outcome.dormant)
+            report::render_json(&pass, &findings, &quarantined, dormant)
         );
     } else {
-        for f in &outcome.findings {
+        for f in &findings {
             println!("{}", f.render_text());
         }
-        if outcome.findings.is_empty() {
+        if findings.is_empty() {
             println!(
-                "cm-lint clean: {n_fns} fns across {n_files} files, {} quarantined site(s), \
-                 {} dormant seed(s)",
-                outcome.quarantined.len(),
-                outcome.dormant
+                "cm-lint clean ({pass}): {n_fns} fns across {n_files} files, \
+                 {} quarantined site(s), {} dormant seed(s)",
+                quarantined.len(),
+                dormant
             );
         }
     }
-    if !outcome.findings.is_empty() {
-        eprintln!("cm-lint: {} finding(s)", outcome.findings.len());
+    if !findings.is_empty() {
+        eprintln!("cm-lint: {} finding(s)", findings.len());
         std::process::exit(1);
     }
 }

@@ -81,10 +81,60 @@ fn finding_json(f: &Finding, indent: &str) -> String {
     )
 }
 
-/// Renders the full report as deterministic JSON: findings, the quarantine
-/// ledger (every annotated exemption with its reason), and summary counts.
-pub fn render_json(findings: &[Finding], quarantined: &[Quarantined], dormant: usize) -> String {
-    let mut out = String::from("{\n  \"findings\": [\n");
+/// Every rule id either pass can emit, in a fixed order. The rule-set
+/// hash in the JSON header digests this list, so CI artifacts from
+/// different commits are comparable only when the rule set matched.
+const RULE_SET: &[&str] = &[
+    "D1_WALL_CLOCK",
+    "D2_PARALLELISM",
+    "D3_UNSEEDED_RNG",
+    "D4_MAP_ORDER",
+    "D5_ENV_READ",
+    "D6_ADDR_HASH",
+    "A1_STALE_ANNOTATION",
+    "A2_MISSING_REASON",
+    "R1_MISSING_ROOT",
+    "P1_HEAP_ALLOC",
+    "P2_CLONE",
+    "P3_FORMAT",
+    "P4_HASH_BUILD",
+    "P5_HASH_REDRAW",
+    "P6_DYN_ITER",
+    "C1_STALE_ACCEPTANCE",
+    "C2_MISSING_REASON",
+    "R2_MISSING_HOT_ROOT",
+];
+
+/// FNV-1a (64-bit) over the canonical rule-id list — a dependency-free
+/// fingerprint of the rule set, stable across runs and platforms.
+pub fn rule_set_hash() -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for id in RULE_SET {
+        for b in id.bytes().chain([b'\n']) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("{h:016x}")
+}
+
+/// Renders the full report as deterministic JSON: a header naming the
+/// tool version, rule-set hash and pass (so CI artifacts from different
+/// PRs are comparable), the findings, the quarantine ledger (every
+/// annotated exemption with its reason), and summary counts.
+pub fn render_json(
+    pass: &str,
+    findings: &[Finding],
+    quarantined: &[Quarantined],
+    dormant: usize,
+) -> String {
+    let mut out = format!(
+        "{{\n  \"tool\": \"cm-lint\",\n  \"version\": \"{}\",\n  \"rule_set_hash\": \"{}\",\n  \
+         \"pass\": \"{}\",\n  \"findings\": [\n",
+        json_escape(env!("CARGO_PKG_VERSION")),
+        rule_set_hash(),
+        json_escape(pass),
+    );
     let body = findings
         .iter()
         .map(|f| finding_json(f, "    "))
@@ -150,7 +200,7 @@ mod tests {
             message: "tab\there".into(),
             trace: Vec::new(),
         };
-        let s = render_json(&[f], &[], 3);
+        let s = render_json("taint", &[f], &[], 3);
         assert!(s.contains("a\\\"b.rs"));
         assert!(s.contains("tab\\there"));
         assert!(s.contains("\"dormant_seeds\": 3"));
@@ -158,8 +208,20 @@ mod tests {
 
     #[test]
     fn empty_report_is_valid() {
-        let s = render_json(&[], &[], 0);
+        let s = render_json("cost", &[], &[], 0);
         assert!(s.contains("\"findings\": [\n  ]"));
         assert!(s.contains("\"findings\": 0"));
+    }
+
+    #[test]
+    fn header_carries_version_pass_and_rule_set_hash() {
+        let s = render_json("all", &[], &[], 0);
+        assert!(s.contains("\"tool\": \"cm-lint\""));
+        assert!(s.contains(&format!("\"version\": \"{}\"", env!("CARGO_PKG_VERSION"))));
+        assert!(s.contains("\"pass\": \"all\""));
+        assert!(s.contains(&format!("\"rule_set_hash\": \"{}\"", rule_set_hash())));
+        // The hash is a stable 16-hex-digit fingerprint.
+        assert_eq!(rule_set_hash().len(), 16);
+        assert_eq!(rule_set_hash(), rule_set_hash());
     }
 }

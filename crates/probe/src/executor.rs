@@ -122,7 +122,7 @@ where
     let (tx, rx) = mpsc::channel::<(usize, Vec<Traceroute>)>();
     std::thread::scope(|scope| {
         for _ in 0..workers.min(n_work) {
-            let tx = tx.clone();
+            let tx = tx.clone(); // cm-lint: hot-cost-accepted(one sender clone per worker thread at spawn)
             let next = &next;
             scope.spawn(move || loop {
                 let w = next.fetch_add(1, Ordering::Relaxed);
@@ -130,7 +130,7 @@ where
                     break;
                 }
                 let it = item(w, regions, targets, epochs, chunks_per_pass);
-                let mut batch = Vec::with_capacity(it.targets.len());
+                let mut batch = Vec::with_capacity(it.targets.len()); // cm-lint: hot-cost-accepted(the batch is sent over the channel to the coordinator, so the buffer cannot be reused)
                 for &t in it.targets {
                     batch.push(plane.traceroute_at(cloud, it.region, t, it.epoch));
                 }

@@ -326,7 +326,7 @@ impl RttCampaign {
             let mut handles = Vec::new();
             for &region in &regions {
                 handles.push(scope.spawn(move || {
-                    let mut v = Vec::new();
+                    let mut v = Vec::new(); // cm-lint: hot-cost-accepted(one result buffer per region worker, returned through the scoped-thread join)
                     for &t in targets {
                         if let Some(rtt) = plane.ping_min_rtt(cloud, region, t, attempts) {
                             v.push((t, rtt));
