@@ -1,0 +1,183 @@
+//! Seeded load generator for the `cm-serve` query engine.
+//!
+//! ```text
+//! serve-spammer [--scale tiny|small|full] [--seed N] [--threads N]
+//!               [--ops N] [--snapshot PATH] [--bench-json PATH]
+//!               [--bench-label LABEL]
+//! ```
+//!
+//! The round trip the binary exercises end to end:
+//!
+//! 1. generate a ground-truth Internet and run the full pipeline;
+//! 2. cut a versioned snapshot from the atlas and write it to disk;
+//! 3. read the file back, prove a tampered copy is rejected, and build
+//!    the query engine from the verified bytes;
+//! 4. hammer the engine from `--threads` workers, each issuing `--ops`
+//!    seeded queries, and append throughput + tail latencies to the
+//!    `BENCH_serve.json` history.
+//!
+//! The query stream (and its answer checksum) is deterministic for a
+//! fixed `(scale, seed)`; only the wall clocks and latency samples vary
+//! run to run, and they land only in the history record, never in a
+//! golden digest.
+//!
+//! Run with `cargo run --release -p cm-bench --bin serve-spammer`.
+
+use cm_bench::serve::{bench_serve_json, snapshot_of, spam};
+use cm_bench::{build_internet, report, run_study};
+use cm_serve::{AtlasSnapshot, Engine};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn parsed<T: std::str::FromStr>(value: Option<String>, what: &str) -> T {
+    match value.and_then(|v| v.parse().ok()) {
+        Some(v) => v,
+        None => fail(&format!("{what} needs a valid value")),
+    }
+}
+
+fn main() {
+    let mut scale = String::from("tiny");
+    let mut seed: u64 = 2019;
+    let mut threads: usize = 4;
+    let mut ops: usize = 1_000_000;
+    let mut snapshot_path = std::path::PathBuf::from("atlas.cmsnap");
+    let mut bench_json = std::path::PathBuf::from("BENCH_serve.json");
+    let mut bench_label: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => match args.next() {
+                Some(s) => scale = s,
+                None => fail("--scale needs a value"),
+            },
+            "--seed" => seed = parsed(args.next(), "--seed"),
+            "--threads" => threads = parsed(args.next(), "--threads"),
+            "--ops" => ops = parsed(args.next(), "--ops"),
+            "--snapshot" => match args.next() {
+                Some(p) => snapshot_path = p.into(),
+                None => fail("--snapshot needs a path"),
+            },
+            "--bench-json" => match args.next() {
+                Some(p) => bench_json = p.into(),
+                None => fail("--bench-json needs a path"),
+            },
+            "--bench-label" => match args.next() {
+                Some(l) => bench_label = Some(l),
+                None => fail("--bench-label needs a value"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: serve-spammer [--scale tiny|small|full] [--seed N] [--threads N] \
+                     [--ops N] [--snapshot PATH] [--bench-json PATH] [--bench-label LABEL]"
+                );
+                return;
+            }
+            other => fail(&format!("unknown flag {other}")),
+        }
+    }
+    if !["tiny", "small", "full"].contains(&scale.as_str()) {
+        fail(&format!("unknown scale {scale:?} (tiny|small|full)"));
+    }
+    if threads == 0 || ops == 0 {
+        fail("--threads and --ops must be positive");
+    }
+
+    eprintln!(
+        "# generating ground truth (scale={scale}, seed={seed}) and running the pipeline ..."
+    );
+    let inet = build_internet(&scale, seed);
+    let atlas = run_study(&inet);
+
+    let snap = snapshot_of(&atlas);
+    let bytes = snap.encode();
+    if let Err(e) = std::fs::write(&snapshot_path, &bytes) {
+        fail(&format!("writing {} failed: {e}", snapshot_path.display()));
+    }
+    eprintln!(
+        "# snapshot: {} bytes ({} interfaces, {} prefixes, {} segments) -> {}",
+        bytes.len(),
+        snap.interfaces.len(),
+        snap.prefixes.len(),
+        snap.segments.len(),
+        snapshot_path.display()
+    );
+
+    // Reload from disk through the validating decoder — the engine only
+    // ever sees digest-verified bytes.
+    let reread = match std::fs::read(&snapshot_path) {
+        Ok(b) => b,
+        Err(e) => fail(&format!("reading {} failed: {e}", snapshot_path.display())),
+    };
+    let loaded = match AtlasSnapshot::decode(&reread) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("decoding {} failed: {e}", snapshot_path.display())),
+    };
+    if loaded != snap {
+        fail("round-tripped snapshot differs from the one written");
+    }
+
+    // Prove the tamper gate on the real artifact: one flipped payload bit
+    // must be rejected, loudly.
+    let mut tampered = reread.clone();
+    let last = tampered.len() - 1;
+    tampered[last] ^= 0x01;
+    match AtlasSnapshot::decode(&tampered) {
+        Err(e) => eprintln!("# tamper check: flipped 1 bit -> rejected ({e})"),
+        Ok(_) => fail("tampered snapshot was accepted — digest gate is broken"),
+    }
+
+    let engine = Engine::build(&loaded, threads);
+    eprintln!(
+        "# engine: {} interfaces, {} prefixes, {} shards; spamming {threads} x {ops} ops ...",
+        engine.interface_count(),
+        engine.prefix_count(),
+        engine.shard_count()
+    );
+    let round = spam(&engine, seed, threads, ops);
+    let merged = engine.merged_metrics();
+    println!(
+        "serve: {:.0} lookups/sec ({} ops in {:.3}s, {} threads)",
+        round.lookups_per_sec(),
+        round.total_ops(),
+        round.wall_secs,
+        round.threads
+    );
+    println!(
+        "mix: point={} lpm={} neighbors={} hits={} checksum={:#018x}",
+        round.kind_counts[0],
+        round.kind_counts[1],
+        round.kind_counts[2],
+        round.hits,
+        round.checksum
+    );
+    println!(
+        "latency_ns: samples={} p50={:.0} p99={:.0} p999={:.0}",
+        round.latencies_ns.len(),
+        cm_bench::quantile(&round.latencies_ns, 0.50),
+        cm_bench::quantile(&round.latencies_ns, 0.99),
+        cm_bench::quantile(&round.latencies_ns, 0.999)
+    );
+    println!(
+        "shards: merged point={} lpm={} neighbors={}",
+        merged.counter("serve_point_total").unwrap_or(0),
+        merged.counter("serve_lpm_total").unwrap_or(0),
+        merged.counter("serve_neighbors_total").unwrap_or(0)
+    );
+
+    let label = bench_label.unwrap_or_else(|| format!("{scale}-{seed}-t{threads}"));
+    let record = bench_serve_json(&label, &scale, seed, &snap, bytes.len(), &round);
+    let existing = std::fs::read_to_string(&bench_json).ok();
+    let history = report::append_bench_history(existing.as_deref(), &record);
+    if let Err(e) = std::fs::write(&bench_json, history) {
+        fail(&format!("writing {} failed: {e}", bench_json.display()));
+    }
+    eprintln!(
+        "# run record \"{label}\" appended to {}",
+        bench_json.display()
+    );
+}

@@ -13,6 +13,7 @@ use cm_topology::{Internet, TopologyConfig};
 
 pub mod golden;
 pub mod report;
+pub mod serve;
 
 pub use golden::{
     metrics_digest, run_study_with, study_config, AtlasSummary, GoldenDiff, SUMMARY_VERSION,
@@ -46,13 +47,19 @@ pub fn run_study(inet: &Internet) -> Atlas<'_> {
     }
 }
 
-/// Quantile of a pre-sorted f64 slice.
+/// Quantile of a pre-sorted f64 slice, linearly interpolated between
+/// ranks (the "type 7" estimator). Nearest-rank rounding would collapse
+/// p99 to the maximum on samples smaller than ~200 points — exactly the
+/// tail the latency reports care about.
 pub fn quantile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
+    if sorted.is_empty() || !q.is_finite() {
         return f64::NAN;
     }
-    let pos = (q * (sorted.len() - 1) as f64).round() as usize;
-    sorted[pos.min(sorted.len() - 1)]
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
 }
 
 /// Fraction of values at or below `x`.
@@ -63,10 +70,12 @@ pub fn cdf_at(sorted: &[f64], x: f64) -> f64 {
     sorted.partition_point(|&v| v <= x) as f64 / sorted.len() as f64
 }
 
-/// Sorts a copy ascending.
+/// Sorts a copy ascending. NaN-safe: `total_cmp` orders NaNs to the end
+/// instead of panicking, so a stray NaN in a latency series degrades the
+/// report instead of crashing it.
 pub fn sorted(v: &[f64]) -> Vec<f64> {
     let mut s = v.to_vec();
-    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    s.sort_by(f64::total_cmp);
     s
 }
 
@@ -101,6 +110,36 @@ mod tests {
         assert!((cdf_at(&v, 2.0) - 0.5).abs() < 1e-12);
         assert_eq!(cdf_at(&[], 1.0), 0.0);
         assert!(quantile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn sorted_survives_nan_and_orders_it_last() {
+        let v = sorted(&[2.0, f64::NAN, 1.0]);
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[1], 2.0);
+        assert!(v[2].is_nan());
+    }
+
+    #[test]
+    fn quantile_interpolates_between_ranks() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile(&v, 0.5) - 2.5).abs() < 1e-12);
+        assert!((quantile(&v, 0.25) - 1.75).abs() < 1e-12);
+        // p99 of 1..=100 must not collapse to the max.
+        let big: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert!((quantile(&big, 0.99) - 99.01).abs() < 1e-9);
+        assert!((quantile(&big, 0.999) - 99.901).abs() < 1e-9);
+        // Small samples: p99 sits just below the max, not on it.
+        let small = [10.0, 20.0, 30.0];
+        assert!(quantile(&small, 0.99) < 30.0);
+        assert!(quantile(&small, 0.99) > 29.0);
+        // Singletons answer every quantile with their one value.
+        assert_eq!(quantile(&[7.0], 0.0), 7.0);
+        assert_eq!(quantile(&[7.0], 0.999), 7.0);
+        // Out-of-range and non-finite q degrade, never panic.
+        assert_eq!(quantile(&v, -1.0), 1.0);
+        assert_eq!(quantile(&v, 2.0), 4.0);
+        assert!(quantile(&v, f64::NAN).is_nan());
     }
 
     #[test]

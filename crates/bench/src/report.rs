@@ -474,7 +474,7 @@ pub fn dump_tsv(atlas: &Atlas<'_>, dir: &std::path::Path) -> std::io::Result<()>
                 ("metros", &f.metros),
             ] {
                 let mut vs = vs.clone();
-                vs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                vs.sort_by(f64::total_cmp);
                 for v in vs {
                     let _ = writeln!(s, "{}\t{feat}\t{v}", g.label());
                 }

@@ -1,0 +1,340 @@
+//! `cm-serve` integration: cutting snapshots from finished atlases and
+//! hammering the query engine with a seeded load generator.
+//!
+//! The split of responsibilities: `cm-serve` knows nothing about the
+//! pipeline (it loads bytes and answers queries); this module is the
+//! bridge that turns an [`Atlas`] into an [`AtlasSnapshot`] — stamping
+//! the `AtlasSummary` schema version and golden digest into the header —
+//! and the load generator the `serve-spammer` binary and the CI `serve`
+//! job drive.
+
+use crate::golden::AtlasSummary;
+use crate::SUMMARY_VERSION;
+use cloudmap::export::{serve_export, IfaceExport};
+use cloudmap::pipeline::Atlas;
+use cm_net::{stablehash, Ipv4};
+use cm_serve::{AtlasSnapshot, Engine, IfaceRecord, QueryKind};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Cuts a serving snapshot from a finished atlas.
+///
+/// The header carries [`SUMMARY_VERSION`] and `AtlasSummary::digest()`
+/// of this exact run, so any loaded snapshot can be traced back to the
+/// golden atlas it was cut from. Byte-deterministic for a fixed
+/// `(scale, seed, faults)` at any worker count: the export lists are
+/// canonically sorted and the encoding has no timestamps.
+pub fn snapshot_of(atlas: &Atlas<'_>) -> AtlasSnapshot {
+    let export = serve_export(atlas);
+    AtlasSnapshot {
+        summary_version: SUMMARY_VERSION,
+        golden_digest: AtlasSummary::of(atlas).digest(),
+        interfaces: export.interfaces.iter().map(to_record).collect(),
+        prefixes: export.prefixes,
+        segments: export.segments,
+    }
+}
+
+fn to_record(e: &IfaceExport) -> IfaceRecord {
+    IfaceRecord {
+        addr: e.addr,
+        is_cbi: e.is_cbi,
+        owner: e.owner,
+        metro_pin: e.metro_pin,
+        region_pin: e.region_pin,
+        groups: e.groups,
+        vpi: e.vpi,
+    }
+}
+
+/// Latency is sampled every this many operations — timing every single
+/// lookup would spend more wall clock in `Instant::now` than in the
+/// engine at tiny scale.
+pub const LATENCY_SAMPLE_EVERY: usize = 16;
+
+/// What one spam round measured.
+pub struct SpamReport {
+    /// Worker threads driven.
+    pub threads: usize,
+    /// Operations issued per thread.
+    pub ops_per_thread: usize,
+    /// Wall-clock seconds for the whole round.
+    pub wall_secs: f64,
+    /// Queries issued per kind, [`QueryKind::ALL`] order.
+    pub kind_counts: [u64; 3],
+    /// Queries that found something (a record, a prefix, a non-empty
+    /// neighbor list).
+    pub hits: u64,
+    /// Order-independent fold of every answer — pins the workload to the
+    /// engine's behavior (same seed + same snapshot ⇒ same checksum) and
+    /// keeps the optimizer from eliding the lookups.
+    pub checksum: u64,
+    /// Sampled per-query latencies in nanoseconds, ascending.
+    pub latencies_ns: Vec<f64>,
+}
+
+impl SpamReport {
+    /// Total operations across all threads.
+    pub fn total_ops(&self) -> u64 {
+        (self.threads * self.ops_per_thread) as u64
+    }
+
+    /// Aggregate throughput in lookups per second.
+    pub fn lookups_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.total_ops() as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One worker's seeded query stream against the engine.
+///
+/// Returns `(kind counts, hits, checksum, sampled latencies)`. The
+/// stream derives entirely from `(seed, worker, i)` through the
+/// workspace's stable hash, so reruns issue identical queries: roughly
+/// half point lookups, 40% longest-prefix queries, 10% neighborhood
+/// scans, with ~¾ of targets drawn from the snapshot (hits) and the
+/// rest random 32-bit addresses (mostly misses).
+fn spam_worker(engine: &Engine, seed: u64, worker: usize, ops: usize) -> WorkerResult {
+    let n_ifaces = engine.interface_count();
+    let mut counts = [0u64; 3];
+    let mut hits = 0u64;
+    let mut checksum = 0u64;
+    let mut latencies = Vec::with_capacity(ops / LATENCY_SAMPLE_EVERY + 1);
+    for i in 0..ops {
+        let h = stablehash::mix(seed, &[0x5BA7, worker as u64, i as u64]);
+        let addr = if n_ifaces > 0 && !h.is_multiple_of(4) {
+            // A known interface: exercises the hit path.
+            engine.records()[stablehash::pick(h, &[1], n_ifaces)].addr
+        } else {
+            // A random address: mostly misses, some LPM-only hits.
+            Ipv4((h >> 32) as u32)
+        };
+        let kind = match h % 10 {
+            0..=4 => QueryKind::Point,
+            5..=8 => QueryKind::LongestPrefix,
+            _ => QueryKind::Neighbors,
+        };
+        let sampled = i % LATENCY_SAMPLE_EVERY == 0;
+        let start = if sampled { Some(Instant::now()) } else { None };
+        let answer: u64 = match kind {
+            QueryKind::Point => match engine.point(addr) {
+                Some(r) => {
+                    hits += 1;
+                    u64::from(r.owner.0) | (u64::from(r.groups) << 32)
+                }
+                None => 0,
+            },
+            QueryKind::LongestPrefix => match engine.longest_prefix(addr) {
+                Some((p, asn)) => {
+                    hits += 1;
+                    u64::from(p.base().to_u32()) | (u64::from(asn.0) << 32)
+                }
+                None => 0,
+            },
+            QueryKind::Neighbors => {
+                let nbrs = engine.neighbors(addr);
+                if !nbrs.is_empty() {
+                    hits += 1;
+                }
+                nbrs.iter().map(|n| u64::from(n.to_u32())).sum()
+            }
+        };
+        if let Some(t) = start {
+            latencies.push(t.elapsed().as_nanos() as f64);
+        }
+        counts[kind as usize] += 1;
+        checksum = checksum.wrapping_add(stablehash::mix(answer, &[h]));
+    }
+    // Bulk-record into this worker's shard after the hot loop: the loop
+    // itself never touches the registry mutex.
+    let shard = engine.shard(worker);
+    for (kind, n) in QueryKind::ALL.iter().zip(counts) {
+        shard.registry.inc(kind.counter(), n);
+    }
+    for &ns in &latencies {
+        shard
+            .registry
+            .observe(cm_serve::engine::LATENCY_HISTOGRAM, ns);
+    }
+    WorkerResult {
+        counts,
+        hits,
+        checksum,
+        latencies,
+    }
+}
+
+struct WorkerResult {
+    counts: [u64; 3],
+    hits: u64,
+    checksum: u64,
+    latencies: Vec<f64>,
+}
+
+/// Drives `threads` workers, each issuing `ops_per_thread` seeded
+/// queries against `engine`, and aggregates the round.
+///
+/// The query *stream* is deterministic (so `checksum` is reproducible);
+/// the wall clocks and latency samples are not, and land only in the
+/// report, never in any golden digest.
+pub fn spam(engine: &Engine, seed: u64, threads: usize, ops_per_thread: usize) -> SpamReport {
+    let threads = threads.max(1);
+    let start = Instant::now();
+    let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| scope.spawn(move || spam_worker(engine, seed, w, ops_per_thread)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(_) => panic!("spam worker panicked"),
+            })
+            .collect()
+    });
+    let wall_secs = start.elapsed().as_secs_f64();
+    let mut kind_counts = [0u64; 3];
+    let mut hits = 0u64;
+    let mut checksum = 0u64;
+    let mut latencies_ns = Vec::new();
+    for r in results {
+        for (sum, n) in kind_counts.iter_mut().zip(r.counts) {
+            *sum += n;
+        }
+        hits += r.hits;
+        // Workers are independent streams; summing keeps the fold
+        // order-independent across join order.
+        checksum = checksum.wrapping_add(r.checksum);
+        latencies_ns.extend(r.latencies);
+    }
+    let latencies_ns = crate::sorted(&latencies_ns);
+    SpamReport {
+        threads,
+        ops_per_thread,
+        wall_secs,
+        kind_counts,
+        hits,
+        checksum,
+        latencies_ns,
+    }
+}
+
+/// One machine-readable run record for the `BENCH_serve.json` history:
+/// the snapshot's provenance and table sizes, the aggregate throughput,
+/// and the sampled latency quantiles (via the interpolating
+/// [`crate::quantile`], so p99/p999 do not collapse to the maximum on
+/// small sample counts). Hand-rolled JSON like the pipeline record;
+/// appended with [`crate::report::append_bench_history`].
+pub fn bench_serve_json(
+    label: &str,
+    scale: &str,
+    seed: u64,
+    snapshot: &AtlasSnapshot,
+    encoded_bytes: usize,
+    report: &SpamReport,
+) -> String {
+    let num = |x: f64| {
+        if x.is_finite() {
+            format!("{x:.1}")
+        } else {
+            "0.0".to_string()
+        }
+    };
+    let q = |p: f64| num(crate::quantile(&report.latencies_ns, p));
+    let max = report.latencies_ns.last().copied().unwrap_or(f64::NAN);
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"label\": \"{label}\",");
+    let _ = writeln!(out, "  \"scale\": \"{scale}\",");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(
+        out,
+        "  \"snapshot\": {{\"bytes\": {}, \"interfaces\": {}, \"prefixes\": {}, \
+         \"segments\": {}, \"summary_version\": {}, \"golden_digest\": \"{:#018x}\"}},",
+        encoded_bytes,
+        snapshot.interfaces.len(),
+        snapshot.prefixes.len(),
+        snapshot.segments.len(),
+        snapshot.summary_version,
+        snapshot.golden_digest
+    );
+    let _ = writeln!(out, "  \"threads\": {},", report.threads);
+    let _ = writeln!(out, "  \"ops_per_thread\": {},", report.ops_per_thread);
+    let _ = writeln!(out, "  \"total_ops\": {},", report.total_ops());
+    let _ = writeln!(out, "  \"wall_seconds\": {:.6},", report.wall_secs);
+    let _ = writeln!(
+        out,
+        "  \"lookups_per_sec\": {},",
+        num(report.lookups_per_sec())
+    );
+    let _ = writeln!(
+        out,
+        "  \"mix\": {{\"point\": {}, \"longest_prefix\": {}, \"neighbors\": {}, \
+         \"hits\": {}, \"checksum\": \"{:#018x}\"}},",
+        report.kind_counts[0],
+        report.kind_counts[1],
+        report.kind_counts[2],
+        report.hits,
+        report.checksum
+    );
+    let _ = writeln!(
+        out,
+        "  \"latency_ns\": {{\"samples\": {}, \"p50\": {}, \"p99\": {}, \"p999\": {}, \
+         \"max\": {}}}",
+        report.latencies_ns.len(),
+        q(0.50),
+        q(0.99),
+        q(0.999),
+        num(max)
+    );
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_engine() -> Engine {
+        let inet = crate::build_internet("tiny", 2019);
+        let atlas = crate::run_study(&inet);
+        Engine::build(&snapshot_of(&atlas), 2)
+    }
+
+    #[test]
+    fn spam_checksum_is_reproducible_and_wall_clock_free() {
+        let engine = tiny_engine();
+        let a = spam(&engine, 7, 2, 500);
+        let b = spam(&engine, 7, 2, 500);
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.kind_counts, b.kind_counts);
+        assert_eq!(a.hits, b.hits);
+        assert_eq!(a.total_ops(), 1000);
+        // A different seed issues a different stream.
+        let c = spam(&engine, 8, 2, 500);
+        assert_ne!(a.checksum, c.checksum);
+    }
+
+    #[test]
+    fn serve_json_record_appends_into_history() {
+        let engine = tiny_engine();
+        let snap = snapshot_of(&crate::run_study(&crate::build_internet("tiny", 2019)));
+        let report = spam(&engine, 7, 1, 200);
+        let rec = bench_serve_json("test", "tiny", 2019, &snap, snap.encode().len(), &report);
+        for key in [
+            "\"lookups_per_sec\"",
+            "\"p999\"",
+            "\"checksum\"",
+            "\"golden_digest\"",
+        ] {
+            assert!(rec.contains(key), "missing {key} in {rec}");
+        }
+        let history = crate::report::append_bench_history(None, &rec);
+        let twice = crate::report::append_bench_history(Some(&history), &rec);
+        assert!(twice.starts_with("[\n{"));
+        assert_eq!(twice.matches("\"label\": \"test\"").count(), 2);
+    }
+}

@@ -1,0 +1,103 @@
+//! End-to-end snapshot tests at tiny scale: the Atlas → snapshot →
+//! engine chain answers exactly what the atlas says, the golden digest
+//! in the header pins the run, and a tampered real artifact is rejected.
+
+use cm_bench::serve::snapshot_of;
+use cm_bench::{build_internet, run_study, AtlasSummary, SUMMARY_VERSION};
+use cm_net::Asn;
+use cm_serve::{AtlasSnapshot, Engine, SnapshotError};
+
+#[test]
+fn snapshot_round_trips_and_pins_the_golden_digest() {
+    let inet = build_internet("tiny", 2019);
+    let atlas = run_study(&inet);
+    let snap = snapshot_of(&atlas);
+
+    assert_eq!(snap.summary_version, SUMMARY_VERSION);
+    assert_eq!(snap.golden_digest, AtlasSummary::of(&atlas).digest());
+    assert!(!snap.interfaces.is_empty(), "tiny atlas yields interfaces");
+    assert!(!snap.prefixes.is_empty(), "tiny atlas yields prefixes");
+    assert!(!snap.segments.is_empty(), "tiny atlas yields segments");
+
+    let bytes = snap.encode();
+    let loaded = AtlasSnapshot::decode(&bytes).expect("snapshot decodes");
+    assert_eq!(loaded, snap);
+    // Cutting the snapshot twice from the same atlas is byte-identical.
+    assert_eq!(snapshot_of(&atlas).encode(), bytes);
+}
+
+#[test]
+fn engine_answers_match_the_atlas() {
+    let inet = build_internet("tiny", 2019);
+    let atlas = run_study(&inet);
+    let snap = snapshot_of(&atlas);
+    let engine = Engine::build(&snap, 2);
+
+    assert_eq!(
+        engine.interface_count(),
+        {
+            let mut all: std::collections::BTreeSet<_> = atlas.pool.abis.keys().copied().collect();
+            all.extend(atlas.pool.cbis.keys().copied());
+            all.len()
+        },
+        "every pool interface is served exactly once"
+    );
+
+    // Point lookups: every CBI resolves with its inferred peer and VPI
+    // verdict, every ABI with its annotation ASN.
+    for &cbi in atlas.pool.cbis.keys() {
+        let r = engine.point(cbi).expect("known CBI resolves");
+        assert!(r.is_cbi);
+        assert_eq!(r.owner, atlas.pool.peer_of(cbi).unwrap_or(Asn::RESERVED));
+        assert_eq!(r.vpi, atlas.vpi.vpi_cbis.contains(&cbi));
+    }
+    for (&abi, note) in &atlas.pool.abis {
+        // An address can be both an ABI and a CBI key; the CBI record
+        // wins in the export, so only assert on pure ABIs.
+        if atlas.pool.cbis.contains_key(&abi) {
+            continue;
+        }
+        let r = engine.point(abi).expect("known ABI resolves");
+        assert!(!r.is_cbi);
+        assert_eq!(r.owner, note.asn);
+    }
+
+    // Longest-prefix queries agree with the atlas's own BGP trie for
+    // every served interface address.
+    for r in engine.records() {
+        let want = atlas.snapshot.longest_match(r.addr).map(|(p, &a)| (p, a));
+        assert_eq!(engine.longest_prefix(r.addr), want);
+    }
+
+    // Neighborhoods: each segment's ABI lists its CBI and vice versa.
+    for (abi, cbi) in &snap.segments {
+        assert!(engine.neighbors(*abi).contains(cbi));
+        assert!(engine.neighbors(*cbi).contains(abi));
+    }
+}
+
+#[test]
+fn tampered_real_snapshot_is_rejected() {
+    let inet = build_internet("tiny", 2019);
+    let atlas = run_study(&inet);
+    let bytes = snapshot_of(&atlas).encode();
+
+    // Flip one bit in the middle of the payload (a record byte, not the
+    // header) — the digest gate must catch it.
+    let mut tampered = bytes.clone();
+    let mid = bytes.len() / 2;
+    tampered[mid] ^= 0x10;
+    assert!(matches!(
+        AtlasSnapshot::decode(&tampered),
+        Err(SnapshotError::DigestMismatch { .. })
+    ));
+
+    // Forging the golden digest in the header is equally fatal: the file
+    // digest covers the header fields too.
+    let mut forged = bytes.clone();
+    forged[16] ^= 0xFF;
+    assert!(AtlasSnapshot::decode(&forged).is_err());
+
+    // The untouched original still loads.
+    assert!(AtlasSnapshot::decode(&bytes).is_ok());
+}

@@ -1,0 +1,160 @@
+//! Extraction of the *serving view* of an [`Atlas`].
+//!
+//! The atlas is a transient in-process struct borrowing the ground-truth
+//! `Internet`; `cm-serve` needs a self-contained, byte-encodable record
+//! set. This module reduces the atlas to exactly the products a query
+//! engine answers for — per-interface classification, ownership, pinning,
+//! grouping and VPI status, the announced-prefix table for longest-prefix
+//! queries, and the ICG segment edges for neighborhood queries — in a
+//! canonical (sorted) order, so the serialized snapshot built from it is
+//! byte-deterministic for a fixed `(scale, seed, faults)`.
+
+use crate::groups::PeeringGroup;
+use crate::pinning::PinSource;
+use crate::pipeline::Atlas;
+use cm_net::{Asn, Ipv4, Prefix};
+use std::collections::BTreeMap;
+
+/// The serving record of one border interface.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IfaceExport {
+    /// The interface address.
+    pub addr: Ipv4,
+    /// `true` for a CBI (the peer's side), `false` for an ABI.
+    pub is_cbi: bool,
+    /// Owning ASN: the annotation ASN for ABIs, the inferred peer (with
+    /// §5.2 owner overrides applied) for CBIs; [`Asn::RESERVED`] when
+    /// unknown.
+    pub owner: Asn,
+    /// Metro-level pin, if any: `(metro id, pin-source index)` with the
+    /// source encoded by [`pin_source_index`].
+    pub metro_pin: Option<(u16, u8)>,
+    /// Regional fallback pin, if any (region id).
+    pub region_pin: Option<u32>,
+    /// Peering-group memberships as a bitmask over
+    /// [`PeeringGroup::ALL`] (bit *i* ⇔ membership in `ALL[i]`).
+    pub groups: u8,
+    /// Whether §7.1 classified this CBI as a virtual private interconnect.
+    pub vpi: bool,
+}
+
+/// Everything `cm-serve` snapshots, in canonical order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeExport {
+    /// All border interfaces, ascending by address.
+    pub interfaces: Vec<IfaceExport>,
+    /// The BGP snapshot's announced prefixes with origin ASNs, in trie
+    /// (prefix) order.
+    pub prefixes: Vec<(Prefix, Asn)>,
+    /// ICG edges as `(abi, cbi)` pairs, ascending.
+    pub segments: Vec<(Ipv4, Ipv4)>,
+}
+
+/// Stable index of a [`PinSource`] for byte encodings (0..=5, enum order).
+pub fn pin_source_index(source: PinSource) -> u8 {
+    match source {
+        PinSource::DnsName => 0,
+        PinSource::IxpAssociation => 1,
+        PinSource::Footprint => 2,
+        PinSource::NativeColo => 3,
+        PinSource::AliasRule => 4,
+        PinSource::RttRule => 5,
+    }
+}
+
+/// Stable index of a [`PeeringGroup`] for bitmask encodings
+/// (its position in [`PeeringGroup::ALL`]).
+pub fn group_bit(group: PeeringGroup) -> u8 {
+    PeeringGroup::ALL
+        .iter()
+        .position(|&g| g == group)
+        .map_or(0, |i| i as u8)
+}
+
+/// Reduces an atlas to its serving view.
+///
+/// Deterministic at any `probe_workers` count: every list is sorted and
+/// the group bitmask is built by commutative ORs, so unordered-map
+/// iteration order cannot leak into the result.
+pub fn serve_export(atlas: &Atlas<'_>) -> ServeExport {
+    // Group membership bitmasks, OR-folded per address (commutative, so
+    // the HashMap iteration order below is harmless).
+    let mut group_bits: BTreeMap<Ipv4, u8> = BTreeMap::new();
+    for profile in atlas.groups.per_as.values() {
+        for (&group, addrs) in profile
+            .cbis_by_group
+            .iter()
+            .chain(profile.abis_by_group.iter())
+        {
+            let bit = 1u8 << group_bit(group);
+            for &addr in addrs {
+                *group_bits.entry(addr).or_insert(0) |= bit;
+            }
+        }
+    }
+
+    let record = |addr: Ipv4, is_cbi: bool, owner: Asn| IfaceExport {
+        addr,
+        is_cbi,
+        owner,
+        metro_pin: atlas
+            .pinning
+            .pins
+            .get(&addr)
+            .map(|p| (p.metro.0, pin_source_index(p.source))),
+        region_pin: atlas.pinning.region_pins.get(&addr).map(|r| r.0),
+        groups: group_bits.get(&addr).copied().unwrap_or(0),
+        vpi: is_cbi && atlas.vpi.vpi_cbis.contains(&addr),
+    };
+
+    let mut interfaces: BTreeMap<Ipv4, IfaceExport> = BTreeMap::new();
+    for (&addr, note) in &atlas.pool.abis {
+        interfaces.insert(addr, record(addr, false, note.asn));
+    }
+    for &addr in atlas.pool.cbis.keys() {
+        let owner = atlas.pool.peer_of(addr).unwrap_or(Asn::RESERVED);
+        interfaces.insert(addr, record(addr, true, owner));
+    }
+
+    let mut segments: Vec<(Ipv4, Ipv4)> =
+        atlas.pool.segments.keys().map(|s| (s.abi, s.cbi)).collect();
+    segments.sort_unstable();
+
+    ServeExport {
+        interfaces: interfaces.into_values().collect(),
+        // The lazy trie walk already yields ascending base-address order.
+        prefixes: atlas.snapshot.iter().map(|(p, &asn)| (p, asn)).collect(),
+        segments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_source_indices_are_distinct_and_dense() {
+        let all = [
+            PinSource::DnsName,
+            PinSource::IxpAssociation,
+            PinSource::Footprint,
+            PinSource::NativeColo,
+            PinSource::AliasRule,
+            PinSource::RttRule,
+        ];
+        let mut seen: Vec<u8> = all.iter().map(|&s| pin_source_index(s)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, [0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn group_bits_cover_all_groups_once() {
+        let mut mask = 0u8;
+        for g in PeeringGroup::ALL {
+            let bit = 1u8 << group_bit(g);
+            assert_eq!(mask & bit, 0, "duplicate bit for {g:?}");
+            mask |= bit;
+        }
+        assert_eq!(mask, 0b11_1111);
+    }
+}

@@ -41,6 +41,7 @@
 pub mod annotate;
 pub mod borders;
 pub mod compare;
+pub mod export;
 pub mod groups;
 pub mod icg;
 pub mod pinning;

@@ -128,24 +128,46 @@ impl<T> PrefixTrie<T> {
     }
 
     /// Iterates all stored `(prefix, value)` pairs in trie (prefix) order.
-    pub fn iter(&self) -> impl Iterator<Item = (Prefix, &T)> {
-        // Depth-first walk with an explicit stack; left (0) child first
-        // yields prefixes in ascending base-address order.
-        let mut stack = vec![0usize];
-        let mut out = Vec::new();
-        while let Some(idx) = stack.pop() {
-            if let Some((p, v)) = &self.nodes[idx].value {
-                out.push((*p, v));
-            }
+    ///
+    /// The walk is lazy: only the DFS stack (bounded by the trie depth,
+    /// ≤ 33 nodes) is held between calls, so iterating a large trie never
+    /// materializes a second copy of it.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter {
+            trie: self,
+            stack: vec![0usize],
+        }
+    }
+}
+
+/// Lazy depth-first iterator over a [`PrefixTrie`]; see [`PrefixTrie::iter`].
+#[derive(Clone, Debug)]
+pub struct Iter<'a, T> {
+    trie: &'a PrefixTrie<T>,
+    stack: Vec<usize>,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = (Prefix, &'a T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        // Left (0) child first yields prefixes in ascending base-address
+        // order, shorter prefix first at equal base — the same order the
+        // old eager walk produced.
+        while let Some(idx) = self.stack.pop() {
+            let node = &self.trie.nodes[idx];
             // push right first so left pops first
-            if let Some(r) = self.nodes[idx].children[1] {
-                stack.push(r as usize);
+            if let Some(r) = node.children[1] {
+                self.stack.push(r as usize);
             }
-            if let Some(l) = self.nodes[idx].children[0] {
-                stack.push(l as usize);
+            if let Some(l) = node.children[0] {
+                self.stack.push(l as usize);
+            }
+            if let Some((p, v)) = &node.value {
+                return Some((*p, v));
             }
         }
-        out.into_iter()
+        None
     }
 }
 
@@ -237,6 +259,24 @@ mod tests {
             got,
             ["9.0.0.0/8", "10.0.0.0/8", "10.1.0.0/16", "11.0.0.0/8"]
         );
+    }
+
+    #[test]
+    fn iter_is_lazy_and_resumable() {
+        let mut t = PrefixTrie::new();
+        for s in ["10.0.0.0/8", "9.0.0.0/8", "10.1.0.0/16"] {
+            t.insert(p(s), ());
+        }
+        let mut it = t.iter();
+        assert_eq!(it.next().unwrap().0.to_string(), "9.0.0.0/8");
+        // The remaining items arrive on demand, in order, from the same
+        // iterator state.
+        let rest: Vec<String> = it.map(|(pre, _)| pre.to_string()).collect();
+        assert_eq!(rest, ["10.0.0.0/8", "10.1.0.0/16"]);
+        // A partially consumed iterator can simply be dropped.
+        let mut early = t.iter();
+        let _ = early.next();
+        drop(early);
     }
 
     #[test]

@@ -1,0 +1,330 @@
+//! The embedded thread-per-core query engine.
+//!
+//! An [`Engine`] is built once from a decoded [`AtlasSnapshot`] and then
+//! shared immutably across worker threads: every index is read-only
+//! after construction (a sorted record table for point lookups, a
+//! [`PrefixTrie`] for longest-prefix queries, a CSR adjacency for ICG
+//! neighborhoods), so queries take `&self` and never contend on a lock.
+//!
+//! The *per-core* state is the shard: each worker claims one
+//! [`Shard`], which carries its own `cm-obs` [`Registry`] with a latency
+//! histogram and per-query-kind counters. Workers record into their own
+//! shard only; the merged exposition across shards is the service-level
+//! view.
+
+use crate::snapshot::{AtlasSnapshot, IfaceRecord};
+use cm_net::{Asn, Ipv4, Prefix, PrefixTrie};
+use cm_obs::{HistogramValue, MetricValue, Registry, Snapshot};
+
+/// The three query families the engine answers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Point lookup: interface → its full serving record.
+    Point,
+    /// Longest-prefix match over the announced-prefix table.
+    LongestPrefix,
+    /// ICG neighborhood: all segment counterparts of an interface.
+    Neighbors,
+}
+
+impl QueryKind {
+    /// All kinds, in a fixed order (used for mix accounting).
+    pub const ALL: [QueryKind; 3] = [
+        QueryKind::Point,
+        QueryKind::LongestPrefix,
+        QueryKind::Neighbors,
+    ];
+
+    /// The shard counter name for this kind.
+    pub fn counter(self) -> &'static str {
+        match self {
+            QueryKind::Point => "serve_point_total",
+            QueryKind::LongestPrefix => "serve_lpm_total",
+            QueryKind::Neighbors => "serve_neighbors_total",
+        }
+    }
+}
+
+/// Upper bounds (nanoseconds) of the per-shard latency histogram:
+/// exponential from 64 ns to ~1 ms, the range an in-process lookup can
+/// realistically land in.
+pub const LATENCY_BOUNDS_NS: [f64; 15] = [
+    64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0, 8192.0, 16384.0, 32768.0, 65536.0, 131072.0,
+    262144.0, 524288.0, 1048576.0,
+];
+
+/// The name of the per-shard latency histogram.
+pub const LATENCY_HISTOGRAM: &str = "serve_query_latency_ns";
+
+/// One worker's observability shard.
+pub struct Shard {
+    /// This shard's private metrics registry (latency histogram plus
+    /// per-kind counters).
+    pub registry: Registry,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        let registry = Registry::new();
+        registry.histogram(LATENCY_HISTOGRAM, &LATENCY_BOUNDS_NS);
+        for kind in QueryKind::ALL {
+            registry.inc(kind.counter(), 0);
+        }
+        Shard { registry }
+    }
+
+    /// Records one answered query of `kind` that took `latency_ns`.
+    pub fn record(&self, kind: QueryKind, latency_ns: f64) {
+        self.registry.inc(kind.counter(), 1);
+        self.registry.observe(LATENCY_HISTOGRAM, latency_ns);
+    }
+}
+
+/// The read-only query engine over one loaded snapshot.
+pub struct Engine {
+    /// Interface records, ascending by address (point-lookup index).
+    records: Vec<IfaceRecord>,
+    /// Announced prefixes → origin ASN (longest-prefix index).
+    trie: PrefixTrie<Asn>,
+    /// CSR adjacency: `neighbors[offsets[i]..offsets[i+1]]` are the ICG
+    /// counterparts of `records[i]`, ascending.
+    offsets: Vec<u32>,
+    neighbors: Vec<Ipv4>,
+    /// Per-worker observability shards.
+    shards: Vec<Shard>,
+    /// Header metadata of the snapshot this engine was built from.
+    summary_version: u32,
+    golden_digest: u64,
+}
+
+impl Engine {
+    /// Builds the engine from a decoded snapshot with `shards` worker
+    /// shards (at least one).
+    pub fn build(snapshot: &AtlasSnapshot, shards: usize) -> Engine {
+        let mut records = snapshot.interfaces.clone();
+        records.sort_unstable_by_key(|r| r.addr);
+        let trie: PrefixTrie<Asn> = snapshot.prefixes.iter().copied().collect();
+
+        // CSR adjacency over the sorted record table. Segments name
+        // (abi, cbi) pairs; each side lists the other as a neighbor.
+        let idx_of = |addr: Ipv4| records.binary_search_by_key(&addr, |r| r.addr).ok();
+        let mut pairs: Vec<(u32, Ipv4)> = Vec::with_capacity(snapshot.segments.len() * 2);
+        for &(abi, cbi) in &snapshot.segments {
+            if let Some(i) = idx_of(abi) {
+                pairs.push((i as u32, cbi));
+            }
+            if let Some(i) = idx_of(cbi) {
+                pairs.push((i as u32, abi));
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut offsets = Vec::with_capacity(records.len() + 1);
+        let mut neighbors = Vec::with_capacity(pairs.len());
+        offsets.push(0u32);
+        let mut cursor = 0usize;
+        for i in 0..records.len() {
+            while cursor < pairs.len() && pairs[cursor].0 == i as u32 {
+                neighbors.push(pairs[cursor].1);
+                cursor += 1;
+            }
+            offsets.push(neighbors.len() as u32);
+        }
+
+        Engine {
+            records,
+            trie,
+            offsets,
+            neighbors,
+            shards: (0..shards.max(1)).map(|_| Shard::new()).collect(),
+            summary_version: snapshot.summary_version,
+            golden_digest: snapshot.golden_digest,
+        }
+    }
+
+    /// `AtlasSummary` schema version of the source snapshot.
+    pub fn summary_version(&self) -> u32 {
+        self.summary_version
+    }
+
+    /// Golden digest of the source snapshot.
+    pub fn golden_digest(&self) -> u64 {
+        self.golden_digest
+    }
+
+    /// Number of interface records served.
+    pub fn interface_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// All interface records, ascending by address — lets load
+    /// generators draw guaranteed-hit targets by index.
+    pub fn records(&self) -> &[IfaceRecord] {
+        &self.records
+    }
+
+    /// Number of announced prefixes in the longest-prefix index.
+    pub fn prefix_count(&self) -> usize {
+        self.trie.len()
+    }
+
+    /// Number of observability shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The `i`-th observability shard (wraps around, so any worker index
+    /// is valid).
+    pub fn shard(&self, i: usize) -> &Shard {
+        &self.shards[i % self.shards.len()]
+    }
+
+    /// Merged metrics across all shards: counters summed, histogram
+    /// buckets summed bound-for-bound (every shard uses the same fixed
+    /// [`LATENCY_BOUNDS_NS`], so the merge is exact).
+    pub fn merged_metrics(&self) -> Snapshot {
+        let mut hist = HistogramValue {
+            bounds: LATENCY_BOUNDS_NS.to_vec(),
+            counts: vec![0; LATENCY_BOUNDS_NS.len()],
+            overflow: 0,
+            rejected: 0,
+        };
+        let mut totals = [0u64; QueryKind::ALL.len()];
+        for shard in &self.shards {
+            let snap = shard.registry.snapshot();
+            for (kind, total) in QueryKind::ALL.iter().zip(totals.iter_mut()) {
+                *total += snap.counter(kind.counter()).unwrap_or(0);
+            }
+            if let Some(h) = snap.histogram(LATENCY_HISTOGRAM) {
+                hist.overflow += h.overflow;
+                hist.rejected += h.rejected;
+                for (sum, n) in hist.counts.iter_mut().zip(&h.counts) {
+                    *sum += n;
+                }
+            }
+        }
+        let mut merged = Snapshot::default();
+        for (kind, total) in QueryKind::ALL.iter().zip(totals) {
+            merged
+                .metrics
+                .insert(kind.counter().to_string(), MetricValue::Counter(total));
+        }
+        merged
+            .metrics
+            .insert(LATENCY_HISTOGRAM.to_string(), MetricValue::Histogram(hist));
+        merged
+    }
+
+    /// Point lookup: the serving record of `addr`, if it is a known
+    /// border interface.
+    pub fn point(&self, addr: Ipv4) -> Option<&IfaceRecord> {
+        self.records
+            .binary_search_by_key(&addr, |r| r.addr)
+            .ok()
+            .map(|i| &self.records[i])
+    }
+
+    /// Longest-prefix query: the most specific announced prefix covering
+    /// `addr`, with its origin ASN.
+    pub fn longest_prefix(&self, addr: Ipv4) -> Option<(Prefix, Asn)> {
+        self.trie.longest_match(addr).map(|(p, &asn)| (p, asn))
+    }
+
+    /// ICG neighborhood: all segment counterparts of `addr`, ascending;
+    /// empty for unknown interfaces.
+    pub fn neighbors(&self, addr: Ipv4) -> &[Ipv4] {
+        match self.records.binary_search_by_key(&addr, |r| r.addr) {
+            Ok(i) => {
+                let lo = self.offsets[i] as usize;
+                let hi = self.offsets[i + 1] as usize;
+                &self.neighbors[lo..hi]
+            }
+            Err(_) => &[],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::IfaceRecord;
+
+    fn snap() -> AtlasSnapshot {
+        let rec = |addr: Ipv4, is_cbi: bool, owner: u32| IfaceRecord {
+            addr,
+            is_cbi,
+            owner: Asn(owner),
+            ..IfaceRecord::default()
+        };
+        let a = |s: &str| -> Ipv4 { s.parse().unwrap() };
+        AtlasSnapshot {
+            summary_version: 2,
+            golden_digest: 42,
+            interfaces: vec![
+                rec(a("10.0.0.1"), false, 64500),
+                rec(a("10.0.0.2"), true, 64501),
+                rec(a("10.0.0.6"), true, 64502),
+            ],
+            prefixes: vec![
+                ("10.0.0.0/8".parse().unwrap(), Asn(64500)),
+                ("10.0.0.0/30".parse().unwrap(), Asn(64501)),
+            ],
+            segments: vec![
+                (a("10.0.0.1"), a("10.0.0.2")),
+                (a("10.0.0.1"), a("10.0.0.6")),
+            ],
+        }
+    }
+
+    #[test]
+    fn point_lookup_answers_known_interfaces_only() {
+        let e = Engine::build(&snap(), 2);
+        let r = e.point("10.0.0.2".parse().unwrap()).unwrap();
+        assert!(r.is_cbi);
+        assert_eq!(r.owner, Asn(64501));
+        assert!(e.point("10.0.0.9".parse().unwrap()).is_none());
+        assert_eq!(e.interface_count(), 3);
+    }
+
+    #[test]
+    fn longest_prefix_prefers_the_most_specific() {
+        let e = Engine::build(&snap(), 1);
+        let (p, asn) = e.longest_prefix("10.0.0.2".parse().unwrap()).unwrap();
+        assert_eq!(p.to_string(), "10.0.0.0/30");
+        assert_eq!(asn, Asn(64501));
+        let (p, asn) = e.longest_prefix("10.9.9.9".parse().unwrap()).unwrap();
+        assert_eq!(p.to_string(), "10.0.0.0/8");
+        assert_eq!(asn, Asn(64500));
+        assert!(e.longest_prefix("11.0.0.1".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn neighborhood_is_symmetric_and_sorted() {
+        let e = Engine::build(&snap(), 1);
+        let abi: Ipv4 = "10.0.0.1".parse().unwrap();
+        let nbrs: Vec<String> = e.neighbors(abi).iter().map(Ipv4::to_string).collect();
+        assert_eq!(nbrs, ["10.0.0.2", "10.0.0.6"]);
+        let back = e.neighbors("10.0.0.6".parse().unwrap());
+        assert_eq!(back, [abi]);
+        assert!(e.neighbors("10.0.0.9".parse().unwrap()).is_empty());
+    }
+
+    #[test]
+    fn shards_record_independently_and_merge() {
+        let e = Engine::build(&snap(), 2);
+        e.shard(0).record(QueryKind::Point, 100.0);
+        e.shard(1).record(QueryKind::Point, 200.0);
+        e.shard(1).record(QueryKind::Neighbors, 300.0);
+        // Wrap-around indexing keeps any worker index valid.
+        e.shard(2).record(QueryKind::LongestPrefix, 400.0);
+        let s0 = e.shard(0).registry.snapshot();
+        assert_eq!(s0.counter("serve_point_total"), Some(1));
+        assert_eq!(s0.counter("serve_lpm_total"), Some(1));
+        let merged = e.merged_metrics();
+        assert_eq!(merged.counter("serve_point_total"), Some(2));
+        assert_eq!(merged.counter("serve_neighbors_total"), Some(1));
+        assert_eq!(merged.counter("serve_lpm_total"), Some(1));
+        let h = merged.histogram(LATENCY_HISTOGRAM).unwrap();
+        assert_eq!(h.count(), 4);
+    }
+}

@@ -1,0 +1,30 @@
+//! # cm-serve — the atlas as a served artifact
+//!
+//! The pipeline's `Atlas` is a transient, borrow-heavy in-process struct;
+//! this crate turns its inference products into something millions of
+//! clients could query:
+//!
+//! * [`AtlasSnapshot`] — a versioned, byte-deterministic, dependency-free
+//!   binary encoding of the serving view (interface records, announced
+//!   prefixes, ICG edges). The header pins compatibility with both the
+//!   snapshot *format* version and the `AtlasSummary` schema version, and
+//!   carries the run's golden digest plus a payload checksum, so a
+//!   tampered or truncated file is rejected on open, and a loaded
+//!   snapshot can be traced back to the exact golden-atlas digest it was
+//!   cut from.
+//! * [`Engine`] — an embedded thread-per-core query engine over a loaded
+//!   snapshot: point lookups (interface → ABI/CBI, owner, pin, group,
+//!   VPI), longest-prefix queries over the `cm-net` trie, and ICG
+//!   neighborhood queries, with per-shard `cm-obs` latency histograms.
+//!
+//! The `serve-spammer` binary in `cm-bench` drives the engine from N
+//! worker threads and appends throughput + tail-latency records to
+//! `BENCH_serve.json`.
+
+#![deny(missing_docs)]
+
+pub mod engine;
+pub mod snapshot;
+
+pub use engine::{Engine, QueryKind, Shard};
+pub use snapshot::{AtlasSnapshot, IfaceRecord, SnapshotError, FORMAT_VERSION};

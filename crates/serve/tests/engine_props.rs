@@ -1,0 +1,114 @@
+//! Property tests: the engine's answers against brute-force oracles, and
+//! the snapshot codec against arbitrary record sets.
+
+use cm_net::{Asn, Ipv4, Prefix};
+use cm_serve::{AtlasSnapshot, Engine, IfaceRecord};
+use proptest::prelude::*;
+
+/// Builds a snapshot from raw tuples, deduplicating interface addresses
+/// (the writer's canonical form keeps one record per address).
+fn snapshot_from(
+    ifaces: &[(u32, bool, u32, u8)],
+    prefixes: &[(u32, u8, u32)],
+    segments: &[(u32, u32)],
+) -> AtlasSnapshot {
+    let mut interfaces: Vec<IfaceRecord> = Vec::new();
+    for &(addr, is_cbi, owner, groups) in ifaces {
+        if interfaces.iter().any(|r| r.addr == Ipv4(addr)) {
+            continue;
+        }
+        interfaces.push(IfaceRecord {
+            addr: Ipv4(addr),
+            is_cbi,
+            owner: Asn(owner),
+            metro_pin: (addr % 3 == 0).then_some(((addr >> 8) as u16, (addr % 6) as u8)),
+            region_pin: (addr % 5 == 0).then_some(addr >> 16),
+            groups: groups & 0b11_1111,
+            vpi: is_cbi && addr % 7 == 0,
+        });
+    }
+    interfaces.sort_unstable_by_key(|r| r.addr);
+    let mut seen = std::collections::BTreeSet::new();
+    let prefixes = prefixes
+        .iter()
+        .map(|&(base, len, asn)| (Prefix::new(Ipv4(base), len.min(32)), Asn(asn)))
+        .filter(|&(p, _)| seen.insert(p))
+        .collect();
+    AtlasSnapshot {
+        summary_version: 2,
+        golden_digest: 7,
+        interfaces,
+        prefixes,
+        segments: segments.iter().map(|&(a, b)| (Ipv4(a), Ipv4(b))).collect(),
+    }
+}
+
+proptest! {
+    /// Arbitrary snapshots survive the byte round trip unchanged.
+    #[test]
+    fn codec_round_trips_arbitrary_snapshots(
+        ifaces in proptest::collection::vec(
+            (any::<u32>(), any::<bool>(), any::<u32>(), any::<u8>()), 0..40),
+        prefixes in proptest::collection::vec((any::<u32>(), 0u8..=32, any::<u32>()), 0..40),
+        segments in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..40),
+    ) {
+        let snap = snapshot_from(&ifaces, &prefixes, &segments);
+        let bytes = snap.encode();
+        prop_assert_eq!(AtlasSnapshot::decode(&bytes).unwrap(), snap.clone());
+        prop_assert_eq!(bytes, snap.encode());
+    }
+
+    /// Engine longest-prefix answers match a linear scan over the
+    /// snapshot's prefix table.
+    #[test]
+    fn lpm_matches_linear_scan_oracle(
+        prefixes in proptest::collection::vec((any::<u32>(), 4u8..=32, any::<u32>()), 1..40),
+        probes in proptest::collection::vec(any::<u32>(), 1..40),
+    ) {
+        let snap = snapshot_from(&[], &prefixes, &[]);
+        let engine = Engine::build(&snap, 1);
+        for v in probes {
+            let addr = Ipv4(v);
+            let oracle = snap
+                .prefixes
+                .iter()
+                .filter(|(p, _)| p.contains(addr))
+                .max_by_key(|(p, _)| p.len())
+                .copied();
+            prop_assert_eq!(engine.longest_prefix(addr), oracle);
+        }
+    }
+
+    /// Engine point lookups and neighborhoods match naive scans over the
+    /// snapshot's tables.
+    #[test]
+    fn point_and_neighbors_match_naive_scans(
+        ifaces in proptest::collection::vec(
+            (0u32..500, any::<bool>(), any::<u32>(), any::<u8>()), 1..40),
+        segments in proptest::collection::vec((0u32..500, 0u32..500), 0..60),
+        probes in proptest::collection::vec(0u32..500, 1..40),
+    ) {
+        let snap = snapshot_from(&ifaces, &[], &segments);
+        let engine = Engine::build(&snap, 1);
+        for v in probes {
+            let addr = Ipv4(v);
+            let oracle = snap.interfaces.iter().find(|r| r.addr == addr);
+            prop_assert_eq!(engine.point(addr), oracle);
+
+            let mut expected: Vec<Ipv4> = Vec::new();
+            if oracle.is_some() {
+                for &(a, b) in &snap.segments {
+                    if a == addr {
+                        expected.push(b);
+                    }
+                    if b == addr {
+                        expected.push(a);
+                    }
+                }
+                expected.sort_unstable();
+                expected.dedup();
+            }
+            prop_assert_eq!(engine.neighbors(addr).to_vec(), expected);
+        }
+    }
+}
