@@ -714,3 +714,145 @@ pub fn check_metrics_conservation(atlas: &Atlas<'_>, out: &mut Vec<Finding>) {
         }
     }
 }
+
+/// F3 — an incrementally spliced era atlas (`cloudmap::delta`) is
+/// equivalent to the from-scratch run at the same era. "Equivalent" is
+/// checked over everything downstream consumers can observe: the serving
+/// export (interfaces with ownership/pins/groups/VPI, announced prefixes,
+/// ICG edges), the frozen metrics exposition, the §4.1 accounting and
+/// the fault impact. A single /24 the splice failed to re-probe shifts
+/// at least one of these.
+pub fn check_delta_equivalence(delta: &Atlas<'_>, scratch: &Atlas<'_>, out: &mut Vec<Finding>) {
+    let mut err = |location: &str, detail: String| {
+        out.push(Finding::new(
+            Rule::DeltaEquivalence,
+            Severity::Error,
+            location,
+            detail,
+        ));
+    };
+
+    let d = cloudmap::export::serve_export(delta);
+    let s = cloudmap::export::serve_export(scratch);
+    if d.interfaces != s.interfaces {
+        let drift = d
+            .interfaces
+            .iter()
+            .filter(|i| !s.interfaces.contains(i))
+            .chain(s.interfaces.iter().filter(|i| !d.interfaces.contains(i)))
+            .count();
+        err(
+            "export.interfaces",
+            format!(
+                "spliced atlas exports {} interfaces, scratch {} ({} records drifted)",
+                d.interfaces.len(),
+                s.interfaces.len(),
+                drift
+            ),
+        );
+    }
+    if d.prefixes != s.prefixes {
+        err(
+            "export.prefixes",
+            format!(
+                "spliced atlas exports {} prefixes, scratch {}",
+                d.prefixes.len(),
+                s.prefixes.len()
+            ),
+        );
+    }
+    if d.segments != s.segments {
+        err(
+            "export.segments",
+            format!(
+                "spliced atlas exports {} ICG edges, scratch {}",
+                d.segments.len(),
+                s.segments.len()
+            ),
+        );
+    }
+
+    let delta_exposed = delta.metrics.expose();
+    let scratch_exposed = scratch.metrics.expose();
+    if delta_exposed != scratch_exposed {
+        let delta_lines: HashSet<&str> = delta_exposed.lines().collect();
+        let first_drift = scratch_exposed
+            .lines()
+            .find(|l| !delta_lines.contains(l))
+            .unwrap_or("<line missing from scratch exposition>")
+            .to_string();
+        err(
+            "metrics",
+            format!("metrics expositions differ; first scratch line not reproduced: {first_drift}"),
+        );
+    }
+
+    if delta.fault_impact != scratch.fault_impact {
+        err(
+            "fault_impact",
+            format!(
+                "spliced {:?} vs scratch {:?}",
+                delta.fault_impact, scratch.fault_impact
+            ),
+        );
+    }
+    if delta.pool.accepted != scratch.pool.accepted {
+        err(
+            "pool.accepted",
+            format!(
+                "spliced accepted {} vs scratch {}",
+                delta.pool.accepted, scratch.pool.accepted
+            ),
+        );
+    }
+    let (dd, sd) = (&delta.pool.discards, &scratch.pool.discards);
+    let pairs = [
+        ("no_border", dd.no_border, sd.no_border),
+        (
+            "gap_before_border",
+            dd.gap_before_border,
+            sd.gap_before_border,
+        ),
+        ("looped", dd.looped, sd.looped),
+        ("duplicate", dd.duplicate, sd.duplicate),
+        (
+            "cbi_is_destination",
+            dd.cbi_is_destination,
+            sd.cbi_is_destination,
+        ),
+        ("cloud_reentry", dd.cloud_reentry, sd.cloud_reentry),
+    ];
+    for (name, got, want) in pairs {
+        if got != want {
+            err(
+                &format!("pool.discards.{name}"),
+                format!("spliced counted {got}, scratch {want}"),
+            );
+        }
+    }
+}
+
+/// F3 — the churn report attached to a spliced era must equal an
+/// independent recomputation from the previous era's view and the era's
+/// own atlas. An off-by-one here means the report was edited (or derived
+/// from the wrong pair of eras), not measured.
+pub fn check_churn_report(
+    cur: &Atlas<'_>,
+    prev_view: &cloudmap::delta::ChurnView,
+    report: &cloudmap::delta::ChurnReport,
+    out: &mut Vec<Finding>,
+) {
+    let recomputed = cloudmap::delta::ChurnReport::between(
+        report.era,
+        prev_view,
+        &cloudmap::delta::ChurnView::of(cur),
+    );
+    if recomputed != *report {
+        out.push(Finding::new(
+            Rule::DeltaEquivalence,
+            Severity::Error,
+            "churn_report",
+            format!("reported {report:?}, recomputation yields {recomputed:?}"),
+        ));
+    }
+}

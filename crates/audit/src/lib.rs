@@ -87,6 +87,10 @@ pub enum Rule {
     /// F2 — the replay reproduces the recorded sweep + expansion fault
     /// impact exactly.
     FaultReplay,
+    /// F3 — an incrementally spliced era atlas is equivalent to the
+    /// from-scratch run at the same era (products, metrics, accounting),
+    /// and its churn report matches an independent recomputation.
+    DeltaEquivalence,
     /// O1 — the metrics registry's probe-outcome and fault counters
     /// conserve against the campaign stats and fault totals.
     MetricsConservation,
@@ -94,7 +98,7 @@ pub enum Rule {
 
 impl Rule {
     /// All rules, in report order.
-    pub const ALL: [Rule; 16] = [
+    pub const ALL: [Rule; 17] = [
         Rule::TraceConservation,
         Rule::SegmentUnexplained,
         Rule::DiscardMismatch,
@@ -110,6 +114,7 @@ impl Rule {
         Rule::Coverage,
         Rule::FaultConservation,
         Rule::FaultReplay,
+        Rule::DeltaEquivalence,
         Rule::MetricsConservation,
     ];
 
@@ -131,6 +136,7 @@ impl Rule {
             Rule::Coverage => "C1_COVERAGE",
             Rule::FaultConservation => "F1_FAULT_CONSERVATION",
             Rule::FaultReplay => "F2_FAULT_REPLAY",
+            Rule::DeltaEquivalence => "F3_DELTA_EQUIV",
             Rule::MetricsConservation => "O1_METRICS_CONSERVATION",
         }
     }
@@ -295,4 +301,25 @@ pub fn audit_with_reference(atlas: &Atlas<'_>, reference: &RefDerivation) -> Aud
 pub fn audit(atlas: &Atlas<'_>) -> AuditReport {
     let reference = rederive(atlas);
     audit_with_reference(atlas, &reference)
+}
+
+/// F3 audit: checks that an incrementally spliced era atlas (from
+/// `cloudmap::delta::DeltaEngine`) is *equivalent* to the from-scratch
+/// pipeline run at the same era — identical serving exports, metrics
+/// exposition, §4.1 accounting and fault impact — and, when a churn
+/// report is supplied with the previous era's view, that the report
+/// matches an independent recomputation. A finding here means a stale
+/// splice: the delta engine served a cached group it should have
+/// re-probed, or forged its churn accounting.
+pub fn audit_delta(
+    delta: &Atlas<'_>,
+    scratch: &Atlas<'_>,
+    churn: Option<(&cloudmap::delta::ChurnView, &cloudmap::delta::ChurnReport)>,
+) -> AuditReport {
+    let mut findings = Vec::new();
+    checks::check_delta_equivalence(delta, scratch, &mut findings);
+    if let Some((prev_view, report)) = churn {
+        checks::check_churn_report(delta, prev_view, report, &mut findings);
+    }
+    AuditReport::from_findings(findings)
 }

@@ -1,0 +1,134 @@
+//! F3 mutation tests: a faithful incremental splice audits clean, while a
+//! splice that skipped a dirty /24 (stale cached products) and a churn
+//! report with an off-by-one count are both caught by
+//! [`Rule::DeltaEquivalence`].
+
+use cloudmap::delta::{era_config, ChurnReport, ChurnView, DeltaEngine};
+use cloudmap::pipeline::{Atlas, Pipeline, PipelineConfig};
+use cm_audit::{audit_delta, Rule};
+use cm_dataplane::{DataPlaneConfig, FaultPlan, RouteFlap};
+use cm_net::Ipv4;
+use cm_topology::{Internet, TopologyConfig};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+fn config() -> PipelineConfig {
+    PipelineConfig {
+        dataplane: DataPlaneConfig {
+            faults: FaultPlan {
+                route_flap: Some(RouteFlap {
+                    flap_rate: 0.15,
+                    era: 0,
+                    churn_rate: 0.08,
+                }),
+                ..FaultPlan::default()
+            },
+            ..DataPlaneConfig::default()
+        },
+        probe_workers: 1,
+        ..PipelineConfig::default()
+    }
+}
+
+fn world() -> &'static Internet {
+    static WORLD: OnceLock<&'static Internet> = OnceLock::new();
+    WORLD.get_or_init(|| Box::leak(Box::new(Internet::generate(TopologyConfig::tiny(), 7))))
+}
+
+/// One engine run over eras 0 and 1 plus the from-scratch era-1 reference.
+/// The mutation tests borrow it exclusively, tamper, audit and restore.
+struct Fixture {
+    prev_view: ChurnView,
+    era1: Atlas<'static>,
+    scratch1: Atlas<'static>,
+    churn: ChurnReport,
+}
+
+fn fixture() -> MutexGuard<'static, Fixture> {
+    static FIX: OnceLock<Mutex<Fixture>> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let mut engine = DeltaEngine::new(world(), config()).expect("engine");
+        let era0 = engine.run_era(0).expect("era 0");
+        let era1 = engine.run_era(1).expect("era 1");
+        let scratch1 = Pipeline::new(world(), era_config(config(), 1))
+            .run()
+            .expect("scratch era 1");
+        Mutex::new(Fixture {
+            prev_view: ChurnView::of(&era0.atlas),
+            era1: era1.atlas,
+            scratch1,
+            churn: era1.churn.expect("era 1 carries a churn report"),
+        })
+    })
+    .lock()
+    .expect("fixture lock")
+}
+
+#[test]
+fn faithful_splice_audits_clean() {
+    let fix = fixture();
+    let report = audit_delta(&fix.era1, &fix.scratch1, Some((&fix.prev_view, &fix.churn)));
+    assert!(report.is_clean(), "faithful splice flagged:\n{report}");
+}
+
+#[test]
+fn rule_id_is_stable() {
+    assert_eq!(Rule::DeltaEquivalence.id(), "F3_DELTA_EQUIV");
+    assert!(Rule::ALL.contains(&Rule::DeltaEquivalence));
+}
+
+/// Emulates a stale splice: the engine "skipped" one dirty /24, so the
+/// CBI that /24 would have revealed is missing from the spliced pool.
+#[test]
+fn skipped_dirty_slash24_fires_f3() {
+    let mut fix = fixture();
+    let &addr = fix
+        .era1
+        .pool
+        .cbis
+        .keys()
+        .min()
+        .expect("tiny atlas discovers CBIs");
+    let saved = fix.era1.pool.cbis.remove(&addr).expect("present");
+    let report = audit_delta(&fix.era1, &fix.scratch1, None);
+    let fired = report.fired(Rule::DeltaEquivalence);
+    fix.era1.pool.cbis.insert(addr, saved);
+    assert!(fired, "stale splice (missing CBI {addr}) not caught");
+    assert!(
+        audit_delta(&fix.era1, &fix.scratch1, None).is_clean(),
+        "fixture not restored"
+    );
+}
+
+/// A forged segment (an ICG edge the scratch run never measured) must
+/// also diverge the serving exports.
+#[test]
+fn forged_segment_fires_f3() {
+    let mut fix = fixture();
+    let seg = cloudmap::borders::Segment {
+        abi: Ipv4(0xC0A8_0101),
+        cbi: Ipv4(0xC0A8_0102),
+    };
+    assert!(!fix.era1.pool.segments.contains_key(&seg));
+    fix.era1.pool.segments.insert(seg, Default::default());
+    let report = audit_delta(&fix.era1, &fix.scratch1, None);
+    let fired = report.fired(Rule::DeltaEquivalence);
+    fix.era1.pool.segments.remove(&seg);
+    assert!(fired, "forged ICG edge not caught");
+}
+
+#[test]
+fn off_by_one_flicker_count_fires_f3() {
+    let fix = fixture();
+    let mut forged = fix.churn;
+    forged.vpi_flicker += 1;
+    let report = audit_delta(&fix.era1, &fix.scratch1, Some((&fix.prev_view, &forged)));
+    assert!(
+        report.fired(Rule::DeltaEquivalence),
+        "off-by-one vpi_flicker not caught"
+    );
+    let findings: Vec<_> = report.of_rule(Rule::DeltaEquivalence).collect();
+    assert!(
+        findings.iter().any(|f| f.location == "churn_report"),
+        "finding should locate the churn report: {report}"
+    );
+}

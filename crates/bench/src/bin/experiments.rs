@@ -3,12 +3,22 @@
 //! ```text
 //! experiments [EXPERIMENT] [--scale tiny|small|full] [--seed N] [--dump DIR]
 //!             [--bench-json PATH] [--bench-label LABEL] [--faults PROFILE]
-//!             [--workers N] [--trace-jsonl PATH]
+//!             [--workers N] [--trace-jsonl PATH] [--epochs N]
 //!
 //! EXPERIMENT: all (default) | table1..table6 | fig4a | fig4b | fig5 | fig6
 //!             | fig7 | pinning-eval | icg | hiding-map | bdrmap | scores
-//!             | timings | trace
+//!             | timings | trace | churn
 //! ```
+//!
+//! `churn` is a longitudinal campaign rather than a single run: it replays
+//! an era-0 baseline plus `--epochs` (default 4) route-flap churn epochs
+//! twice — from scratch with the full pipeline for every era, and
+//! incrementally with
+//! `cloudmap::delta::DeltaEngine` — verifies the golden digests agree at
+//! every era, prints the per-era churn reports, and records the wall-clock
+//! win in the `BENCH_pipeline.json` history. If the chosen `--faults`
+//! profile has no churning route flap, a default one (flap 10%, 1% of
+//! /24s rerolled per era) is injected so there is churn to measure.
 //!
 //! Every run also appends a machine-readable record of the run's wall
 //! clocks and route-memo stats to the `BENCH_pipeline.json` history (path
@@ -19,8 +29,10 @@
 //!
 //! Run with `cargo run --release -p cm-bench --bin experiments`.
 
-use cm_bench::{build_internet, report, run_study_with, score_summary, study_config};
-use cm_dataplane::FaultPlan;
+use cloudmap::delta::{era_config, DeltaEngine};
+use cm_bench::{build_internet, report, run_study_with, score_summary, study_config, AtlasSummary};
+use cm_dataplane::{FaultPlan, RouteFlap};
+use cm_topology::Internet;
 
 fn main() {
     let mut experiment = String::from("all");
@@ -32,6 +44,7 @@ fn main() {
     let mut faults = String::from("clean");
     let mut workers: usize = 0;
     let mut trace_jsonl: Option<std::path::PathBuf> = None;
+    let mut epochs: u32 = 4;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -62,11 +75,15 @@ fn main() {
                 Some(p) => trace_jsonl = Some(p.into()),
                 None => panic!("--trace-jsonl needs a path"),
             },
+            "--epochs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 2 => epochs = v,
+                _ => panic!("--epochs needs an integer >= 2"),
+            },
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [EXPERIMENT] [--scale tiny|small|full] [--seed N] \
                      [--dump DIR] [--bench-json PATH] [--bench-label LABEL] \
-                     [--faults PROFILE] [--workers N] [--trace-jsonl PATH]"
+                     [--faults PROFILE] [--workers N] [--trace-jsonl PATH] [--epochs N]"
                 );
                 return;
             }
@@ -75,10 +92,11 @@ fn main() {
         }
     }
 
-    const EXPERIMENTS: [&str; 19] = [
+    const EXPERIMENTS: [&str; 20] = [
         "all",
         "timings",
         "trace",
+        "churn",
         "table1",
         "table2",
         "table3",
@@ -128,6 +146,22 @@ fn main() {
             fault_plan.enabled_axes()
         );
     }
+
+    if experiment == "churn" {
+        let label = bench_label.unwrap_or_else(|| format!("churn-{scale}-{seed}-{faults}"));
+        let record = churn_campaign(&inet, fault_plan, workers, epochs, &scale, seed, &label);
+        let existing = std::fs::read_to_string(&bench_json).ok();
+        let history = report::append_bench_history(existing.as_deref(), &record);
+        if let Err(e) = std::fs::write(&bench_json, history) {
+            panic!("writing {} failed: {e}", bench_json.display());
+        }
+        eprintln!(
+            "# churn record \"{label}\" appended to {}",
+            bench_json.display()
+        );
+        return;
+    }
+
     eprintln!("# running the measurement study ...");
     let t1 = std::time::Instant::now();
     let atlas = run_study_with(&inet, study_config(fault_plan, workers));
@@ -230,4 +264,135 @@ fn main() {
         }
         eprintln!("# flight-recorder JSONL written to {}", path.display());
     }
+}
+
+/// The `churn` experiment: replays the era-0 baseline plus `epochs`
+/// route-flap evolution steps with both strategies — from-scratch
+/// recompute of every era versus the incremental delta engine —
+/// cross-checks the golden digest at every era, prints the per-era
+/// comparison and churn reports, and returns the `BENCH_pipeline.json`
+/// record. Both sides pay for all `epochs + 1` atlases, so the headline
+/// speedup is the end-to-end campaign wall-clock ratio, not a
+/// steady-state cherry-pick.
+fn churn_campaign(
+    inet: &Internet,
+    mut plan: FaultPlan,
+    workers: usize,
+    epochs: u32,
+    scale: &str,
+    seed: u64,
+    label: &str,
+) -> String {
+    let flap = match plan.route_flap {
+        Some(fl) if fl.churn_rate > 0.0 => fl,
+        Some(fl) => RouteFlap {
+            churn_rate: 0.01,
+            ..fl
+        },
+        None => RouteFlap {
+            flap_rate: 0.1,
+            era: 0,
+            churn_rate: 0.01,
+        },
+    };
+    plan.route_flap = Some(flap);
+    let cfg = study_config(plan, workers);
+    eprintln!("# churn campaign: era-0 baseline + {epochs} churn epochs, route flap {flap:?}");
+
+    eprintln!("# scratch recompute baseline ...");
+    let mut scratch_secs = Vec::with_capacity(epochs as usize + 1);
+    let mut scratch_digests = Vec::with_capacity(epochs as usize + 1);
+    for era in 0..=epochs {
+        let t = std::time::Instant::now();
+        let atlas = run_study_with(inet, era_config(cfg, era));
+        let secs = t.elapsed().as_secs_f64();
+        scratch_digests.push(AtlasSummary::of(&atlas).digest());
+        eprintln!("#   era {era}: {secs:.2}s");
+        scratch_secs.push(secs);
+    }
+
+    eprintln!("# incremental delta engine ...");
+    let t = std::time::Instant::now();
+    let mut engine =
+        DeltaEngine::new(inet, cfg).unwrap_or_else(|e| panic!("delta engine setup failed: {e}"));
+    let setup_secs = t.elapsed().as_secs_f64();
+    eprintln!("#   setup: {setup_secs:.2}s");
+    let mut eras = Vec::with_capacity(epochs as usize + 1);
+    let mut delta_total = setup_secs;
+    for era in 0..=epochs {
+        let t = std::time::Instant::now();
+        let epoch = engine
+            .run_era(era)
+            .unwrap_or_else(|e| panic!("delta era {era} failed: {e}"));
+        let secs = t.elapsed().as_secs_f64();
+        delta_total += secs;
+        let digest = AtlasSummary::of(&epoch.atlas).digest();
+        assert_eq!(
+            digest, scratch_digests[era as usize],
+            "delta era {era} diverged from the scratch digest"
+        );
+        let s = &epoch.stats;
+        eprintln!(
+            "#   era {era}: {secs:.2}s, re-probed {}/{} groups, digest ok",
+            s.sweep_synthesized + s.expansion_synthesized,
+            s.sweep_groups + s.expansion_groups,
+        );
+        eras.push(report::ChurnEraRecord {
+            era,
+            scratch_seconds: scratch_secs[era as usize],
+            delta_seconds: secs,
+            groups: (s.sweep_groups + s.expansion_groups) as u64,
+            synthesized: (s.sweep_synthesized + s.expansion_synthesized) as u64,
+            churn_json: epoch.churn.map(|r| r.to_jsonl()),
+        });
+    }
+
+    let scratch_total: f64 = scratch_secs.iter().sum();
+    let groups: u64 = eras.iter().map(|e| e.groups).sum();
+    let synthesized: u64 = eras.iter().map(|e| e.synthesized).sum();
+    let hit_rate = if groups == 0 {
+        0.0
+    } else {
+        1.0 - synthesized as f64 / groups as f64
+    };
+
+    println!("Churn campaign — incremental delta vs. scratch recompute");
+    println!(
+        "{:<6} {:>10} {:>10} {:>12} {:>9}",
+        "era", "scratch(s)", "delta(s)", "re-probed", "speedup"
+    );
+    for e in &eras {
+        println!(
+            "{:<6} {:>10.2} {:>10.2} {:>7}/{:<6} {:>8.1}x",
+            e.era,
+            e.scratch_seconds,
+            e.delta_seconds,
+            e.synthesized,
+            e.groups,
+            e.scratch_seconds / e.delta_seconds
+        );
+    }
+    println!(
+        "total  {scratch_total:>10.2} {delta_total:>10.2} (incl. {setup_secs:.2}s setup) \
+         {:>8.1}x",
+        scratch_total / delta_total
+    );
+    println!("group cache hit rate: {:.1}%", 100.0 * hit_rate);
+    for e in &eras {
+        if let Some(churn) = &e.churn_json {
+            println!("era {} churn: {churn}", e.era);
+        }
+    }
+
+    report::bench_churn_json(
+        label,
+        scale,
+        seed,
+        cfg.probe_workers,
+        &cfg.dataplane.faults.enabled_axes(),
+        scratch_total,
+        delta_total,
+        hit_rate,
+        &eras,
+    )
 }

@@ -716,6 +716,90 @@ pub fn append_bench_history(existing: Option<&str>, record: &str) -> String {
     fresh()
 }
 
+/// One era of a `churn` campaign, for [`bench_churn_json`].
+pub struct ChurnEraRecord {
+    /// The era index (0-based).
+    pub era: u32,
+    /// Wall clock of the from-scratch pipeline run at this era.
+    pub scratch_seconds: f64,
+    /// Wall clock of the incremental `DeltaEngine::run_era` call.
+    pub delta_seconds: f64,
+    /// Probe groups the delta engine partitioned the era into.
+    pub groups: u64,
+    /// Groups actually re-probed (the dirty set); the rest were spliced
+    /// from cache.
+    pub synthesized: u64,
+    /// The era's churn report as a compact JSON object (from
+    /// `ChurnReport::to_jsonl`), absent for the first era.
+    pub churn_json: Option<String>,
+}
+
+/// One machine-readable `churn` campaign record for the
+/// `BENCH_pipeline.json` history: total scratch vs. delta wall clocks,
+/// the speedup ratio the incremental engine buys, per-era dirty-set
+/// sizes and churn reports. Like [`bench_pipeline_json`] this is
+/// hand-rolled JSON with fixed keys; the embedded churn objects come
+/// straight from the delta engine's own JSONL rendering. The non-empty
+/// `fault_plan` keeps these records out of the CI perf gate's
+/// clean-run diff.
+#[allow(clippy::too_many_arguments)]
+pub fn bench_churn_json(
+    label: &str,
+    scale: &str,
+    seed: u64,
+    workers: usize,
+    axes: &[&str],
+    scratch_seconds: f64,
+    delta_seconds: f64,
+    cache_hit_rate: f64,
+    eras: &[ChurnEraRecord],
+) -> String {
+    let num = |x: f64| {
+        if x.is_finite() {
+            format!("{x:.6}")
+        } else {
+            "0.0".to_string()
+        }
+    };
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"label\": \"{label}\",");
+    let _ = writeln!(out, "  \"kind\": \"churn\",");
+    let _ = writeln!(out, "  \"scale\": \"{scale}\",");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"probe_workers\": {workers},");
+    // `eras` carries the era-0 baseline plus one entry per churn epoch.
+    let _ = writeln!(out, "  \"epochs\": {},", eras.len().saturating_sub(1));
+    let quoted: Vec<String> = axes.iter().map(|a| format!("\"{a}\"")).collect();
+    let _ = writeln!(out, "  \"fault_plan\": [{}],", quoted.join(", "));
+    let _ = writeln!(out, "  \"scratch_seconds\": {},", num(scratch_seconds));
+    let _ = writeln!(out, "  \"delta_seconds\": {},", num(delta_seconds));
+    let _ = writeln!(
+        out,
+        "  \"speedup\": {},",
+        num(scratch_seconds / delta_seconds)
+    );
+    let _ = writeln!(out, "  \"delta_cache_hit_rate\": {},", num(cache_hit_rate));
+    out.push_str("  \"eras\": [\n");
+    for (i, e) in eras.iter().enumerate() {
+        let comma = if i + 1 == eras.len() { "" } else { "," };
+        let churn = e.churn_json.as_deref().unwrap_or("null");
+        let _ = writeln!(
+            out,
+            "    {{\"era\": {}, \"scratch_seconds\": {}, \"delta_seconds\": {}, \
+             \"groups\": {}, \"synthesized\": {}, \"churn\": {churn}}}{comma}",
+            e.era,
+            num(e.scratch_seconds),
+            num(e.delta_seconds),
+            e.groups,
+            e.synthesized
+        );
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
 /// Extension (not a paper table): *where* the traffic goes hiding — per
 /// metro, how many pinned CBIs belong to hidden peering groups vs. visible
 /// ones. This is the geographic reading of the title question that the

@@ -1,0 +1,100 @@
+//! Property test: for *arbitrary* route-flap plans (random base flap rate,
+//! per-era churn rate and salt), the incremental delta engine reproduces
+//! the from-scratch golden digest at every era and worker count, and the
+//! F3 auditor agrees the spliced atlas is equivalent.
+//!
+//! This is the differential contract of `cloudmap::delta` (`DESIGN.md`
+//! §14): the dirty-set derivation may only ever *over*-approximate, so no
+//! randomly drawn churn pattern can surface a stale cached group.
+
+use cloudmap::delta::{era_config, ChurnView, DeltaEngine};
+use cloudmap::pipeline::{Pipeline, PipelineConfig};
+use cm_bench::AtlasSummary;
+use cm_dataplane::{DataPlaneConfig, FaultPlan, RouteFlap};
+use cm_topology::{Internet, TopologyConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn world() -> &'static Internet {
+    static W: OnceLock<Internet> = OnceLock::new();
+    W.get_or_init(|| Internet::generate(TopologyConfig::tiny(), 1905))
+}
+
+/// Random route-flap plans: base flap rate across its validity range,
+/// churn from "almost static" to "a third of /24s reroll per era", and
+/// an arbitrary fault salt so the dirty sets land on different prefixes.
+fn arb_flap_plan() -> impl Strategy<Value = FaultPlan> {
+    (0.02f64..0.6, 0.001f64..0.35, any::<u64>()).prop_map(|(flap, churn, salt)| FaultPlan {
+        route_flap: Some(RouteFlap {
+            flap_rate: flap,
+            era: 0,
+            churn_rate: churn,
+        }),
+        salt,
+        ..FaultPlan::default()
+    })
+}
+
+fn config(plan: FaultPlan, workers: usize) -> PipelineConfig {
+    PipelineConfig {
+        dataplane: DataPlaneConfig {
+            faults: plan,
+            ..DataPlaneConfig::default()
+        },
+        probe_workers: workers,
+        ..PipelineConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// Delta-spliced digests equal from-scratch digests for eras 0..=1 at
+    /// workers ∈ {1, 2}, and `audit_delta` finds the era-1 splice (plus
+    /// its churn report) equivalent.
+    #[test]
+    fn random_flap_plans_never_surface_a_stale_splice(plan in arb_flap_plan()) {
+        let scratch: Vec<_> = (0..2u32)
+            .map(|era| {
+                Pipeline::new(world(), era_config(config(plan, 1), era))
+                    .run()
+                    .unwrap_or_else(|e| panic!("scratch era {era} failed: {e}"))
+            })
+            .collect();
+        let scratch_digests: Vec<u64> =
+            scratch.iter().map(|a| AtlasSummary::of(a).digest()).collect();
+
+        for workers in [1usize, 2] {
+            let mut engine = DeltaEngine::new(world(), config(plan, workers))
+                .unwrap_or_else(|e| panic!("engine (workers={workers}): {e}"));
+            let mut prev_view = None;
+            for era in 0..2u32 {
+                let epoch = engine
+                    .run_era(era)
+                    .unwrap_or_else(|e| panic!("delta era {era} (workers={workers}): {e}"));
+                prop_assert_eq!(
+                    AtlasSummary::of(&epoch.atlas).digest(),
+                    scratch_digests[era as usize],
+                    "digest diverged at era {} workers {} under {:?}",
+                    era, workers, plan
+                );
+                let churn = epoch.churn;
+                let view = ChurnView::of(&epoch.atlas);
+                let audit = match (&prev_view, &churn) {
+                    (Some(prev), Some(report)) => cm_audit::audit_delta(
+                        &epoch.atlas,
+                        &scratch[era as usize],
+                        Some((prev, report)),
+                    ),
+                    _ => cm_audit::audit_delta(&epoch.atlas, &scratch[era as usize], None),
+                };
+                prop_assert!(
+                    audit.is_clean(),
+                    "F3 audit flagged era {} workers {}:\n{}",
+                    era, workers, audit
+                );
+                prev_view = Some(view);
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Differential tests of the incremental delta engine: every era atlas it
+//! splices must be **byte-identical** — same [`AtlasSummary`] golden
+//! digest, same metrics exposition — to a from-scratch pipeline run under
+//! [`era_config`], at any worker count, and the churn report it derives
+//! must render the same JSONL bytes at any worker count.
+//!
+//! The tiny scale keeps the un-ignored tests inside the tier-1 budget;
+//! the all-profile matrix is `#[ignore]`d and runs in the CI `delta` job
+//! (`cargo test --release ... -- --include-ignored`).
+
+use cloudmap::delta::{era_config, DeltaEngine};
+use cloudmap::pipeline::PipelineConfig;
+use cm_bench::{build_internet, run_study_with, study_config, AtlasSummary};
+use cm_dataplane::{FaultPlan, RouteFlap};
+
+/// A longitudinal flap axis with enough churn that consecutive tiny eras
+/// genuinely differ (≈ 8% of (/24, epoch) pairs re-roll per era).
+fn churny_plan() -> FaultPlan {
+    FaultPlan {
+        route_flap: Some(RouteFlap {
+            flap_rate: 0.15,
+            era: 0,
+            churn_rate: 0.08,
+        }),
+        ..FaultPlan::default()
+    }
+}
+
+fn scratch_digest(inet: &cm_topology::Internet, cfg: PipelineConfig, era: u32) -> u64 {
+    AtlasSummary::of(&run_study_with(inet, era_config(cfg, era))).digest()
+}
+
+/// Runs `eras` through one engine and returns (digest, churn JSONL) per era.
+fn delta_run(
+    inet: &cm_topology::Internet,
+    cfg: PipelineConfig,
+    workers: usize,
+    eras: &[u32],
+) -> Vec<(u64, Option<String>)> {
+    let mut engine = DeltaEngine::new(
+        inet,
+        PipelineConfig {
+            probe_workers: workers,
+            ..cfg
+        },
+    )
+    .expect("engine construction");
+    eras.iter()
+        .map(|&era| {
+            let epoch = engine.run_era(era).expect("era run");
+            assert!(
+                epoch.stats.sweep_groups > 0,
+                "era {era} merged no sweep groups"
+            );
+            (
+                AtlasSummary::of(&epoch.atlas).digest(),
+                epoch.churn.map(|c| c.to_jsonl()),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn delta_matches_scratch_across_eras_and_worker_counts() {
+    let inet = build_internet("tiny", 2019);
+    let cfg = study_config(churny_plan(), 1);
+    let eras = [0u32, 1];
+    let scratch: Vec<u64> = eras
+        .iter()
+        .map(|&e| scratch_digest(&inet, cfg, e))
+        .collect();
+    assert_ne!(
+        scratch[0], scratch[1],
+        "the churny plan must actually move the era-1 atlas, or the test is vacuous"
+    );
+    let runs: Vec<_> = [1usize, 2]
+        .iter()
+        .map(|&w| delta_run(&inet, cfg, w, &eras))
+        .collect();
+    for (w, run) in [1usize, 2].iter().zip(&runs) {
+        for (era, ((digest, _), want)) in eras.iter().zip(run.iter().zip(&scratch)) {
+            assert_eq!(
+                digest, want,
+                "delta era {era} at {w} workers diverged from the scratch digest"
+            );
+        }
+    }
+    // Churn-report determinism: same JSONL bytes at every worker count.
+    assert_eq!(runs[0][0].1, None, "the first era has no predecessor");
+    let churn_w1 = runs[0][1].1.as_deref().expect("era 1 churn report");
+    let churn_w2 = runs[1][1].1.as_deref().expect("era 1 churn report");
+    assert_eq!(
+        churn_w1, churn_w2,
+        "churn JSONL differs across worker counts"
+    );
+}
+
+#[test]
+fn clean_plan_eras_are_identical_and_fully_cached() {
+    let inet = build_internet("tiny", 2019);
+    let cfg = study_config(FaultPlan::default(), 1);
+    let mut engine = DeltaEngine::new(&inet, cfg).expect("engine construction");
+    let base = engine.run_era(0).expect("era 0");
+    let next = engine.run_era(1).expect("era 1");
+    // No flap axis → no decision can change → era 1 re-probes nothing.
+    assert_eq!(next.stats.sweep_synthesized, 0);
+    assert_eq!(next.stats.expansion_synthesized, 0);
+    assert!(next.stats.cache_hit_rate() > 0.999);
+    assert_eq!(
+        AtlasSummary::of(&base.atlas).digest(),
+        AtlasSummary::of(&next.atlas).digest()
+    );
+    let churn = next.churn.expect("second era carries a churn report");
+    assert_eq!(
+        churn.to_jsonl(),
+        "{\"era\":1,\"peers_appeared\":0,\"peers_vanished\":0,\"ifaces_appeared\":0,\
+         \"ifaces_vanished\":0,\"pins_moved\":0,\"vpi_flicker\":0,\"icg_edges_added\":0,\
+         \"icg_edges_removed\":0}"
+    );
+    // And the spliced clean atlas still equals a scratch run.
+    assert_eq!(
+        AtlasSummary::of(&next.atlas).digest(),
+        scratch_digest(&inet, cfg, 1)
+    );
+}
+
+/// The full committed-profile matrix at three worker counts. Release-only:
+/// runs in the CI `delta` job via `--include-ignored`.
+#[test]
+#[ignore = "release-only: the 8-profile × 3-era matrix is minutes in debug builds"]
+fn every_committed_profile_reproduces_scratch_digests() {
+    let inet = build_internet("tiny", 2019);
+    for profile in FaultPlan::PROFILES {
+        let plan = FaultPlan::named(profile).expect("registered profile");
+        // Give profiles without longitudinal churn some: the delta path
+        // must hold for every axis mix, not just the flap-only plan.
+        let plan = FaultPlan {
+            route_flap: Some(match plan.route_flap {
+                Some(f) => RouteFlap {
+                    churn_rate: 0.08,
+                    ..f
+                },
+                None => RouteFlap {
+                    flap_rate: 0.15,
+                    era: 0,
+                    churn_rate: 0.08,
+                },
+            }),
+            ..plan
+        };
+        let cfg = study_config(plan, 1);
+        let eras = [0u32, 1, 2];
+        let scratch: Vec<u64> = eras
+            .iter()
+            .map(|&e| scratch_digest(&inet, cfg, e))
+            .collect();
+        for workers in [1usize, 2, 4] {
+            let run = delta_run(&inet, cfg, workers, &eras);
+            for (era, ((digest, _), want)) in eras.iter().zip(run.iter().zip(&scratch)) {
+                assert_eq!(
+                    digest, want,
+                    "profile {profile}, era {era}, {workers} workers diverged from scratch"
+                );
+            }
+        }
+    }
+}

@@ -77,6 +77,36 @@ fn engine_answers_match_the_atlas() {
 }
 
 #[test]
+fn snapshot_survives_a_disk_round_trip_in_a_tempdir() {
+    // The end-to-end disk path serve_spammer exercises, but self-contained:
+    // the snapshot is cut, written and re-read inside a tempdir, so a clean
+    // checkout passes with no `target/` artifacts from prior bench runs.
+    let dir = std::env::temp_dir().join("cm_serve_snapshot_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tempdir creates");
+
+    let inet = build_internet("tiny", 2019);
+    let atlas = run_study(&inet);
+    let snap = snapshot_of(&atlas);
+    let path = dir.join("atlas.cmsnap");
+    std::fs::write(&path, snap.encode()).expect("snapshot writes");
+
+    let bytes = std::fs::read(&path).expect("snapshot reads back");
+    let loaded = AtlasSnapshot::decode(&bytes).expect("on-disk snapshot decodes");
+    assert_eq!(loaded, snap, "disk round trip is lossless");
+
+    // The engine built from the re-read file serves the same run: digest
+    // pin intact, every interface resolvable.
+    let engine = Engine::build(&loaded, 2);
+    assert_eq!(engine.golden_digest(), AtlasSummary::of(&atlas).digest());
+    for r in engine.records() {
+        assert!(engine.point(r.addr).is_some());
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn tampered_real_snapshot_is_rejected() {
     let inet = build_internet("tiny", 2019);
     let atlas = run_study(&inet);

@@ -27,6 +27,6 @@ pub mod rib;
 pub mod snapshot;
 
 pub use collectors::BgpView;
-pub use memo::{MemoStats, RouteMemo};
+pub use memo::{MemoKey, MemoStats, RouteMemo};
 pub use rib::{Candidate, Route, RoutingTable};
 pub use snapshot::{bgp_snapshot, cone_slash24s};

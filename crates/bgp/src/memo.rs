@@ -27,11 +27,11 @@ use crate::rib::{Route, RoutingTable};
 use cm_net::{stablehash, Ipv4};
 use cm_topology::{Internet, RegionId};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
-/// `(source region, destination /24 base, epoch)`.
-type MemoKey = (RegionId, u32, u32);
+/// `(source region, destination /24 base, epoch)` — the memo cache key.
+pub type MemoKey = (RegionId, u32, u32);
 
 /// Number of independent lock shards (power of two).
 const SHARDS: usize = 64;
@@ -71,6 +71,13 @@ pub struct RouteMemo {
     shards: Vec<RwLock<HashMap<MemoKey, Option<Arc<Route>>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// When set, every exact-path lookup key is appended to `key_log`.
+    /// Off by default: the longitudinal delta engine enables it to
+    /// attribute the exact looked-up key set to each probe group (the
+    /// ghost `route_memo_entries` accounting), and nothing else pays
+    /// for it beyond one relaxed load per lookup.
+    log_keys: AtomicBool,
+    key_log: Mutex<Vec<MemoKey>>,
 }
 
 impl Default for RouteMemo {
@@ -86,7 +93,49 @@ impl RouteMemo {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            log_keys: AtomicBool::new(false),
+            key_log: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Turns the lookup-key log on or off (off by default).
+    pub fn set_key_log(&self, enabled: bool) {
+        self.log_keys.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Drains the lookup-key log accumulated since the last drain,
+    /// sorted and deduplicated (the set of keys looked up, which for a
+    /// single-threaded owner is exactly the keys the same lookups would
+    /// insert into a fresh memo).
+    pub fn drain_key_log(&self) -> Vec<MemoKey> {
+        let mut log = match self.key_log.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let mut keys = std::mem::take(&mut *log);
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+
+    /// All cached keys, sorted (a deterministic set: which keys get
+    /// looked up is a pure function of the campaign).
+    pub fn keys(&self) -> Vec<MemoKey> {
+        let mut keys: Vec<MemoKey> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                match s.read() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                }
+                .keys()
+                .copied()
+                .collect::<Vec<_>>()
+            })
+            .collect();
+        keys.sort_unstable();
+        keys
     }
 
     fn shard(&self, key: &MemoKey) -> &RwLock<HashMap<MemoKey, Option<Arc<Route>>>> {
@@ -123,6 +172,12 @@ impl RouteMemo {
             return table.route_at(inet, dest, src_region, epoch).map(Arc::new);
         }
         let key = (src_region, dest.slash24_base().to_u32(), epoch);
+        if self.log_keys.load(Ordering::Relaxed) {
+            match self.key_log.lock() {
+                Ok(mut g) => g.push(key),
+                Err(poisoned) => poisoned.into_inner().push(key),
+            }
+        }
         let shard = self.shard(&key);
         {
             let guard = match shard.read() {
@@ -210,6 +265,32 @@ mod tests {
         assert_eq!(stats.hits, 8 * 3 - 3);
         assert!(stats.hit_rate() > 0.85);
         assert_eq!(memo.len(), 3);
+    }
+
+    #[test]
+    fn key_log_records_looked_up_keys_once_enabled() {
+        let inet = Internet::generate(TopologyConfig::tiny(), 23);
+        let table = RoutingTable::build(&inet, CloudId(0));
+        let memo = RouteMemo::new();
+        let region = inet.primary_cloud().regions[0];
+        let ic = inet.cloud_interconnects(CloudId(0)).next().unwrap();
+        let base = inet.as_node(ic.peer).prefixes[0].base();
+        // Disabled: nothing is logged.
+        memo.route_at(&table, &inet, Ipv4(base.to_u32() + 1), region, 0);
+        assert!(memo.drain_key_log().is_empty());
+        // Enabled: repeat lookups of one /24 collapse to one key.
+        memo.set_key_log(true);
+        for k in 0..5u32 {
+            memo.route_at(&table, &inet, Ipv4(base.to_u32() + k + 1), region, 7);
+        }
+        let keys = memo.drain_key_log();
+        assert_eq!(keys, vec![(region, base.to_u32(), 7)]);
+        assert!(memo.drain_key_log().is_empty(), "drain empties the log");
+        // keys() enumerates the cached set, sorted.
+        let cached = memo.keys();
+        assert_eq!(cached.len(), memo.len());
+        assert!(cached.windows(2).all(|w| w[0] < w[1]));
+        assert!(cached.contains(&(region, base.to_u32(), 7)));
     }
 
     #[test]

@@ -214,10 +214,20 @@ impl SegmentPool {
 
     /// Merges another pool into this one (round one + round two).
     pub fn merge(&mut self, other: SegmentPool) {
+        self.merge_ref(&other);
+    }
+
+    /// Reference-taking [`SegmentPool::merge`]: the identical fold, but
+    /// reading `other` through a shared borrow. The delta engine splices
+    /// tens of thousands of cached group pools per era; cloning each
+    /// whole pool just to consume it would double the splice's
+    /// allocation bill. Every merged value is `Copy` or a small set, so
+    /// the by-value path delegates here at no extra cost.
+    pub fn merge_ref(&mut self, other: &SegmentPool) {
         assert_eq!(self.cloud_org, other.cloud_org);
         // cm-lint: nondet-quarantined(keyed entry-merge; each key is visited once and the folds commute)
-        for (seg, meta) in other.segments {
-            let e = self.segments.entry(seg).or_default();
+        for (seg, meta) in &other.segments {
+            let e = self.segments.entry(*seg).or_default();
             e.count += meta.count;
             if e.pre_abi.is_none() {
                 e.pre_abi = meta.pre_abi;
@@ -225,25 +235,29 @@ impl SegmentPool {
             if e.post_cbi.is_none() {
                 e.post_cbi = meta.post_cbi;
             }
-            e.regions.extend(meta.regions);
+            // cm-lint: nondet-quarantined(set-union extend; insertion order into a HashSet cannot affect its contents)
+            e.regions.extend(meta.regions.iter().copied());
         }
         // cm-lint: nondet-quarantined(keyed entry-merge; each key is visited once and the folds commute)
-        for (a, info) in other.cbis {
+        for (&a, info) in &other.cbis {
             match self.cbis.entry(a) {
                 std::collections::hash_map::Entry::Occupied(mut e) => {
-                    e.get_mut().reachable_slash24.extend(info.reachable_slash24);
+                    e.get_mut()
+                        .reachable_slash24
+                        // cm-lint: nondet-quarantined(set-union extend; insertion order into a HashSet cannot affect its contents)
+                        .extend(info.reachable_slash24.iter().copied());
                 }
                 std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(info);
+                    e.insert(info.clone()); // cm-lint: hot-cost-accepted(first sighting of a CBI must own its reachable-set; the by-ref splice cannot move it out)
                 }
             }
         }
         // cm-lint: nondet-quarantined(keyed entry-merge; each key is visited once and the folds commute)
-        for (a, n) in other.abis {
+        for (&a, &n) in &other.abis {
             self.abis.entry(a).or_insert(n);
         }
         // cm-lint: nondet-quarantined(keyed entry-merge; each key is visited once and the folds commute)
-        for (a, ev) in other.successors {
+        for (&a, ev) in &other.successors {
             let e = self.successors.entry(a).or_default();
             e.cloud_successor |= ev.cloud_successor;
             e.client_successor |= ev.client_successor;
@@ -255,7 +269,9 @@ impl SegmentPool {
         self.discards.cbi_is_destination += other.discards.cbi_is_destination;
         self.discards.cloud_reentry += other.discards.cloud_reentry;
         self.accepted += other.accepted;
-        self.owner_override.extend(other.owner_override);
+        self.owner_override
+            // cm-lint: nondet-quarantined(keyed map extend; each key maps to one deterministic override, so insertion order is immaterial)
+            .extend(other.owner_override.iter().map(|(&k, &v)| (k, v)));
     }
 }
 
@@ -275,6 +291,19 @@ pub struct BorderCollector<'a, 'd> {
     scratch_hops: Vec<(u8, Ipv4, HopNote)>,
     /// Reusable per-trace scratch for the §4.1 loop/duplicate filter.
     scratch_seen: HashMap<Ipv4, u8>,
+}
+
+/// Reusable cross-collector state: the annotation memo plus the per-trace
+/// scratch buffers. A collector hands it back via
+/// [`BorderCollector::finish_reclaim`] so the next collector starts with a
+/// warm memo — the delta engine folds tens of thousands of per-group
+/// collectors per era, and a cold memo per group would re-resolve (or
+/// re-lock the shared table for) every hop of every group.
+#[derive(Default)]
+pub struct CollectorScratch {
+    memo: HashMap<Ipv4, HopNote>,
+    hops: Vec<(u8, Ipv4, HopNote)>,
+    seen: HashMap<Ipv4, u8>,
 }
 
 impl<'a, 'd> BorderCollector<'a, 'd> {
@@ -302,6 +331,43 @@ impl<'a, 'd> BorderCollector<'a, 'd> {
         let mut c = Self::new(annotator, cloud_org);
         c.shared = Some(cache);
         c
+    }
+
+    /// [`BorderCollector::with_cache`] that additionally adopts the memo
+    /// and scratch buffers reclaimed from a previous collector. Annotation
+    /// is pure, so a pre-warmed memo changes no product — only how often
+    /// the shared table (an `RwLock`) must be consulted.
+    pub fn with_scratch(
+        annotator: &'a Annotator<'d>,
+        cloud_org: OrgId,
+        cache: &'a crate::annotate::NoteCache,
+        scratch: CollectorScratch,
+    ) -> Self {
+        let mut c = Self::with_cache(annotator, cloud_org, cache);
+        c.memo = scratch.memo;
+        c.scratch_hops = scratch.hops;
+        c.scratch_seen = scratch.seen;
+        c
+    }
+
+    /// [`BorderCollector::finish`] that also hands back the reusable
+    /// state for [`BorderCollector::with_scratch`].
+    pub fn finish_reclaim(self) -> (SegmentPool, CollectorScratch) {
+        let scratch = CollectorScratch {
+            memo: self.memo,
+            hops: self.scratch_hops,
+            seen: self.scratch_seen,
+        };
+        let pool = BorderCollector {
+            annotator: self.annotator,
+            pool: self.pool,
+            memo: HashMap::new(),
+            shared: self.shared,
+            scratch_hops: Vec::new(),
+            scratch_seen: HashMap::new(),
+        }
+        .finish();
+        (pool, scratch)
     }
 
     /// Memoized annotation (local memo first, then the shared table).

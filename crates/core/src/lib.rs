@@ -41,6 +41,7 @@
 pub mod annotate;
 pub mod borders;
 pub mod compare;
+pub mod delta;
 pub mod export;
 pub mod groups;
 pub mod icg;
@@ -52,4 +53,5 @@ pub mod vpi;
 
 pub use annotate::{Annotator, HopNote, NoteSource};
 pub use borders::{BorderCollector, Segment, SegmentPool};
+pub use delta::{era_config, ChurnReport, ChurnView, DeltaEngine, DeltaEpoch, DeltaRunStats};
 pub use pipeline::{Atlas, Pipeline, PipelineConfig, PipelineError, StageTimings};

@@ -253,13 +253,13 @@ impl StageTimings {
 /// `nondeterministic` JSONL section and never feeds the digest, which is
 /// why the pair carries the lint quarantine instead of the eight call
 /// sites.
-fn stage_clock() -> Instant {
+pub(crate) fn stage_clock() -> Instant {
     // cm-lint: nondet-quarantined(stage wall clock lands in the recorder's nondeterministic JSONL section, never the digest)
     Instant::now()
 }
 
 /// Milliseconds elapsed since a [`stage_clock`] reading.
-fn stage_wall_ms(start: Instant) -> f64 {
+pub(crate) fn stage_wall_ms(start: Instant) -> f64 {
     // cm-lint: nondet-quarantined(stage wall clock lands in the recorder's nondeterministic JSONL section, never the digest)
     start.elapsed().as_secs_f64() * 1000.0
 }
@@ -401,50 +401,13 @@ impl<'i> Pipeline<'i> {
             "pipeline start: seed {seed:#x}, fault axes {:?}",
             cfg.dataplane.faults.enabled_axes()
         ));
-        // The two recorder counter groups every probing stage carries.
-        // Fault deltas are deterministic (every probe is computed exactly
-        // once); the route-memo hit/miss split is not — racing workers can
-        // both miss one key — so it rides in the nondeterministic section.
-        let faults_group =
-            |faults: FaultImpact| vec![(GROUP_FAULT_IMPACT, faults.counters().to_vec())];
-        let memo_group = |memo: MemoStats| {
-            vec![(
-                GROUP_ROUTE_MEMO,
-                vec![("hits", memo.hits), ("misses", memo.misses)],
-            )]
-        };
-
         // ---- public data (§3 inputs) --------------------------------------
         obs.stage_start("public-data");
         let stage_start = stage_clock();
-        let snapshot = bgp_snapshot(inet);
-        let view = BgpView::compute(inet, primary, cfg.n_feeders, seed);
-        let visible_asns: HashSet<Asn> = view
-            .visible_peers
-            .iter()
-            .map(|&p| inet.as_node(p).asn)
-            .collect();
-        let datasets = PublicDatasets::derive(inet, cfg.datasets, &visible_asns, seed);
-        let dns = DnsDb::synthesize(inet, seed);
-        let cloud_asns: HashSet<Asn> = inet
-            .primary_cloud()
-            .ases
-            .iter()
-            .map(|&i| inet.as_node(i).asn)
-            .collect();
-        let main_asn = inet.as_node(inet.primary_cloud().ases[0]).asn;
-        let cloud_org = datasets
-            .as2org
-            .org_of(main_asn)
-            .ok_or(PipelineError::MissingCloudOrg)?;
-        let region_metro: HashMap<RegionId, MetroId> = inet
-            .primary_cloud()
-            .regions
-            .iter()
-            .map(|&r| (r, inet.region(r).metro))
-            .collect();
+        let pd = derive_public_data(inet, &cfg, seed)?;
+        let cloud_org = pd.cloud_org;
 
-        let annotator = Annotator::new(&snapshot, &datasets);
+        let annotator = Annotator::new(&pd.snapshot, &pd.datasets);
         // Shared annotation table: the sweep and every expansion round
         // revisit the same border interfaces from all regions, so without
         // it each (region, round) collector re-resolves every address
@@ -534,219 +497,415 @@ impl<'i> Pipeline<'i> {
         let t1_ecbi = table1_row(pool.cbis.values().map(|c| &c.note));
         let table1 = [t1_abi, t1_cbi, t1_eabi, t1_ecbi];
 
-        // ---- verification (§5) ----------------------------------------------
-        obs.stage_start("verify");
-        let stage_start = stage_clock();
-        let heuristics = run_heuristics(&pool, |a| publicly_reachable(inet, a));
-        let mut addrs: Vec<Ipv4> = pool.abis.keys().copied().collect();
-        addrs.extend(pool.cbis.keys().copied());
-        addrs.sort_unstable();
-        let alias_sets = cm_alias::resolve_all_regions(inet, primary, &addrs, seed);
-        let ds_ref = &datasets;
-        let changes = apply_alias_corrections(
-            &mut pool,
-            &annotator,
-            cloud_org,
-            |asn| ds_ref.as2org.org_of(asn),
-            &alias_sets,
-        );
-        self_check(&pool, "alias corrections")?;
-        obs.stage_end("verify", stage_wall_ms(stage_start), Vec::new(), Vec::new());
-
-        // ---- RTT campaign + pinning (§6) ------------------------------------
-        obs.stage_start("rtt");
-        let stage_start = stage_clock();
-        let memo_before = plane.route_memo_stats();
-        let faults_before = plane.fault_impact();
-        let mut rtt_targets: Vec<Ipv4> = pool.abis.keys().copied().collect();
-        rtt_targets.extend(pool.cbis.keys().copied());
-        rtt_targets.extend(datasets.ixp.published_addrs().map(|(a, _)| a));
-        rtt_targets.sort_unstable();
-        rtt_targets.dedup();
-        let rtt = RttCampaign::run_obs(&plane, primary, &rtt_targets, cfg.rtt_attempts, Some(&obs));
-        obs.stage_end(
-            "rtt",
-            stage_wall_ms(stage_start),
-            faults_group(plane.fault_impact().since(faults_before)),
-            memo_group(plane.route_memo_stats().since(memo_before)),
-        );
-
-        obs.stage_start("pinning");
-        let stage_start = stage_clock();
-        let pinner = Pinner {
-            pool: &pool,
-            dns: &dns,
-            rtt: &rtt,
-            datasets: &datasets,
-            alias_sets: &alias_sets,
-            region_metro: &region_metro,
-            catalog: &inet.metros,
-            cfg: cfg.pinning,
-        };
-        let pinning = pinner.run();
-        let crossval = if cfg.crossval_folds > 0 {
-            pinner.cross_validate(cfg.crossval_folds, 0.7, seed)
-        } else {
-            CrossValReport::default()
-        };
-
-        // Per-segment diffs, reused by grouping.
-        let mut segment_diffs: HashMap<(Ipv4, Ipv4), f64> = HashMap::new();
-        // cm-lint: nondet-quarantined(keyed insert per segment; each key is computed independently and visited once)
-        for seg in pool.segments.keys() {
-            if let Some((region, abi_rtt)) = rtt.closest_region(seg.abi) {
-                if let Some(&cbi_rtt) = rtt.min_rtt.get(&seg.cbi).and_then(|m| m.get(&region)) {
-                    segment_diffs.insert((seg.abi, seg.cbi), (cbi_rtt - abi_rtt).abs());
-                }
-            }
-        }
-        obs.stage_end(
-            "pinning",
-            stage_wall_ms(stage_start),
-            Vec::new(),
-            Vec::new(),
-        );
-
-        // ---- VPI detection (§7.1) -------------------------------------------
-        obs.stage_start("vpi");
-        let stage_start = stage_clock();
-        let memo_before = plane.route_memo_stats();
-        let faults_before = plane.fault_impact();
-        let vpi = if cfg.run_vpi {
-            let secondary: Vec<(CloudId, OrgId)> = inet
-                .clouds
-                .iter()
-                .skip(1)
-                .filter_map(|c| {
-                    let asn = inet.as_node(c.ases[0]).asn;
-                    datasets.as2org.org_of(asn).map(|o| (c.id, o))
-                })
-                .collect();
-            detect(
-                &plane,
-                &annotator,
-                &pool,
-                &secondary,
-                cfg.probe_workers,
-                Some(&obs),
-            )
-        } else {
-            obs.note("vpi detection disabled by config");
-            VpiDetection::default()
-        };
-        obs.stage_end(
-            "vpi",
-            stage_wall_ms(stage_start),
-            faults_group(plane.fault_impact().since(faults_before)),
-            memo_group(plane.route_memo_stats().since(memo_before)),
-        );
-
-        // ---- grouping + ICG (§7.2–7.4) --------------------------------------
-        obs.stage_start("grouping");
-        let stage_start = stage_clock();
-        let groups = Grouping::build(
-            &pool,
-            &vpi,
-            &datasets.asrel,
-            &cloud_asns,
-            &pinning,
-            &segment_diffs,
-            &snapshot,
-        );
-        let icg = Icg::build(&pool, &pinning);
-
-        // ---- coverage vs public BGP (§7.3) ----------------------------------
-        let inferred_peers: HashSet<Asn> = groups.per_as.keys().copied().collect();
-        let coverage = CoverageReport {
-            bgp_peers: visible_asns.len(),
-            discovered_of_bgp: visible_asns
-                .iter()
-                .filter(|a| inferred_peers.contains(a))
-                .count(),
-            inferred_peers: inferred_peers.len(),
-        };
-        // ---- observability finalize ----------------------------------------
-        // Absolute exports (fault axes, route-memo totals) plus the §4.1 /
-        // §5.1 tallies land in the registry exactly once, so the final
-        // `counter_snapshot` appended by the grouping `stage_end` equals
-        // `Atlas::metrics`.
-        plane.export_obs(&obs);
-        let reg = &obs.registry;
-        let d = &pool.discards;
-        for (name, v) in [
-            ("no_border", d.no_border),
-            ("gap_before_border", d.gap_before_border),
-            ("looped", d.looped),
-            ("duplicate", d.duplicate),
-            ("cbi_is_destination", d.cbi_is_destination),
-            ("cloud_reentry", d.cloud_reentry),
-        ] {
-            reg.inc(&format!("discard_{name}_total"), v as u64); // cm-lint: hot-cost-accepted(metrics export over a fixed list of discard counters, once per run)
-        }
-        reg.inc("traceroute_accepted_total", pool.accepted as u64);
-        let table2 = heuristics.table2(&pool);
-        for (i, name) in ["ixp", "hybrid", "reachable"].iter().enumerate() {
-            reg.set_gauge(&format!("heuristic_{name}_abis"), table2[i].0 as i64); // cm-lint: hot-cost-accepted(gauge export over the three Table 2 heuristics, once per run)
-            reg.set_gauge(&format!("heuristic_{name}_cbis"), table2[i].1 as i64);
-        }
-        reg.set_gauge(
-            "heuristic_unconfirmed_abis",
-            heuristics.unconfirmed.len() as i64,
-        );
-        reg.set_gauge("pool_abis", pool.abis.len() as i64);
-        reg.set_gauge("pool_cbis", pool.cbis.len() as i64);
-        reg.set_gauge("pool_segments", pool.segments.len() as i64);
-        reg.set_gauge("alias_sets", alias_sets.len() as i64);
-        reg.set_gauge("pins_metro", pinning.pins.len() as i64);
-        reg.set_gauge("pins_region", pinning.region_pins.len() as i64);
-        reg.set_gauge("vpi_cbis", vpi.vpi_cbis.len() as i64);
-        reg.set_gauge("peer_groups", groups.per_as.len() as i64);
-        reg.set_gauge("icg_edges", icg.edges as i64);
-        obs.stage_end(
-            "grouping",
-            stage_wall_ms(stage_start),
-            Vec::new(),
-            Vec::new(),
-        );
-
-        let fault_impact = plane.fault_impact();
-        let timings = StageTimings::from_recorder(&obs.recorder.events());
-        let metrics = obs.registry.snapshot();
-
-        Ok(Atlas {
+        finish_atlas(
             inet,
-            config: cfg,
-            snapshot,
-            view,
-            datasets,
-            dns,
-            cloud_org,
-            cloud_asns,
-            region_metro,
+            cfg,
+            seed,
+            obs,
+            &plane,
+            pd,
+            pool,
             sweep_stats,
             expansion_stats,
             table1,
-            pool,
-            heuristics,
-            alias_sets,
-            changes,
-            rtt,
-            segment_diffs,
-            pinning,
-            crossval,
-            vpi,
-            groups,
-            icg,
-            coverage,
-            timings,
-            fault_impact,
-            metrics,
-            obs,
-        })
+            ProbeAccounting::Direct,
+        )
     }
 }
 
-fn table1_row<'x>(notes: impl Iterator<Item = &'x crate::annotate::HopNote>) -> Table1Row {
+/// The era-independent §3 inputs: BGP snapshot, collector view, public
+/// datasets, reverse DNS and the cloud's identity. A pure function of
+/// `(inet, cfg.datasets, cfg.n_feeders, seed)` — no fault axis touches it —
+/// so the longitudinal delta engine derives it once and clones per era.
+#[derive(Clone)]
+pub(crate) struct PublicData {
+    pub snapshot: PrefixTrie<Asn>,
+    pub view: BgpView,
+    pub visible_asns: HashSet<Asn>,
+    pub datasets: PublicDatasets,
+    pub dns: DnsDb,
+    pub cloud_org: OrgId,
+    pub cloud_asns: HashSet<Asn>,
+    pub region_metro: HashMap<RegionId, MetroId>,
+}
+
+/// Derives the [`PublicData`] bundle (the body of the `public-data` stage).
+pub(crate) fn derive_public_data(
+    inet: &Internet,
+    cfg: &PipelineConfig,
+    seed: u64,
+) -> Result<PublicData, PipelineError> {
+    let primary = CloudId(0);
+    let snapshot = bgp_snapshot(inet);
+    let view = BgpView::compute(inet, primary, cfg.n_feeders, seed);
+    let visible_asns: HashSet<Asn> = view
+        .visible_peers
+        .iter()
+        .map(|&p| inet.as_node(p).asn)
+        .collect();
+    let datasets = PublicDatasets::derive(inet, cfg.datasets, &visible_asns, seed);
+    let dns = DnsDb::synthesize(inet, seed);
+    let cloud_asns: HashSet<Asn> = inet
+        .primary_cloud()
+        .ases
+        .iter()
+        .map(|&i| inet.as_node(i).asn)
+        .collect();
+    let main_asn = inet.as_node(inet.primary_cloud().ases[0]).asn;
+    let cloud_org = datasets
+        .as2org
+        .org_of(main_asn)
+        .ok_or(PipelineError::MissingCloudOrg)?;
+    let region_metro: HashMap<RegionId, MetroId> = inet
+        .primary_cloud()
+        .regions
+        .iter()
+        .map(|&r| (r, inet.region(r).metro))
+        .collect();
+    Ok(PublicData {
+        snapshot,
+        view,
+        visible_asns,
+        datasets,
+        dns,
+        cloud_org,
+        cloud_asns,
+        region_metro,
+    })
+}
+
+/// The recorder counter group carrying a stage's fault-impact delta
+/// (deterministic: every probe is computed exactly once).
+pub(crate) fn faults_group(faults: FaultImpact) -> Vec<(&'static str, Vec<(&'static str, u64)>)> {
+    vec![(GROUP_FAULT_IMPACT, faults.counters().to_vec())]
+}
+
+/// The recorder counter group carrying a stage's route-memo delta. The
+/// hit/miss split is worker-dependent (racing workers can both miss one
+/// key), so it rides in the recorder's nondeterministic section.
+pub(crate) fn memo_group(memo: MemoStats) -> Vec<(&'static str, Vec<(&'static str, u64)>)> {
+    vec![(
+        GROUP_ROUTE_MEMO,
+        vec![("hits", memo.hits), ("misses", memo.misses)],
+    )]
+}
+
+/// How [`finish_atlas`] accounts for probe-layer side effects (fault
+/// impact, route-memo totals) that the §5–§7 stages do not produce
+/// themselves.
+pub(crate) enum ProbeAccounting<'k> {
+    /// The plane passed in ran the whole campaign (a from-scratch run):
+    /// its own cumulative counters and memo are authoritative.
+    Direct,
+    /// The sweep/expansion products were partly replayed from a cache
+    /// (a delta run): the plane only ran the §6/§7.1 probes of *this*
+    /// call, so probe-group totals ride in as ghosts and the plane
+    /// contributes deltas measured from function entry. The caller must
+    /// have enabled the plane's memo key log; it is drained here after
+    /// the last probing stage.
+    Ghost {
+        /// Summed fault impact of every sweep/expansion probe group.
+        fault: FaultImpact,
+        /// Summed route-memo lookups of every sweep/expansion group.
+        memo_lookups: u64,
+        /// The delta engine's persistent refcount over every cached
+        /// group's looked-up memo keys: `len()` is the distinct key
+        /// count across all sweep/expansion groups.
+        group_keys: &'k std::collections::HashMap<cm_bgp::MemoKey, u32, crate::delta::FxBuild>,
+    },
+}
+
+/// Runs every post-expansion stage (§5 verification, §6 RTT + pinning,
+/// §7 VPI/grouping/ICG/coverage), finalizes the metrics registry and
+/// assembles the [`Atlas`]. Shared verbatim by [`Pipeline::run`] and the
+/// delta engine — which is what makes "delta ≡ scratch" a property of one
+/// code path instead of two parallel implementations.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn finish_atlas<'i>(
+    inet: &'i Internet,
+    cfg: PipelineConfig,
+    seed: u64,
+    obs: ObsSink,
+    plane: &DataPlane<'_>,
+    pd: PublicData,
+    mut pool: SegmentPool,
+    sweep_stats: CampaignStats,
+    expansion_stats: Option<CampaignStats>,
+    table1: [Table1Row; 4],
+    accounting: ProbeAccounting<'_>,
+) -> Result<Atlas<'i>, PipelineError> {
+    let primary = CloudId(0);
+    let annotator = Annotator::new(&pd.snapshot, &pd.datasets);
+    let fault_entry = plane.fault_impact();
+    let memo_entry = plane.route_memo_stats();
+    let self_check = |pool: &SegmentPool, stage: &str| -> Result<(), PipelineError> {
+        if !cfg.self_audit {
+            return Ok(());
+        }
+        pool.check_invariants()
+            .map_err(|e| PipelineError::SelfAudit(format!("after {stage}: {e}")))
+    };
+
+    // ---- verification (§5) ----------------------------------------------
+    obs.stage_start("verify");
+    let stage_start = stage_clock();
+    let heuristics = run_heuristics(&pool, |a| publicly_reachable(inet, a));
+    let mut addrs: Vec<Ipv4> = pool.abis.keys().copied().collect();
+    addrs.extend(pool.cbis.keys().copied());
+    addrs.sort_unstable();
+    let alias_sets = cm_alias::resolve_all_regions(inet, primary, &addrs, seed);
+    let ds_ref = &pd.datasets;
+    let changes = apply_alias_corrections(
+        &mut pool,
+        &annotator,
+        pd.cloud_org,
+        |asn| ds_ref.as2org.org_of(asn),
+        &alias_sets,
+    );
+    self_check(&pool, "alias corrections")?;
+    obs.stage_end("verify", stage_wall_ms(stage_start), Vec::new(), Vec::new());
+
+    // ---- RTT campaign + pinning (§6) ------------------------------------
+    obs.stage_start("rtt");
+    let stage_start = stage_clock();
+    let memo_before = plane.route_memo_stats();
+    let faults_before = plane.fault_impact();
+    let mut rtt_targets: Vec<Ipv4> = pool.abis.keys().copied().collect();
+    rtt_targets.extend(pool.cbis.keys().copied());
+    rtt_targets.extend(pd.datasets.ixp.published_addrs().map(|(a, _)| a));
+    rtt_targets.sort_unstable();
+    rtt_targets.dedup();
+    let rtt = RttCampaign::run_obs(plane, primary, &rtt_targets, cfg.rtt_attempts, Some(&obs));
+    obs.stage_end(
+        "rtt",
+        stage_wall_ms(stage_start),
+        faults_group(plane.fault_impact().since(faults_before)),
+        memo_group(plane.route_memo_stats().since(memo_before)),
+    );
+
+    obs.stage_start("pinning");
+    let stage_start = stage_clock();
+    let pinner = Pinner {
+        pool: &pool,
+        dns: &pd.dns,
+        rtt: &rtt,
+        datasets: &pd.datasets,
+        alias_sets: &alias_sets,
+        region_metro: &pd.region_metro,
+        catalog: &inet.metros,
+        cfg: cfg.pinning,
+    };
+    let pinning = pinner.run();
+    let crossval = if cfg.crossval_folds > 0 {
+        pinner.cross_validate(cfg.crossval_folds, 0.7, seed)
+    } else {
+        CrossValReport::default()
+    };
+
+    // Per-segment diffs, reused by grouping.
+    let mut segment_diffs: HashMap<(Ipv4, Ipv4), f64> = HashMap::new();
+    for seg in pool.segments.keys() {
+        if let Some((region, abi_rtt)) = rtt.closest_region(seg.abi) {
+            if let Some(&cbi_rtt) = rtt.min_rtt.get(&seg.cbi).and_then(|m| m.get(&region)) {
+                segment_diffs.insert((seg.abi, seg.cbi), (cbi_rtt - abi_rtt).abs());
+            }
+        }
+    }
+    obs.stage_end(
+        "pinning",
+        stage_wall_ms(stage_start),
+        Vec::new(),
+        Vec::new(),
+    );
+
+    // ---- VPI detection (§7.1) -------------------------------------------
+    obs.stage_start("vpi");
+    let stage_start = stage_clock();
+    let memo_before = plane.route_memo_stats();
+    let faults_before = plane.fault_impact();
+    let vpi = if cfg.run_vpi {
+        let secondary: Vec<(CloudId, OrgId)> = inet
+            .clouds
+            .iter()
+            .skip(1)
+            .filter_map(|c| {
+                let asn = inet.as_node(c.ases[0]).asn;
+                pd.datasets.as2org.org_of(asn).map(|o| (c.id, o))
+            })
+            .collect();
+        detect(
+            plane,
+            &annotator,
+            &pool,
+            &secondary,
+            cfg.probe_workers,
+            Some(&obs),
+        )
+    } else {
+        obs.note("vpi detection disabled by config");
+        VpiDetection::default()
+    };
+    obs.stage_end(
+        "vpi",
+        stage_wall_ms(stage_start),
+        faults_group(plane.fault_impact().since(faults_before)),
+        memo_group(plane.route_memo_stats().since(memo_before)),
+    );
+
+    // ---- grouping + ICG (§7.2–7.4) --------------------------------------
+    obs.stage_start("grouping");
+    let stage_start = stage_clock();
+    let groups = Grouping::build(
+        &pool,
+        &vpi,
+        &pd.datasets.asrel,
+        &pd.cloud_asns,
+        &pinning,
+        &segment_diffs,
+        &pd.snapshot,
+    );
+    let icg = Icg::build(&pool, &pinning);
+
+    // ---- coverage vs public BGP (§7.3) ----------------------------------
+    let inferred_peers: HashSet<Asn> = groups.per_as.keys().copied().collect();
+    let coverage = CoverageReport {
+        bgp_peers: pd.visible_asns.len(),
+        discovered_of_bgp: pd
+            .visible_asns
+            .iter()
+            .filter(|a| inferred_peers.contains(a))
+            .count(),
+        inferred_peers: inferred_peers.len(),
+    };
+    // ---- observability finalize ----------------------------------------
+    // Absolute exports (fault axes, route-memo totals) plus the §4.1 /
+    // §5.1 tallies land in the registry exactly once, so the final
+    // `counter_snapshot` appended by the grouping `stage_end` equals
+    // `Atlas::metrics`.
+    let fault_impact = match &accounting {
+        ProbeAccounting::Direct => {
+            plane.export_obs(&obs);
+            plane.fault_impact()
+        }
+        ProbeAccounting::Ghost {
+            fault,
+            memo_lookups,
+            group_keys,
+        } => {
+            // The plane only ran this call's §6/§7.1 probes: fold its
+            // since-entry deltas on top of the ghost group totals. The
+            // key union reproduces `route_memo_entries` exactly — which
+            // keys get looked up is a pure function of the campaign, so
+            // (cached groups ∪ fresh groups ∪ this plane's log) equals a
+            // scratch plane's key set. The group side arrives as a
+            // refcounted map so the union is |groups| plus the finish
+            // stages' novel keys, instead of a multi-million-key
+            // sort+dedup every era.
+            let mut total = *fault;
+            total.absorb(plane.fault_impact().since(fault_entry));
+            total.export_obs(&obs.registry);
+            let memo_delta = plane.route_memo_stats().since(memo_entry);
+            obs.registry.inc(
+                "route_memo_lookups_total",
+                memo_lookups + memo_delta.hits + memo_delta.misses,
+            );
+            let mut novel = plane.memo_drain_key_log();
+            novel.retain(|k| !group_keys.contains_key(k));
+            novel.sort_unstable();
+            novel.dedup();
+            obs.registry.set_gauge(
+                "route_memo_entries",
+                (group_keys.len() + novel.len()) as i64,
+            );
+            total
+        }
+    };
+    let reg = &obs.registry;
+    let d = &pool.discards;
+    for (name, v) in [
+        ("no_border", d.no_border),
+        ("gap_before_border", d.gap_before_border),
+        ("looped", d.looped),
+        ("duplicate", d.duplicate),
+        ("cbi_is_destination", d.cbi_is_destination),
+        ("cloud_reentry", d.cloud_reentry),
+    ] {
+        reg.inc(&format!("discard_{name}_total"), v as u64);
+    }
+    reg.inc("traceroute_accepted_total", pool.accepted as u64);
+    let table2 = heuristics.table2(&pool);
+    for (i, name) in ["ixp", "hybrid", "reachable"].iter().enumerate() {
+        reg.set_gauge(&format!("heuristic_{name}_abis"), table2[i].0 as i64);
+        reg.set_gauge(&format!("heuristic_{name}_cbis"), table2[i].1 as i64);
+    }
+    reg.set_gauge(
+        "heuristic_unconfirmed_abis",
+        heuristics.unconfirmed.len() as i64,
+    );
+    reg.set_gauge("pool_abis", pool.abis.len() as i64);
+    reg.set_gauge("pool_cbis", pool.cbis.len() as i64);
+    reg.set_gauge("pool_segments", pool.segments.len() as i64);
+    reg.set_gauge("alias_sets", alias_sets.len() as i64);
+    reg.set_gauge("pins_metro", pinning.pins.len() as i64);
+    reg.set_gauge("pins_region", pinning.region_pins.len() as i64);
+    reg.set_gauge("vpi_cbis", vpi.vpi_cbis.len() as i64);
+    reg.set_gauge("peer_groups", groups.per_as.len() as i64);
+    reg.set_gauge("icg_edges", icg.edges as i64);
+    obs.stage_end(
+        "grouping",
+        stage_wall_ms(stage_start),
+        Vec::new(),
+        Vec::new(),
+    );
+
+    let timings = StageTimings::from_recorder(&obs.recorder.events());
+    let metrics = obs.registry.snapshot();
+
+    let PublicData {
+        snapshot,
+        view,
+        visible_asns: _,
+        datasets,
+        dns,
+        cloud_org,
+        cloud_asns,
+        region_metro,
+    } = pd;
+    Ok(Atlas {
+        inet,
+        config: cfg,
+        snapshot,
+        view,
+        datasets,
+        dns,
+        cloud_org,
+        cloud_asns,
+        region_metro,
+        sweep_stats,
+        expansion_stats,
+        table1,
+        pool,
+        heuristics,
+        alias_sets,
+        changes,
+        rtt,
+        segment_diffs,
+        pinning,
+        crossval,
+        vpi,
+        groups,
+        icg,
+        coverage,
+        timings,
+        fault_impact,
+        metrics,
+        obs,
+    })
+}
+
+pub(crate) fn table1_row<'x>(
+    notes: impl Iterator<Item = &'x crate::annotate::HopNote>,
+) -> Table1Row {
     let notes: Vec<_> = notes.collect();
     let count = notes.len();
     let (bgp, whois, ixp) = SegmentPool::source_fractions(notes.into_iter());

@@ -1,0 +1,105 @@
+//! Edge cases of the serving-view export (`cloudmap::export`).
+//!
+//! The export is normally cut from a fully populated atlas; these tests
+//! pin its behavior at the boundaries — an atlas emptied of every
+//! product, a single surviving interface, and a degenerate grouping
+//! where every interface lands in one peering group (the bitmask
+//! OR-fold's idempotence boundary).
+
+use cloudmap::export::{group_bit, serve_export, ServeExport};
+use cloudmap::groups::PeeringGroup;
+use cloudmap::pipeline::{Atlas, Pipeline, PipelineConfig};
+use cloudmap::HopNote;
+use cm_net::{Asn, Ipv4, PrefixTrie};
+use cm_topology::{Internet, TopologyConfig};
+
+fn tiny_atlas(inet: &Internet) -> Atlas<'_> {
+    Pipeline::new(inet, PipelineConfig::default())
+        .run()
+        .expect("pipeline run")
+}
+
+/// Strips every exportable product from the atlas.
+fn clear_products(atlas: &mut Atlas<'_>) {
+    atlas.pool.abis.clear();
+    atlas.pool.cbis.clear();
+    atlas.pool.segments.clear();
+    atlas.groups.per_as.clear();
+    atlas.pinning.pins.clear();
+    atlas.pinning.region_pins.clear();
+    atlas.vpi.vpi_cbis.clear();
+    atlas.snapshot = PrefixTrie::new();
+}
+
+#[test]
+fn empty_atlas_exports_nothing() {
+    let inet = Internet::generate(TopologyConfig::tiny(), 71);
+    let mut atlas = tiny_atlas(&inet);
+    clear_products(&mut atlas);
+    assert_eq!(serve_export(&atlas), ServeExport::default());
+}
+
+#[test]
+fn single_interface_atlas_exports_one_plain_record() {
+    let inet = Internet::generate(TopologyConfig::tiny(), 71);
+    let mut atlas = tiny_atlas(&inet);
+    clear_products(&mut atlas);
+
+    let addr = Ipv4(0xC0A8_0001);
+    let note = HopNote {
+        asn: Asn(64500),
+        ..HopNote::UNKNOWN
+    };
+    atlas.pool.abis.insert(addr, note);
+
+    let export = serve_export(&atlas);
+    assert_eq!(export.interfaces.len(), 1);
+    let r = export.interfaces[0];
+    assert_eq!(r.addr, addr);
+    assert!(!r.is_cbi);
+    assert_eq!(r.owner, Asn(64500));
+    // Nothing else survived the clear: no pins, no groups, no VPI verdict.
+    assert_eq!(r.metro_pin, None);
+    assert_eq!(r.region_pin, None);
+    assert_eq!(r.groups, 0);
+    assert!(!r.vpi);
+    assert!(export.prefixes.is_empty());
+    assert!(export.segments.is_empty());
+}
+
+#[test]
+fn one_shared_peering_group_or_folds_to_a_single_bit() {
+    let inet = Internet::generate(TopologyConfig::tiny(), 71);
+    let mut atlas = tiny_atlas(&inet);
+    assert!(!atlas.pool.abis.is_empty() && !atlas.pool.cbis.is_empty());
+
+    // Rewrite the grouping so that EVERY border interface is a member of
+    // the same single group, listed redundantly — in both the CBI and
+    // ABI tables of every per-AS profile. The OR-fold must stay
+    // idempotent: repeated contributions of one bit never set another.
+    let group = PeeringGroup::ALL[0];
+    let everyone: std::collections::HashSet<Ipv4> = atlas
+        .pool
+        .abis
+        .keys()
+        .chain(atlas.pool.cbis.keys())
+        .copied()
+        .collect();
+    for profile in atlas.groups.per_as.values_mut() {
+        profile.cbis_by_group.clear();
+        profile.abis_by_group.clear();
+        profile.cbis_by_group.insert(group, everyone.clone());
+        profile.abis_by_group.insert(group, everyone.clone());
+    }
+
+    let want = 1u8 << group_bit(group);
+    let export = serve_export(&atlas);
+    assert!(!export.interfaces.is_empty());
+    for r in &export.interfaces {
+        assert_eq!(
+            r.groups, want,
+            "interface {:?} should carry exactly the shared group bit",
+            r.addr
+        );
+    }
+}

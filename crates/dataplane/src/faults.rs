@@ -75,10 +75,75 @@ pub struct AddrRewrite {
 
 /// Mid-campaign route flaps: per-`(/24, epoch)` diversions of the egress
 /// route lookup.
+///
+/// The axis is *longitudinal*: a campaign at `era > 0` represents a later
+/// snapshot of the same world, where a per-`(/24, epoch)` churn draw may
+/// have re-rolled the flap decision since an earlier era. At `era == 0`
+/// (and for every `(/24, epoch)` whose churn draw never fired) the
+/// decision is exactly the legacy draw, so existing goldens are
+/// byte-identical.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RouteFlap {
     /// Probability that a `(/24, epoch)` pair is flapped.
     pub flap_rate: f64,
+    /// Longitudinal era of the campaign. Era 0 is the base snapshot.
+    pub era: u32,
+    /// Per-era probability that a `(/24, epoch)` pair re-rolls its flap
+    /// decision (ignored at era 0).
+    pub churn_rate: f64,
+}
+
+/// Salt for the per-era churn ("did this pair re-roll at era s?") draw.
+const FLAP_CHURN_SALT: u64 = 0xE7A0;
+/// Salt for the re-rolled flap decision of a churned pair.
+const FLAP_REROLL_SALT: u64 = 0xE7A1;
+/// Salt of the legacy (era-0) flap draw; shared with the dataplane.
+const FLAP_BASE_SALT: u64 = 0xF1A9;
+
+impl RouteFlap {
+    /// A non-longitudinal flap axis: era 0, no churn (the legacy shape).
+    pub fn steady(flap_rate: f64) -> Self {
+        RouteFlap {
+            flap_rate,
+            era: 0,
+            churn_rate: 0.0,
+        }
+    }
+
+    /// The same axis viewed at a different era.
+    pub fn at_era(self, era: u32) -> Self {
+        RouteFlap { era, ..self }
+    }
+
+    /// Whether `(dst /24 base, epoch)` is flapped at this axis' era.
+    ///
+    /// This is the *single* source of truth for flap decisions: the
+    /// dataplane's route lookup and the delta engine's dirty-set
+    /// derivation both call it, which is what makes "dirty iff the
+    /// decision changed" exact. The decision of era `e` is the legacy
+    /// draw unless a churn event fired at some era `s <= e`; the latest
+    /// fired era selects an independent re-roll of the decision.
+    pub fn decision(&self, fault_seed: u64, dst24: u64, epoch: u64) -> bool {
+        let mut latest = 0u64;
+        for s in 1..=u64::from(self.era) {
+            if cm_net::stablehash::chance(
+                fault_seed,
+                &[FLAP_CHURN_SALT, dst24, epoch, s],
+                self.churn_rate,
+            ) {
+                latest = s;
+            }
+        }
+        if latest == 0 {
+            cm_net::stablehash::chance(fault_seed, &[FLAP_BASE_SALT, dst24, epoch], self.flap_rate)
+        } else {
+            cm_net::stablehash::chance(
+                fault_seed,
+                &[FLAP_REROLL_SALT, dst24, epoch, latest],
+                self.flap_rate,
+            )
+        }
+    }
 }
 
 /// A composed, seeded fault profile. The default plan is clean (every
@@ -131,7 +196,7 @@ impl FaultPlan {
             max_skew_ms: 4.0,
         };
         let rewrite = AddrRewrite { router_rate: 0.10 };
-        let flap = RouteFlap { flap_rate: 0.15 };
+        let flap = RouteFlap::steady(0.15);
         let mut plan = FaultPlan::default();
         match name {
             "clean" => {}
@@ -211,6 +276,7 @@ impl FaultPlan {
         }
         if let Some(f) = self.route_flap {
             probability("faults.route_flap.flap_rate", f.flap_rate)?;
+            probability("faults.route_flap.churn_rate", f.churn_rate)?;
         }
         Ok(())
     }
@@ -462,6 +528,82 @@ mod tests {
         assert_eq!(a.since(b).burst_loss, 3);
         assert!(!a.is_zero());
         assert!(FaultImpact::default().is_zero());
+    }
+
+    #[test]
+    fn era_zero_decision_is_the_legacy_draw() {
+        let legacy = RouteFlap::steady(0.3);
+        // Even with a non-zero churn rate, era 0 never consults it.
+        let era0 = RouteFlap {
+            churn_rate: 0.9,
+            ..legacy
+        };
+        for dst24 in 0..512u64 {
+            for epoch in 0..3u64 {
+                let want = cm_net::stablehash::chance(7, &[0xF1A9, dst24, epoch], 0.3);
+                assert_eq!(legacy.decision(7, dst24, epoch), want);
+                assert_eq!(era0.decision(7, dst24, epoch), want);
+            }
+        }
+    }
+
+    #[test]
+    fn churn_rerolls_some_pairs_and_zero_churn_none() {
+        let base = RouteFlap::steady(0.4);
+        let frozen = RouteFlap {
+            era: 5,
+            churn_rate: 0.0,
+            ..base
+        };
+        let churned = RouteFlap {
+            era: 5,
+            churn_rate: 0.5,
+            ..base
+        };
+        let mut changed = 0usize;
+        for dst24 in 0..2048u64 {
+            assert_eq!(
+                frozen.decision(11, dst24, 0),
+                base.decision(11, dst24, 0),
+                "zero churn must never re-roll"
+            );
+            if churned.decision(11, dst24, 0) != base.decision(11, dst24, 0) {
+                changed += 1;
+            }
+        }
+        assert!(changed > 0, "era-5 churn at 0.5 must re-roll some pairs");
+        // A re-roll keeps the same flap rate, so roughly 2*p*(1-p) of
+        // churned pairs actually change decision — far from all of them.
+        assert!(changed < 2048);
+    }
+
+    #[test]
+    fn decision_is_stable_within_an_era() {
+        let fl = RouteFlap {
+            flap_rate: 0.4,
+            era: 3,
+            churn_rate: 0.2,
+        };
+        for dst24 in 0..64u64 {
+            assert_eq!(fl.decision(3, dst24, 1), fl.decision(3, dst24, 1));
+        }
+    }
+
+    #[test]
+    fn plan_validation_rejects_bad_churn() {
+        let plan = FaultPlan {
+            route_flap: Some(RouteFlap {
+                flap_rate: 0.1,
+                era: 2,
+                churn_rate: -0.5,
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(matches!(
+            plan.validate(),
+            Err(DataPlaneConfigError::Probability { field, .. })
+                if field == "faults.route_flap.churn_rate"
+        ));
     }
 
     #[test]

@@ -30,6 +30,6 @@ pub mod faults;
 mod plane;
 pub mod reachability;
 
-pub use faults::{DataPlaneConfigError, FaultImpact, FaultPlan};
+pub use faults::{DataPlaneConfigError, FaultImpact, FaultPlan, RouteFlap};
 pub use plane::{DataPlane, DataPlaneConfig, TraceHop, TraceStatus, Traceroute};
 pub use reachability::publicly_reachable;

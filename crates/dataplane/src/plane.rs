@@ -358,6 +358,33 @@ impl<'a> DataPlane<'a> {
         self.route_memo.stats()
     }
 
+    /// Turns the route memo's lookup-key log on or off (see
+    /// [`cm_bgp::RouteMemo::set_key_log`]; off by default).
+    pub fn memo_set_key_log(&self, enabled: bool) {
+        self.route_memo.set_key_log(enabled);
+    }
+
+    /// Drains the route memo's lookup-key log (sorted, deduplicated).
+    pub fn memo_drain_key_log(&self) -> Vec<cm_bgp::MemoKey> {
+        self.route_memo.drain_key_log()
+    }
+
+    /// All route-memo keys cached so far, sorted.
+    pub fn memo_keys(&self) -> Vec<cm_bgp::MemoKey> {
+        self.route_memo.keys()
+    }
+
+    /// The route-flap decision for `(dst /24 base, epoch)` under this
+    /// plane's fault plan (`false` when the flap axis is disabled). This
+    /// is the exact draw `select_route` consults, exposed so incremental
+    /// runners can derive dirty sets without probing.
+    pub fn flap_decision(&self, dst24: u32, epoch: u32) -> bool {
+        match self.cfg.faults.route_flap {
+            Some(fl) => fl.decision(self.fault_seed, u64::from(dst24), u64::from(epoch)),
+            None => false,
+        }
+    }
+
     /// Exports the fault engine's per-axis impact counters and the
     /// route memo's counters into an observability sink. Both are sums of
     /// per-probe atomics, so the exported values are identical at any
@@ -700,14 +727,10 @@ impl<'a> DataPlane<'a> {
         // deterministically re-routing every probe to that /24 this epoch.
         let mut lookup_epoch = epoch;
         if let Some(fl) = self.cfg.faults.route_flap {
-            if stablehash::chance(
+            if fl.decision(
                 self.fault_seed,
-                &[
-                    0xF1A9,
-                    u64::from(dst.slash24_base().to_u32()),
-                    u64::from(epoch),
-                ],
-                fl.flap_rate,
+                u64::from(dst.slash24_base().to_u32()),
+                u64::from(epoch),
             ) {
                 lookup_epoch = epoch ^ 0x4000_0000;
                 self.counters.bump_route_flap();

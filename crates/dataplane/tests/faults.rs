@@ -114,7 +114,7 @@ fn invalid_configs_are_rejected_with_typed_errors() {
     ));
     // Fault-plan parameters are validated through the same gate.
     let faults = FaultPlan {
-        route_flap: Some(RouteFlap { flap_rate: 7.0 }),
+        route_flap: Some(RouteFlap::steady(7.0)),
         ..FaultPlan::default()
     };
     assert!(DataPlane::try_new(inet, cfg_with(faults)).is_err());
@@ -299,7 +299,7 @@ fn addr_rewriting_changes_response_sources() {
 fn route_flaps_divert_egress_routes() {
     let clean = DataPlane::new(world(), DataPlaneConfig::default());
     let plan = FaultPlan {
-        route_flap: Some(RouteFlap { flap_rate: 1.0 }),
+        route_flap: Some(RouteFlap::steady(1.0)),
         ..FaultPlan::default()
     };
     let faulted = DataPlane::new(world(), cfg_with(plan));

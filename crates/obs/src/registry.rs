@@ -150,6 +150,33 @@ impl Registry {
         })
     }
 
+    /// Merges pre-bucketed counts into the histogram `name` (which must
+    /// already be registered with identical bounds).
+    ///
+    /// This is the bulk-replay half of the histogram API: the delta
+    /// engine caches per-probe-group bucket counts and folds them back
+    /// instead of re-observing every raw value. Bucket-count addition is
+    /// commutative and bounds are fixed, so a replayed registry is
+    /// byte-identical to one that observed each value live.
+    pub fn merge_histogram(&self, name: &str, value: &HistogramValue) {
+        self.with(|m| match m.get_mut(name) {
+            Some(Metric::Histogram(h)) => {
+                debug_assert_eq!(
+                    h.bounds, value.bounds,
+                    "histogram {name} merged with mismatched bounds"
+                );
+                if h.bounds == value.bounds {
+                    for (c, add) in h.counts.iter_mut().zip(&value.counts) {
+                        *c += add;
+                    }
+                    h.overflow += value.overflow;
+                    h.rejected += value.rejected;
+                }
+            }
+            _ => debug_assert!(false, "histogram {name} is not registered"),
+        });
+    }
+
     /// Freezes the registry into an ordered, comparable [`Snapshot`].
     pub fn snapshot(&self) -> Snapshot {
         self.with(|m| Snapshot {
@@ -320,6 +347,30 @@ mod tests {
             text,
             "# TYPE alpha counter\nalpha 2\n# TYPE zeta gauge\nzeta 1\n"
         );
+    }
+
+    #[test]
+    fn merged_histogram_equals_live_observation() {
+        let live = Registry::new();
+        let replay = Registry::new();
+        for r in [&live, &replay] {
+            r.histogram("hops", &[4.0, 8.0]);
+        }
+        for v in [1.0, 4.0, 5.0, 9.0, f64::NAN] {
+            live.observe("hops", v);
+        }
+        let cached = live.snapshot().histogram("hops").unwrap().clone();
+        replay.merge_histogram("hops", &cached);
+        replay.merge_histogram("hops", &cached);
+        let h = replay.snapshot().histogram("hops").unwrap().clone();
+        assert_eq!(h.counts, vec![4, 2]);
+        assert_eq!(h.overflow, 2);
+        assert_eq!(h.rejected, 2);
+        // One merge of one live snapshot is byte-identical exposition.
+        let one = Registry::new();
+        one.histogram("hops", &[4.0, 8.0]);
+        one.merge_histogram("hops", &cached);
+        assert_eq!(one.snapshot().expose(), live.snapshot().expose());
     }
 
     #[test]

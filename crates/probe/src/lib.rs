@@ -49,7 +49,10 @@ pub struct CampaignStats {
 }
 
 impl CampaignStats {
-    fn absorb(&mut self, t: &Traceroute) {
+    /// Tallies one traceroute outcome. Public so incremental runners
+    /// (the delta engine) can account synthesized groups exactly like
+    /// the live executor fold does.
+    pub fn absorb(&mut self, t: &Traceroute) {
         self.launched += 1;
         match t.status {
             TraceStatus::Completed => self.completed += 1,
@@ -98,6 +101,31 @@ pub(crate) fn observe_traceroute(registry: &cm_obs::Registry, t: &Traceroute) {
     };
     registry.inc(outcome, 1);
     registry.observe("probe_hops", t.hops.len() as f64);
+}
+
+/// An empty `probe_hops` histogram with the registered bucket bounds,
+/// for callers that bucket hop counts outside a live registry — the
+/// delta engine caches one per probe group and bulk-merges them back
+/// with `Registry::merge_histogram` instead of paying a registry
+/// allocation and snapshot per group.
+pub fn empty_hop_histogram() -> cm_obs::HistogramValue {
+    cm_obs::HistogramValue {
+        bounds: HOP_BUCKETS.to_vec(),
+        counts: vec![0; HOP_BUCKETS.len()],
+        overflow: 0,
+        rejected: 0,
+    }
+}
+
+/// Buckets one traceroute's hop count into `hist`, with the same
+/// arithmetic as `Registry::observe` applies to `probe_hops` (the value
+/// is a finite non-negative count, so the reject path cannot trigger).
+pub fn observe_hops(hist: &mut cm_obs::HistogramValue, t: &Traceroute) {
+    let value = t.hops.len() as f64;
+    match hist.bounds.iter().position(|b| value.total_cmp(b).is_le()) {
+        Some(i) => hist.counts[i] += 1,
+        None => hist.overflow += 1,
+    }
 }
 
 /// Pre-registers every metric the probing layer records, so empty

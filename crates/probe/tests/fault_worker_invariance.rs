@@ -43,7 +43,7 @@ fn arb_plan() -> impl Strategy<Value = FaultPlan> {
                     max_skew_ms: skew_ms,
                 }),
                 addr_rewrite: (mask & 16 != 0).then_some(AddrRewrite { router_rate: rw }),
-                route_flap: (mask & 32 != 0).then_some(RouteFlap { flap_rate: flap }),
+                route_flap: (mask & 32 != 0).then_some(RouteFlap::steady(flap)),
                 salt,
             },
         )
