@@ -660,8 +660,13 @@ pub fn check_fault_replay(atlas: &Atlas<'_>, reference: &RefDerivation, out: &mu
 /// bookkeeping: the probe-outcome counters equal the campaign stats
 /// summed over sweep + expansion + VPI, the outcomes partition the
 /// launches, and every `fault_impact_<axis>` counter equals the axis
-/// total the F1 rule checks. A mismatch means a probing path bypassed
-/// the observation hook (or a metric was forged after the fact).
+/// total the F1 rule checks. The flight recorder's span costs conserve
+/// the same way — settled per-span `probes` values must sum to the
+/// launched total — and the deterministic memory gauges
+/// (`pool_bytes_final`, `route_memo_bytes`) must re-derive from the
+/// structures they claim to measure. A mismatch means a probing path
+/// bypassed the observation hook (or a metric was forged after the
+/// fact).
 pub fn check_metrics_conservation(atlas: &Atlas<'_>, out: &mut Vec<Finding>) {
     let counter = |name: &str| atlas.metrics.counter(name).unwrap_or(0);
 
@@ -712,6 +717,67 @@ pub fn check_metrics_conservation(atlas: &Atlas<'_>, out: &mut Vec<Finding>) {
                 format!("registry counted {got} but the dataplane counted {want}"),
             ));
         }
+    }
+
+    // The hierarchical span instrumentation conserves too. Settled
+    // per-span `probes` costs — collapsed-stack *self* values, so a
+    // probe-round wrapper fully covered by its per-region children
+    // contributes nothing — must partition the launched probes exactly:
+    // a drifting sum means a probing path forgot (or double-emitted) its
+    // span, the same bypass O1 exists to catch.
+    let events = atlas.obs.recorder.events();
+    let mut span_probes: u64 = 0;
+    for line in cm_obs::collapsed_stacks(&events, Some("probes")).lines() {
+        span_probes += line
+            .rsplit(' ')
+            .next()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+    }
+    if span_probes != expect.launched as u64 {
+        out.push(Finding::new(
+            Rule::MetricsConservation,
+            Severity::Error,
+            "spans.probes",
+            format!(
+                "span costs account for {span_probes} probes but the campaign stats \
+                 launched {}",
+                expect.launched
+            ),
+        ));
+    }
+
+    // The deterministic memory gauges must equal their sources: the
+    // final pool gauge re-derives from the pool the atlas actually
+    // carries, and the route-memo byte gauge is entries x the published
+    // per-entry constant. Either drifting means the gauge was forged or
+    // the accounting forked from the data structure it claims to
+    // measure.
+    let gauge = |name: &str| atlas.metrics.gauge(name);
+    let pool_bytes = atlas.pool.approx_bytes() as i64;
+    if gauge("pool_bytes_final") != Some(pool_bytes) {
+        out.push(Finding::new(
+            Rule::MetricsConservation,
+            Severity::Error,
+            "metrics.pool_bytes_final",
+            format!(
+                "gauge reads {:?} but the pool accounts for {pool_bytes} bytes",
+                gauge("pool_bytes_final")
+            ),
+        ));
+    }
+    let memo_entries = gauge("route_memo_entries").unwrap_or(0);
+    let memo_bytes = memo_entries.saturating_mul(cm_bgp::RouteMemo::APPROX_ENTRY_BYTES as i64);
+    if gauge("route_memo_bytes") != Some(memo_bytes) {
+        out.push(Finding::new(
+            Rule::MetricsConservation,
+            Severity::Error,
+            "metrics.route_memo_bytes",
+            format!(
+                "gauge reads {:?} but {memo_entries} memo entries account for {memo_bytes} bytes",
+                gauge("route_memo_bytes")
+            ),
+        ));
     }
 }
 

@@ -482,6 +482,57 @@ fn metrics_conservation_catches_forged_fault_axis() {
     );
 }
 
+#[test]
+fn metrics_conservation_catches_dropped_probe_spans() {
+    assert_catches(
+        Rule::MetricsConservation,
+        |atlas, _| {
+            // Swap in a flight recorder whose span costs account for a
+            // single probe — as if every probing path but one forgot to
+            // open its span.
+            let forged = cm_obs::Recorder::new();
+            forged.span_start("forged");
+            forged.span_end("forged", None, vec![("probes", 1)]);
+            std::mem::replace(&mut atlas.obs.recorder, forged)
+        },
+        |atlas, original| {
+            atlas.obs.recorder = original;
+        },
+    );
+}
+
+#[test]
+fn metrics_conservation_catches_forged_pool_bytes_gauge() {
+    assert_catches(
+        Rule::MetricsConservation,
+        |atlas, _| {
+            let old = atlas.metrics.gauge("pool_bytes_final").unwrap_or(0);
+            atlas.metrics.set_gauge("pool_bytes_final", old + 64);
+            old
+        },
+        |atlas, old| {
+            atlas.metrics.set_gauge("pool_bytes_final", old);
+        },
+    );
+}
+
+#[test]
+fn metrics_conservation_catches_forged_memo_bytes_gauge() {
+    assert_catches(
+        Rule::MetricsConservation,
+        |atlas, _| {
+            let old = atlas.metrics.gauge("route_memo_bytes").unwrap_or(0);
+            // One byte short of a whole entry: catches forging the gauge
+            // rather than the entry count it must derive from.
+            atlas.metrics.set_gauge("route_memo_bytes", old + 1);
+            old
+        },
+        |atlas, old| {
+            atlas.metrics.set_gauge("route_memo_bytes", old);
+        },
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Fault profiles
 // ---------------------------------------------------------------------------

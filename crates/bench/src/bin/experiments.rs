@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [EXPERIMENT] [--scale tiny|small|full] [--seed N] [--dump DIR]
 //!             [--bench-json PATH] [--bench-label LABEL] [--faults PROFILE]
-//!             [--workers N] [--trace-jsonl PATH] [--epochs N]
+//!             [--workers N] [--trace-jsonl PATH] [--flame PATH] [--epochs N]
 //!
 //! EXPERIMENT: all (default) | table1..table6 | fig4a | fig4b | fig5 | fig6
 //!             | fig7 | pinning-eval | icg | hiding-map | bdrmap | scores
@@ -44,6 +44,7 @@ fn main() {
     let mut faults = String::from("clean");
     let mut workers: usize = 0;
     let mut trace_jsonl: Option<std::path::PathBuf> = None;
+    let mut flame: Option<std::path::PathBuf> = None;
     let mut epochs: u32 = 4;
 
     let mut args = std::env::args().skip(1);
@@ -75,6 +76,10 @@ fn main() {
                 Some(p) => trace_jsonl = Some(p.into()),
                 None => panic!("--trace-jsonl needs a path"),
             },
+            "--flame" => match args.next() {
+                Some(p) => flame = Some(p.into()),
+                None => panic!("--flame needs a path"),
+            },
             "--epochs" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(v) if v >= 2 => epochs = v,
                 _ => panic!("--epochs needs an integer >= 2"),
@@ -83,7 +88,8 @@ fn main() {
                 println!(
                     "usage: experiments [EXPERIMENT] [--scale tiny|small|full] [--seed N] \
                      [--dump DIR] [--bench-json PATH] [--bench-label LABEL] \
-                     [--faults PROFILE] [--workers N] [--trace-jsonl PATH] [--epochs N]"
+                     [--faults PROFILE] [--workers N] [--trace-jsonl PATH] \
+                     [--flame PATH] [--epochs N]"
                 );
                 return;
             }
@@ -263,6 +269,19 @@ fn main() {
             panic!("writing {} failed: {e}", path.display());
         }
         eprintln!("# flight-recorder JSONL written to {}", path.display());
+    }
+    if let Some(path) = flame {
+        // Collapsed flamegraph stacks (inferno / flamegraph.pl input):
+        // self wall in microseconds per span path. Deterministic cost
+        // flamegraphs come from `trace-diff flame --counter`.
+        let collapsed = cm_obs::collapsed_stacks(&atlas.obs.recorder.events(), None);
+        if let Err(e) = std::fs::write(&path, collapsed) {
+            panic!("writing {} failed: {e}", path.display());
+        }
+        eprintln!(
+            "# collapsed flamegraph stacks written to {}",
+            path.display()
+        );
     }
 }
 

@@ -2,18 +2,21 @@
 //!
 //! ```text
 //! serve-spammer [--scale tiny|small|full] [--seed N] [--threads N]
-//!               [--ops N] [--snapshot PATH] [--bench-json PATH]
-//!               [--bench-label LABEL]
+//!               [--ops N] [--warmup N] [--snapshot PATH]
+//!               [--bench-json PATH] [--bench-label LABEL]
 //! ```
 //!
 //! The round trip the binary exercises end to end:
 //!
 //! 1. generate a ground-truth Internet and run the full pipeline;
-//! 2. cut a versioned snapshot from the atlas and write it to disk;
+//! 2. cut a versioned snapshot from the atlas (the encode runs inside a
+//!    flight-recorder span carrying the byte count) and write it to disk;
 //! 3. read the file back, prove a tampered copy is rejected, and build
 //!    the query engine from the verified bytes;
-//! 4. hammer the engine from `--threads` workers, each issuing `--ops`
-//!    seeded queries, and append throughput + tail latencies to the
+//! 4. run a warmup round (same seeded stream, nothing recorded) so the
+//!    measured round's latency samples exclude cold caches, then hammer
+//!    the engine from `--threads` workers, each issuing `--ops` seeded
+//!    queries, and append throughput + tail latencies to the
 //!    `BENCH_serve.json` history.
 //!
 //! The query stream (and its answer checksum) is deterministic for a
@@ -23,9 +26,10 @@
 //!
 //! Run with `cargo run --release -p cm-bench --bin serve-spammer`.
 
-use cm_bench::serve::{bench_serve_json, snapshot_of, spam};
+use cm_bench::serve::{bench_serve_json, snapshot_of, spam, warmup};
 use cm_bench::{build_internet, report, run_study};
 use cm_serve::{AtlasSnapshot, Engine};
+use std::time::Instant;
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -44,6 +48,7 @@ fn main() {
     let mut seed: u64 = 2019;
     let mut threads: usize = 4;
     let mut ops: usize = 1_000_000;
+    let mut warmup_ops: Option<usize> = None;
     let mut snapshot_path = std::path::PathBuf::from("atlas.cmsnap");
     let mut bench_json = std::path::PathBuf::from("BENCH_serve.json");
     let mut bench_label: Option<String> = None;
@@ -58,6 +63,7 @@ fn main() {
             "--seed" => seed = parsed(args.next(), "--seed"),
             "--threads" => threads = parsed(args.next(), "--threads"),
             "--ops" => ops = parsed(args.next(), "--ops"),
+            "--warmup" => warmup_ops = Some(parsed(args.next(), "--warmup")),
             "--snapshot" => match args.next() {
                 Some(p) => snapshot_path = p.into(),
                 None => fail("--snapshot needs a path"),
@@ -73,7 +79,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: serve-spammer [--scale tiny|small|full] [--seed N] [--threads N] \
-                     [--ops N] [--snapshot PATH] [--bench-json PATH] [--bench-label LABEL]"
+                     [--ops N] [--warmup N] [--snapshot PATH] [--bench-json PATH] \
+                     [--bench-label LABEL]"
                 );
                 return;
             }
@@ -94,7 +101,21 @@ fn main() {
     let atlas = run_study(&inet);
 
     let snap = snapshot_of(&atlas);
+    // The encode runs inside a standalone flight-recorder span so the
+    // byte count lands as a deterministic span cost (the wall clock is
+    // quarantined like every other timing).
+    let recorder = cm_obs::Recorder::default();
+    recorder.span_start("encode");
+    let encode_start = Instant::now();
     let bytes = snap.encode();
+    recorder.span_end(
+        "encode",
+        Some(encode_start.elapsed().as_secs_f64() * 1e3),
+        vec![("bytes", bytes.len() as u64)],
+    );
+    for ev in recorder.events() {
+        eprintln!("# {}", cm_obs::event_jsonl(&ev, true));
+    }
     if let Err(e) = std::fs::write(&snapshot_path, &bytes) {
         fail(&format!("writing {} failed: {e}", snapshot_path.display()));
     }
@@ -132,13 +153,23 @@ fn main() {
     }
 
     let engine = Engine::build(&loaded, threads);
+    // Warm the engine with the identical seeded stream before any
+    // latency is sampled; default one tenth of the measured ops.
+    let warmup_per_thread = warmup_ops.unwrap_or_else(|| (ops / 10).max(1));
     eprintln!(
-        "# engine: {} interfaces, {} prefixes, {} shards; spamming {threads} x {ops} ops ...",
+        "# engine: {} interfaces, {} prefixes, {} shards; warmup {threads} x {warmup_per_thread} \
+         ops, then spamming {threads} x {ops} ops ...",
         engine.interface_count(),
         engine.prefix_count(),
         engine.shard_count()
     );
+    let warm = warmup(&engine, seed, threads, warmup_per_thread);
     let round = spam(&engine, seed, threads, ops);
+    // A full-length warmup replays the exact measured stream, so the
+    // checksums must agree (a shorter warmup is a prefix and cannot).
+    if warmup_per_thread == ops && warm != round.checksum {
+        fail("warmup stream diverged from the measured stream");
+    }
     let merged = engine.merged_metrics();
     println!(
         "serve: {:.0} lookups/sec ({} ops in {:.3}s, {} threads)",
@@ -163,6 +194,12 @@ fn main() {
         cm_bench::quantile(&round.latencies_ns, 0.999)
     );
     println!(
+        "rolling_window: p50={:.0} p99={:.0} (last {} samples per shard)",
+        engine.latency_quantile(0.50).unwrap_or(f64::NAN),
+        engine.latency_quantile(0.99).unwrap_or(f64::NAN),
+        cm_serve::engine::LATENCY_WINDOW
+    );
+    println!(
         "shards: merged point={} lpm={} neighbors={}",
         merged.counter("serve_point_total").unwrap_or(0),
         merged.counter("serve_lpm_total").unwrap_or(0),
@@ -170,7 +207,16 @@ fn main() {
     );
 
     let label = bench_label.unwrap_or_else(|| format!("{scale}-{seed}-t{threads}"));
-    let record = bench_serve_json(&label, &scale, seed, &snap, bytes.len(), &round);
+    let total_warmup = (warmup_per_thread * threads) as u64;
+    let record = bench_serve_json(
+        &label,
+        &scale,
+        seed,
+        &snap,
+        bytes.len(),
+        total_warmup,
+        &round,
+    );
     let existing = std::fs::read_to_string(&bench_json).ok();
     let history = report::append_bench_history(existing.as_deref(), &record);
     if let Err(e) = std::fs::write(&bench_json, history) {

@@ -1,0 +1,198 @@
+//! The trace-diff regression localizer CLI.
+//!
+//! ```text
+//! trace-diff history PATH [--scale SCALE] [--top N] [--gate RATIO]
+//!                         [--report PATH] [--flame-base PATH] [--flame-new PATH]
+//! trace-diff jsonl BASE NEW [--top N] [--gate RATIO] [--report PATH]
+//! trace-diff flame INPUT [--counter NAME] [--out PATH]
+//! ```
+//!
+//! * `history` diffs the two newest comparable records (same scale when
+//!   `--scale` is given, clean fault plan, not churn) of a
+//!   `BENCH_pipeline.json` history — the CI perf gate's mode;
+//! * `jsonl` diffs two flight-recorder JSONL traces (as written by
+//!   `experiments --trace-jsonl`);
+//! * `flame` renders one trace (a JSONL file, or a history file whose
+//!   newest comparable record is used) as collapsed flamegraph stacks —
+//!   self wall microseconds by default, a deterministic span cost
+//!   counter with `--counter`.
+//!
+//! The localization report ranks span paths by absolute self-time delta
+//! and annotates each with its deterministic cost-counter drift, so a
+//! wall-clock regression with no cost drift reads as "machine got
+//! slower / code got slower", while one with matching `probes` or
+//! `pool_merges` growth reads as "the workload grew, here". With
+//! `--gate RATIO` the binary exits 1 when the end-to-end ratio exceeds
+//! the gate — the report (also written to `--report`) then names the
+//! culprits.
+//!
+//! Run with `cargo run --release -p cm-bench --bin trace-diff`.
+
+use cm_bench::jsonv::Json;
+use cm_bench::tracediff::{
+    diff, history_profiles, profile_history_record, profile_trace_jsonl, render_report, SpanProfile,
+};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace-diff history PATH [--scale SCALE] [--top N] [--gate RATIO] \
+         [--report PATH] [--flame-base PATH] [--flame-new PATH]\n\
+         \x20      trace-diff jsonl BASE NEW [--top N] [--gate RATIO] [--report PATH]\n\
+         \x20      trace-diff flame INPUT [--counter NAME] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn read(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("reading {path} failed: {e}")),
+    }
+}
+
+fn write_file(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        fail(&format!("writing {path} failed: {e}"));
+    }
+}
+
+/// A profile from either artifact kind: JSONL event lines, or a
+/// `BENCH_pipeline.json` history (newest comparable record).
+fn profile_any(path: &str) -> SpanProfile {
+    let text = read(path);
+    if text.trim_start().starts_with('[') {
+        match history_profiles(&text, None) {
+            Ok((_, newest)) => newest,
+            Err(e) => {
+                // A one-record history still has a profile to render.
+                match Json::parse(&text)
+                    .ok()
+                    .and_then(|doc| doc.as_array().and_then(<[Json]>::last).cloned())
+                    .map(|r| profile_history_record(&r))
+                {
+                    Some(Ok(p)) => p,
+                    _ => fail(&format!("{path}: {e}")),
+                }
+            }
+        }
+    } else {
+        match profile_trace_jsonl(path, &text) {
+            Ok(p) => p,
+            Err(e) => fail(&format!("{path}: {e}")),
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(mode) = args.first() else { usage() };
+
+    let mut top = 10usize;
+    let mut gate: Option<f64> = None;
+    let mut report_path: Option<String> = None;
+    let mut scale: Option<String> = None;
+    let mut counter: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut flame_base: Option<String> = None;
+    let mut flame_new: Option<String> = None;
+    let mut positional: Vec<String> = Vec::new();
+
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        let mut value = |what: &str| match it.next() {
+            Some(v) => v.clone(),
+            None => fail(&format!("{what} needs a value")),
+        };
+        match a.as_str() {
+            "--top" => {
+                top = match value("--top").parse() {
+                    Ok(n) => n,
+                    Err(_) => fail("--top needs an integer"),
+                }
+            }
+            "--gate" => {
+                gate = match value("--gate").parse() {
+                    Ok(r) => Some(r),
+                    Err(_) => fail("--gate needs a ratio like 1.20"),
+                }
+            }
+            "--report" => report_path = Some(value("--report")),
+            "--scale" => scale = Some(value("--scale")),
+            "--counter" => counter = Some(value("--counter")),
+            "--out" => out_path = Some(value("--out")),
+            "--flame-base" => flame_base = Some(value("--flame-base")),
+            "--flame-new" => flame_new = Some(value("--flame-new")),
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') => positional.push(other.to_string()),
+            other => fail(&format!("unknown flag {other}")),
+        }
+    }
+
+    let (base, new) = match mode.as_str() {
+        "history" => {
+            let [path] = positional.as_slice() else {
+                usage()
+            };
+            match history_profiles(&read(path), scale.as_deref()) {
+                Ok(pair) => pair,
+                Err(e) => fail(&format!("{path}: {e}")),
+            }
+        }
+        "jsonl" => {
+            let [base_path, new_path] = positional.as_slice() else {
+                usage()
+            };
+            let parse = |p: &str| match profile_trace_jsonl(p, &read(p)) {
+                Ok(profile) => profile,
+                Err(e) => fail(&format!("{p}: {e}")),
+            };
+            (parse(base_path), parse(new_path))
+        }
+        "flame" => {
+            let [input] = positional.as_slice() else {
+                usage()
+            };
+            let profile = profile_any(input);
+            let collapsed = profile.collapsed(counter.as_deref());
+            match out_path {
+                Some(p) => {
+                    write_file(&p, &collapsed);
+                    eprintln!("# collapsed stacks for {:?} written to {p}", profile.label);
+                }
+                None => print!("{collapsed}"),
+            }
+            return;
+        }
+        _ => usage(),
+    };
+
+    let d = diff(&base, &new);
+    let report = render_report(&d, top);
+    print!("{report}");
+    if let Some(p) = report_path {
+        write_file(&p, &report);
+    }
+    if let Some(p) = flame_base {
+        write_file(&p, &base.collapsed(None));
+    }
+    if let Some(p) = flame_new {
+        write_file(&p, &new.collapsed(None));
+    }
+    if let Some(g) = gate {
+        if d.total_ratio() > g {
+            eprintln!(
+                "trace-diff: gate failed — total ratio {:.3} exceeds {:.2}; \
+                 top regressed span paths are listed above",
+                d.total_ratio(),
+                g
+            );
+            std::process::exit(1);
+        }
+        eprintln!("trace-diff: gate ok ({:.3} <= {:.2})", d.total_ratio(), g);
+    }
+}

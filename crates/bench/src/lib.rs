@@ -12,8 +12,10 @@ use cloudmap::score;
 use cm_topology::{Internet, TopologyConfig};
 
 pub mod golden;
+pub mod jsonv;
 pub mod report;
 pub mod serve;
+pub mod tracediff;
 
 pub use golden::{
     metrics_digest, run_study_with, study_config, AtlasSummary, GoldenDiff, SUMMARY_VERSION,

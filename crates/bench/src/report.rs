@@ -544,9 +544,11 @@ pub fn trace(atlas: &Atlas<'_>) -> String {
 
 /// One machine-readable run record for the `BENCH_pipeline.json` history:
 /// a free-form `label`, scale, seed, wall clocks (world generation and
-/// the full pipeline plus each stage), route-memo accounting, the fault
-/// plan and per-axis impact counters, the §4.1 filter counters, the
-/// frozen metrics registry and the campaign stats. Hand-rolled JSON — the
+/// the full pipeline plus each stage), the hierarchical span profile
+/// (per span path: count, inclusive + self wall, deterministic cost
+/// counters — the `trace-diff` localizer's input), route-memo
+/// accounting, the fault plan and per-axis impact counters, the §4.1
+/// filter counters, the frozen metrics registry and the campaign stats. Hand-rolled JSON — the
 /// workspace deliberately carries no serialization dependency — so every
 /// key below is a fixed identifier and every value a number, keeping the
 /// output trivially valid. Records are appended to the history file with
@@ -601,6 +603,16 @@ pub fn bench_pipeline_json(
         }
     }
     out.push_str("  ],\n");
+    // The hierarchical span profile — per span path, the aggregated
+    // inclusive/self wall and the deterministic cost counters. This is
+    // what `trace-diff` localizes regressions against (the flat stage
+    // walls above stay for older tooling and as its fallback).
+    let profile = crate::tracediff::profile_events(label, &atlas.obs.recorder.events());
+    let _ = writeln!(
+        out,
+        "  \"spans\": {},",
+        crate::tracediff::spans_json(&profile, "  ")
+    );
     let total = t.memo_total();
     let _ = writeln!(
         out,

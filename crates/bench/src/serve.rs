@@ -97,7 +97,13 @@ impl SpamReport {
 /// half point lookups, 40% longest-prefix queries, 10% neighborhood
 /// scans, with ~¾ of targets drawn from the snapshot (hits) and the
 /// rest random 32-bit addresses (mostly misses).
-fn spam_worker(engine: &Engine, seed: u64, worker: usize, ops: usize) -> WorkerResult {
+fn spam_worker(
+    engine: &Engine,
+    seed: u64,
+    worker: usize,
+    ops: usize,
+    record: bool,
+) -> WorkerResult {
     let n_ifaces = engine.interface_count();
     let mut counts = [0u64; 3];
     let mut hits = 0u64;
@@ -117,7 +123,7 @@ fn spam_worker(engine: &Engine, seed: u64, worker: usize, ops: usize) -> WorkerR
             5..=8 => QueryKind::LongestPrefix,
             _ => QueryKind::Neighbors,
         };
-        let sampled = i % LATENCY_SAMPLE_EVERY == 0;
+        let sampled = record && i % LATENCY_SAMPLE_EVERY == 0;
         let start = if sampled { Some(Instant::now()) } else { None };
         let answer: u64 = match kind {
             QueryKind::Point => match engine.point(addr) {
@@ -143,21 +149,28 @@ fn spam_worker(engine: &Engine, seed: u64, worker: usize, ops: usize) -> WorkerR
             }
         };
         if let Some(t) = start {
-            latencies.push(t.elapsed().as_nanos() as f64);
+            let ns = t.elapsed().as_nanos() as f64;
+            // Sampled latencies also feed the shard's rolling quantile
+            // window and its sampled query spans — one lock every
+            // LATENCY_SAMPLE_EVERY ops, off the hot path.
+            engine.shard(worker).observe_latency(kind, ns);
+            latencies.push(ns);
         }
         counts[kind as usize] += 1;
         checksum = checksum.wrapping_add(stablehash::mix(answer, &[h]));
     }
     // Bulk-record into this worker's shard after the hot loop: the loop
     // itself never touches the registry mutex.
-    let shard = engine.shard(worker);
-    for (kind, n) in QueryKind::ALL.iter().zip(counts) {
-        shard.registry.inc(kind.counter(), n);
-    }
-    for &ns in &latencies {
-        shard
-            .registry
-            .observe(cm_serve::engine::LATENCY_HISTOGRAM, ns);
+    if record {
+        let shard = engine.shard(worker);
+        for (kind, n) in QueryKind::ALL.iter().zip(counts) {
+            shard.registry.inc(kind.counter(), n);
+        }
+        for &ns in &latencies {
+            shard
+                .registry
+                .observe(cm_serve::engine::LATENCY_HISTOGRAM, ns);
+        }
     }
     WorkerResult {
         counts,
@@ -185,7 +198,7 @@ pub fn spam(engine: &Engine, seed: u64, threads: usize, ops_per_thread: usize) -
     let start = Instant::now();
     let results: Vec<WorkerResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|w| scope.spawn(move || spam_worker(engine, seed, w, ops_per_thread)))
+            .map(|w| scope.spawn(move || spam_worker(engine, seed, w, ops_per_thread, true)))
             .collect();
         handles
             .into_iter()
@@ -222,6 +235,32 @@ pub fn spam(engine: &Engine, seed: u64, threads: usize, ops_per_thread: usize) -
     }
 }
 
+/// Runs the identical seeded query stream without timing anything or
+/// touching the shards — a warmup round that faults in the engine's
+/// indexes and warms branch predictors and caches before the measured
+/// round samples latencies. Returns the answer checksum, which must
+/// equal the measured round's for the same `(seed, threads, ops)` (the
+/// stream is a pure function of those), so callers can assert the
+/// warmup exercised the exact workload it warmed up for.
+pub fn warmup(engine: &Engine, seed: u64, threads: usize, ops_per_thread: usize) -> u64 {
+    let threads = threads.max(1);
+    let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| scope.spawn(move || spam_worker(engine, seed, w, ops_per_thread, false)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(_) => panic!("warmup worker panicked"),
+            })
+            .collect()
+    });
+    results
+        .iter()
+        .fold(0u64, |sum, r| sum.wrapping_add(r.checksum))
+}
+
 /// One machine-readable run record for the `BENCH_serve.json` history:
 /// the snapshot's provenance and table sizes, the aggregate throughput,
 /// and the sampled latency quantiles (via the interpolating
@@ -234,6 +273,7 @@ pub fn bench_serve_json(
     seed: u64,
     snapshot: &AtlasSnapshot,
     encoded_bytes: usize,
+    warmup_ops: u64,
     report: &SpamReport,
 ) -> String {
     let num = |x: f64| {
@@ -262,6 +302,7 @@ pub fn bench_serve_json(
         snapshot.golden_digest
     );
     let _ = writeln!(out, "  \"threads\": {},", report.threads);
+    let _ = writeln!(out, "  \"warmup_ops\": {warmup_ops},");
     let _ = writeln!(out, "  \"ops_per_thread\": {},", report.ops_per_thread);
     let _ = writeln!(out, "  \"total_ops\": {},", report.total_ops());
     let _ = writeln!(out, "  \"wall_seconds\": {:.6},", report.wall_secs);
@@ -319,14 +360,40 @@ mod tests {
     }
 
     #[test]
+    fn warmup_answers_the_measured_stream_without_recording() {
+        let engine = tiny_engine();
+        let warm = warmup(&engine, 7, 2, 500);
+        let before = engine.merged_metrics();
+        for kind in QueryKind::ALL {
+            assert_eq!(before.counter(kind.counter()), Some(0), "warmup recorded");
+        }
+        assert!(
+            engine.latency_quantile(0.5).is_none(),
+            "warmup fed the sketch"
+        );
+        let round = spam(&engine, 7, 2, 500);
+        assert_eq!(warm, round.checksum, "warmup ran a different stream");
+        assert!(engine.latency_quantile(0.5).is_some());
+    }
+
+    #[test]
     fn serve_json_record_appends_into_history() {
         let engine = tiny_engine();
         let snap = snapshot_of(&crate::run_study(&crate::build_internet("tiny", 2019)));
         let report = spam(&engine, 7, 1, 200);
-        let rec = bench_serve_json("test", "tiny", 2019, &snap, snap.encode().len(), &report);
+        let rec = bench_serve_json(
+            "test",
+            "tiny",
+            2019,
+            &snap,
+            snap.encode().len(),
+            100,
+            &report,
+        );
         for key in [
             "\"lookups_per_sec\"",
             "\"p999\"",
+            "\"warmup_ops\": 100",
             "\"checksum\"",
             "\"golden_digest\"",
         ] {

@@ -1,0 +1,683 @@
+//! The trace-diff regression localizer.
+//!
+//! The CI perf gate used to say *that* tiny-scale wall clock regressed;
+//! this module says *where*. It reduces a run to a [`SpanProfile`] — per
+//! span path (the `;`-joined nesting chain the flight recorder emits,
+//! e.g. `sweep;probe-round;region-2`), the aggregated inclusive and
+//! *self* wall clock plus the deterministic cost counters — and diffs
+//! two profiles into a deterministic localization report ranking span
+//! paths by absolute self-time delta.
+//!
+//! Profiles come from three sources, all diffable against each other:
+//!
+//! 1. a live [`cm_obs::Event`] stream ([`profile_events`]);
+//! 2. a flight-recorder JSONL trace rendered with the nondeterministic
+//!    section included ([`profile_trace_jsonl`]);
+//! 3. a `BENCH_pipeline.json` history record ([`profile_history_record`])
+//!    — its `spans` section when present, its flat per-stage `stages`
+//!    wall clocks otherwise (older records).
+//!
+//! Self time is settled exactly like [`cm_obs::collapsed_stacks`]: a
+//! frame's inclusive value minus the sum of its children's inclusive
+//! values, so nested spans never double-count. Wall clocks are
+//! nondeterministic by nature — the *rendering* of the report is
+//! deterministic for fixed inputs (every ranking uses `total_cmp` with a
+//! path tie-break), which is what the CI artifact contract needs.
+
+use crate::jsonv::Json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregated statistics for one span path.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PathStats {
+    /// Spans closed at this path.
+    pub count: u64,
+    /// Summed inclusive wall clock (milliseconds).
+    pub wall_ms: f64,
+    /// Summed self wall clock: inclusive minus children (milliseconds).
+    pub self_wall_ms: f64,
+    /// Summed deterministic cost counters recorded on spans at this
+    /// path, name-sorted.
+    pub costs: Vec<(String, u64)>,
+}
+
+impl PathStats {
+    fn add_cost(&mut self, name: &str, value: u64) {
+        match self.costs.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            Ok(i) => self.costs[i].1 += value,
+            Err(i) => self.costs.insert(i, (name.to_string(), value)),
+        }
+    }
+
+    /// The value of one cost counter (0 when absent).
+    pub fn cost(&self, name: &str) -> u64 {
+        self.costs
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .map(|i| self.costs[i].1)
+            .unwrap_or(0)
+    }
+}
+
+/// One run reduced to its per-span-path profile.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SpanProfile {
+    /// Label identifying the run (a history record label or a file name).
+    pub label: String,
+    /// Per-path statistics, path-sorted.
+    pub paths: BTreeMap<String, PathStats>,
+    /// Total wall clock (milliseconds): the run's end-to-end clock when
+    /// the source carries one, else the sum of top-level inclusive
+    /// walls.
+    pub total_ms: f64,
+}
+
+impl SpanProfile {
+    /// Renders the profile as collapsed flamegraph stacks (one
+    /// `path value` line, lexicographic path order, zero lines dropped —
+    /// inferno-compatible). `counter = None` values are self wall in
+    /// whole microseconds; `Some(name)` values are that cost counter.
+    pub fn collapsed(&self, counter: Option<&str>) -> String {
+        let mut out = String::new();
+        for (path, stats) in &self.paths {
+            let value = match counter {
+                None => (stats.self_wall_ms * 1000.0).max(0.0).round() as u64,
+                Some(name) => stats.cost(name),
+            };
+            if value > 0 {
+                let _ = writeln!(out, "{path} {value}");
+            }
+        }
+        out
+    }
+}
+
+/// One closing frame fed to the shared profile fold.
+struct Close {
+    wall_ms: f64,
+    costs: Vec<(String, u64)>,
+}
+
+/// The shared stack replay: builds a [`SpanProfile`] from an ordered
+/// open/close sequence, settling self time the collapsed-stack way.
+#[derive(Default)]
+struct Builder {
+    stack: Vec<(String, f64)>,
+    paths: BTreeMap<String, PathStats>,
+    top_level_ms: f64,
+}
+
+impl Builder {
+    fn open(&mut self, name: &str) {
+        self.stack.push((name.to_string(), 0.0));
+    }
+
+    fn close(&mut self, close: Close) {
+        let Some((name, child_sum)) = self.stack.pop() else {
+            // An unbalanced trace (truncated file): ignore the stray
+            // close rather than corrupting the profile.
+            return;
+        };
+        let path = {
+            let mut p = String::new();
+            for (frame, _) in &self.stack {
+                p.push_str(frame);
+                p.push(';');
+            }
+            p.push_str(&name);
+            p
+        };
+        // A frame whose own wall is missing (executor region spans carry
+        // only cost counters) still propagates its children's sum.
+        let inclusive = close.wall_ms.max(child_sum);
+        match self.stack.last_mut() {
+            Some((_, parent_children)) => *parent_children += inclusive,
+            None => self.top_level_ms += inclusive,
+        }
+        let stats = self.paths.entry(path).or_default();
+        stats.count += 1;
+        stats.wall_ms += inclusive;
+        stats.self_wall_ms += inclusive - child_sum;
+        for (cost, value) in &close.costs {
+            stats.add_cost(cost, *value);
+        }
+    }
+
+    fn finish(self, label: &str, total_ms: Option<f64>) -> SpanProfile {
+        SpanProfile {
+            label: label.to_string(),
+            total_ms: total_ms.unwrap_or(self.top_level_ms),
+            paths: self.paths,
+        }
+    }
+}
+
+/// Profiles a live flight-recorder stream.
+pub fn profile_events(label: &str, events: &[cm_obs::Event]) -> SpanProfile {
+    let mut b = Builder::default();
+    for event in events {
+        match &event.kind {
+            cm_obs::EventKind::StageStart { stage } => b.open(stage),
+            cm_obs::EventKind::SpanStart { path, .. } => {
+                b.open(path.rsplit(';').next().unwrap_or(path));
+            }
+            cm_obs::EventKind::StageEnd { .. } | cm_obs::EventKind::SpanEnd { .. } => {
+                let costs = match &event.kind {
+                    cm_obs::EventKind::SpanEnd { costs, .. } => {
+                        costs.iter().map(|(n, v)| ((*n).to_string(), *v)).collect()
+                    }
+                    _ => Vec::new(),
+                };
+                b.close(Close {
+                    wall_ms: event.wall_ms.unwrap_or(0.0),
+                    costs,
+                });
+            }
+            cm_obs::EventKind::CounterSnapshot { .. } | cm_obs::EventKind::Note { .. } => {}
+        }
+    }
+    b.finish(label, None)
+}
+
+/// Profiles a flight-recorder JSONL trace (as written by
+/// `experiments --trace-jsonl`, i.e. rendered *with* the
+/// nondeterministic section so wall clocks are available).
+pub fn profile_trace_jsonl(label: &str, jsonl: &str) -> Result<SpanProfile, String> {
+    let mut b = Builder::default();
+    for (lineno, line) in jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = Json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let event = v
+            .get("event")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: no event field", lineno + 1))?;
+        match event {
+            "stage_start" => {
+                let stage = v
+                    .get("stage")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("line {}: stage_start without stage", lineno + 1))?;
+                b.open(stage);
+            }
+            "span_start" => {
+                let path = v
+                    .get("path")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("line {}: span_start without path", lineno + 1))?;
+                b.open(path.rsplit(';').next().unwrap_or(path));
+            }
+            "stage_end" | "span_end" => {
+                let wall_ms = v
+                    .get("nondeterministic")
+                    .and_then(|n| n.get("wall_ms"))
+                    .and_then(Json::as_num)
+                    .unwrap_or(0.0);
+                let mut costs = Vec::new();
+                if let Some(members) = v.get("costs").and_then(Json::as_object) {
+                    for (name, value) in members {
+                        if let Some(n) = value.as_num() {
+                            costs.push((name.clone(), n.max(0.0) as u64));
+                        }
+                    }
+                }
+                b.close(Close { wall_ms, costs });
+            }
+            _ => {}
+        }
+    }
+    Ok(b.finish(label, None))
+}
+
+/// Profiles one `BENCH_pipeline.json` history record: its `spans`
+/// section when present, else one flat path per `stages` entry. The
+/// profile total is the record's `pipeline_seconds`.
+pub fn profile_history_record(record: &Json) -> Result<SpanProfile, String> {
+    let label = record
+        .get("label")
+        .and_then(Json::as_str)
+        .unwrap_or("(unlabelled)");
+    let total_ms = record
+        .get("pipeline_seconds")
+        .and_then(Json::as_num)
+        .map(|s| s * 1000.0);
+    let mut paths = BTreeMap::new();
+    if let Some(spans) = record.get("spans").and_then(Json::as_array) {
+        for span in spans {
+            let path = span
+                .get("path")
+                .and_then(Json::as_str)
+                .ok_or("spans entry without path")?;
+            let mut stats = PathStats {
+                count: span.get("count").and_then(Json::as_num).unwrap_or(1.0) as u64,
+                wall_ms: span.get("wall_ms").and_then(Json::as_num).unwrap_or(0.0),
+                self_wall_ms: span
+                    .get("self_wall_ms")
+                    .and_then(Json::as_num)
+                    .unwrap_or(0.0),
+                costs: Vec::new(),
+            };
+            if let Some(members) = span.get("costs").and_then(Json::as_object) {
+                for (name, value) in members {
+                    if let Some(n) = value.as_num() {
+                        stats.add_cost(name, n.max(0.0) as u64);
+                    }
+                }
+            }
+            paths.insert(path.to_string(), stats);
+        }
+    } else if let Some(stages) = record.get("stages").and_then(Json::as_array) {
+        for stage in stages {
+            let name = stage
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("stages entry without name")?;
+            let ms = stage.get("seconds").and_then(Json::as_num).unwrap_or(0.0) * 1000.0;
+            paths.insert(
+                name.to_string(),
+                PathStats {
+                    count: 1,
+                    wall_ms: ms,
+                    self_wall_ms: ms,
+                    costs: Vec::new(),
+                },
+            );
+        }
+    } else {
+        return Err(format!("record {label:?} has neither spans nor stages"));
+    }
+    Ok(SpanProfile {
+        label: label.to_string(),
+        paths,
+        total_ms: total_ms.unwrap_or(0.0),
+    })
+}
+
+/// Parses a `BENCH_pipeline.json` history and returns the profiles of
+/// the two newest comparable pipeline records: same `scale` (when
+/// given), clean fault plan, not a churn record. The returned pair is
+/// `(baseline, newest)`.
+pub fn history_profiles(
+    history: &str,
+    scale: Option<&str>,
+) -> Result<(SpanProfile, SpanProfile), String> {
+    let doc = Json::parse(history)?;
+    let records = doc.as_array().ok_or("history is not a JSON array")?;
+    let comparable: Vec<&Json> = records
+        .iter()
+        .filter(|r| {
+            let clean = r
+                .get("fault_plan")
+                .and_then(Json::as_array)
+                .is_some_and(|a| a.is_empty());
+            let not_churn = r.get("kind").and_then(Json::as_str) != Some("churn");
+            let scale_ok = match scale {
+                Some(s) => r.get("scale").and_then(Json::as_str) == Some(s),
+                None => true,
+            };
+            clean && not_churn && scale_ok
+        })
+        .collect();
+    if comparable.len() < 2 {
+        return Err(format!(
+            "need at least two comparable records, found {}",
+            comparable.len()
+        ));
+    }
+    let base = profile_history_record(comparable[comparable.len() - 2])?;
+    let new = profile_history_record(comparable[comparable.len() - 1])?;
+    Ok((base, new))
+}
+
+/// One span path's delta between two profiles.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiffRow {
+    /// The span path.
+    pub path: String,
+    /// Baseline self wall (milliseconds).
+    pub base_ms: f64,
+    /// New self wall (milliseconds).
+    pub new_ms: f64,
+    /// `new_ms - base_ms`.
+    pub delta_ms: f64,
+    /// Per-cost-counter deltas (new minus base), name-sorted; only
+    /// counters whose delta is nonzero.
+    pub cost_deltas: Vec<(String, i64)>,
+}
+
+/// A full localization diff between two profiles.
+#[derive(Clone, Debug)]
+pub struct TraceDiff {
+    /// The baseline profile's label.
+    pub base_label: String,
+    /// The new profile's label.
+    pub new_label: String,
+    /// Baseline total wall (milliseconds).
+    pub base_total_ms: f64,
+    /// New total wall (milliseconds).
+    pub new_total_ms: f64,
+    /// Every path present in either profile, ranked by `delta_ms`
+    /// descending (ties broken by path), so `rows[0]` is the single
+    /// most-regressed span path.
+    pub rows: Vec<DiffRow>,
+}
+
+impl TraceDiff {
+    /// `new_total / base_total`; infinity when the baseline total is 0.
+    pub fn total_ratio(&self) -> f64 {
+        if self.base_total_ms > 0.0 {
+            self.new_total_ms / self.base_total_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Diffs two profiles into a ranked localization.
+pub fn diff(base: &SpanProfile, new: &SpanProfile) -> TraceDiff {
+    let empty = PathStats::default();
+    let mut rows = Vec::new();
+    let mut all_paths: Vec<&String> = base.paths.keys().chain(new.paths.keys()).collect();
+    all_paths.sort();
+    all_paths.dedup();
+    for path in all_paths {
+        let b = base.paths.get(path).unwrap_or(&empty);
+        let n = new.paths.get(path).unwrap_or(&empty);
+        let mut cost_names: Vec<&String> = b
+            .costs
+            .iter()
+            .map(|(c, _)| c)
+            .chain(n.costs.iter().map(|(c, _)| c))
+            .collect();
+        cost_names.sort();
+        cost_names.dedup();
+        let cost_deltas: Vec<(String, i64)> = cost_names
+            .into_iter()
+            .filter_map(|c| {
+                let d = n.cost(c) as i64 - b.cost(c) as i64;
+                (d != 0).then(|| (c.clone(), d))
+            })
+            .collect();
+        rows.push(DiffRow {
+            path: path.clone(),
+            base_ms: b.self_wall_ms,
+            new_ms: n.self_wall_ms,
+            delta_ms: n.self_wall_ms - b.self_wall_ms,
+            cost_deltas,
+        });
+    }
+    rows.sort_by(|a, b| {
+        b.delta_ms
+            .total_cmp(&a.delta_ms)
+            .then_with(|| a.path.cmp(&b.path))
+    });
+    TraceDiff {
+        base_label: base.label.clone(),
+        new_label: new.label.clone(),
+        base_total_ms: base.total_ms,
+        new_total_ms: new.total_ms,
+        rows,
+    }
+}
+
+/// Renders the localization report: the end-to-end ratio, then the top
+/// `top` regressed span paths (and the top improvements), each with its
+/// self-time delta and any deterministic cost-counter drift.
+/// Deterministic for fixed inputs — the CI artifact contract.
+pub fn render_report(d: &TraceDiff, top: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "trace-diff: {} -> {}", d.base_label, d.new_label);
+    let _ = writeln!(
+        out,
+        "total: {:.3}ms -> {:.3}ms (x{:.3})",
+        d.base_total_ms,
+        d.new_total_ms,
+        d.total_ratio()
+    );
+    let fmt_row = |out: &mut String, r: &DiffRow| {
+        let ratio = if r.base_ms > 0.0 {
+            format!("x{:.2}", r.new_ms / r.base_ms)
+        } else {
+            "new".to_string()
+        };
+        let _ = write!(
+            out,
+            "  {:+10.3}ms  {:>8}  {}  ({:.3}ms -> {:.3}ms)",
+            r.delta_ms, ratio, r.path, r.base_ms, r.new_ms
+        );
+        if !r.cost_deltas.is_empty() {
+            let costs: Vec<String> = r
+                .cost_deltas
+                .iter()
+                .map(|(name, delta)| format!("{name} {delta:+}"))
+                .collect();
+            let _ = write!(out, "  [{}]", costs.join(", "));
+        }
+        out.push('\n');
+    };
+    let _ = writeln!(out, "top regressed span paths:");
+    let mut shown = 0usize;
+    for r in &d.rows {
+        if r.delta_ms <= 0.0 || shown == top {
+            break;
+        }
+        fmt_row(&mut out, r);
+        shown += 1;
+    }
+    if shown == 0 {
+        let _ = writeln!(out, "  (none)");
+    }
+    let _ = writeln!(out, "top improved span paths:");
+    let mut shown = 0usize;
+    for r in d.rows.iter().rev() {
+        if r.delta_ms >= 0.0 || shown == top {
+            break;
+        }
+        fmt_row(&mut out, r);
+        shown += 1;
+    }
+    if shown == 0 {
+        let _ = writeln!(out, "  (none)");
+    }
+    out
+}
+
+/// Serializes a profile's per-path statistics as the `spans` section of
+/// a `BENCH_pipeline.json` record: a JSON array, path-sorted, each entry
+/// carrying the path, occurrence count, inclusive + self wall and the
+/// deterministic cost counters. `indent` is prepended to each entry
+/// line.
+pub fn spans_json(profile: &SpanProfile, indent: &str) -> String {
+    let num = |x: f64| {
+        if x.is_finite() {
+            format!("{x:.6}")
+        } else {
+            "0.0".to_string()
+        }
+    };
+    let mut out = String::from("[\n");
+    let n = profile.paths.len();
+    for (i, (path, stats)) in profile.paths.iter().enumerate() {
+        let comma = if i + 1 == n { "" } else { "," };
+        let costs: Vec<String> = stats
+            .costs
+            .iter()
+            .map(|(name, v)| format!("\"{name}\": {v}"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{indent}  {{\"path\": \"{path}\", \"count\": {}, \"wall_ms\": {}, \
+             \"self_wall_ms\": {}, \"costs\": {{{}}}}}{comma}",
+            stats.count,
+            num(stats.wall_ms),
+            num(stats.self_wall_ms),
+            costs.join(", ")
+        );
+    }
+    let _ = write!(out, "{indent}]");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cm_obs::Recorder;
+
+    /// A pipeline-shaped recorder: two stages with nested spans; the
+    /// expansion probe-round takes `probe_ms`.
+    fn run(probe_ms: f64) -> Vec<cm_obs::Event> {
+        let rec = Recorder::new();
+        rec.stage_start("sweep");
+        rec.span_start("probe-round");
+        rec.span_end("probe-round", Some(40.0), vec![("probes", 1000)]);
+        rec.stage_end("sweep", 50.0, Vec::new(), Vec::new());
+        rec.stage_start("expansion");
+        rec.span_start("probe-round");
+        rec.span_end("probe-round", Some(probe_ms), vec![("probes", 500)]);
+        rec.span_start("merge");
+        rec.span_end("merge", Some(5.0), vec![("pool_merges", 1)]);
+        rec.stage_end("expansion", probe_ms + 10.0, Vec::new(), Vec::new());
+        rec.events()
+    }
+
+    #[test]
+    fn profiles_settle_self_time_without_double_counting() {
+        let p = profile_events("a", &run(30.0));
+        let sweep = &p.paths["sweep"];
+        assert_eq!(sweep.self_wall_ms, 10.0); // 50 - 40 child
+        assert_eq!(sweep.wall_ms, 50.0);
+        let probe = &p.paths["expansion;probe-round"];
+        assert_eq!(probe.self_wall_ms, 30.0);
+        assert_eq!(probe.cost("probes"), 500);
+        // Total is the sum of top-level inclusive walls.
+        assert_eq!(p.total_ms, 50.0 + 40.0);
+    }
+
+    #[test]
+    fn jsonl_round_trip_matches_the_event_profile() {
+        let events = run(30.0);
+        let direct = profile_events("x", &events);
+        let jsonl = cm_obs::render_jsonl(&events, true);
+        let parsed = profile_trace_jsonl("x", &jsonl).unwrap();
+        assert_eq!(direct, parsed);
+    }
+
+    /// The acceptance scenario: a run whose expansion probe-round is
+    /// artificially slowed must be localized to exactly that span path.
+    #[test]
+    fn slowed_expansion_sub_stage_is_the_top_regression() {
+        let base = profile_events("base", &run(30.0));
+        let slow = profile_events("slow", &run(300.0));
+        let d = diff(&base, &slow);
+        assert_eq!(d.rows[0].path, "expansion;probe-round");
+        assert_eq!(d.rows[0].delta_ms, 270.0);
+        let report = render_report(&d, 5);
+        assert!(report.contains("top regressed span paths:"));
+        let top_line = report
+            .lines()
+            .skip_while(|l| !l.starts_with("top regressed"))
+            .nth(1)
+            .unwrap();
+        assert!(
+            top_line.contains("expansion;probe-round"),
+            "top line: {top_line}"
+        );
+    }
+
+    #[test]
+    fn cost_deltas_rank_and_render() {
+        let base = profile_events("base", &run(30.0));
+        let mut bumped = run(90.0);
+        // Forge 200 extra probes on the (now slower) expansion round —
+        // the report must attribute the wall regression to the cost
+        // drift on that span path.
+        for ev in &mut bumped {
+            if let cm_obs::EventKind::SpanEnd { path, costs, .. } = &mut ev.kind {
+                if path == "expansion;probe-round" {
+                    costs[0].1 += 200;
+                }
+            }
+        }
+        let new = profile_events("new", &bumped);
+        let d = diff(&base, &new);
+        let row = d
+            .rows
+            .iter()
+            .find(|r| r.path == "expansion;probe-round")
+            .unwrap();
+        assert_eq!(row.cost_deltas, vec![("probes".to_string(), 200)]);
+        assert!(render_report(&d, 5).contains("probes +200"));
+    }
+
+    #[test]
+    fn history_records_profile_spans_or_fall_back_to_stages() {
+        let with_spans = Json::parse(
+            r#"{"label": "new", "pipeline_seconds": 0.5,
+                "spans": [{"path": "sweep;probe-round", "count": 1,
+                           "wall_ms": 40.0, "self_wall_ms": 40.0,
+                           "costs": {"probes": 1000}}]}"#,
+        )
+        .unwrap();
+        let p = profile_history_record(&with_spans).unwrap();
+        assert_eq!(p.total_ms, 500.0);
+        assert_eq!(p.paths["sweep;probe-round"].cost("probes"), 1000);
+
+        let flat = Json::parse(
+            r#"{"label": "old", "pipeline_seconds": 0.4,
+                "stages": [{"name": "sweep", "seconds": 0.3}]}"#,
+        )
+        .unwrap();
+        let p = profile_history_record(&flat).unwrap();
+        assert_eq!(p.paths["sweep"].self_wall_ms, 300.0);
+    }
+
+    #[test]
+    fn history_pair_skips_churn_faulted_and_other_scales() {
+        let history = r#"[
+          {"label": "small", "scale": "small", "fault_plan": [],
+           "pipeline_seconds": 9.0, "stages": [{"name": "sweep", "seconds": 5.0}]},
+          {"label": "a", "scale": "tiny", "fault_plan": [],
+           "pipeline_seconds": 1.0, "stages": [{"name": "sweep", "seconds": 0.6}]},
+          {"label": "faulted", "scale": "tiny", "fault_plan": ["burst_loss"],
+           "pipeline_seconds": 2.0, "stages": [{"name": "sweep", "seconds": 1.5}]},
+          {"label": "churny", "scale": "tiny", "kind": "churn", "fault_plan": [],
+           "pipeline_seconds": 3.0, "stages": [{"name": "sweep", "seconds": 2.5}]},
+          {"label": "b", "scale": "tiny", "fault_plan": [],
+           "pipeline_seconds": 1.2, "stages": [{"name": "sweep", "seconds": 0.8}]}
+        ]"#;
+        let (base, new) = history_profiles(history, Some("tiny")).unwrap();
+        assert_eq!(base.label, "a");
+        assert_eq!(new.label, "b");
+        assert!(history_profiles(history, Some("full")).is_err());
+    }
+
+    #[test]
+    fn spans_json_round_trips_through_the_record_parser() {
+        let p = profile_events("roundtrip", &run(30.0));
+        let record = format!(
+            "{{\"label\": \"roundtrip\", \"pipeline_seconds\": {}, \"spans\": {}}}",
+            p.total_ms / 1000.0,
+            spans_json(&p, "  ")
+        );
+        let parsed = profile_history_record(&Json::parse(&record).unwrap()).unwrap();
+        assert_eq!(parsed.paths, p.paths);
+        assert!((parsed.total_ms - p.total_ms).abs() < 1e-6);
+    }
+
+    #[test]
+    fn collapsed_output_is_sorted_and_skips_zero() {
+        let p = profile_events("c", &run(30.0));
+        let wall = p.collapsed(None);
+        let lines: Vec<&str> = wall.lines().collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted, "collapsed stacks must be path-sorted");
+        assert!(wall.contains("expansion;probe-round 30000"));
+        let probes = p.collapsed(Some("probes"));
+        assert_eq!(
+            probes,
+            "expansion;probe-round 500\nsweep;probe-round 1000\n"
+        );
+    }
+}

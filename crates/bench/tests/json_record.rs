@@ -86,6 +86,7 @@ fn bench_pipeline_json_is_valid_and_complete() {
         "\"generate_seconds\"",
         "\"pipeline_seconds\"",
         "\"stages\"",
+        "\"spans\"",
         "\"route_memo_total\"",
         "\"fault_plan\"",
         "\"fault_impact\"",

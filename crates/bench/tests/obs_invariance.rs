@@ -87,6 +87,31 @@ proptest! {
             jsonl1.contains("\"stage_end\"") && !jsonl1.contains("nondeterministic"),
             "deterministic JSONL malformed:\n{}", jsonl1
         );
+        // The hierarchical spans are part of the deterministic stream:
+        // nested sub-stage paths, per-region executor spans with their
+        // probe costs, and stable span IDs all land in the
+        // worker-invariant bytes checked below.
+        for needle in [
+            "\"event\": \"span_start\"",
+            "\"event\": \"span_end\"",
+            "\"path\": \"sweep;probe-round\"",
+            "\"path\": \"sweep;probe-round;region-0\"",
+            "\"span_id\": \"0x",
+            "\"costs\": {\"probes\": ",
+        ] {
+            prop_assert!(
+                jsonl1.contains(needle),
+                "span instrumentation missing {:?} in:\n{}", needle, jsonl1
+            );
+        }
+        // The memory gauges are deterministic registry members, not
+        // wall-clock readings.
+        for gauge in ["pool_bytes_final", "pool_bytes_sweep", "route_memo_bytes"] {
+            prop_assert!(
+                expo1.contains(gauge),
+                "registry missing gauge {}:\n{}", gauge, expo1
+            );
+        }
         for workers in [2usize, 4] {
             let (expo, jsonl, digest) = obs_artifacts(plan, workers);
             prop_assert_eq!(

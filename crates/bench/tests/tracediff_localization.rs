@@ -1,0 +1,118 @@
+//! End-to-end acceptance test for the trace-diff localizer: run the real
+//! tiny-scale pipeline, fabricate a second run whose `expansion;probe-round`
+//! sub-stage is artificially slowed, and check the diff names exactly that
+//! span path as the top regression — through the same JSONL round trip the
+//! CLI uses, not just the in-memory profiles.
+
+use cm_bench::tracediff::{diff, profile_events, profile_trace_jsonl, render_report};
+use cm_bench::{build_internet, report, run_study};
+use cm_obs::EventKind;
+
+const SLOWDOWN_MS: f64 = 10_000.0;
+
+/// Same span paths, counts and deterministic cost counters exactly;
+/// walls within the decimal precision the serializers render at.
+fn assert_profiles_match(
+    a: &cm_bench::tracediff::SpanProfile,
+    b: &cm_bench::tracediff::SpanProfile,
+) {
+    assert_eq!(
+        a.paths.keys().collect::<Vec<_>>(),
+        b.paths.keys().collect::<Vec<_>>()
+    );
+    for (path, x) in &a.paths {
+        let y = &b.paths[path];
+        assert_eq!(x.count, y.count, "count mismatch at {path}");
+        assert_eq!(x.costs, y.costs, "cost mismatch at {path}");
+        assert!(
+            (x.wall_ms - y.wall_ms).abs() < 1e-3 && (x.self_wall_ms - y.self_wall_ms).abs() < 1e-3,
+            "wall drift at {path}: {x:?} vs {y:?}"
+        );
+    }
+}
+
+#[test]
+fn slowed_expansion_sub_stage_is_localized() {
+    let inet = build_internet("tiny", 2019);
+    let atlas = run_study(&inet);
+    let base_events = atlas.obs.recorder.events();
+
+    // The "regressed" run: identical trace, but every wall clock on the
+    // expansion probe-round (and, transitively, its enclosing stage and
+    // the run total) inflated — the shape of a real slowdown localized
+    // in one sub-stage.
+    let mut slow_events = base_events.clone();
+    let mut slowed = 0u32;
+    for ev in &mut slow_events {
+        let bump = match &ev.kind {
+            EventKind::SpanEnd { path, .. } if path == "expansion;probe-round" => true,
+            EventKind::StageEnd { stage, .. } if *stage == "expansion" => true,
+            _ => false,
+        };
+        if bump {
+            ev.wall_ms = Some(ev.wall_ms.unwrap_or(0.0) + SLOWDOWN_MS);
+            slowed += 1;
+        }
+    }
+    assert!(
+        slowed >= 2,
+        "expected an expansion probe-round span and its stage, found {slowed}"
+    );
+
+    // Round-trip both traces through the JSONL the CLI consumes.
+    let base = profile_trace_jsonl("base", &cm_obs::render_jsonl(&base_events, true))
+        .expect("baseline trace parses");
+    let slow = profile_trace_jsonl("slow", &cm_obs::render_jsonl(&slow_events, true))
+        .expect("slowed trace parses");
+    // The JSONL round trip preserves the profile structurally: same
+    // paths, counts and cost counters exactly; walls up to the rendered
+    // decimal precision.
+    assert_profiles_match(&base, &profile_events("base", &base_events));
+
+    let d = diff(&base, &slow);
+    assert_eq!(
+        d.rows[0].path, "expansion;probe-round",
+        "top regression must be the slowed sub-stage; got {:?}",
+        d.rows[0]
+    );
+    assert!(d.rows[0].delta_ms >= SLOWDOWN_MS * 0.99);
+    // The stage envelope gained no *self* time (the probe-round absorbed
+    // it all), so no other expansion path may outrank real noise.
+    let stage_row = d
+        .rows
+        .iter()
+        .find(|r| r.path == "expansion")
+        .expect("expansion stage row");
+    assert!(
+        stage_row.delta_ms.abs() < 1.0,
+        "stage self time moved: {stage_row:?}"
+    );
+
+    let rendered = render_report(&d, 5);
+    let top_line = rendered
+        .lines()
+        .skip_while(|l| !l.starts_with("top regressed"))
+        .nth(1)
+        .expect("at least one regressed path");
+    assert!(
+        top_line.contains("expansion;probe-round"),
+        "report top line: {top_line}"
+    );
+
+    // The history-record spans section round-trips the same profile.
+    let record = report::bench_pipeline_json(&atlas, "loc-test", "tiny", 2019, 0.0, 0.0);
+    let parsed = cm_bench::jsonv::Json::parse(&record).expect("record parses");
+    let from_record =
+        cm_bench::tracediff::profile_history_record(&parsed).expect("record profiles");
+    assert_profiles_match(&from_record, &base);
+
+    // The wall flamegraph is a superset of the cost flamegraph's paths,
+    // and the probe counters survive the JSONL round trip.
+    let probes_flame = base.collapsed(Some("probes"));
+    assert!(
+        probes_flame
+            .lines()
+            .any(|l| l.starts_with("sweep;probe-round;region-0 ")),
+        "probes flame:\n{probes_flame}"
+    );
+}

@@ -217,8 +217,23 @@ impl RouteMemo {
     pub fn export_obs(&self, registry: &cm_obs::Registry) {
         let stats = self.stats();
         registry.inc("route_memo_lookups_total", stats.hits + stats.misses);
-        registry.set_gauge("route_memo_entries", self.len() as i64);
+        let entries = self.len() as i64;
+        registry.set_gauge("route_memo_entries", entries);
+        registry.set_gauge(
+            "route_memo_bytes",
+            entries.saturating_mul(RouteMemo::APPROX_ENTRY_BYTES as i64),
+        );
     }
+
+    /// Deterministic per-entry byte estimate behind the
+    /// `route_memo_bytes` gauge: key + cached value slot. Accounting, not
+    /// `malloc` truth — capacity slack and the shared `Arc<Route>` bodies
+    /// are deliberately excluded so the gauge is a pure function of the
+    /// entry count (which is itself worker-count invariant, unlike the
+    /// hit/miss split). The delta engine's ghost accounting multiplies by
+    /// the same constant so spliced and scratch runs export equal gauges.
+    pub const APPROX_ENTRY_BYTES: u64 =
+        (std::mem::size_of::<MemoKey>() + std::mem::size_of::<Option<Arc<Route>>>()) as u64;
 
     /// Number of cached `(region, /24, epoch)` entries.
     pub fn len(&self) -> usize {

@@ -273,6 +273,32 @@ impl SegmentPool {
             // cm-lint: nondet-quarantined(keyed map extend; each key maps to one deterministic override, so insertion order is immaterial)
             .extend(other.owner_override.iter().map(|(&k, &v)| (k, v)));
     }
+
+    /// Deterministically-counted approximate heap footprint of the pool,
+    /// in bytes: entry counts times entry sizes, plus the per-entry
+    /// nested sets. This is *accounting*, not `malloc` truth — it
+    /// ignores map capacity slack and allocator overhead on purpose, so
+    /// the number is a pure function of the pool's contents and can sit
+    /// in the deterministic registry as a peak-memory gauge (the
+    /// out-of-core work in the roadmap needs exactly this: a
+    /// worker-count-invariant measure of what each stage holds alive).
+    pub fn approx_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let seg_fixed = size_of::<Segment>() + size_of::<SegmentMeta>();
+        let cbi_fixed = size_of::<Ipv4>() + size_of::<CbiInfo>();
+        // Commutative sums over map values: visit order cannot change a
+        // total, so HashMap iteration is safe here.
+        let seg_regions: usize = self.segments.values().map(|m| m.regions.len()).sum();
+        let cbi_reach: usize = self.cbis.values().map(|c| c.reachable_slash24.len()).sum();
+        let bytes = self.segments.len() * seg_fixed
+            + seg_regions * size_of::<RegionId>()
+            + self.cbis.len() * cbi_fixed
+            + cbi_reach * size_of::<u32>()
+            + self.abis.len() * (size_of::<Ipv4>() + size_of::<HopNote>())
+            + self.successors.len() * (size_of::<Ipv4>() + size_of::<SuccessorEvidence>())
+            + self.owner_override.len() * (size_of::<Ipv4>() + size_of::<cm_net::Asn>());
+        bytes as u64
+    }
 }
 
 /// Streaming traceroute consumer implementing the §4.1 walk.

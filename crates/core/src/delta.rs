@@ -466,6 +466,8 @@ impl<'i> DeltaEngine<'i> {
             }
         }
         run_stats.sweep_groups = sweep_specs.len();
+        obs.span_start("refresh");
+        let span_clock = stage_clock();
         run_stats.sweep_synthesized = refresh_dirty(
             finish_plane,
             worker_planes,
@@ -474,10 +476,21 @@ impl<'i> DeltaEngine<'i> {
             &annotator,
             cloud_org,
             note_cache,
+            &obs,
             &mut self.sweep_cache,
             &mut self.memo_refs,
         );
+        obs.span_end(
+            "refresh",
+            Some(stage_wall_ms(span_clock)),
+            vec![
+                ("groups", run_stats.sweep_groups as u64),
+                ("synthesized", run_stats.sweep_synthesized as u64),
+            ],
+        );
         let lookups_entry = ghost_lookups;
+        obs.span_start("splice");
+        let span_clock = stage_clock();
         let (mut pool, sweep_stats, sweep_fault) = splice_round(
             &sweep_specs,
             &self.sweep_cache,
@@ -487,12 +500,26 @@ impl<'i> DeltaEngine<'i> {
             &obs,
             &mut ghost_lookups,
         );
+        obs.span_end(
+            "splice",
+            Some(stage_wall_ms(span_clock)),
+            vec![
+                ("pool_merges", sweep_specs.len() as u64),
+                ("probes", sweep_stats.launched as u64),
+                ("memo_lookups", ghost_lookups - lookups_entry),
+            ],
+        );
         ghost_fault.absorb(sweep_fault);
         self_check(&pool, "round one")?;
         // cm-lint: nondet-quarantined(table1_row takes commutative count/fraction tallies; value order is immaterial)
         let t1_abi = table1_row(pool.abis.values());
         // cm-lint: nondet-quarantined(table1_row takes commutative count/fraction tallies; value order is immaterial)
         let t1_cbi = table1_row(pool.cbis.values().map(|c| &c.note));
+        // Mirrors the scratch pipeline's per-stage peak-memory gauge: the
+        // spliced sweep pool is byte-identical to the scratch sweep pool,
+        // so the gauges agree (F3 compares the metrics exposition).
+        obs.registry
+            .set_gauge("pool_bytes_sweep", pool.approx_bytes() as i64);
         obs.stage_end(
             "sweep",
             stage_wall_ms(stage_start),
@@ -534,6 +561,8 @@ impl<'i> DeltaEngine<'i> {
                 }
             }
             run_stats.expansion_groups = expansion_specs.len();
+            obs.span_start("refresh");
+            let span_clock = stage_clock();
             run_stats.expansion_synthesized = refresh_dirty(
                 finish_plane,
                 worker_planes,
@@ -542,10 +571,21 @@ impl<'i> DeltaEngine<'i> {
                 &annotator,
                 cloud_org,
                 note_cache,
+                &obs,
                 &mut self.expansion_cache,
                 &mut self.memo_refs,
             );
+            obs.span_end(
+                "refresh",
+                Some(stage_wall_ms(span_clock)),
+                vec![
+                    ("groups", run_stats.expansion_groups as u64),
+                    ("synthesized", run_stats.expansion_synthesized as u64),
+                ],
+            );
             let lookups_entry = ghost_lookups;
+            obs.span_start("splice");
+            let span_clock = stage_clock();
             let (round2, stats, expansion_fault) = splice_round(
                 &expansion_specs,
                 &self.expansion_cache,
@@ -555,9 +595,20 @@ impl<'i> DeltaEngine<'i> {
                 &obs,
                 &mut ghost_lookups,
             );
+            obs.span_end(
+                "splice",
+                Some(stage_wall_ms(span_clock)),
+                vec![
+                    ("pool_merges", expansion_specs.len() as u64),
+                    ("probes", stats.launched as u64),
+                    ("memo_lookups", ghost_lookups - lookups_entry),
+                ],
+            );
             ghost_fault.absorb(expansion_fault);
             pool.merge(round2);
             self_check(&pool, "expansion merge")?;
+            obs.registry
+                .set_gauge("pool_bytes_expansion", pool.approx_bytes() as i64);
             obs.stage_end(
                 "expansion",
                 stage_wall_ms(stage_start),
@@ -570,6 +621,8 @@ impl<'i> DeltaEngine<'i> {
             Some(stats)
         } else {
             obs.note("expansion disabled by config");
+            obs.registry
+                .set_gauge("pool_bytes_expansion", pool.approx_bytes() as i64);
             obs.stage_end(
                 "expansion",
                 stage_wall_ms(stage_start),
@@ -632,6 +685,12 @@ impl<'i> DeltaEngine<'i> {
 /// fault-impact and route-memo `since`-deltas attribute exactly); the
 /// coordinator folds finished groups strictly in dirty-list order, like
 /// the sharded executor, so every product is worker-count invariant.
+///
+/// The coordinator emits one flight-recorder span per dirty group —
+/// attributing the era's incremental cost to the individual groups that
+/// caused it. The dirty list is a pure function of the cache and the
+/// era's flap decisions and the fold runs in dirty-list order, so the
+/// span stream is byte-identical at any worker count.
 #[allow(clippy::too_many_arguments)]
 fn refresh_dirty(
     finish_plane: &DataPlane<'_>,
@@ -641,6 +700,7 @@ fn refresh_dirty(
     annotator: &Annotator<'_>,
     cloud_org: OrgId,
     note_cache: &NoteCache,
+    obs: &ObsSink,
     cache: &mut HashMap<GroupKey, GroupProduct>,
     memo_refs: &mut HashMap<MemoKey, u32, FxBuild>,
 ) -> usize {
@@ -727,6 +787,13 @@ fn refresh_dirty(
                 }
             };
             let spec = dirty[w];
+            // Span name = the group identity, so a flamegraph of a delta
+            // era shows exactly which dirty groups the cost went to.
+            let span = format!(
+                "g{}-{}-{}",
+                spec.key.region.0, spec.key.epoch, spec.key.slot
+            );
+            obs.span_start(&span);
             let mut collector = BorderCollector::with_scratch(
                 annotator,
                 cloud_org,
@@ -740,6 +807,14 @@ fn refresh_dirty(
                 cm_probe::observe_hops(&mut hops, t);
                 collector.observe(t);
             }
+            obs.span_end(
+                &span,
+                None,
+                vec![
+                    ("probes", raw.traces.len() as u64),
+                    ("memo_lookups", raw.memo_lookups),
+                ],
+            );
             let (group_pool, reclaimed) = collector.finish_reclaim();
             scratch = reclaimed;
             for k in &raw.memo_keys {
@@ -819,11 +894,9 @@ fn splice_round(
 mod tests {
     use super::*;
 
-    fn view(
-        peers: &[u32],
-        ifaces: &[(u32, Option<(u16, u8)>, Option<u32>, bool)],
-        segments: &[(u32, u32)],
-    ) -> ChurnView {
+    type IfaceRow = (u32, Option<(u16, u8)>, Option<u32>, bool);
+
+    fn view(peers: &[u32], ifaces: &[IfaceRow], segments: &[(u32, u32)]) -> ChurnView {
         ChurnView {
             peers: peers.iter().copied().collect(),
             ifaces: ifaces

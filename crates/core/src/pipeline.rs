@@ -456,13 +456,36 @@ impl<'i> Pipeline<'i> {
         let stage_start = stage_clock();
         let memo_before = plane.route_memo_stats();
         let faults_before = plane.fault_impact();
+        obs.span_start("targets");
+        let span_clock = stage_clock();
         let sweep_targets = campaign.sweep_targets();
+        obs.span_end(
+            "targets",
+            Some(stage_wall_ms(span_clock)),
+            vec![("targets", sweep_targets.len() as u64)],
+        );
+        obs.span_start("probe-round");
+        let span_clock = stage_clock();
         let (mut pool, sweep_stats) = run_round(&sweep_targets);
+        obs.span_end(
+            "probe-round",
+            Some(stage_wall_ms(span_clock)),
+            vec![("probes", sweep_stats.launched as u64)],
+        );
         self_check(&pool, "round one")?;
+        obs.span_start("table1");
+        let span_clock = stage_clock();
         // cm-lint: nondet-quarantined(table1_row takes commutative count/fraction tallies; value order is immaterial)
         let t1_abi = table1_row(pool.abis.values());
         // cm-lint: nondet-quarantined(table1_row takes commutative count/fraction tallies; value order is immaterial)
         let t1_cbi = table1_row(pool.cbis.values().map(|c| &c.note));
+        obs.span_end("table1", Some(stage_wall_ms(span_clock)), vec![("rows", 2)]);
+        // Per-stage peak-memory gauge: what the sweep leaves alive,
+        // deterministically counted (not RSS). The delta engine sets the
+        // same gauge from its spliced sweep pool — byte-identical pools
+        // guarantee equal gauges.
+        obs.registry
+            .set_gauge("pool_bytes_sweep", pool.approx_bytes() as i64);
         obs.stage_end(
             "sweep",
             stage_wall_ms(stage_start),
@@ -476,15 +499,39 @@ impl<'i> Pipeline<'i> {
         let memo_before = plane.route_memo_stats();
         let faults_before = plane.fault_impact();
         let expansion_stats = if cfg.run_expansion {
+            obs.span_start("targets");
+            let span_clock = stage_clock();
             let targets = campaign.expansion_targets(&pool.expansion_prefixes());
+            obs.span_end(
+                "targets",
+                Some(stage_wall_ms(span_clock)),
+                vec![("targets", targets.len() as u64)],
+            );
+            obs.span_start("probe-round");
+            let span_clock = stage_clock();
             let (round2, stats) = run_round(&targets);
+            obs.span_end(
+                "probe-round",
+                Some(stage_wall_ms(span_clock)),
+                vec![("probes", stats.launched as u64)],
+            );
+            obs.span_start("merge");
+            let span_clock = stage_clock();
+            let merged_segments = round2.segments.len() as u64;
             pool.merge(round2);
+            obs.span_end(
+                "merge",
+                Some(stage_wall_ms(span_clock)),
+                vec![("pool_merges", 1), ("segments", merged_segments)],
+            );
             self_check(&pool, "expansion merge")?;
             Some(stats)
         } else {
             obs.note("expansion disabled by config");
             None
         };
+        obs.registry
+            .set_gauge("pool_bytes_expansion", pool.approx_bytes() as i64);
         obs.stage_end(
             "expansion",
             stage_wall_ms(stage_start),
@@ -649,11 +696,30 @@ pub(crate) fn finish_atlas<'i>(
     // ---- verification (§5) ----------------------------------------------
     obs.stage_start("verify");
     let stage_start = stage_clock();
+    obs.span_start("heuristics");
+    let span_clock = stage_clock();
     let heuristics = run_heuristics(&pool, |a| publicly_reachable(inet, a));
+    obs.span_end(
+        "heuristics",
+        Some(stage_wall_ms(span_clock)),
+        vec![("unconfirmed", heuristics.unconfirmed.len() as u64)],
+    );
+    obs.span_start("alias-resolve");
+    let span_clock = stage_clock();
     let mut addrs: Vec<Ipv4> = pool.abis.keys().copied().collect();
     addrs.extend(pool.cbis.keys().copied());
     addrs.sort_unstable();
     let alias_sets = cm_alias::resolve_all_regions(inet, primary, &addrs, seed);
+    obs.span_end(
+        "alias-resolve",
+        Some(stage_wall_ms(span_clock)),
+        vec![
+            ("addresses", addrs.len() as u64),
+            ("alias_sets", alias_sets.len() as u64),
+        ],
+    );
+    obs.span_start("alias-corrections");
+    let span_clock = stage_clock();
     let ds_ref = &pd.datasets;
     let changes = apply_alias_corrections(
         &mut pool,
@@ -661,6 +727,11 @@ pub(crate) fn finish_atlas<'i>(
         pd.cloud_org,
         |asn| ds_ref.as2org.org_of(asn),
         &alias_sets,
+    );
+    obs.span_end(
+        "alias-corrections",
+        Some(stage_wall_ms(span_clock)),
+        Vec::new(),
     );
     self_check(&pool, "alias corrections")?;
     obs.stage_end("verify", stage_wall_ms(stage_start), Vec::new(), Vec::new());
@@ -670,12 +741,29 @@ pub(crate) fn finish_atlas<'i>(
     let stage_start = stage_clock();
     let memo_before = plane.route_memo_stats();
     let faults_before = plane.fault_impact();
+    obs.span_start("targets");
+    let span_clock = stage_clock();
     let mut rtt_targets: Vec<Ipv4> = pool.abis.keys().copied().collect();
     rtt_targets.extend(pool.cbis.keys().copied());
     rtt_targets.extend(pd.datasets.ixp.published_addrs().map(|(a, _)| a));
     rtt_targets.sort_unstable();
     rtt_targets.dedup();
+    obs.span_end(
+        "targets",
+        Some(stage_wall_ms(span_clock)),
+        vec![("targets", rtt_targets.len() as u64)],
+    );
+    obs.span_start("campaign");
+    let span_clock = stage_clock();
     let rtt = RttCampaign::run_obs(plane, primary, &rtt_targets, cfg.rtt_attempts, Some(&obs));
+    obs.span_end(
+        "campaign",
+        Some(stage_wall_ms(span_clock)),
+        vec![
+            ("targets", rtt_targets.len() as u64),
+            ("attempts", u64::from(cfg.rtt_attempts)),
+        ],
+    );
     obs.stage_end(
         "rtt",
         stage_wall_ms(stage_start),
@@ -695,14 +783,33 @@ pub(crate) fn finish_atlas<'i>(
         catalog: &inet.metros,
         cfg: cfg.pinning,
     };
+    obs.span_start("pin");
+    let span_clock = stage_clock();
     let pinning = pinner.run();
+    obs.span_end(
+        "pin",
+        Some(stage_wall_ms(span_clock)),
+        vec![
+            ("pins_metro", pinning.pins.len() as u64),
+            ("pins_region", pinning.region_pins.len() as u64),
+        ],
+    );
+    obs.span_start("crossval");
+    let span_clock = stage_clock();
     let crossval = if cfg.crossval_folds > 0 {
         pinner.cross_validate(cfg.crossval_folds, 0.7, seed)
     } else {
         CrossValReport::default()
     };
+    obs.span_end(
+        "crossval",
+        Some(stage_wall_ms(span_clock)),
+        vec![("folds", cfg.crossval_folds as u64)],
+    );
 
     // Per-segment diffs, reused by grouping.
+    obs.span_start("segment-diffs");
+    let span_clock = stage_clock();
     let mut segment_diffs: HashMap<(Ipv4, Ipv4), f64> = HashMap::new();
     for seg in pool.segments.keys() {
         if let Some((region, abi_rtt)) = rtt.closest_region(seg.abi) {
@@ -711,6 +818,11 @@ pub(crate) fn finish_atlas<'i>(
             }
         }
     }
+    obs.span_end(
+        "segment-diffs",
+        Some(stage_wall_ms(span_clock)),
+        vec![("segments", segment_diffs.len() as u64)],
+    );
     obs.stage_end(
         "pinning",
         stage_wall_ms(stage_start),
@@ -755,6 +867,8 @@ pub(crate) fn finish_atlas<'i>(
     // ---- grouping + ICG (§7.2–7.4) --------------------------------------
     obs.stage_start("grouping");
     let stage_start = stage_clock();
+    obs.span_start("groups");
+    let span_clock = stage_clock();
     let groups = Grouping::build(
         &pool,
         &vpi,
@@ -764,7 +878,21 @@ pub(crate) fn finish_atlas<'i>(
         &segment_diffs,
         &pd.snapshot,
     );
+    obs.span_end(
+        "groups",
+        Some(stage_wall_ms(span_clock)),
+        vec![("peer_groups", groups.per_as.len() as u64)],
+    );
+    obs.span_start("icg");
+    let span_clock = stage_clock();
     let icg = Icg::build(&pool, &pinning);
+    obs.span_end(
+        "icg",
+        Some(stage_wall_ms(span_clock)),
+        vec![("edges", icg.edges as u64)],
+    );
+    obs.span_start("finalize");
+    let span_clock = stage_clock();
 
     // ---- coverage vs public BGP (§7.3) ----------------------------------
     let inferred_peers: HashSet<Asn> = groups.per_as.keys().copied().collect();
@@ -813,9 +941,11 @@ pub(crate) fn finish_atlas<'i>(
             novel.retain(|k| !group_keys.contains_key(k));
             novel.sort_unstable();
             novel.dedup();
+            let entries = (group_keys.len() + novel.len()) as i64;
+            obs.registry.set_gauge("route_memo_entries", entries);
             obs.registry.set_gauge(
-                "route_memo_entries",
-                (group_keys.len() + novel.len()) as i64,
+                "route_memo_bytes",
+                entries.saturating_mul(cm_bgp::RouteMemo::APPROX_ENTRY_BYTES as i64),
             );
             total
         }
@@ -845,12 +975,14 @@ pub(crate) fn finish_atlas<'i>(
     reg.set_gauge("pool_abis", pool.abis.len() as i64);
     reg.set_gauge("pool_cbis", pool.cbis.len() as i64);
     reg.set_gauge("pool_segments", pool.segments.len() as i64);
+    reg.set_gauge("pool_bytes_final", pool.approx_bytes() as i64);
     reg.set_gauge("alias_sets", alias_sets.len() as i64);
     reg.set_gauge("pins_metro", pinning.pins.len() as i64);
     reg.set_gauge("pins_region", pinning.region_pins.len() as i64);
     reg.set_gauge("vpi_cbis", vpi.vpi_cbis.len() as i64);
     reg.set_gauge("peer_groups", groups.per_as.len() as i64);
     reg.set_gauge("icg_edges", icg.edges as i64);
+    obs.span_end("finalize", Some(stage_wall_ms(span_clock)), Vec::new());
     obs.stage_end(
         "grouping",
         stage_wall_ms(stage_start),

@@ -8,10 +8,16 @@
 //!   outcomes, cache counters, pool sizes) and never from wall clock,
 //!   thread identity or unordered-map iteration;
 //! * a [`Recorder`] — a span-scoped flight recorder emitting an ordered
-//!   event stream (`stage_start` / `stage_end` / `counter_snapshot` /
-//!   `note`) renderable as JSONL, with wall-clock fields quarantined in a
-//!   clearly-labelled `nondeterministic` section so the rest of every
-//!   line is reproducible.
+//!   event stream (`stage_start` / `stage_end`, hierarchical
+//!   `span_start` / `span_end` with deterministic span IDs and per-span
+//!   cost counters, `counter_snapshot` and `note`) renderable as JSONL
+//!   or collapsed flamegraph stacks ([`collapsed_stacks`]), with
+//!   wall-clock fields quarantined in a clearly-labelled
+//!   `nondeterministic` section so the rest of every line is
+//!   reproducible.
+//!
+//! A [`RollingQuantile`] fixed-window sketch rounds out the latency
+//! side: deterministic mechanics over whatever sequence it is fed.
 //!
 //! The crate is dependency-free by design (the workspace is offline);
 //! exposition is Prometheus-style text ([`Snapshot::expose`]) and the
@@ -23,9 +29,13 @@
 
 mod recorder;
 mod registry;
+mod sketch;
 
-pub use recorder::{event_jsonl, render_jsonl, stage_tree, Event, EventKind, Recorder};
+pub use recorder::{
+    collapsed_stacks, event_jsonl, render_jsonl, stage_tree, Event, EventKind, Recorder,
+};
 pub use registry::{HistogramValue, MetricValue, Registry, Snapshot};
+pub use sketch::RollingQuantile;
 
 /// Finds `name` in a small `(name, value)` slice — the shape every
 /// recorder counter group and stage list uses. Lists stay under a dozen
@@ -71,6 +81,18 @@ impl ObsSink {
         self.recorder
             .stage_end(stage, wall_ms, groups, nondet_groups);
         self.recorder.counter_snapshot(self.registry.snapshot());
+    }
+
+    /// Opens a span nested under the current stage/span. Returns the
+    /// deterministic span ID.
+    pub fn span_start(&self, name: &str) -> u64 {
+        self.recorder.span_start(name)
+    }
+
+    /// Closes the innermost span (which must be named `name`), recording
+    /// deterministic `costs`; an optional wall clock is quarantined.
+    pub fn span_end(&self, name: &str, wall_ms: Option<f64>, costs: Vec<(&'static str, u64)>) {
+        self.recorder.span_end(name, wall_ms, costs);
     }
 
     /// Records a free-form note.

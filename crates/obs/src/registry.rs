@@ -238,6 +238,13 @@ impl Snapshot {
             .insert(name.to_string(), MetricValue::Counter(value));
     }
 
+    /// Overwrites (or creates) the gauge `name` — the gauge counterpart
+    /// of [`Snapshot::set_counter`], same mutation-test purpose.
+    pub fn set_gauge(&mut self, name: &str, value: i64) {
+        self.metrics
+            .insert(name.to_string(), MetricValue::Gauge(value));
+    }
+
     /// Prometheus-style text exposition: a `# TYPE` line then the value
     /// lines for every metric, in name order. An empty histogram still
     /// renders all its `0` bucket lines, so the output shape never depends

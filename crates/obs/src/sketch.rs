@@ -1,0 +1,172 @@
+//! Fixed-window rolling quantile sketch.
+//!
+//! A [`RollingQuantile`] keeps the last `capacity` observations in a
+//! ring buffer and answers arbitrary quantile queries over exactly that
+//! window — no decaying weights, no randomized sampling. The mechanics
+//! are fully deterministic: the same observation sequence produces the
+//! same window contents and the same answers, so a sketch fed
+//! deterministic values is itself deterministic, while one fed wall-clock
+//! latencies inherits their nondeterminism (and must stay out of any
+//! digest surface, like every other wall-clock reading).
+
+/// A deterministic fixed-window quantile sketch over the most recent
+/// `capacity` finite observations.
+#[derive(Clone, Debug)]
+pub struct RollingQuantile {
+    /// Ring buffer of the newest observations, insertion order.
+    window: Vec<f64>,
+    /// Maximum window length.
+    capacity: usize,
+    /// Next ring slot to overwrite once the window is full.
+    next: usize,
+    /// Non-finite observations rejected by [`RollingQuantile::push`].
+    rejected: u64,
+    /// Total observations accepted over the sketch's lifetime.
+    accepted: u64,
+}
+
+impl RollingQuantile {
+    /// An empty sketch holding at most `capacity` observations
+    /// (`capacity` is clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RollingQuantile {
+            window: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            next: 0,
+            rejected: 0,
+            accepted: 0,
+        }
+    }
+
+    /// Observes one value. Non-finite values are rejected and counted,
+    /// like the registry histograms do, so a NaN latency can never
+    /// poison a quantile.
+    pub fn push(&mut self, value: f64) {
+        if !value.is_finite() {
+            self.rejected += 1;
+            return;
+        }
+        self.accepted += 1;
+        if self.window.len() < self.capacity {
+            self.window.push(value);
+        } else {
+            self.window[self.next] = value;
+            self.next = (self.next + 1) % self.capacity;
+        }
+    }
+
+    /// The `q`-quantile (clamped to `[0, 1]`) of the current window,
+    /// linearly interpolated between ranks (type-7, matching
+    /// `cm-bench`'s `quantile`). `None` on an empty window.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.window.is_empty() {
+            return None;
+        }
+        let q = if q.is_finite() {
+            q.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let mut sorted = self.window.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = q * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+    }
+
+    /// Observations currently in the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// True when no observation has been accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Non-finite observations rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Observations accepted over the sketch's lifetime (the window
+    /// holds only the newest `capacity` of them).
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// The window contents in insertion order, oldest first — the exact
+    /// multiset the next [`RollingQuantile::quantile`] call answers
+    /// over. Lets callers merge several sketches deterministically
+    /// (concatenate windows, compute one quantile).
+    pub fn window(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.window.len());
+        if self.window.len() == self.capacity {
+            out.extend_from_slice(&self.window[self.next..]);
+            out.extend_from_slice(&self.window[..self.next]);
+        } else {
+            out.extend_from_slice(&self.window);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_interpolate_over_the_window() {
+        let mut s = RollingQuantile::new(8);
+        for v in [4.0, 1.0, 3.0, 2.0] {
+            s.push(v);
+        }
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.quantile(1.0), Some(4.0));
+        assert_eq!(s.quantile(0.5), Some(2.5));
+        // Rank 0.25 * 3 = 0.75 between 1.0 and 2.0.
+        assert_eq!(s.quantile(0.25), Some(1.75));
+    }
+
+    #[test]
+    fn window_evicts_oldest_first() {
+        let mut s = RollingQuantile::new(3);
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            s.push(v);
+        }
+        assert_eq!(s.window(), vec![3.0, 4.0, 5.0]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.accepted(), 5);
+        assert_eq!(s.quantile(1.0), Some(5.0));
+        assert_eq!(s.quantile(0.0), Some(3.0));
+    }
+
+    #[test]
+    fn non_finite_values_are_rejected_not_stored() {
+        let mut s = RollingQuantile::new(4);
+        s.push(f64::NAN);
+        s.push(f64::INFINITY);
+        assert!(s.is_empty());
+        assert_eq!(s.rejected(), 2);
+        assert_eq!(s.quantile(0.5), None);
+        s.push(7.0);
+        assert_eq!(s.quantile(0.5), Some(7.0));
+    }
+
+    #[test]
+    fn same_sequence_same_answers() {
+        let feed = |s: &mut RollingQuantile| {
+            for i in 0..100u32 {
+                s.push(f64::from((i * 37) % 11));
+            }
+        };
+        let (mut a, mut b) = (RollingQuantile::new(16), RollingQuantile::new(16));
+        feed(&mut a);
+        feed(&mut b);
+        assert_eq!(a.window(), b.window());
+        assert_eq!(a.quantile(0.99), b.quantile(0.99));
+    }
+}

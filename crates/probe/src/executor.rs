@@ -100,10 +100,30 @@ where
         }
     };
 
+    // One flight-recorder span per region, nested under whatever stage
+    // span is open. Both execution paths emit the identical sequence —
+    // spans open/close on the coordinator in region order, and the probe
+    // count is a pure function of the target list — so the deterministic
+    // event stream stays byte-identical at any worker count. No wall
+    // clock: per-region wall on the coordinator would measure merge
+    // latency, not probe cost, so the span carries only the cost counter.
+    let span_open = |idx: usize| {
+        if let Some(sink) = obs {
+            sink.span_start(&format!("region-{idx}"));
+        }
+    };
+    let span_close = |idx: usize, probes: u64| {
+        if let Some(sink) = obs {
+            sink.span_end(&format!("region-{idx}"), None, vec![("probes", probes)]);
+        }
+    };
+
     if workers <= 1 || n_work <= 1 {
         // Serial reference path — also the shape every sharded run must
         // reproduce byte for byte.
-        for &region in regions {
+        for (idx, &region) in regions.iter().enumerate() {
+            span_open(idx);
+            let mut probes = 0u64;
             let mut state = init();
             for epoch in 0..epochs {
                 for &t in targets {
@@ -111,8 +131,10 @@ where
                     stats.absorb(&tr);
                     observe(&tr);
                     fold(&mut state, &tr);
+                    probes += 1;
                 }
             }
+            span_close(idx, probes);
             states.push(state);
         }
         return (states, stats);
@@ -164,7 +186,9 @@ where
             }
         };
         let mut w = 0usize;
-        'merge: for _ in regions {
+        'merge: for (idx, _) in regions.iter().enumerate() {
+            span_open(idx);
+            let mut probes = 0u64;
             let mut state = init();
             for _ in 0..per_region {
                 let Some(batch) = recv_chunk(w) else {
@@ -174,9 +198,11 @@ where
                     stats.absorb(tr);
                     observe(tr);
                     fold(&mut state, tr);
+                    probes += 1;
                 }
                 w += 1;
             }
+            span_close(idx, probes);
             states.push(state);
         }
     });

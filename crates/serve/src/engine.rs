@@ -14,7 +14,9 @@
 
 use crate::snapshot::{AtlasSnapshot, IfaceRecord};
 use cm_net::{Asn, Ipv4, Prefix, PrefixTrie};
-use cm_obs::{HistogramValue, MetricValue, Registry, Snapshot};
+use cm_obs::{HistogramValue, MetricValue, Recorder, Registry, RollingQuantile, Snapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// The three query families the engine answers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,6 +45,15 @@ impl QueryKind {
             QueryKind::Neighbors => "serve_neighbors_total",
         }
     }
+
+    /// The short span name for this kind (sampled flight-recorder spans).
+    pub fn span_name(self) -> &'static str {
+        match self {
+            QueryKind::Point => "point",
+            QueryKind::LongestPrefix => "lpm",
+            QueryKind::Neighbors => "neighbors",
+        }
+    }
 }
 
 /// Upper bounds (nanoseconds) of the per-shard latency histogram:
@@ -56,11 +67,26 @@ pub const LATENCY_BOUNDS_NS: [f64; 15] = [
 /// The name of the per-shard latency histogram.
 pub const LATENCY_HISTOGRAM: &str = "serve_query_latency_ns";
 
+/// Every `SPAN_SAMPLE_EVERY`-th recorded query per shard also emits a
+/// flight-recorder span (`query;<kind>`), so the recorder stays bounded
+/// under sustained load while latency spikes still show up in traces.
+pub const SPAN_SAMPLE_EVERY: u64 = 64;
+
+/// Capacity of the per-shard rolling latency window.
+pub const LATENCY_WINDOW: usize = 1024;
+
 /// One worker's observability shard.
 pub struct Shard {
     /// This shard's private metrics registry (latency histogram plus
     /// per-kind counters).
     pub registry: Registry,
+    /// This shard's flight recorder: sampled per-kind query spans, with
+    /// the measured latency quarantined as the span's wall clock.
+    pub recorder: Recorder,
+    /// Rolling window of the most recent query latencies (nanoseconds).
+    sketch: Mutex<RollingQuantile>,
+    /// Queries recorded on this shard (drives span sampling).
+    recorded: AtomicU64,
 }
 
 impl Shard {
@@ -70,13 +96,53 @@ impl Shard {
         for kind in QueryKind::ALL {
             registry.inc(kind.counter(), 0);
         }
-        Shard { registry }
+        Shard {
+            registry,
+            recorder: Recorder::default(),
+            sketch: Mutex::new(RollingQuantile::new(LATENCY_WINDOW)),
+            recorded: AtomicU64::new(0),
+        }
     }
 
     /// Records one answered query of `kind` that took `latency_ns`.
     pub fn record(&self, kind: QueryKind, latency_ns: f64) {
         self.registry.inc(kind.counter(), 1);
         self.registry.observe(LATENCY_HISTOGRAM, latency_ns);
+        self.observe_latency(kind, latency_ns);
+    }
+
+    /// Feeds one measured latency into the rolling window and, every
+    /// [`SPAN_SAMPLE_EVERY`]-th feed, emits a `query-kind` span with the
+    /// latency quarantined as its wall clock. Leaves the counters and
+    /// the histogram alone — load generators that bulk-record those
+    /// after their hot loop call this for the sampled subset only.
+    pub fn observe_latency(&self, kind: QueryKind, latency_ns: f64) {
+        if let Ok(mut sketch) = self.sketch.lock() {
+            sketch.push(latency_ns);
+        }
+        // The sample decision is a pure function of this shard's own op
+        // count — deterministic for any fixed per-shard op sequence.
+        let n = self.recorded.fetch_add(1, Ordering::Relaxed);
+        if n.is_multiple_of(SPAN_SAMPLE_EVERY) {
+            let name = kind.span_name();
+            self.recorder.span_start(name);
+            self.recorder.span_end(
+                name,
+                Some(latency_ns / 1e6),
+                vec![("sample_index", n / SPAN_SAMPLE_EVERY)],
+            );
+        }
+    }
+
+    /// A quantile over this shard's rolling latency window (`None` until
+    /// the first query lands).
+    pub fn latency_quantile(&self, q: f64) -> Option<f64> {
+        self.sketch.lock().ok().and_then(|s| s.quantile(q))
+    }
+
+    /// This shard's rolling latency window, oldest first.
+    pub fn latency_window(&self) -> Vec<f64> {
+        self.sketch.lock().map(|s| s.window()).unwrap_or_default()
     }
 }
 
@@ -215,6 +281,21 @@ impl Engine {
         merged
     }
 
+    /// A quantile over the union of every shard's rolling latency
+    /// window: shard windows are concatenated in shard order (each
+    /// oldest-first) and one quantile is computed over the multiset, so
+    /// the answer is a pure function of the windows' contents. `None`
+    /// until any shard has recorded a query.
+    pub fn latency_quantile(&self, q: f64) -> Option<f64> {
+        let mut merged = RollingQuantile::new(LATENCY_WINDOW * self.shards.len());
+        for shard in &self.shards {
+            for v in shard.latency_window() {
+                merged.push(v);
+            }
+        }
+        merged.quantile(q)
+    }
+
     /// Point lookup: the serving record of `addr`, if it is a known
     /// border interface.
     pub fn point(&self, addr: Ipv4) -> Option<&IfaceRecord> {
@@ -326,5 +407,30 @@ mod tests {
         assert_eq!(merged.counter("serve_lpm_total"), Some(1));
         let h = merged.histogram(LATENCY_HISTOGRAM).unwrap();
         assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn shards_sample_spans_and_answer_rolling_quantiles() {
+        let e = Engine::build(&snap(), 2);
+        for i in 0..(2 * SPAN_SAMPLE_EVERY + 1) {
+            e.shard(0).record(QueryKind::Point, 100.0 + i as f64);
+        }
+        e.shard(1).record(QueryKind::Neighbors, 1000.0);
+        // Ops 0, 64 and 128 on shard 0 are sampled; shard 1's first op is.
+        let spans = |shard: &Shard| {
+            shard
+                .recorder
+                .events()
+                .iter()
+                .filter(|ev| matches!(ev.kind, cm_obs::EventKind::SpanEnd { .. }))
+                .count()
+        };
+        assert_eq!(spans(e.shard(0)), 3);
+        assert_eq!(spans(e.shard(1)), 1);
+        // Per-shard and merged quantiles agree with the fed sequences.
+        assert_eq!(e.shard(0).latency_quantile(0.0), Some(100.0));
+        assert_eq!(e.shard(1).latency_quantile(0.5), Some(1000.0));
+        assert_eq!(e.latency_quantile(1.0), Some(1000.0));
+        assert!(e.shard(0).latency_window().len() as u64 == 2 * SPAN_SAMPLE_EVERY + 1);
     }
 }
