@@ -8,6 +8,59 @@
 //! objects, arrays, strings (with the escapes [`crate::golden`] and
 //! `cm-obs` emit), f64 numbers, booleans and null. Object members keep
 //! their file order, so walking a parsed document is deterministic.
+//!
+//! The parser is hardened against hostile input (cm-lint's S-rules
+//! treat it as an untrusted-input root): every slice access is
+//! bounds-checked, and the descent depth is capped at [`MAX_DEPTH`] so
+//! a file of ten thousand `[`s yields [`JsonError::TooDeep`] instead of
+//! a stack overflow. Failures are the typed [`JsonError`]; it converts
+//! into `String` so existing `Result<_, String>` plumbing keeps using
+//! `?`.
+
+use std::fmt;
+
+/// Deepest object/array nesting the parser will follow. The harness's
+/// own artifacts nest 4–5 levels; 128 leaves two orders of magnitude of
+/// headroom while keeping worst-case stack use in the tens of
+/// kilobytes.
+pub const MAX_DEPTH: usize = 128;
+
+/// Why a document failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JsonError {
+    /// Nesting exceeded [`MAX_DEPTH`] — hostile or corrupt input, since
+    /// no harness artifact nests remotely that deep.
+    TooDeep {
+        /// The enforced depth limit.
+        limit: usize,
+    },
+    /// Malformed syntax, with a byte offset in the message.
+    Syntax(String),
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::TooDeep { limit } => {
+                write!(f, "nesting deeper than {limit} levels")
+            }
+            JsonError::Syntax(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl From<JsonError> for String {
+    fn from(e: JsonError) -> String {
+        e.to_string()
+    }
+}
+
+/// Shorthand for a syntax error.
+fn syn(msg: String) -> JsonError {
+    JsonError::Syntax(msg)
+}
 
 /// A parsed JSON value. Numbers are uniformly `f64` — every numeric
 /// field the harness emits fits (the largest are span-cost counters,
@@ -31,13 +84,13 @@ pub enum Json {
 impl Json {
     /// Parses one complete JSON document; trailing whitespace is allowed,
     /// trailing garbage is an error.
-    pub fn parse(text: &str) -> Result<Json, String> {
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
         let bytes = text.as_bytes();
         let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
-            return Err(format!("trailing garbage at byte {pos}"));
+            return Err(syn(format!("trailing garbage at byte {pos}")));
         }
         Ok(value)
     }
@@ -90,44 +143,52 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), JsonError> {
     if bytes.get(*pos) == Some(&b) {
         *pos += 1;
         Ok(())
     } else {
-        Err(format!(
+        Err(syn(format!(
             "expected {:?} at byte {} (found {:?})",
             b as char,
             *pos,
             bytes.get(*pos).map(|&c| c as char)
-        ))
+        )))
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+// cm-lint: panic-safe(S5: the descent is bounded — every parse_value entry checks depth against MAX_DEPTH)
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
+    if depth > MAX_DEPTH {
+        return Err(JsonError::TooDeep { limit: MAX_DEPTH });
+    }
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
-        Some(b'{') => parse_object(bytes, pos),
-        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
         Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
         Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
         Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
         Some(_) => parse_number(bytes, pos),
-        None => Err("unexpected end of input".to_string()),
+        None => Err(syn("unexpected end of input".to_string())),
     }
 }
 
-fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
-    if bytes[*pos..].starts_with(lit.as_bytes()) {
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, JsonError> {
+    if bytes
+        .get(*pos..)
+        .is_some_and(|rest| rest.starts_with(lit.as_bytes()))
+    {
         *pos += lit.len();
         Ok(value)
     } else {
-        Err(format!("invalid literal at byte {}", *pos))
+        Err(syn(format!("invalid literal at byte {}", *pos)))
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+// cm-lint: panic-safe(S5: recurses only through parse_value, whose depth check bounds the cycle)
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
     expect(bytes, pos, b'{')?;
     let mut members = Vec::new();
     skip_ws(bytes, pos);
@@ -140,7 +201,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         let key = parse_string(bytes, pos)?;
         skip_ws(bytes, pos);
         expect(bytes, pos, b':')?;
-        let value = parse_value(bytes, pos)?;
+        let value = parse_value(bytes, pos, depth + 1)?;
         members.push((key, value));
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
@@ -149,12 +210,13 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                 *pos += 1;
                 return Ok(Json::Object(members));
             }
-            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+            _ => return Err(syn(format!("expected ',' or '}}' at byte {}", *pos))),
         }
     }
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+// cm-lint: panic-safe(S5: recurses only through parse_value, whose depth check bounds the cycle)
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
     expect(bytes, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -163,7 +225,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         return Ok(Json::Array(items));
     }
     loop {
-        items.push(parse_value(bytes, pos)?);
+        items.push(parse_value(bytes, pos, depth + 1)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -171,17 +233,17 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                 *pos += 1;
                 return Ok(Json::Array(items));
             }
-            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+            _ => return Err(syn(format!("expected ',' or ']' at byte {}", *pos))),
         }
     }
 }
 
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
     expect(bytes, pos, b'"')?;
     let mut out = String::new();
     loop {
         match bytes.get(*pos) {
-            None => return Err("unterminated string".to_string()),
+            None => return Err(syn("unterminated string".to_string())),
             Some(b'"') => {
                 *pos += 1;
                 return Ok(out);
@@ -201,15 +263,15 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                         let hex = bytes
                             .get(*pos + 1..*pos + 5)
                             .and_then(|h| std::str::from_utf8(h).ok())
-                            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                            .ok_or_else(|| syn(format!("bad \\u escape at byte {}", *pos)))?;
                         let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| format!("bad \\u escape at byte {}", *pos))?;
+                            .map_err(|_| syn(format!("bad \\u escape at byte {}", *pos)))?;
                         // Surrogate pairs do not occur in the harness's
                         // own output; map lone surrogates to U+FFFD.
                         out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
                         *pos += 4;
                     }
-                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                    _ => return Err(syn(format!("bad escape at byte {}", *pos))),
                 }
                 *pos += 1;
             }
@@ -222,9 +284,9 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                         end += 1;
                     }
                 }
-                match std::str::from_utf8(&bytes[start..end]) {
-                    Ok(s) => out.push_str(s),
-                    Err(_) => return Err(format!("invalid UTF-8 at byte {start}")),
+                match bytes.get(start..end).map(std::str::from_utf8) {
+                    Some(Ok(s)) => out.push_str(s),
+                    _ => return Err(syn(format!("invalid UTF-8 at byte {start}"))),
                 }
                 *pos = end;
             }
@@ -232,7 +294,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     let start = *pos;
     if bytes.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -242,11 +304,13 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     {
         *pos += 1;
     }
-    let text = std::str::from_utf8(&bytes[start..*pos])
-        .map_err(|_| format!("invalid number at byte {start}"))?;
+    let text = bytes
+        .get(start..*pos)
+        .and_then(|t| std::str::from_utf8(t).ok())
+        .ok_or_else(|| syn(format!("invalid number at byte {start}")))?;
     text.parse::<f64>()
         .map(Json::Num)
-        .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+        .map_err(|_| syn(format!("invalid number {text:?} at byte {start}")))
 }
 
 #[cfg(test)]
@@ -315,5 +379,40 @@ mod tests {
             .map(|(k, _)| k.as_str())
             .collect();
         assert_eq!(keys, ["z", "a"]);
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_with_a_typed_error_not_a_stack_overflow() {
+        for hostile in [
+            "[".repeat(10_000),
+            "{\"k\":".repeat(10_000),
+            format!("{}1{}", "[".repeat(10_000), "]".repeat(10_000)),
+        ] {
+            assert_eq!(
+                Json::parse(&hostile),
+                Err(JsonError::TooDeep { limit: MAX_DEPTH })
+            );
+        }
+    }
+
+    #[test]
+    fn modest_nesting_parses() {
+        let doc = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        let v = Json::parse(&doc).unwrap();
+        let mut cur = &v;
+        let mut levels = 0;
+        while let Some(items) = cur.as_array() {
+            cur = &items[0];
+            levels += 1;
+        }
+        assert_eq!(levels, 64);
+        assert_eq!(cur.as_num(), Some(1.0));
+    }
+
+    #[test]
+    fn too_deep_converts_into_the_string_error_space() {
+        let hostile = "[".repeat(10_000);
+        let as_string: String = Json::parse(&hostile).unwrap_err().into();
+        assert!(as_string.contains("deeper than"), "{as_string}");
     }
 }

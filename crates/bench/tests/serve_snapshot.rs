@@ -91,8 +91,7 @@ fn snapshot_survives_a_disk_round_trip_in_a_tempdir() {
     let path = dir.join("atlas.cmsnap");
     std::fs::write(&path, snap.encode()).expect("snapshot writes");
 
-    let bytes = std::fs::read(&path).expect("snapshot reads back");
-    let loaded = AtlasSnapshot::decode(&bytes).expect("on-disk snapshot decodes");
+    let loaded = AtlasSnapshot::load(&path).expect("on-disk snapshot loads");
     assert_eq!(loaded, snap, "disk round trip is lossless");
 
     // The engine built from the re-read file serves the same run: digest
@@ -130,4 +129,51 @@ fn tampered_real_snapshot_is_rejected() {
 
     // The untouched original still loads.
     assert!(AtlasSnapshot::decode(&bytes).is_ok());
+}
+
+/// Header layout facts the hostile-input tests below rely on (asserted
+/// against the documented format rather than imported, so a layout
+/// change breaks these tests loudly).
+const HEADER_LEN: usize = 40;
+const DIGEST_OFFSET: usize = 32;
+
+#[test]
+fn truncation_fuzz_on_a_real_snapshot_never_panics() {
+    let inet = build_internet("tiny", 2019);
+    let atlas = run_study(&inet);
+    let bytes = snapshot_of(&atlas).encode();
+    assert!(bytes.len() > HEADER_LEN);
+
+    // Every header-region prefix, then strided prefixes across the
+    // payload (the per-byte sweep lives in the cm-serve unit suite; the
+    // real artifact is tens of kilobytes, so stride to keep the O(n²)
+    // digest recomputation in check).
+    let mut cuts: Vec<usize> = (0..=HEADER_LEN.min(bytes.len() - 1)).collect();
+    cuts.extend((HEADER_LEN..bytes.len()).step_by(97));
+    cuts.push(bytes.len() - 1);
+    for cut in cuts {
+        assert!(
+            AtlasSnapshot::decode(&bytes[..cut]).is_err(),
+            "prefix of {cut} bytes must be a typed error"
+        );
+    }
+}
+
+#[test]
+fn forged_count_in_a_real_snapshot_is_rejected_before_allocation() {
+    let inet = build_internet("tiny", 2019);
+    let atlas = run_study(&inet);
+    let mut bytes = snapshot_of(&atlas).encode();
+
+    // Forge the interface-table count to u32::MAX and re-sign the file
+    // so the attack reaches the table parser: the count×width
+    // pre-validation must reject it as Truncated instead of attempting
+    // a ~72 GiB allocation.
+    bytes[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    let digest = cm_serve::snapshot::file_digest(&[&bytes[..DIGEST_OFFSET], &bytes[HEADER_LEN..]]);
+    bytes[DIGEST_OFFSET..HEADER_LEN].copy_from_slice(&digest.to_le_bytes());
+    assert!(matches!(
+        AtlasSnapshot::decode(&bytes),
+        Err(SnapshotError::Truncated { .. })
+    ));
 }

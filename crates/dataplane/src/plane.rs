@@ -182,6 +182,7 @@ impl<'a> DataPlane<'a> {
     pub fn new(inet: &'a Internet, cfg: DataPlaneConfig) -> Self {
         match Self::try_new(inet, cfg) {
             Ok(plane) => plane,
+            // cm-lint: panic-safe(documented constructor contract — configs are workspace-built, not wire input; fallible callers use try_new)
             Err(e) => panic!("invalid DataPlaneConfig: {e}"),
         }
     }
@@ -652,6 +653,7 @@ impl<'a> DataPlane<'a> {
 
         // 7. Destination endpoint. Either an interface we can attribute, or
         // a synthetic host in the origin's announced space.
+        // cm-lint: panic-safe(RoutingTable never emits a route with an empty AS path — the origin is appended at build time)
         let origin = *route.as_path.last().unwrap();
         if let Some(fid) = dst_iface {
             let r = inet.iface(fid).router;

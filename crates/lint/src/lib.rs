@@ -27,11 +27,17 @@
 //!   clones, string building, hash churn, redundant stablehash draws)
 //!   inside loop bodies and propagate reachability from the declared
 //!   hot roots ([`cost::HOT_ROOTS`]), with
-//!   `// cm-lint: hot-cost-accepted(…)` annotations as audited waivers.
+//!   `// cm-lint: hot-cost-accepted(…)` annotations as audited waivers;
+//! * [`safety`] — rules S1–S5 seed panic-capable sites (unwrap/expect,
+//!   panic macros, unchecked indexing, overflow-prone arithmetic,
+//!   untrusted-count allocation, unbounded recursion) and propagate from
+//!   the serving surface ([`safety::SERVE_ROOTS`]) and its
+//!   untrusted-input subset ([`safety::UNTRUSTED_ROOTS`]), with
+//!   `// cm-lint: panic-safe(…)` annotations as audited waivers.
 //!
-//! The `cm-lint` binary runs the taint and/or cost passes over the
-//! workspace (`--pass taint|cost|all`) and emits deterministic text or
-//! JSON ([`report`]); the `cm-audit` `lintwall` binary wraps
+//! The `cm-lint` binary runs any subset of the three passes over the
+//! workspace (`--pass taint|cost|safety|all`) and emits deterministic
+//! text or JSON ([`report`]); the `cm-audit` `lintwall` binary wraps
 //! [`lintwall::run`].
 
 pub mod cost;
@@ -39,6 +45,7 @@ pub mod extract;
 pub mod lexer;
 pub mod lintwall;
 pub mod report;
+pub mod safety;
 pub mod taint;
 pub mod ws;
 
@@ -86,4 +93,21 @@ pub fn analyze_cost(
         .collect();
     let model = extract::build_model(files, deps);
     cost::run(&model, roots)
+}
+
+/// Runs the serving-safety pass over in-memory sources, mirroring
+/// [`analyze`]: `serve_roots` drives S1 panic-freedom, `untrusted_roots`
+/// scopes the taint rules S2–S5.
+pub fn analyze_safety(
+    sources: &[SourceFile],
+    deps: &BTreeMap<String, Vec<String>>,
+    serve_roots: &[&str],
+    untrusted_roots: &[&str],
+) -> safety::SafetyOutcome {
+    let files = sources
+        .iter()
+        .map(|s| extract::lex_file(&s.path, &s.crate_name, &s.src))
+        .collect();
+    let model = extract::build_model(files, deps);
+    safety::run(&model, serve_roots, untrusted_roots)
 }

@@ -1,18 +1,20 @@
 //! The `cm-lint` binary: runs the determinism taint pass (rules D1–D6
-//! plus annotation hygiene A1/A2 and root hygiene R1) and/or the
-//! hot-path cost pass (rules P1–P6 plus acceptance hygiene C1/C2 and
-//! root hygiene R2) over the workspace.
+//! plus annotation hygiene A1/A2 and root hygiene R1), the hot-path
+//! cost pass (rules P1–P6 plus acceptance hygiene C1/C2 and root
+//! hygiene R2) and/or the serving-safety pass (rules S1–S5 plus
+//! annotation hygiene S6/S7 and root hygiene R3) over the workspace.
 //!
 //! ```text
 //! cargo run -p cm-lint                     # taint pass, text report
 //! cargo run -p cm-lint -- --pass cost      # cost pass only
+//! cargo run -p cm-lint -- --pass safety    # panic-freedom pass only
 //! cargo run -p cm-lint -- --pass all --format json  # CI artifact
 //! ```
 //!
 //! Exit status: 0 clean, 1 on findings, 2 on usage errors.
 
 use cm_lint::taint::DEFAULT_ROOTS;
-use cm_lint::{cost, report, taint, ws};
+use cm_lint::{cost, report, safety, taint, ws};
 
 fn main() {
     let mut format = String::from("text");
@@ -29,7 +31,7 @@ fn main() {
             "--format" => format = need("--format", &mut args),
             "--pass" => pass = need("--pass", &mut args),
             "--help" | "-h" => {
-                println!("cm-lint [--pass taint|cost|all] [--format text|json]");
+                println!("cm-lint [--pass taint|cost|safety|all] [--format text|json]");
                 return;
             }
             other => {
@@ -42,8 +44,8 @@ fn main() {
         eprintln!("unknown format: {format} (expected text or json)");
         std::process::exit(2);
     }
-    if pass != "taint" && pass != "cost" && pass != "all" {
-        eprintln!("unknown pass: {pass} (expected taint, cost or all)");
+    if pass != "taint" && pass != "cost" && pass != "safety" && pass != "all" {
+        eprintln!("unknown pass: {pass} (expected taint, cost, safety or all)");
         std::process::exit(2);
     }
 
@@ -64,6 +66,12 @@ fn main() {
     }
     if pass == "cost" || pass == "all" {
         let o = cost::run(&model, cost::HOT_ROOTS);
+        findings.extend(o.findings);
+        quarantined.extend(o.quarantined);
+        dormant += o.dormant;
+    }
+    if pass == "safety" || pass == "all" {
+        let o = safety::run(&model, safety::SERVE_ROOTS, safety::UNTRUSTED_ROOTS);
         findings.extend(o.findings);
         quarantined.extend(o.quarantined);
         dormant += o.dormant;

@@ -103,6 +103,14 @@ const RULE_SET: &[&str] = &[
     "C1_STALE_ACCEPTANCE",
     "C2_MISSING_REASON",
     "R2_MISSING_HOT_ROOT",
+    "S1_PANIC_PATH",
+    "S2_UNCHECKED_INDEX",
+    "S3_UNCHECKED_ARITH",
+    "S4_UNTRUSTED_ALLOC",
+    "S5_UNBOUNDED_RECURSION",
+    "S6_STALE_ANNOTATION",
+    "S7_MISSING_REASON",
+    "R3_MISSING_SERVE_ROOT",
 ];
 
 /// FNV-1a (64-bit) over the canonical rule-id list — a dependency-free

@@ -302,7 +302,7 @@ impl Engine {
         self.records
             .binary_search_by_key(&addr, |r| r.addr)
             .ok()
-            .map(|i| &self.records[i])
+            .and_then(|i| self.records.get(i))
     }
 
     /// Longest-prefix query: the most specific announced prefix covering
@@ -314,13 +314,15 @@ impl Engine {
     /// ICG neighborhood: all segment counterparts of `addr`, ascending;
     /// empty for unknown interfaces.
     pub fn neighbors(&self, addr: Ipv4) -> &[Ipv4] {
-        match self.records.binary_search_by_key(&addr, |r| r.addr) {
-            Ok(i) => {
-                let lo = self.offsets[i] as usize;
-                let hi = self.offsets[i + 1] as usize;
-                &self.neighbors[lo..hi]
-            }
-            Err(_) => &[],
+        let Ok(i) = self.records.binary_search_by_key(&addr, |r| r.addr) else {
+            return &[];
+        };
+        // offsets has records.len() + 1 entries by construction, but a
+        // decoded-then-mutated engine is cheap to guard against: absent
+        // or inverted offsets answer empty rather than panic.
+        match (self.offsets.get(i), self.offsets.get(i + 1)) {
+            (Some(&lo), Some(&hi)) => self.neighbors.get(lo as usize..hi as usize).unwrap_or(&[]),
+            _ => &[],
         }
     }
 }

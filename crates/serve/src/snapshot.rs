@@ -56,6 +56,8 @@ pub enum SnapshotError {
     /// A record field held an impossible value (e.g. a prefix length
     /// above 32).
     Malformed(&'static str),
+    /// The snapshot file could not be read from disk.
+    Io(String),
 }
 
 impl fmt::Display for SnapshotError {
@@ -79,6 +81,7 @@ impl fmt::Display for SnapshotError {
                 "payload digest mismatch: header {stored:#018x}, computed {computed:#018x}"
             ),
             SnapshotError::Malformed(what) => write!(f, "malformed record: {what}"),
+            SnapshotError::Io(err) => write!(f, "cannot read snapshot: {err}"),
         }
     }
 }
@@ -149,6 +152,7 @@ pub fn file_digest(parts: &[&[u8]]) -> u64 {
         let rem = chunks.remainder();
         if !rem.is_empty() {
             let mut w = [0u8; 8];
+            // cm-lint: panic-safe(chunks_exact(8) leaves a remainder of at most 7 bytes and w is 8)
             w[..rem.len()].copy_from_slice(rem);
             h = stablehash::mix(h, &[u64::from_le_bytes(w), rem.len() as u64]);
         }
@@ -222,16 +226,19 @@ impl AtlasSnapshot {
     /// before any table is parsed, so corruption anywhere in the buffer
     /// yields a typed error rather than a panic or a wrong record.
     pub fn decode(bytes: &[u8]) -> Result<AtlasSnapshot, SnapshotError> {
-        if bytes.len() < HEADER_LEN {
+        let Some((header, payload)) = bytes.split_at_checked(HEADER_LEN) else {
             return Err(SnapshotError::Truncated {
                 need: HEADER_LEN,
                 have: bytes.len(),
             });
-        }
-        if bytes[..8] != MAGIC {
+        };
+        if bytes.get(..8) != Some(MAGIC.as_slice()) {
             return Err(SnapshotError::BadMagic);
         }
-        let mut c = Cursor { bytes, pos: 8 };
+        let mut c = Cursor {
+            bytes: header,
+            pos: 8,
+        };
         let format = c.u32()?;
         if format != FORMAT_VERSION {
             return Err(SnapshotError::UnsupportedFormat(format));
@@ -240,7 +247,7 @@ impl AtlasSnapshot {
         let golden_digest = c.u64()?;
         let payload_len = c.u64()? as usize;
         let stored = c.u64()?;
-        let have = bytes.len() - HEADER_LEN;
+        let have = payload.len();
         if have < payload_len {
             return Err(SnapshotError::Truncated {
                 need: HEADER_LEN + payload_len,
@@ -250,8 +257,8 @@ impl AtlasSnapshot {
         if have > payload_len {
             return Err(SnapshotError::TrailingBytes(have - payload_len));
         }
-        let payload = &bytes[HEADER_LEN..];
-        let computed = file_digest(&[&bytes[..DIGEST_OFFSET], payload]);
+        // cm-lint: panic-safe(split_at_checked pinned header to exactly HEADER_LEN bytes and DIGEST_OFFSET < HEADER_LEN)
+        let computed = file_digest(&[&header[..DIGEST_OFFSET], payload]);
         if computed != stored {
             return Err(SnapshotError::DigestMismatch { stored, computed });
         }
@@ -309,6 +316,14 @@ impl AtlasSnapshot {
             segments,
         })
     }
+
+    /// Reads and decodes a snapshot file, mapping I/O failures into the
+    /// same typed error space as decode failures — the serving layer
+    /// never panics on a missing or corrupt snapshot.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<AtlasSnapshot, SnapshotError> {
+        let bytes = std::fs::read(path.as_ref()).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        AtlasSnapshot::decode(&bytes)
+    }
 }
 
 /// A bounds-checked little-endian reader.
@@ -323,13 +338,13 @@ impl Cursor<'_> {
             need: usize::MAX,
             have: self.bytes.len(),
         })?;
-        if end > self.bytes.len() {
-            return Err(SnapshotError::Truncated {
+        let s = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or(SnapshotError::Truncated {
                 need: end,
                 have: self.bytes.len(),
-            });
-        }
-        let s = &self.bytes[self.pos..end];
+            })?;
         self.pos = end;
         Ok(s)
     }
@@ -462,6 +477,60 @@ mod tests {
             AtlasSnapshot::decode(&bytes),
             Err(SnapshotError::UnsupportedFormat(_))
         ));
+    }
+
+    /// Hostile-input sweep: EVERY prefix of a valid snapshot must come
+    /// back as a typed error — never a panic, never an `Ok`. This is
+    /// the exhaustive companion to the spot checks above (the sample
+    /// file is a few hundred bytes, so the O(n²) digest work is trivial).
+    #[test]
+    fn every_prefix_truncation_yields_a_typed_error() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            match AtlasSnapshot::decode(&bytes[..cut]) {
+                Err(_) => {}
+                Ok(_) => panic!("prefix of {cut} bytes decoded successfully"),
+            }
+        }
+    }
+
+    /// Memory-DoS regression: a forged element count must be rejected by
+    /// the `len_prefix` pre-validation (count × width vs remaining
+    /// bytes), not answered with a multi-gigabyte `Vec::with_capacity`.
+    /// The tampered file is re-signed so the attack reaches the table
+    /// parser instead of dying at the digest check.
+    #[test]
+    fn forged_table_count_is_rejected_before_allocation() {
+        for forged in [u32::MAX, 1 << 24] {
+            let mut bytes = sample().encode();
+            // First table's count lives at the start of the payload.
+            bytes[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&forged.to_le_bytes());
+            let digest = file_digest(&[&bytes[..DIGEST_OFFSET], &bytes[HEADER_LEN..]]);
+            bytes[DIGEST_OFFSET..HEADER_LEN].copy_from_slice(&digest.to_le_bytes());
+            assert!(
+                matches!(
+                    AtlasSnapshot::decode(&bytes),
+                    Err(SnapshotError::Truncated { .. })
+                ),
+                "forged count {forged} must be a Truncated error"
+            );
+        }
+    }
+
+    #[test]
+    fn load_reads_a_snapshot_file_and_maps_io_errors() {
+        let missing = std::path::Path::new("/nonexistent/cm-snapshot.bin");
+        assert!(matches!(
+            AtlasSnapshot::load(missing),
+            Err(SnapshotError::Io(_))
+        ));
+
+        let snap = sample();
+        let path = std::env::temp_dir().join(format!("cm-snap-test-{}.bin", std::process::id()));
+        std::fs::write(&path, snap.encode()).expect("write temp snapshot");
+        let back = AtlasSnapshot::load(&path).expect("loads");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(back, snap);
     }
 
     #[test]
